@@ -1,0 +1,136 @@
+// E13 — ablations of the design choices DESIGN.md calls out:
+//  1. timestamp inheritance (Sec. 1) on/off — space;
+//  2. interval encoding of timestamps vs exhaustive version lists — space;
+//  3. frontier strategy: buckets vs SCCS weave (further compaction) — space;
+//  4. fingerprint strength: full 64-bit vs truncated — merge time (the
+//     collision-verification cost of Sec. 4.3).
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/archive.h"
+#include "synth/omim.h"
+#include "synth/words.h"
+#include "util/random.h"
+#include "xml/serializer.h"
+
+namespace {
+
+using namespace xarch;
+
+core::Archive BuildOmim(core::ArchiveOptions options, int versions) {
+  synth::OmimGenerator::Options gen_options;
+  gen_options.initial_records = 100;
+  gen_options.insert_ratio = 0.01;
+  gen_options.modify_ratio = 0.01;
+  synth::OmimGenerator gen(gen_options);
+  auto spec = keys::ParseKeySpecSet(synth::OmimGenerator::KeySpecText());
+  core::Archive archive(std::move(*spec), options);
+  for (int v = 0; v < versions; ++v) {
+    Status st = archive.AddVersion(*gen.NextVersion());
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  return archive;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kVersions = 15;
+  std::printf("# E13 — design ablations (OMIM-like, %d versions)\n\n",
+              kVersions);
+
+  // --- 1 & 2: serialization choices on the same archive.
+  {
+    core::Archive archive = BuildOmim({}, kVersions);
+    core::ArchiveSerializeOptions base;
+    core::ArchiveSerializeOptions no_inherit = base;
+    no_inherit.inherit_timestamps = false;
+    core::ArchiveSerializeOptions no_interval = base;
+    no_interval.interval_encoding = false;
+    size_t base_size = archive.ToXml(base).size();
+    size_t no_inherit_size = archive.ToXml(no_inherit).size();
+    size_t no_interval_size = archive.ToXml(no_interval).size();
+    std::printf("timestamp inheritance:   on %9zu bytes   off %9zu bytes "
+                "(+%.1f%%)\n",
+                base_size, no_inherit_size,
+                100.0 * (no_inherit_size - base_size) / base_size);
+    std::printf("interval encoding:       on %9zu bytes   off %9zu bytes "
+                "(+%.1f%%)\n",
+                base_size, no_interval_size,
+                100.0 * (no_interval_size - base_size) / base_size);
+  }
+
+  // --- 3: frontier strategy on the paper's free-text scenario ("some data
+  // may be free text represented as a sequence of <line> elements",
+  // Sec. 2): sections of unkeyed lines below a frontier <body>, a few
+  // lines changing per version. Buckets duplicate the whole body on any
+  // change; the weave (further compaction, Fig. 10) stores shared lines
+  // once.
+  {
+    auto build = [](core::FrontierStrategy strategy) {
+      Rng rng(101);
+      std::vector<std::vector<std::string>> sections(20);
+      for (auto& lines : sections) {
+        for (int l = 0; l < 15; ++l) {
+          lines.push_back(synth::Sentence(rng, 6, 14));
+        }
+      }
+      core::ArchiveOptions options;
+      options.frontier = strategy;
+      auto spec = keys::ParseKeySpecSet(
+          "(/, (doc, {}))\n(/doc, (section, {title}))\n"
+          "(/doc/section, (body, {}))");
+      core::Archive archive(std::move(*spec), options);
+      for (int v = 0; v < 12; ++v) {
+        // Change one line in a quarter of the sections.
+        if (v > 0) {
+          for (size_t s = 0; s < sections.size(); s += 4) {
+            sections[s][rng.Uniform(0, sections[s].size() - 1)] =
+                synth::Sentence(rng, 6, 14);
+          }
+        }
+        xml::NodePtr doc = xml::Node::Element("doc");
+        for (size_t s = 0; s < sections.size(); ++s) {
+          xml::Node* section = doc->AddElement("section");
+          section->AddElementWithText("title", "sec" + std::to_string(s));
+          xml::Node* body = section->AddElement("body");
+          for (const auto& line : sections[s]) {
+            body->AddElementWithText("line", line);
+          }
+        }
+        Status st = archive.AddVersion(*doc);
+        if (!st.ok()) {
+          std::fprintf(stderr, "%s\n", st.ToString().c_str());
+          std::exit(1);
+        }
+      }
+      return archive.ToXml().size();
+    };
+    size_t buckets = build(core::FrontierStrategy::kBuckets);
+    size_t weave = build(core::FrontierStrategy::kWeave);
+    std::printf("frontier strategy (free-text lines): buckets %9zu bytes   "
+                "weave %9zu bytes (%.1f%% of buckets)\n",
+                buckets, weave, 100.0 * weave / buckets);
+  }
+
+  // --- 4: fingerprint strength vs merge time (heavy truncation forces
+  // frequent fingerprint ties, each verified against actual key values).
+  {
+    for (int bits : {64, 8, 2}) {
+      core::ArchiveOptions options;
+      options.annotate.fingerprint_bits = bits;
+      auto t0 = std::chrono::steady_clock::now();
+      core::Archive archive = BuildOmim(options, kVersions);
+      auto t1 = std::chrono::steady_clock::now();
+      std::printf("fingerprint bits %2d: archive build %8.1f ms "
+                  "(truncation forces the Sec. 4.3 value verification)\n",
+                  bits,
+                  std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+// E6 — Appendix C.1: XMark random change ratios 3.33% and 6.66%,
+// interpolating between the two Fig. 13 settings.
+
+#include "storage_sweep.h"
+#include "synth/xmark.h"
+#include "xml/serializer.h"
+
+int main() {
+  using namespace xarch;
+  bench::SweepOptions options;
+  options.with_cumulative = false;
+  options.with_compression = true;
+
+  for (double pct : {3.33, 6.66}) {
+    synth::XMarkGenerator::Options gen_options;
+    gen_options.items = 20;
+    gen_options.people = 35;
+    gen_options.open_auctions = 20;
+    synth::XMarkGenerator gen(gen_options);
+    bool first = true;
+    bench::RunStorageSweep(
+        "Appendix C.1 Auction Data, " + std::to_string(pct) +
+            "%% random change ratio",
+        synth::XMarkGenerator::KeySpecText(), 20,
+        [&] {
+          if (!first) gen.MutateRandom(pct);
+          first = false;
+          return gen.Current();
+        },
+        options);
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+// E7 — Appendix C.2: the worst-case key-mutation workload at 3.33% and
+// 6.66%, interpolating between the two Fig. 14 settings.
+
+#include "storage_sweep.h"
+#include "synth/xmark.h"
+#include "xml/serializer.h"
+
+int main() {
+  using namespace xarch;
+  bench::SweepOptions options;
+  options.with_cumulative = false;
+  options.with_compression = true;
+
+  for (double pct : {3.33, 6.66}) {
+    synth::XMarkGenerator::Options gen_options;
+    gen_options.items = 20;
+    gen_options.people = 35;
+    gen_options.open_auctions = 20;
+    synth::XMarkGenerator gen(gen_options);
+    bool first = true;
+    bench::RunStorageSweep(
+        "Appendix C.2 Auction Data, key mutation of " + std::to_string(pct) +
+            "%% of elements per version",
+        synth::XMarkGenerator::KeySpecText(), 20,
+        [&] {
+          if (!first) gen.MutateKeys(pct);
+          first = false;
+          return gen.Current();
+        },
+        options);
+  }
+  return 0;
+}

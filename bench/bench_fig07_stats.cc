@@ -1,0 +1,55 @@
+// E1 — Fig. 7: "Various statistics of our experiment data": serialized
+// size, node count N (elements + text + attributes) and height h of the
+// largest version of each dataset. Absolute sizes are scaled down (the
+// generators are laptop-sized); N and especially h reproduce the paper's
+// shape (OMIM h=5, Swiss-Prot h=6, XMark deeper than both).
+
+#include <cstdio>
+
+#include "synth/omim.h"
+#include "synth/swissprot.h"
+#include "synth/xmark.h"
+#include "util/strings.h"
+#include "xml/serializer.h"
+
+int main() {
+  using namespace xarch;
+  std::printf("# Fig. 7 — dataset statistics (largest generated version)\n");
+  std::printf("%-12s %14s %12s %8s\n", "Data", "Size", "No. of Nodes(N)",
+              "Height(h)");
+
+  {
+    synth::OmimGenerator::Options options;
+    options.initial_records = 400;
+    synth::OmimGenerator gen(options);
+    xml::NodePtr doc;
+    for (int v = 0; v < 5; ++v) doc = gen.NextVersion();
+    std::printf("%-12s %14s %12s %8d\n", "OMIM",
+                FormatWithCommas(xml::Serialize(*doc).size()).c_str(),
+                FormatWithCommas(doc->CountNodes()).c_str(), doc->Height());
+  }
+  {
+    synth::SwissProtGenerator::Options options;
+    options.initial_records = 250;
+    synth::SwissProtGenerator gen(options);
+    xml::NodePtr doc;
+    for (int v = 0; v < 5; ++v) doc = gen.NextVersion();
+    std::printf("%-12s %14s %12s %8d\n", "Swiss-Prot",
+                FormatWithCommas(xml::Serialize(*doc).size()).c_str(),
+                FormatWithCommas(doc->CountNodes()).c_str(), doc->Height());
+  }
+  {
+    synth::XMarkGenerator::Options options;
+    options.items = 60;
+    options.people = 90;
+    options.open_auctions = 60;
+    synth::XMarkGenerator gen(options);
+    xml::NodePtr doc = gen.Current();
+    std::printf("%-12s %14s %12s %8d\n", "XMark",
+                FormatWithCommas(xml::Serialize(*doc).size()).c_str(),
+                FormatWithCommas(doc->CountNodes()).c_str(), doc->Height());
+  }
+  std::printf("\npaper (Fig. 7): OMIM 27.0MB/206,466/5  Swiss-Prot "
+              "436.2MB/10,903,568/6  XMark 11.2MB/167,864/12\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// E5 — Fig. 14: the archiver's worst case — key values of n% of elements
+// mutated per version, i.e. deletion + insertion of highly similar
+// elements at the same spot. The line diff stores one changed line; the
+// key-based archive must store the whole element again. Expected shape:
+// the archive grows much faster than V1+inc diffs, while xmill(archive)
+// stays ahead of gzip(inc diffs) until the raw archive is roughly 1.2x the
+// diff repository.
+
+#include "storage_sweep.h"
+#include "synth/xmark.h"
+#include "xml/serializer.h"
+
+int main() {
+  using namespace xarch;
+  bench::SweepOptions options;
+  options.with_cumulative = false;
+  options.with_compression = true;
+
+  for (double pct : {1.66, 10.0}) {
+    synth::XMarkGenerator::Options gen_options;
+    gen_options.items = 20;
+    gen_options.people = 35;
+    gen_options.open_auctions = 20;
+    synth::XMarkGenerator gen(gen_options);
+    bool first = true;
+    bench::RunStorageSweep(
+        "Fig. 14 Auction Data, key mutation of " + std::to_string(pct) +
+            "% of elements per version",
+        synth::XMarkGenerator::KeySpecText(), 20,
+        [&] {
+          if (!first) gen.MutateKeys(pct);
+          first = false;
+          return gen.Current();
+        },
+        options);
+  }
+  return 0;
+}

@@ -1,0 +1,161 @@
+// E9 — micro-benchmarks (google-benchmark) for the Sec. 4 analyses:
+//  - Annotate Keys is O(N h (Σ m_i + q)): linear in document size;
+//  - Nested Merge is O(α N log N);
+//  - supporting substrate throughput: Myers line diff, LZSS, canonical
+//    form + fingerprints, VersionSet operations.
+
+#include <benchmark/benchmark.h>
+
+#include "compress/lzss.h"
+#include "core/archive.h"
+#include "diff/edit_script.h"
+#include "keys/annotate.h"
+#include "keys/key_spec.h"
+#include "synth/omim.h"
+#include "util/version_set.h"
+#include "xml/canonical.h"
+#include "xml/serializer.h"
+
+namespace {
+
+using namespace xarch;
+
+keys::KeySpecSet OmimSpec() {
+  auto spec = keys::ParseKeySpecSet(synth::OmimGenerator::KeySpecText());
+  return std::move(*spec);
+}
+
+xml::NodePtr OmimDoc(size_t records) {
+  synth::OmimGenerator::Options options;
+  options.initial_records = records;
+  synth::OmimGenerator gen(options);
+  return gen.NextVersion();
+}
+
+void BM_AnnotateKeys(benchmark::State& state) {
+  keys::KeySpecSet spec = OmimSpec();
+  xml::NodePtr doc = OmimDoc(state.range(0));
+  size_t nodes = doc->CountNodes();
+  for (auto _ : state) {
+    auto keyed = keys::AnnotateKeys(*doc, spec);
+    benchmark::DoNotOptimize(keyed);
+  }
+  state.SetItemsProcessed(state.iterations() * nodes);
+}
+BENCHMARK(BM_AnnotateKeys)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_NestedMergeIdenticalVersion(benchmark::State& state) {
+  // Re-merging an identical version: the pure merge cost (α = N).
+  xml::NodePtr doc = OmimDoc(state.range(0));
+  size_t nodes = doc->CountNodes();
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::Archive archive(OmimSpec());
+    Status st = archive.AddVersion(*doc);
+    state.ResumeTiming();
+    st = archive.AddVersion(*doc);
+    benchmark::DoNotOptimize(st);
+  }
+  state.SetItemsProcessed(state.iterations() * nodes);
+}
+BENCHMARK(BM_NestedMergeIdenticalVersion)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_NestedMergeDailyChanges(benchmark::State& state) {
+  // The realistic accretive case: merge a day's changes into an archive.
+  synth::OmimGenerator::Options options;
+  options.initial_records = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    synth::OmimGenerator gen(options);
+    core::Archive archive(OmimSpec());
+    Status st = archive.AddVersion(*gen.NextVersion());
+    xml::NodePtr next = gen.NextVersion();
+    state.ResumeTiming();
+    st = archive.AddVersion(*next);
+    benchmark::DoNotOptimize(st);
+  }
+}
+BENCHMARK(BM_NestedMergeDailyChanges)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_RetrieveVersion(benchmark::State& state) {
+  synth::OmimGenerator::Options options;
+  options.initial_records = 200;
+  synth::OmimGenerator gen(options);
+  core::Archive archive(OmimSpec());
+  for (int v = 0; v < 10; ++v) {
+    Status st = archive.AddVersion(*gen.NextVersion());
+    (void)st;
+  }
+  Version v = 1;
+  for (auto _ : state) {
+    auto doc = archive.RetrieveVersion(1 + (v++ % 10));
+    benchmark::DoNotOptimize(doc);
+  }
+}
+BENCHMARK(BM_RetrieveVersion);
+
+void BM_MyersLineDiff(benchmark::State& state) {
+  synth::OmimGenerator::Options options;
+  options.initial_records = 200;
+  synth::OmimGenerator gen(options);
+  std::string a = xml::Serialize(*gen.NextVersion());
+  std::string b = xml::Serialize(*gen.NextVersion());
+  for (auto _ : state) {
+    auto script = diff::LineDiffText(a, b);
+    benchmark::DoNotOptimize(script);
+  }
+  state.SetBytesProcessed(state.iterations() * (a.size() + b.size()));
+}
+BENCHMARK(BM_MyersLineDiff);
+
+void BM_LzssCompress(benchmark::State& state) {
+  synth::OmimGenerator::Options options;
+  options.initial_records = 200;
+  synth::OmimGenerator gen(options);
+  std::string text = xml::Serialize(*gen.NextVersion());
+  for (auto _ : state) {
+    auto out = compress::LzssCompress(text);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * text.size());
+}
+BENCHMARK(BM_LzssCompress);
+
+void BM_CanonicalizeAndFingerprint(benchmark::State& state) {
+  xml::NodePtr doc = OmimDoc(100);
+  for (auto _ : state) {
+    auto digest = xml::Fingerprint(*doc);
+    benchmark::DoNotOptimize(digest);
+  }
+}
+BENCHMARK(BM_CanonicalizeAndFingerprint);
+
+void BM_VersionSetAccretiveAdd(benchmark::State& state) {
+  for (auto _ : state) {
+    VersionSet set;
+    for (Version v = 1; v <= 1000; ++v) set.Add(v);
+    benchmark::DoNotOptimize(set);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_VersionSetAccretiveAdd);
+
+void BM_VersionSetGapOperations(benchmark::State& state) {
+  VersionSet a, b;
+  for (Version v = 1; v <= 1000; v += 2) a.Add(v);
+  for (Version v = 2; v <= 1000; v += 3) b.Add(v);
+  for (auto _ : state) {
+    VersionSet u = a;
+    u.UnionWith(b);
+    auto m = a.Minus(b);
+    auto i = a.IntersectWith(b);
+    benchmark::DoNotOptimize(u);
+    benchmark::DoNotOptimize(m);
+    benchmark::DoNotOptimize(i);
+  }
+}
+BENCHMARK(BM_VersionSetGapOperations);
+
+}  // namespace
+
+BENCHMARK_MAIN();

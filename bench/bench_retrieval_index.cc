@@ -1,0 +1,60 @@
+// E11 — Sec. 7.1: version retrieval, full scan vs timestamp trees.
+// Builds a long accretive history, then retrieves versions of different
+// ages. For an old (small) version the timestamp trees prune most of the
+// archive: probes track 2α-1+2α·log(k/α) rather than the full child count.
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/archive.h"
+#include "index/archive_index.h"
+#include "synth/omim.h"
+
+int main() {
+  using namespace xarch;
+  constexpr int kVersions = 40;
+  synth::OmimGenerator::Options gen_options;
+  gen_options.initial_records = 40;
+  gen_options.insert_ratio = 0.08;  // strongly accretive: late versions big
+  gen_options.delete_ratio = 0.0;
+  synth::OmimGenerator gen(gen_options);
+  auto spec = keys::ParseKeySpecSet(synth::OmimGenerator::KeySpecText());
+  core::Archive archive(std::move(*spec));
+  for (int v = 0; v < kVersions; ++v) {
+    Status st = archive.AddVersion(*gen.NextVersion());
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  index::ArchiveIndex idx(archive);
+  std::printf("# E11 — retrieval: scan vs timestamp trees (%d accretive "
+              "versions, %zu archive nodes, index %zu tree nodes)\n",
+              kVersions, archive.CountNodes(), idx.TreeNodeCount());
+  size_t full_scan_nodes = archive.CountNodes();
+  std::printf("%-8s %14s %18s %14s %14s\n", "version", "tree probes",
+              "full scan (nodes)", "scan us", "indexed us");
+  for (Version v : {1u, 10u, 20u, 30u, 40u}) {
+    index::ProbeStats stats;
+    auto t0 = std::chrono::steady_clock::now();
+    auto indexed = idx.RetrieveVersion(v, &stats);
+    auto t1 = std::chrono::steady_clock::now();
+    auto scanned = archive.RetrieveVersion(v);
+    auto t2 = std::chrono::steady_clock::now();
+    if (!indexed.ok() || !scanned.ok()) {
+      std::fprintf(stderr, "retrieval failed\n");
+      return 1;
+    }
+    double indexed_us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count();
+    double scan_us =
+        std::chrono::duration<double, std::micro>(t2 - t1).count();
+    std::printf("%-8u %14zu %18zu %14.1f %14.1f\n", v, stats.tree_probes,
+                full_scan_nodes, scan_us, indexed_us);
+  }
+  std::printf("\nexpected shape: retrieving an early (small) version probes "
+              "far fewer tree nodes than the full scan touches; the "
+              "advantage shrinks as α approaches k for recent versions "
+              "(Sec. 7.1).\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+#ifndef XARCH_BENCH_STORAGE_SWEEP_H_
+#define XARCH_BENCH_STORAGE_SWEEP_H_
+
+// Shared driver for the storage experiments (Fig. 11-14, Appendix C):
+// feeds a sequence of versions to every storage strategy of Sec. 5 and
+// prints one row per version with all the byte counts the paper plots.
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "compress/container.h"
+#include "compress/lzss.h"
+#include "core/archive.h"
+#include "diff/repository.h"
+#include "keys/key_spec.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xarch::bench {
+
+struct SweepOptions {
+  bool with_cumulative = true;   ///< include the V1+cumu-diffs line (Fig. 11)
+  bool with_compression = true;  ///< include the compressed lines (Fig. 12+)
+};
+
+/// Serialization used for all byte counts: line-structured (so line diffs
+/// are element-aligned, as the paper's data was formatted) but without
+/// indentation, which would bias against the deeper-nested archive.
+inline std::string SerializeForBench(const xml::Node& node) {
+  xml::SerializeOptions options;
+  options.pretty = true;
+  options.indent_width = 0;
+  return xml::Serialize(node, options);
+}
+
+/// Runs the sweep: `next_version()` must return the next document per call.
+inline void RunStorageSweep(const std::string& title,
+                            const char* key_spec_text, int versions,
+                            const std::function<xml::NodePtr()>& next_version,
+                            const SweepOptions& options) {
+  auto spec = keys::ParseKeySpecSet(key_spec_text);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "bad key spec: %s\n", spec.status().ToString().c_str());
+    std::exit(1);
+  }
+  core::Archive archive(std::move(*spec));
+  diff::IncrementalDiffRepo inc;
+  diff::CumulativeDiffRepo cumu;
+  diff::FullCopyRepo all;
+
+  std::printf("# %s\n", title.c_str());
+  std::printf("%-3s %10s %10s %10s", "v", "version", "archive", "V1+inc");
+  if (options.with_cumulative) std::printf(" %10s", "V1+cumu");
+  if (options.with_compression) {
+    std::printf(" %12s %12s %12s %12s", "gzip(inc)", "gzip(cumu)",
+                "xmill(arch)", "xmill(V1..Vi)");
+  }
+  std::printf("\n");
+
+  core::ArchiveSerializeOptions archive_ser;
+  archive_ser.indent_width = 0;
+  for (int v = 1; v <= versions; ++v) {
+    xml::NodePtr doc = next_version();
+    std::string text = SerializeForBench(*doc);
+    Status st = archive.AddVersion(*doc);
+    if (!st.ok()) {
+      std::fprintf(stderr, "v%d merge: %s\n", v, st.ToString().c_str());
+      std::exit(1);
+    }
+    inc.AddVersion(text);
+    cumu.AddVersion(text);
+    all.AddVersion(text);
+
+    std::string archive_xml = archive.ToXml(archive_ser);
+    std::printf("%-3d %10zu %10zu %10zu", v, text.size(), archive_xml.size(),
+                inc.ByteSize());
+    if (options.with_cumulative) std::printf(" %10zu", cumu.ByteSize());
+    if (options.with_compression) {
+      size_t gzip_inc = compress::LzssCompress(inc.ConcatenatedBytes()).size();
+      size_t gzip_cumu =
+          compress::LzssCompress(cumu.ConcatenatedBytes()).size();
+      auto xmill_arch =
+          compress::XmlContainerCompressor::CompressText(archive_xml);
+      // "xmill(V1+...+Vi)": all versions side by side in one XML tree
+      // (Sec. 5), made well-formed with a wrapper element.
+      auto xmill_all_or =
+          compress::XmlContainerCompressor::CompressText(
+              "<all>" + all.ConcatenatedBytes() + "</all>");
+      size_t xmill_all = xmill_all_or.ok() ? xmill_all_or->size() : 0;
+      std::printf(" %12zu %12zu %12zu %12zu", gzip_inc, gzip_cumu,
+                  xmill_arch.ok() ? xmill_arch->size() : 0, xmill_all);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace xarch::bench
+
+#endif  // XARCH_BENCH_STORAGE_SWEEP_H_

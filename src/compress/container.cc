@@ -1,0 +1,254 @@
+#include "compress/container.h"
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "compress/lzss.h"
+#include "xml/parser.h"
+
+namespace xarch::compress {
+
+namespace {
+
+constexpr char kMagic[4] = {'X', 'M', 'C', '1'};
+
+// Structure stream tokens.
+constexpr uint8_t kOpenElement = 0x01;  // + varint tag id
+constexpr uint8_t kAttr = 0x02;         // + varint attr-name id; value in container
+constexpr uint8_t kText = 0x03;         // content in container of enclosing tag
+constexpr uint8_t kClose = 0x04;
+
+void PutVarint(uint64_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+Status GetVarint(std::string_view data, size_t* pos, uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (*pos < data.size()) {
+    uint8_t b = static_cast<uint8_t>(data[(*pos)++]);
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      *out = v;
+      return Status::OK();
+    }
+    shift += 7;
+    if (shift > 63) break;
+  }
+  return Status::Corruption("bad varint");
+}
+
+void PutString(std::string_view s, std::string* out) {
+  PutVarint(s.size(), out);
+  out->append(s);
+}
+
+Status GetString(std::string_view data, size_t* pos, std::string* out) {
+  uint64_t len;
+  XARCH_RETURN_NOT_OK(GetVarint(data, pos, &len));
+  if (*pos + len > data.size()) return Status::Corruption("bad string length");
+  out->assign(data.substr(*pos, len));
+  *pos += len;
+  return Status::OK();
+}
+
+/// Splits a document into dictionary + structure stream + text containers.
+class Splitter {
+ public:
+  void Walk(const xml::Node& node) {
+    if (node.is_text()) {
+      structure_.push_back(static_cast<char>(kText));
+      AppendToContainer(current_tag_, node.text());
+      return;
+    }
+    structure_.push_back(static_cast<char>(kOpenElement));
+    PutVarint(NameId(node.tag()), &structure_);
+    for (const auto& [name, value] : node.attrs()) {
+      structure_.push_back(static_cast<char>(kAttr));
+      PutVarint(NameId(name), &structure_);
+      AppendToContainer("@" + name, value);
+    }
+    std::string saved_tag = current_tag_;
+    current_tag_ = node.tag();
+    for (const auto& c : node.children()) Walk(*c);
+    current_tag_ = saved_tag;
+    structure_.push_back(static_cast<char>(kClose));
+  }
+
+  std::string Finish() {
+    std::string out;
+    out.append(kMagic, 4);
+    PutVarint(names_.size(), &out);
+    for (const auto& name : names_) PutString(name, &out);
+    // All containers plus the structure stream are compressed as ONE
+    // stream in container order: grouping still puts similar text side by
+    // side (the XMill effect) while matches can reach across container
+    // boundaries, as XMill's shared dictionary does.
+    PutVarint(containers_.size(), &out);
+    std::string super;
+    for (const auto& [key, body] : containers_) {  // std::map: stable order
+      PutString(key, &out);
+      PutVarint(body.size(), &out);
+      super += body;
+    }
+    PutVarint(structure_.size(), &out);
+    super += structure_;
+    PutString(LzssCompress(super), &out);
+    return out;
+  }
+
+ private:
+  uint64_t NameId(const std::string& name) {
+    auto [it, inserted] = name_ids_.try_emplace(name, names_.size());
+    if (inserted) names_.push_back(name);
+    return it->second;
+  }
+
+  void AppendToContainer(const std::string& key, std::string_view text) {
+    std::string& body = containers_[key];
+    PutVarint(text.size(), &body);
+    body.append(text);
+  }
+
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, uint64_t> name_ids_;
+  std::map<std::string, std::string> containers_;
+  std::string structure_;
+  std::string current_tag_;
+};
+
+/// Sequential reader over one decompressed container.
+struct ContainerCursor {
+  std::string body;
+  size_t pos = 0;
+
+  StatusOr<std::string> Next() {
+    uint64_t len;
+    XARCH_RETURN_NOT_OK(GetVarint(body, &pos, &len));
+    if (pos + len > body.size()) return Status::Corruption("container overrun");
+    std::string out = body.substr(pos, len);
+    pos += len;
+    return out;
+  }
+};
+
+}  // namespace
+
+std::string XmlContainerCompressor::Compress(const xml::Node& root) {
+  Splitter splitter;
+  splitter.Walk(root);
+  return splitter.Finish();
+}
+
+StatusOr<std::string> XmlContainerCompressor::CompressText(
+    std::string_view xml_text) {
+  XARCH_ASSIGN_OR_RETURN(xml::NodePtr root, xml::Parse(xml_text));
+  return Compress(*root);
+}
+
+size_t XmlContainerCompressor::CompressedSize(const xml::Node& root) {
+  return Compress(root).size();
+}
+
+StatusOr<xml::NodePtr> XmlContainerCompressor::Decompress(
+    std::string_view data) {
+  if (data.size() < 4 || std::string_view(data.data(), 4) !=
+                             std::string_view(kMagic, 4)) {
+    return Status::Corruption("not an XMC stream");
+  }
+  size_t pos = 4;
+  uint64_t name_count;
+  XARCH_RETURN_NOT_OK(GetVarint(data, &pos, &name_count));
+  std::vector<std::string> names(name_count);
+  for (auto& name : names) XARCH_RETURN_NOT_OK(GetString(data, &pos, &name));
+  uint64_t container_count;
+  XARCH_RETURN_NOT_OK(GetVarint(data, &pos, &container_count));
+  std::vector<std::pair<std::string, uint64_t>> layout(container_count);
+  for (auto& [key, len] : layout) {
+    XARCH_RETURN_NOT_OK(GetString(data, &pos, &key));
+    XARCH_RETURN_NOT_OK(GetVarint(data, &pos, &len));
+  }
+  uint64_t structure_len;
+  XARCH_RETURN_NOT_OK(GetVarint(data, &pos, &structure_len));
+  std::string blob;
+  XARCH_RETURN_NOT_OK(GetString(data, &pos, &blob));
+  XARCH_ASSIGN_OR_RETURN(std::string super, LzssDecompress(blob));
+  std::unordered_map<std::string, ContainerCursor> containers;
+  size_t offset = 0;
+  for (const auto& [key, len] : layout) {
+    if (offset + len > super.size()) {
+      return Status::Corruption("container layout overruns stream");
+    }
+    containers[key] = ContainerCursor{super.substr(offset, len), 0};
+    offset += len;
+  }
+  if (offset + structure_len != super.size()) {
+    return Status::Corruption("structure stream size mismatch");
+  }
+  std::string structure = super.substr(offset, structure_len);
+
+  // Rebuild the tree from the token stream.
+  size_t spos = 0;
+  std::vector<xml::Node*> stack;
+  xml::NodePtr root;
+  auto next_text = [&](const std::string& key) -> StatusOr<std::string> {
+    auto it = containers.find(key);
+    if (it == containers.end()) return Status::Corruption("missing container");
+    return it->second.Next();
+  };
+  while (spos < structure.size()) {
+    uint8_t token = static_cast<uint8_t>(structure[spos++]);
+    switch (token) {
+      case kOpenElement: {
+        uint64_t id;
+        XARCH_RETURN_NOT_OK(GetVarint(structure, &spos, &id));
+        if (id >= names.size()) return Status::Corruption("bad tag id");
+        xml::NodePtr elem = xml::Node::Element(names[id]);
+        xml::Node* raw = elem.get();
+        if (stack.empty()) {
+          if (root != nullptr) return Status::Corruption("multiple roots");
+          root = std::move(elem);
+        } else {
+          stack.back()->AddChild(std::move(elem));
+        }
+        stack.push_back(raw);
+        break;
+      }
+      case kAttr: {
+        uint64_t id;
+        XARCH_RETURN_NOT_OK(GetVarint(structure, &spos, &id));
+        if (id >= names.size() || stack.empty()) {
+          return Status::Corruption("bad attribute token");
+        }
+        XARCH_ASSIGN_OR_RETURN(std::string value,
+                               next_text("@" + names[id]));
+        stack.back()->SetAttr(names[id], value);
+        break;
+      }
+      case kText: {
+        if (stack.empty()) return Status::Corruption("text outside element");
+        XARCH_ASSIGN_OR_RETURN(std::string text,
+                               next_text(stack.back()->tag()));
+        stack.back()->AddText(std::move(text));
+        break;
+      }
+      case kClose:
+        if (stack.empty()) return Status::Corruption("unbalanced close");
+        stack.pop_back();
+        break;
+      default:
+        return Status::Corruption("unknown structure token");
+    }
+  }
+  if (!stack.empty() || root == nullptr) {
+    return Status::Corruption("unbalanced structure stream");
+  }
+  return root;
+}
+
+}  // namespace xarch::compress

@@ -1,0 +1,166 @@
+#include "compress/lzss.h"
+
+#include <cstring>
+#include <vector>
+
+namespace xarch::compress {
+
+namespace {
+
+constexpr size_t kWindowSize = 32 * 1024;
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxMatch = 258;
+constexpr size_t kHashBits = 15;
+constexpr size_t kHashSize = 1 << kHashBits;
+constexpr int kMaxChain = 64;
+constexpr char kMagic[4] = {'L', 'Z', 'S', '1'};
+
+inline uint32_t HashAt(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::string LzssCompress(std::string_view data) {
+  std::string out;
+  out.append(kMagic, 4);
+  PutU64(data.size(), &out);
+  if (data.empty()) return out;
+
+  const uint8_t* src = reinterpret_cast<const uint8_t*>(data.data());
+  const size_t n = data.size();
+
+  std::vector<int32_t> head(kHashSize, -1);
+  std::vector<int32_t> prev(std::min(n, size_t{1} << 31), -1);
+
+  // Token group: one flag byte describes the next 8 tokens (bit set =
+  // match), followed by the token bytes.
+  size_t flag_pos = 0;
+  int flag_count = 0;
+  uint8_t flags = 0;
+  auto begin_group = [&]() {
+    flag_pos = out.size();
+    out.push_back(0);
+    flags = 0;
+    flag_count = 0;
+  };
+  auto end_token = [&](bool is_match) {
+    if (is_match) flags |= static_cast<uint8_t>(1 << flag_count);
+    if (++flag_count == 8) {
+      out[flag_pos] = static_cast<char>(flags);
+      begin_group();
+    }
+  };
+  begin_group();
+
+  size_t pos = 0;
+  while (pos < n) {
+    size_t best_len = 0;
+    size_t best_dist = 0;
+    if (pos + kMinMatch <= n) {
+      uint32_t h = HashAt(src + pos);
+      int32_t cand = head[h];
+      int chain = 0;
+      size_t limit = std::min(kMaxMatch, n - pos);
+      while (cand >= 0 && chain < kMaxChain &&
+             pos - static_cast<size_t>(cand) <= kWindowSize) {
+        const uint8_t* a = src + cand;
+        const uint8_t* b = src + pos;
+        size_t len = 0;
+        while (len < limit && a[len] == b[len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = pos - static_cast<size_t>(cand);
+          if (len == limit) break;
+        }
+        cand = prev[cand % prev.size()];
+        ++chain;
+      }
+    }
+    if (best_len >= kMinMatch) {
+      // Match token: 2-byte distance, 1-byte (length - kMinMatch).
+      out.push_back(static_cast<char>(best_dist & 0xff));
+      out.push_back(static_cast<char>((best_dist >> 8) & 0xff));
+      out.push_back(static_cast<char>(best_len - kMinMatch > 254
+                                          ? 254
+                                          : best_len - kMinMatch));
+      if (best_len - kMinMatch > 254) best_len = kMinMatch + 254;
+      end_token(true);
+      // Insert hash entries for all covered positions.
+      size_t end = pos + best_len;
+      for (; pos < end && pos + kMinMatch <= n; ++pos) {
+        uint32_t h = HashAt(src + pos);
+        prev[pos % prev.size()] = head[h];
+        head[h] = static_cast<int32_t>(pos);
+      }
+      pos = end;
+    } else {
+      out.push_back(static_cast<char>(src[pos]));
+      end_token(false);
+      if (pos + kMinMatch <= n) {
+        uint32_t h = HashAt(src + pos);
+        prev[pos % prev.size()] = head[h];
+        head[h] = static_cast<int32_t>(pos);
+      }
+      ++pos;
+    }
+  }
+  out[flag_pos] = static_cast<char>(flags);
+  // Drop a trailing empty group.
+  if (flag_count == 0 && out.size() == flag_pos + 1) out.pop_back();
+  return out;
+}
+
+StatusOr<std::string> LzssDecompress(std::string_view data) {
+  if (data.size() < 12 || std::memcmp(data.data(), kMagic, 4) != 0) {
+    return Status::Corruption("not an LZSS stream");
+  }
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(data.data());
+  uint64_t orig_size = GetU64(p + 4);
+  std::string out;
+  out.reserve(orig_size);
+  size_t pos = 12;
+  const size_t n = data.size();
+  while (out.size() < orig_size) {
+    if (pos >= n) return Status::Corruption("truncated LZSS stream");
+    uint8_t flags = p[pos++];
+    for (int bit = 0; bit < 8 && out.size() < orig_size; ++bit) {
+      if (flags & (1 << bit)) {
+        if (pos + 3 > n) return Status::Corruption("truncated match token");
+        size_t dist = p[pos] | (static_cast<size_t>(p[pos + 1]) << 8);
+        size_t len = static_cast<size_t>(p[pos + 2]) + kMinMatch;
+        pos += 3;
+        if (dist == 0 || dist > out.size()) {
+          return Status::Corruption("bad match distance");
+        }
+        size_t from = out.size() - dist;
+        for (size_t i = 0; i < len; ++i) out.push_back(out[from + i]);
+      } else {
+        if (pos >= n) return Status::Corruption("truncated literal");
+        out.push_back(static_cast<char>(p[pos++]));
+      }
+    }
+  }
+  if (out.size() != orig_size) {
+    return Status::Corruption("LZSS size mismatch");
+  }
+  return out;
+}
+
+size_t LzssCompressedSize(std::string_view data) {
+  return LzssCompress(data).size();
+}
+
+}  // namespace xarch::compress

@@ -1,0 +1,31 @@
+#ifndef XARCH_COMPRESS_LZSS_H_
+#define XARCH_COMPRESS_LZSS_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace xarch::compress {
+
+/// \brief LZSS compression (LZ77 with literal/match flags), the library's
+/// stand-in for gzip in the Sec. 5 compression experiments.
+///
+/// gzip is LZ77 plus Huffman coding; LZSS keeps the dictionary stage —
+/// which is what makes cross-version redundancy in diff repositories and
+/// archives compress away — and drops the entropy stage. Ratios are
+/// uniformly a little worse than gzip's, but orderings between compared
+/// artifacts are preserved, which is what the experiments measure.
+/// Parameters: 32 KiB window (gzip's), minimum match 4, maximum match 258,
+/// greedy hash-chain matching.
+std::string LzssCompress(std::string_view data);
+
+/// Decompresses LzssCompress output. Fails on malformed input.
+StatusOr<std::string> LzssDecompress(std::string_view data);
+
+/// Convenience: the size LzssCompress(data) would occupy.
+size_t LzssCompressedSize(std::string_view data);
+
+}  // namespace xarch::compress
+
+#endif  // XARCH_COMPRESS_LZSS_H_

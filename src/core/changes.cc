@@ -1,0 +1,93 @@
+#include "core/changes.h"
+
+namespace xarch::core {
+
+namespace {
+
+class ChangeCollector {
+ public:
+  ChangeCollector(Version from, Version to) : from_(from), to_(to) {}
+
+  void Walk(const ArchiveNode& node, const VersionSet& parent_effective,
+            const std::string& parent_path) {
+    const VersionSet& effective = node.EffectiveStamp(parent_effective);
+    bool at_from = effective.Contains(from_);
+    bool at_to = effective.Contains(to_);
+    if (!at_from && !at_to) return;
+    std::string path = parent_path + "/" + node.label.ToString();
+    if (at_from != at_to) {
+      // Appeared or disappeared: report the element once, outermost.
+      changes_.push_back(
+          Change{at_to ? Change::Kind::kInserted : Change::Kind::kDeleted,
+                 path});
+      return;
+    }
+    // Present in both versions: look for content changes below.
+    if (node.is_frontier) {
+      if (FrontierContentDiffers(node)) {
+        changes_.push_back(Change{Change::Kind::kContentChanged, path});
+      }
+      return;
+    }
+    for (const auto& child : node.children) {
+      Walk(*child, effective, path);
+    }
+  }
+
+  std::vector<Change> Take() { return std::move(changes_); }
+
+ private:
+  bool FrontierContentDiffers(const ArchiveNode& node) const {
+    // Content differs iff some bucket is active at exactly one of the two
+    // versions. (Unstamped buckets are active whenever the node is, hence
+    // active at both here.)
+    for (const auto& bucket : node.buckets) {
+      if (!bucket.stamp.has_value()) continue;
+      if (bucket.stamp->Contains(from_) != bucket.stamp->Contains(to_)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  Version from_, to_;
+  std::vector<Change> changes_;
+};
+
+}  // namespace
+
+StatusOr<std::vector<Change>> DescribeChanges(const Archive& archive,
+                                              Version from, Version to) {
+  if (from == 0 || to == 0 || from > archive.version_count() ||
+      to > archive.version_count()) {
+    return Status::InvalidArgument(
+        "versions must be in 1-" + std::to_string(archive.version_count()));
+  }
+  ChangeCollector collector(from, to);
+  for (const auto& child : archive.root().children) {
+    collector.Walk(*child, *archive.root().stamp, "");
+  }
+  return collector.Take();
+}
+
+std::string FormatChanges(const std::vector<Change>& changes) {
+  std::string out;
+  for (const auto& change : changes) {
+    switch (change.kind) {
+      case Change::Kind::kInserted:
+        out += "+ ";
+        break;
+      case Change::Kind::kDeleted:
+        out += "- ";
+        break;
+      case Change::Kind::kContentChanged:
+        out += "~ ";
+        break;
+    }
+    out += change.path;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace xarch::core

@@ -1,0 +1,246 @@
+#include <algorithm>
+
+#include "core/archive.h"
+#include "diff/myers.h"
+#include "xml/canonical.h"
+#include "xml/value.h"
+
+namespace xarch::core {
+
+namespace {
+
+int CompareOrder(const keys::Label& a, const keys::Label& b) {
+  if (a.fingerprint != b.fingerprint) {
+    return a.fingerprint < b.fingerprint ? -1 : 1;
+  }
+  // Equal fingerprints: verify with the actual key values (Sec. 4.3 —
+  // "every successful match between two fingerprints incurs the extra time
+  // to compare their actual key values").
+  return a.Compare(b);
+}
+
+bool ContentValueEqual(const std::vector<xml::NodePtr>& a,
+                       const std::vector<xml::NodePtr>& b) {
+  return xml::ValueEqualChildren(a, b);
+}
+
+std::vector<xml::NodePtr> CloneContent(const std::vector<xml::NodePtr>& in) {
+  std::vector<xml::NodePtr> out;
+  out.reserve(in.size());
+  for (const auto& n : in) out.push_back(n->Clone());
+  return out;
+}
+
+}  // namespace
+
+/// Implements algorithm Nested Merge (Sec. 4.2) against an Archive.
+class NestedMerger {
+ public:
+  NestedMerger(Archive* archive, Version v)
+      : archive_(*archive), v_(v) {}
+
+  void Run(const keys::KeyedNode& keyed_root) {
+    ArchiveNode& root = *archive_.root_;
+    root.stamp->Add(v_);
+    const VersionSet T = *root.stamp;
+    std::vector<const keys::KeyedNode*> tops = {&keyed_root};
+    MergeChildren(&root, tops, T);
+  }
+
+ private:
+  /// The sorted-list merge of children(x) with children(y) (the paper's
+  /// XY / X' / Y' partition, computed merge-sort style as described in the
+  /// Sec. 4.2 analysis).
+  void MergeChildren(ArchiveNode* x,
+                     const std::vector<const keys::KeyedNode*>& ys,
+                     const VersionSet& T) {
+    std::vector<std::unique_ptr<ArchiveNode>> merged;
+    merged.reserve(std::max(x->children.size(), ys.size()));
+    size_t i = 0, j = 0;
+    while (i < x->children.size() && j < ys.size()) {
+      int cmp = CompareOrder(x->children[i]->label, ys[j]->label);
+      if (cmp == 0) {
+        // (a) corresponding nodes: recursively merge.
+        Merge(x->children[i].get(), *ys[j], T);
+        merged.push_back(std::move(x->children[i]));
+        ++i;
+        ++j;
+      } else if (cmp < 0) {
+        // (b) only in the archive: terminate an inherited timestamp.
+        Terminate(x->children[i].get(), T);
+        merged.push_back(std::move(x->children[i]));
+        ++i;
+      } else {
+        // (c) only in the version: attach with timestamp {i}.
+        merged.push_back(Build(*ys[j], /*top=*/true));
+        ++j;
+      }
+    }
+    for (; i < x->children.size(); ++i) {
+      Terminate(x->children[i].get(), T);
+      merged.push_back(std::move(x->children[i]));
+    }
+    for (; j < ys.size(); ++j) {
+      merged.push_back(Build(*ys[j], /*top=*/true));
+    }
+    x->children = std::move(merged);
+  }
+
+  void Merge(ArchiveNode* x, const keys::KeyedNode& y, VersionSet T) {
+    if (x->stamp.has_value()) {
+      x->stamp->Add(v_);
+      T = *x->stamp;
+    }
+    if (y.is_frontier) {
+      if (archive_.options_.frontier == FrontierStrategy::kWeave) {
+        MergeFrontierWeave(x, y, T);
+      } else {
+        MergeFrontierBuckets(x, y, T);
+      }
+      return;
+    }
+    std::vector<const keys::KeyedNode*> ys;
+    ys.reserve(y.children.size());
+    for (const auto& c : y.children) ys.push_back(&c);
+    MergeChildren(x, ys, T);
+  }
+
+  /// Action (b): a node in the archive that is absent from the incoming
+  /// version. Its timestamp must not include v; if it was inheriting, the
+  /// (already updated) parent timestamp minus {v} is materialized.
+  void Terminate(ArchiveNode* x, const VersionSet& T) {
+    if (!x->stamp.has_value()) {
+      x->stamp = T.Minus(VersionSet::Single(v_));
+    }
+  }
+
+  /// Frontier handling of the basic algorithm: whole-content alternatives.
+  void MergeFrontierBuckets(ArchiveNode* x, const keys::KeyedNode& y,
+                            const VersionSet& T) {
+    const auto& ycontent = y.node->children();
+    if (x->buckets.empty()) {
+      // Loaded archives may omit an empty plain bucket.
+      x->buckets.push_back(ArchiveNode::Bucket{});
+    }
+    bool plain = x->buckets.size() == 1 && !x->buckets[0].stamp.has_value();
+    if (plain) {
+      if (ContentValueEqual(x->buckets[0].content, ycontent)) return;
+      // Transition to timestamped alternatives (the sal example, Fig. 4/5).
+      x->buckets[0].stamp = T.Minus(VersionSet::Single(v_));
+      ArchiveNode::Bucket fresh;
+      fresh.stamp = VersionSet::Single(v_);
+      fresh.content = CloneContent(ycontent);
+      x->buckets.push_back(std::move(fresh));
+      return;
+    }
+    for (auto& bucket : x->buckets) {
+      if (bucket.stamp.has_value() &&
+          ContentValueEqual(bucket.content, ycontent)) {
+        bucket.stamp->Add(v_);
+        return;
+      }
+    }
+    ArchiveNode::Bucket fresh;
+    fresh.stamp = VersionSet::Single(v_);
+    fresh.content = CloneContent(ycontent);
+    x->buckets.push_back(std::move(fresh));
+  }
+
+  /// Frontier handling under further compaction (Sec. 4.2, Fig. 10):
+  /// SCCS-style per-item weave. Diffing against all woven items (dead ones
+  /// included) revives identical content instead of storing it twice.
+  void MergeFrontierWeave(ArchiveNode* x, const keys::KeyedNode& y,
+                          const VersionSet& T) {
+    // Flatten to one item per bucket.
+    std::vector<ArchiveNode::Bucket> items;
+    for (auto& bucket : x->buckets) {
+      if (bucket.content.size() <= 1) {
+        if (!bucket.content.empty()) items.push_back(std::move(bucket));
+      } else {
+        for (auto& n : bucket.content) {
+          ArchiveNode::Bucket item;
+          item.stamp = bucket.stamp;
+          item.content.push_back(std::move(n));
+          items.push_back(std::move(item));
+        }
+      }
+    }
+    std::vector<std::string> a_canon;
+    a_canon.reserve(items.size());
+    for (const auto& item : items) {
+      a_canon.push_back(xml::Canonicalize(*item.content[0]));
+    }
+    const auto& ycontent = y.node->children();
+    std::vector<std::string> b_canon;
+    b_canon.reserve(ycontent.size());
+    for (const auto& n : ycontent) b_canon.push_back(xml::Canonicalize(*n));
+
+    auto hunks = diff::MyersDiff(
+        a_canon.size(), b_canon.size(),
+        [&](size_t i, size_t j) { return a_canon[i] == b_canon[j]; });
+
+    std::vector<ArchiveNode::Bucket> result;
+    result.reserve(items.size() + ycontent.size());
+    for (const auto& h : hunks) {
+      if (h.equal) {
+        for (size_t k = 0; k < h.a_len; ++k) {
+          ArchiveNode::Bucket item = std::move(items[h.a_pos + k]);
+          if (item.stamp.has_value()) item.stamp->Add(v_);
+          result.push_back(std::move(item));
+        }
+      } else {
+        for (size_t k = 0; k < h.a_len; ++k) {
+          ArchiveNode::Bucket item = std::move(items[h.a_pos + k]);
+          if (!item.stamp.has_value()) {
+            item.stamp = T.Minus(VersionSet::Single(v_));
+          }
+          result.push_back(std::move(item));
+        }
+        for (size_t k = 0; k < h.b_len; ++k) {
+          ArchiveNode::Bucket fresh;
+          fresh.stamp = VersionSet::Single(v_);
+          fresh.content.push_back(ycontent[h.b_pos + k]->Clone());
+          result.push_back(std::move(fresh));
+        }
+      }
+    }
+    x->buckets = std::move(result);
+  }
+
+  /// Action (c): build a fresh archive subtree for a node that first exists
+  /// at version v. Only the top carries the {v} timestamp; descendants
+  /// inherit it.
+  std::unique_ptr<ArchiveNode> Build(const keys::KeyedNode& y, bool top) {
+    auto node = std::make_unique<ArchiveNode>();
+    node->label = y.label;
+    if (top) node->stamp = VersionSet::Single(v_);
+    node->is_frontier = y.is_frontier;
+    node->attrs = y.node->attrs();
+    if (y.is_frontier) {
+      ArchiveNode::Bucket bucket;
+      bucket.content = CloneContent(y.node->children());
+      node->buckets.push_back(std::move(bucket));
+    } else {
+      node->children.reserve(y.children.size());
+      for (const auto& child : y.children) {
+        node->children.push_back(Build(child, /*top=*/false));
+      }
+    }
+    return node;
+  }
+
+  Archive& archive_;
+  Version v_;
+};
+
+Status Archive::AddVersion(const xml::Node& version_root) {
+  XARCH_ASSIGN_OR_RETURN(keys::KeyedNode keyed,
+                         keys::AnnotateKeys(version_root, spec_,
+                                            options_.annotate));
+  Version v = ++count_;
+  NestedMerger merger(this, v);
+  merger.Run(keyed);
+  return Status::OK();
+}
+
+}  // namespace xarch::core

@@ -1,0 +1,210 @@
+#include <algorithm>
+#include <string>
+
+#include "core/archive.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xarch::core {
+
+namespace {
+
+/// The timestamp element tag. "We may assume that the tag T is in a
+/// separate namespace" (Sec. 2) — a plain T never collides with data tags
+/// in the paper's datasets, and the loader treats it as reserved.
+constexpr const char* kTimestampTag = "T";
+
+std::string StampToString(const VersionSet& stamp, bool interval_encoding) {
+  if (interval_encoding) return stamp.ToString();
+  // E13 ablation: exhaustive version list.
+  std::string out;
+  for (const auto& [lo, hi] : stamp.intervals()) {
+    for (Version v = lo; v <= hi; ++v) {
+      if (!out.empty()) out += ',';
+      out += std::to_string(v);
+    }
+  }
+  return out;
+}
+
+xml::NodePtr WrapInT(xml::NodePtr inner, const VersionSet& stamp,
+                     const ArchiveSerializeOptions& options) {
+  xml::NodePtr t = xml::Node::Element(kTimestampTag);
+  t->SetAttr("t", StampToString(stamp, options.interval_encoding));
+  t->AddChild(std::move(inner));
+  return t;
+}
+
+xml::NodePtr BuildXml(const ArchiveNode& node, const VersionSet& effective,
+                      const ArchiveSerializeOptions& options) {
+  xml::NodePtr elem = xml::Node::Element(node.label.tag);
+  for (const auto& [name, value] : node.attrs) elem->SetAttr(name, value);
+  if (node.is_frontier) {
+    for (const auto& bucket : node.buckets) {
+      if (bucket.stamp.has_value()) {
+        xml::Node* t = elem->AddElement(kTimestampTag);
+        t->SetAttr("t", StampToString(*bucket.stamp, options.interval_encoding));
+        for (const auto& n : bucket.content) t->AddChild(n->Clone());
+      } else {
+        for (const auto& n : bucket.content) elem->AddChild(n->Clone());
+      }
+    }
+  } else {
+    for (const auto& child : node.children) {
+      const VersionSet& child_eff = child->EffectiveStamp(effective);
+      xml::NodePtr child_xml = BuildXml(*child, child_eff, options);
+      if (child->stamp.has_value() || !options.inherit_timestamps) {
+        child_xml = WrapInT(std::move(child_xml), child_eff, options);
+      }
+      elem->AddChild(std::move(child_xml));
+    }
+  }
+  return elem;
+}
+
+}  // namespace
+
+std::string Archive::ToXml(const ArchiveSerializeOptions& options) const {
+  xml::NodePtr root_elem = BuildXml(*root_, *root_->stamp, options);
+  xml::NodePtr top = WrapInT(std::move(root_elem), *root_->stamp, options);
+  xml::SerializeOptions ser;
+  ser.pretty = options.pretty;
+  ser.indent_width = options.indent_width;
+  return xml::Serialize(*top, ser);
+}
+
+namespace {
+
+/// Rebuilds ArchiveNodes from the Fig. 5 XML form.
+class Loader {
+ public:
+  Loader(const keys::KeySpecSet& spec, const ArchiveOptions& options)
+      : spec_(spec), options_(options) {}
+
+  StatusOr<std::unique_ptr<ArchiveNode>> LoadKeyed(
+      const xml::Node& elem, std::optional<VersionSet> stamp) {
+    if (elem.is_text()) {
+      return Status::Corruption("text where a keyed element was expected");
+    }
+    steps_.push_back(elem.tag());
+    auto result = LoadKeyedImpl(elem, std::move(stamp));
+    steps_.pop_back();
+    return result;
+  }
+
+ private:
+  StatusOr<std::unique_ptr<ArchiveNode>> LoadKeyedImpl(
+      const xml::Node& elem, std::optional<VersionSet> stamp) {
+    const keys::Key* key = spec_.Lookup(steps_);
+    if (key == nullptr) {
+      return Status::Corruption("archive element <" + elem.tag() +
+                                "> is not covered by any key");
+    }
+    auto node = std::make_unique<ArchiveNode>();
+    XARCH_ASSIGN_OR_RETURN(node->label,
+                           keys::ComputeLabel(elem, *key, options_.annotate));
+    node->stamp = std::move(stamp);
+    node->is_frontier = spec_.IsFrontier(steps_);
+    node->attrs = elem.attrs();
+    if (node->is_frontier) {
+      ArchiveNode::Bucket plain;
+      for (const auto& child : elem.children()) {
+        if (child->is_element() && child->tag() == kTimestampTag) {
+          if (!plain.content.empty()) {
+            node->buckets.push_back(std::move(plain));
+            plain = ArchiveNode::Bucket{};
+          }
+          ArchiveNode::Bucket bucket;
+          XARCH_ASSIGN_OR_RETURN(bucket.stamp, ParseStamp(*child));
+          for (const auto& inner : child->children()) {
+            bucket.content.push_back(inner->Clone());
+          }
+          node->buckets.push_back(std::move(bucket));
+        } else {
+          plain.content.push_back(child->Clone());
+        }
+      }
+      if (!plain.content.empty() || node->buckets.empty()) {
+        node->buckets.push_back(std::move(plain));
+      }
+    } else {
+      XARCH_RETURN_NOT_OK(LoadChildren(elem, &node->children));
+    }
+    return node;
+  }
+
+  Status LoadChildren(const xml::Node& elem,
+                      std::vector<std::unique_ptr<ArchiveNode>>* out) {
+    for (const auto& child : elem.children()) {
+      if (child->is_text()) {
+        return Status::Corruption("text under inner archive node <" +
+                                  elem.tag() + ">");
+      }
+      if (child->tag() == kTimestampTag) {
+        XARCH_ASSIGN_OR_RETURN(std::optional<VersionSet> stamp,
+                               ParseStamp(*child));
+        for (const auto& inner : child->children()) {
+          XARCH_ASSIGN_OR_RETURN(auto loaded, LoadKeyed(*inner, stamp));
+          out->push_back(std::move(loaded));
+        }
+      } else {
+        XARCH_ASSIGN_OR_RETURN(auto loaded, LoadKeyed(*child, std::nullopt));
+        out->push_back(std::move(loaded));
+      }
+    }
+    std::sort(out->begin(), out->end(), [](const auto& a, const auto& b) {
+      return a->label.OrderBefore(b->label);
+    });
+    return Status::OK();
+  }
+
+  static StatusOr<std::optional<VersionSet>> ParseStamp(const xml::Node& t) {
+    const std::string* attr = t.FindAttr("t");
+    if (attr == nullptr) {
+      return Status::Corruption("timestamp element without t attribute");
+    }
+    XARCH_ASSIGN_OR_RETURN(VersionSet stamp, VersionSet::Parse(*attr));
+    return std::optional<VersionSet>(std::move(stamp));
+  }
+
+  friend class ::xarch::core::Archive;
+  const keys::KeySpecSet& spec_;
+  const ArchiveOptions& options_;
+  std::vector<std::string> steps_;
+
+ public:
+  Status LoadRootChildren(const xml::Node& root_elem,
+                          std::vector<std::unique_ptr<ArchiveNode>>* out) {
+    return LoadChildren(root_elem, out);
+  }
+};
+
+}  // namespace
+
+StatusOr<Archive> Archive::FromXml(std::string_view xml_text,
+                                   keys::KeySpecSet spec,
+                                   ArchiveOptions options) {
+  XARCH_ASSIGN_OR_RETURN(xml::NodePtr doc, xml::Parse(xml_text));
+  if (doc->tag() != kTimestampTag) {
+    return Status::Corruption("archive document must start with <T t=...>");
+  }
+  const std::string* attr = doc->FindAttr("t");
+  if (attr == nullptr) {
+    return Status::Corruption("archive root timestamp missing");
+  }
+  XARCH_ASSIGN_OR_RETURN(VersionSet root_stamp, VersionSet::Parse(*attr));
+  if (doc->children().size() != 1 || !doc->children()[0]->is_element() ||
+      doc->children()[0]->tag() != "root") {
+    return Status::Corruption("archive must contain a single <root> element");
+  }
+
+  Archive archive(std::move(spec), options);
+  Loader loader(archive.spec_, archive.options_);
+  XARCH_RETURN_NOT_OK(loader.LoadRootChildren(*doc->children()[0],
+                                              &archive.root_->children));
+  archive.count_ = root_stamp.empty() ? 0 : root_stamp.Max();
+  archive.root_->stamp = std::move(root_stamp);
+  return archive;
+}
+
+}  // namespace xarch::core

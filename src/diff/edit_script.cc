@@ -1,0 +1,315 @@
+#include "diff/edit_script.h"
+
+#include <unordered_map>
+
+#include "diff/myers.h"
+#include "util/strings.h"
+
+namespace xarch::diff {
+
+namespace {
+
+std::string FormatRange(size_t lo, size_t hi) {
+  if (lo == hi) return std::to_string(lo);
+  return std::to_string(lo) + "," + std::to_string(hi);
+}
+
+}  // namespace
+
+std::string EditScript::Format() const {
+  std::string out;
+  for (const auto& op : ops) {
+    switch (op.type) {
+      case EditOp::Type::kAppend:
+        out += std::to_string(op.a_lo) + "a" + FormatRange(op.b_lo, op.b_hi);
+        out += '\n';
+        for (const auto& l : op.new_lines) out += "> " + l + "\n";
+        break;
+      case EditOp::Type::kDelete:
+        out += FormatRange(op.a_lo, op.a_hi) + "d" + std::to_string(op.b_lo);
+        out += '\n';
+        for (const auto& l : op.old_lines) out += "< " + l + "\n";
+        break;
+      case EditOp::Type::kChange:
+        out += FormatRange(op.a_lo, op.a_hi) + "c" + FormatRange(op.b_lo, op.b_hi);
+        out += '\n';
+        for (const auto& l : op.old_lines) out += "< " + l + "\n";
+        out += "---\n";
+        for (const auto& l : op.new_lines) out += "> " + l + "\n";
+        break;
+    }
+  }
+  return out;
+}
+
+std::string EditScript::FormatEd() const {
+  std::string out;
+  for (const auto& op : ops) {
+    switch (op.type) {
+      case EditOp::Type::kAppend:
+        out += std::to_string(op.a_lo) + "a\n";
+        for (const auto& l : op.new_lines) out += l + "\n";
+        out += ".\n";
+        break;
+      case EditOp::Type::kDelete:
+        out += FormatRange(op.a_lo, op.a_hi) + "d\n";
+        break;
+      case EditOp::Type::kChange:
+        out += FormatRange(op.a_lo, op.a_hi) + "c\n";
+        for (const auto& l : op.new_lines) out += l + "\n";
+        out += ".\n";
+        break;
+    }
+  }
+  return out;
+}
+
+StatusOr<EditScript> EditScript::ParseEd(std::string_view text) {
+  EditScript script;
+  auto lines = SplitLines(text);
+  size_t i = 0;
+  while (i < lines.size()) {
+    const std::string& header = lines[i];
+    if (header.empty()) return Status::ParseError("empty ed command");
+    char cmd = header.back();
+    if (cmd != 'a' && cmd != 'd' && cmd != 'c') {
+      return Status::ParseError("bad ed command '" + header + "'");
+    }
+    EditOp op;
+    size_t comma = header.find(',');
+    auto parse_num = [](std::string_view s) -> StatusOr<size_t> {
+      if (s.empty()) return Status::ParseError("empty line number");
+      size_t v = 0;
+      for (char c : s) {
+        if (c < '0' || c > '9') return Status::ParseError("bad line number");
+        v = v * 10 + (c - '0');
+      }
+      return v;
+    };
+    std::string_view body = std::string_view(header).substr(0, header.size() - 1);
+    if (comma == std::string::npos) {
+      XARCH_ASSIGN_OR_RETURN(op.a_lo, parse_num(body));
+      op.a_hi = op.a_lo;
+    } else {
+      XARCH_ASSIGN_OR_RETURN(op.a_lo, parse_num(body.substr(0, comma)));
+      XARCH_ASSIGN_OR_RETURN(op.a_hi, parse_num(body.substr(comma + 1)));
+    }
+    ++i;
+    auto read_dot_body = [&](std::vector<std::string>* out) -> Status {
+      while (i < lines.size() && lines[i] != ".") {
+        out->push_back(lines[i]);
+        ++i;
+      }
+      if (i >= lines.size()) {
+        return Status::ParseError("unterminated ed text block");
+      }
+      ++i;  // skip "."
+      return Status::OK();
+    };
+    switch (cmd) {
+      case 'a':
+        op.type = EditOp::Type::kAppend;
+        XARCH_RETURN_NOT_OK(read_dot_body(&op.new_lines));
+        break;
+      case 'd':
+        op.type = EditOp::Type::kDelete;
+        break;
+      case 'c':
+        op.type = EditOp::Type::kChange;
+        XARCH_RETURN_NOT_OK(read_dot_body(&op.new_lines));
+        break;
+    }
+    script.ops.push_back(std::move(op));
+  }
+  return script;
+}
+
+namespace {
+
+StatusOr<std::pair<size_t, size_t>> ParseRange(std::string_view text) {
+  size_t comma = text.find(',');
+  auto parse_num = [](std::string_view s) -> StatusOr<size_t> {
+    if (s.empty()) return Status::ParseError("empty line number");
+    size_t v = 0;
+    for (char c : s) {
+      if (c < '0' || c > '9') {
+        return Status::ParseError("bad line number '" + std::string(s) + "'");
+      }
+      v = v * 10 + (c - '0');
+    }
+    return v;
+  };
+  if (comma == std::string_view::npos) {
+    XARCH_ASSIGN_OR_RETURN(size_t v, parse_num(text));
+    return std::pair<size_t, size_t>{v, v};
+  }
+  XARCH_ASSIGN_OR_RETURN(size_t lo, parse_num(text.substr(0, comma)));
+  XARCH_ASSIGN_OR_RETURN(size_t hi, parse_num(text.substr(comma + 1)));
+  return std::pair<size_t, size_t>{lo, hi};
+}
+
+}  // namespace
+
+StatusOr<EditScript> EditScript::Parse(std::string_view text) {
+  EditScript script;
+  auto lines = SplitLines(text);
+  size_t i = 0;
+  while (i < lines.size()) {
+    const std::string& header = lines[i];
+    size_t cmd_pos = header.find_first_of("adc");
+    if (cmd_pos == std::string::npos) {
+      return Status::ParseError("bad edit script header '" + header + "'");
+    }
+    char cmd = header[cmd_pos];
+    EditOp op;
+    XARCH_ASSIGN_OR_RETURN(auto a_range, ParseRange(header.substr(0, cmd_pos)));
+    XARCH_ASSIGN_OR_RETURN(auto b_range, ParseRange(header.substr(cmd_pos + 1)));
+    op.a_lo = a_range.first;
+    op.a_hi = a_range.second;
+    op.b_lo = b_range.first;
+    op.b_hi = b_range.second;
+    ++i;
+    auto read_body = [&](std::string_view prefix,
+                         std::vector<std::string>* out) {
+      while (i < lines.size() && StartsWith(lines[i], prefix)) {
+        out->push_back(lines[i].substr(prefix.size()));
+        ++i;
+      }
+    };
+    switch (cmd) {
+      case 'a':
+        op.type = EditOp::Type::kAppend;
+        read_body("> ", &op.new_lines);
+        break;
+      case 'd':
+        op.type = EditOp::Type::kDelete;
+        read_body("< ", &op.old_lines);
+        break;
+      case 'c':
+        op.type = EditOp::Type::kChange;
+        read_body("< ", &op.old_lines);
+        if (i >= lines.size() || lines[i] != "---") {
+          return Status::ParseError("missing --- separator in change command");
+        }
+        ++i;
+        read_body("> ", &op.new_lines);
+        break;
+      default:
+        return Status::ParseError("unknown edit command");
+    }
+    script.ops.push_back(std::move(op));
+  }
+  return script;
+}
+
+StatusOr<std::vector<std::string>> EditScript::Apply(
+    const std::vector<std::string>& a) const {
+  std::vector<std::string> b;
+  size_t next_a = 0;  // 0-based index of the next unconsumed line of A
+  for (const auto& op : ops) {
+    // Copy the unchanged region before this op.
+    size_t copy_until =
+        (op.type == EditOp::Type::kAppend) ? op.a_lo : op.a_lo - 1;
+    if (copy_until < next_a || copy_until > a.size()) {
+      return Status::Corruption("edit script does not fit input (at line " +
+                                std::to_string(op.a_lo) + ")");
+    }
+    for (; next_a < copy_until; ++next_a) b.push_back(a[next_a]);
+    // Consume the command's A-range, verifying context where the classic
+    // form recorded the old lines.
+    size_t consume =
+        (op.type == EditOp::Type::kAppend) ? 0 : op.a_hi - op.a_lo + 1;
+    for (size_t k = 0; k < consume; ++k) {
+      if (next_a >= a.size()) {
+        return Status::Corruption("edit script overruns input at line " +
+                                  std::to_string(next_a + 1));
+      }
+      if (k < op.old_lines.size() && a[next_a] != op.old_lines[k]) {
+        return Status::Corruption("edit script context mismatch at line " +
+                                  std::to_string(next_a + 1));
+      }
+      ++next_a;
+    }
+    for (const auto& new_line : op.new_lines) b.push_back(new_line);
+  }
+  for (; next_a < a.size(); ++next_a) b.push_back(a[next_a]);
+  return b;
+}
+
+StatusOr<std::vector<std::string>> EditScript::ApplyInverse(
+    const std::vector<std::string>& b) const {
+  // The inverse script swaps roles: new_lines are removed, old_lines added.
+  EditScript inverse;
+  for (const auto& op : ops) {
+    EditOp inv;
+    inv.a_lo = op.b_lo;
+    inv.a_hi = op.b_hi;
+    inv.b_lo = op.a_lo;
+    inv.b_hi = op.a_hi;
+    inv.old_lines = op.new_lines;
+    inv.new_lines = op.old_lines;
+    switch (op.type) {
+      case EditOp::Type::kAppend:
+        inv.type = EditOp::Type::kDelete;
+        break;
+      case EditOp::Type::kDelete:
+        inv.type = EditOp::Type::kAppend;
+        break;
+      case EditOp::Type::kChange:
+        inv.type = EditOp::Type::kChange;
+        break;
+    }
+    inverse.ops.push_back(std::move(inv));
+  }
+  return inverse.Apply(b);
+}
+
+EditScript LineDiff(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b) {
+  // Intern lines so the Myers inner loop compares integers, not strings.
+  std::unordered_map<std::string_view, int> intern;
+  auto id_of = [&](const std::string& s) {
+    auto [it, inserted] = intern.try_emplace(s, intern.size());
+    (void)inserted;
+    return it->second;
+  };
+  std::vector<int> a_ids, b_ids;
+  a_ids.reserve(a.size());
+  b_ids.reserve(b.size());
+  for (const auto& l : a) a_ids.push_back(id_of(l));
+  for (const auto& l : b) b_ids.push_back(id_of(l));
+
+  auto hunks = MyersDiff(a_ids, b_ids);
+  EditScript script;
+  for (const auto& h : hunks) {
+    if (h.equal) continue;
+    EditOp op;
+    if (h.a_len == 0) {
+      op.type = EditOp::Type::kAppend;
+      op.a_lo = op.a_hi = h.a_pos;  // append after line a_pos (1-based: pos)
+      op.b_lo = h.b_pos + 1;
+      op.b_hi = h.b_pos + h.b_len;
+    } else if (h.b_len == 0) {
+      op.type = EditOp::Type::kDelete;
+      op.a_lo = h.a_pos + 1;
+      op.a_hi = h.a_pos + h.a_len;
+      op.b_lo = op.b_hi = h.b_pos;
+    } else {
+      op.type = EditOp::Type::kChange;
+      op.a_lo = h.a_pos + 1;
+      op.a_hi = h.a_pos + h.a_len;
+      op.b_lo = h.b_pos + 1;
+      op.b_hi = h.b_pos + h.b_len;
+    }
+    for (size_t i = 0; i < h.a_len; ++i) op.old_lines.push_back(a[h.a_pos + i]);
+    for (size_t i = 0; i < h.b_len; ++i) op.new_lines.push_back(b[h.b_pos + i]);
+    script.ops.push_back(std::move(op));
+  }
+  return script;
+}
+
+EditScript LineDiffText(std::string_view a, std::string_view b) {
+  return LineDiff(SplitLines(a), SplitLines(b));
+}
+
+}  // namespace xarch::diff

@@ -1,0 +1,78 @@
+#ifndef XARCH_DIFF_EDIT_SCRIPT_H_
+#define XARCH_DIFF_EDIT_SCRIPT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace xarch::diff {
+
+/// One command of an ed-style edit script (the `unix diff` output format the
+/// paper's repositories store, Sec. 5).
+struct EditOp {
+  enum class Type { kAppend, kDelete, kChange };
+  Type type;
+  /// 1-based inclusive line range in A (for kAppend: the line after which
+  /// new lines go, possibly 0).
+  size_t a_lo = 0, a_hi = 0;
+  /// 1-based inclusive line range in B (for kDelete: the line after which
+  /// B continues, possibly 0).
+  size_t b_lo = 0, b_hi = 0;
+  /// Lines removed from A (kDelete, kChange) — the "< " lines.
+  std::vector<std::string> old_lines;
+  /// Lines added from B (kAppend, kChange) — the "> " lines.
+  std::vector<std::string> new_lines;
+};
+
+/// \brief A minimal line edit script in unix `diff` format ("2,3c2,3" with
+/// "< "/"> " bodies). Scripts can be formatted, parsed back, applied
+/// forward (A -> B), and inverted (applied backward), which is what the
+/// incremental/cumulative diff repositories of Sec. 5 need.
+class EditScript {
+ public:
+  std::vector<EditOp> ops;
+
+  /// Renders the classic two-sided diff output ("< old" / "> new").
+  std::string Format() const;
+
+  /// Renders the ed-style script the paper's repositories store (Fig. 1
+  /// shows this form): commands plus *new* lines only — deletions cost
+  /// just their line numbers. This is what `diff -e` emits and what makes
+  /// "each element appears exactly once in some diff" (Sec. 5) true.
+  std::string FormatEd() const;
+
+  /// Byte size of the stored (ed) form — the storage cost of this delta.
+  size_t ByteSize() const { return FormatEd().size(); }
+
+  /// Parses a script previously produced by Format().
+  static StatusOr<EditScript> Parse(std::string_view text);
+
+  /// Parses a script previously produced by FormatEd(). The result has no
+  /// old_lines; Apply() then works positionally without verification.
+  static StatusOr<EditScript> ParseEd(std::string_view text);
+
+  /// Applies the script to `a`, producing B. Consumes A lines by the
+  /// command ranges; where old_lines are present (classic form) they are
+  /// verified against `a`.
+  StatusOr<std::vector<std::string>> Apply(
+      const std::vector<std::string>& a) const;
+
+  /// Applies the script backward to `b`, producing A.
+  StatusOr<std::vector<std::string>> ApplyInverse(
+      const std::vector<std::string>& b) const;
+
+  bool empty() const { return ops.empty(); }
+};
+
+/// Computes the minimal line diff A -> B (Myers, equivalent to `diff -d`).
+EditScript LineDiff(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b);
+
+/// Convenience: diff of two texts split on newlines.
+EditScript LineDiffText(std::string_view a, std::string_view b);
+
+}  // namespace xarch::diff
+
+#endif  // XARCH_DIFF_EDIT_SCRIPT_H_

@@ -1,0 +1,185 @@
+#include "diff/myers.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xarch::diff {
+
+namespace {
+
+using Eq = std::function<bool(size_t, size_t)>;
+
+/// The middle snake of the divide-and-conquer Myers variant (Myers 1986,
+/// Sec. 4b): the central run of diagonal moves on an optimal D-path, found
+/// with two simultaneous frontier searches in O(N+M) space.
+struct Snake {
+  size_t x, y;  // snake start (in A/B coordinates of the subproblem)
+  size_t u, v;  // snake end
+  int d;        // edit distance of the subproblem
+};
+
+class Solver {
+ public:
+  Solver(size_t a_size, size_t b_size, const Eq& eq)
+      : a_size_(a_size), b_size_(b_size), eq_(eq) {
+    size_t max = a_size_ + b_size_ + 2;
+    vf_.assign(2 * max + 1, 0);
+    vb_.assign(2 * max + 1, 0);
+  }
+
+  std::vector<std::pair<size_t, size_t>> Run() {
+    Compare(0, a_size_, 0, b_size_);
+    return std::move(matches_);
+  }
+
+ private:
+  Snake FindMiddleSnake(size_t a0, size_t n, size_t b0, size_t m) {
+    const int N = static_cast<int>(n), M = static_cast<int>(m);
+    const int delta = N - M;
+    const bool odd = (delta % 2) != 0;
+    const int dmax = (N + M + 1) / 2;
+    const int off = dmax + 1;  // array offset for diagonal indices
+    vf_[off + 1] = 0;
+    vb_[off + 1] = 0;
+    for (int d = 0; d <= dmax; ++d) {
+      // Forward frontier.
+      for (int k = -d; k <= d; k += 2) {
+        int x;
+        if (k == -d || (k != d && vf_[off + k - 1] < vf_[off + k + 1])) {
+          x = vf_[off + k + 1];
+        } else {
+          x = vf_[off + k - 1] + 1;
+        }
+        int y = x - k;
+        int x0 = x, y0 = y;
+        while (x < N && y < M && eq_(a0 + x, b0 + y)) {
+          ++x;
+          ++y;
+        }
+        vf_[off + k] = x;
+        if (odd) {
+          int kr = delta - k;  // reverse diagonal on the same absolute diag
+          if (kr >= -(d - 1) && kr <= d - 1 && x + vb_[off + kr] >= N) {
+            return Snake{static_cast<size_t>(x0), static_cast<size_t>(y0),
+                         static_cast<size_t>(x), static_cast<size_t>(y),
+                         2 * d - 1};
+          }
+        }
+      }
+      // Reverse frontier (coordinates measured from the ends).
+      for (int k = -d; k <= d; k += 2) {
+        int x;
+        if (k == -d || (k != d && vb_[off + k - 1] < vb_[off + k + 1])) {
+          x = vb_[off + k + 1];
+        } else {
+          x = vb_[off + k - 1] + 1;
+        }
+        int y = x - k;
+        int x0 = x, y0 = y;
+        while (x < N && y < M && eq_(a0 + N - 1 - x, b0 + M - 1 - y)) {
+          ++x;
+          ++y;
+        }
+        vb_[off + k] = x;
+        if (!odd) {
+          int kf = delta - k;  // forward diagonal on the same absolute diag
+          if (kf >= -d && kf <= d && x + vf_[off + kf] >= N) {
+            return Snake{static_cast<size_t>(N - x), static_cast<size_t>(M - y),
+                         static_cast<size_t>(N - x0),
+                         static_cast<size_t>(M - y0), 2 * d};
+          }
+        }
+      }
+    }
+    assert(false && "middle snake must exist");
+    return Snake{0, 0, 0, 0, 0};
+  }
+
+  void Compare(size_t a0, size_t n, size_t b0, size_t m) {
+    // Strip common prefix.
+    while (n > 0 && m > 0 && eq_(a0, b0)) {
+      matches_.push_back({a0, b0});
+      ++a0;
+      ++b0;
+      --n;
+      --m;
+    }
+    // Strip common suffix (recorded after the middle is solved).
+    size_t suffix = 0;
+    while (n > suffix && m > suffix &&
+           eq_(a0 + n - 1 - suffix, b0 + m - 1 - suffix)) {
+      ++suffix;
+    }
+    n -= suffix;
+    m -= suffix;
+    if (n > 0 && m > 0) {
+      Snake s = FindMiddleSnake(a0, n, b0, m);
+      if (s.d > 1) {
+        Compare(a0, s.x, b0, s.y);
+        for (size_t i = 0; i < s.u - s.x; ++i) {
+          matches_.push_back({a0 + s.x + i, b0 + s.y + i});
+        }
+        Compare(a0 + s.u, n - s.u, b0 + s.v, m - s.v);
+      } else {
+        // d <= 1: a single insertion or deletion separates the sequences;
+        // the greedy walk is optimal.
+        size_t i = 0, j = 0;
+        while (i < n && j < m) {
+          if (eq_(a0 + i, b0 + j)) {
+            matches_.push_back({a0 + i, b0 + j});
+            ++i;
+            ++j;
+          } else if (n - i > m - j) {
+            ++i;
+          } else {
+            ++j;
+          }
+        }
+      }
+    }
+    for (size_t t = 0; t < suffix; ++t) {
+      matches_.push_back({a0 + n + t, b0 + m + t});
+    }
+  }
+
+  size_t a_size_, b_size_;
+  const Eq& eq_;
+  std::vector<int> vf_, vb_;
+  std::vector<std::pair<size_t, size_t>> matches_;
+};
+
+}  // namespace
+
+std::vector<Hunk> MyersDiff(size_t a_size, size_t b_size, const Eq& eq) {
+  Solver solver(a_size, b_size, eq);
+  auto matches = solver.Run();
+
+  std::vector<Hunk> hunks;
+  size_t ai = 0, bi = 0;
+  auto emit_change = [&](size_t a_end, size_t b_end) {
+    if (a_end > ai || b_end > bi) {
+      hunks.push_back(Hunk{ai, a_end - ai, bi, b_end - bi, false});
+      ai = a_end;
+      bi = b_end;
+    }
+  };
+  size_t mi = 0;
+  while (mi < matches.size()) {
+    emit_change(matches[mi].first, matches[mi].second);
+    // Coalesce the maximal run of consecutive matches.
+    size_t run = 0;
+    while (mi + run < matches.size() &&
+           matches[mi + run].first == ai + run &&
+           matches[mi + run].second == bi + run) {
+      ++run;
+    }
+    hunks.push_back(Hunk{ai, run, bi, run, true});
+    ai += run;
+    bi += run;
+    mi += run;
+  }
+  emit_change(a_size, b_size);
+  return hunks;
+}
+
+}  // namespace xarch::diff

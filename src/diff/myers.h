@@ -1,0 +1,38 @@
+#ifndef XARCH_DIFF_MYERS_H_
+#define XARCH_DIFF_MYERS_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace xarch::diff {
+
+/// One aligned region of a diff: `a_len` items of A starting at `a_pos`
+/// matched against `b_len` items of B starting at `b_pos`.
+/// Equal regions have a_len == b_len (> 0); a change has a_len items of A
+/// replaced by b_len items of B (either may be 0 for pure delete/insert).
+struct Hunk {
+  size_t a_pos, a_len;
+  size_t b_pos, b_len;
+  bool equal;
+};
+
+/// \brief Myers' O(ND) greedy diff (Myers 1986) over abstract sequences.
+///
+/// `eq(i, j)` answers whether A[i] == B[j]. Returns hunks covering both
+/// sequences in order, alternating equal/changed regions (no two adjacent
+/// hunks are both equal or both changed). This is the minimal edit script:
+/// the number of non-equal items is the edit distance D.
+std::vector<Hunk> MyersDiff(size_t a_size, size_t b_size,
+                            const std::function<bool(size_t, size_t)>& eq);
+
+/// Convenience overload for vectors of comparable items.
+template <typename T>
+std::vector<Hunk> MyersDiff(const std::vector<T>& a, const std::vector<T>& b) {
+  return MyersDiff(a.size(), b.size(),
+                   [&](size_t i, size_t j) { return a[i] == b[j]; });
+}
+
+}  // namespace xarch::diff
+
+#endif  // XARCH_DIFF_MYERS_H_

@@ -1,0 +1,111 @@
+#include "diff/repository.h"
+
+#include "util/strings.h"
+
+namespace xarch::diff {
+
+namespace {
+
+std::string JoinLines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const auto& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+void IncrementalDiffRepo::AddVersion(const std::string& text) {
+  std::vector<std::string> lines = SplitLines(text);
+  if (count_ == 0) {
+    first_version_ = text;
+  } else {
+    deltas_.push_back(LineDiff(latest_lines_, lines).FormatEd());
+  }
+  latest_lines_ = std::move(lines);
+  ++count_;
+}
+
+StatusOr<std::string> IncrementalDiffRepo::Retrieve(Version v) const {
+  if (v == 0 || v > count_) {
+    return Status::NotFound("version " + std::to_string(v) +
+                            " not in repository");
+  }
+  std::vector<std::string> lines = SplitLines(first_version_);
+  for (Version i = 2; i <= v; ++i) {
+    XARCH_ASSIGN_OR_RETURN(EditScript script,
+                           EditScript::ParseEd(deltas_[i - 2]));
+    XARCH_ASSIGN_OR_RETURN(lines, script.Apply(lines));
+  }
+  return JoinLines(lines);
+}
+
+size_t IncrementalDiffRepo::ByteSize() const {
+  size_t total = first_version_.size();
+  for (const auto& d : deltas_) total += d.size();
+  return total;
+}
+
+std::string IncrementalDiffRepo::ConcatenatedBytes() const {
+  std::string out = first_version_;
+  for (const auto& d : deltas_) out += d;
+  return out;
+}
+
+void CumulativeDiffRepo::AddVersion(const std::string& text) {
+  std::vector<std::string> lines = SplitLines(text);
+  if (count_ == 0) {
+    first_version_ = text;
+    first_lines_ = std::move(lines);
+  } else {
+    deltas_.push_back(LineDiff(first_lines_, lines).FormatEd());
+  }
+  ++count_;
+}
+
+StatusOr<std::string> CumulativeDiffRepo::Retrieve(Version v) const {
+  if (v == 0 || v > count_) {
+    return Status::NotFound("version " + std::to_string(v) +
+                            " not in repository");
+  }
+  if (v == 1) return first_version_;
+  XARCH_ASSIGN_OR_RETURN(EditScript script, EditScript::ParseEd(deltas_[v - 2]));
+  XARCH_ASSIGN_OR_RETURN(auto lines, script.Apply(first_lines_));
+  return JoinLines(lines);
+}
+
+size_t CumulativeDiffRepo::ByteSize() const {
+  size_t total = first_version_.size();
+  for (const auto& d : deltas_) total += d.size();
+  return total;
+}
+
+std::string CumulativeDiffRepo::ConcatenatedBytes() const {
+  std::string out = first_version_;
+  for (const auto& d : deltas_) out += d;
+  return out;
+}
+
+StatusOr<std::string> FullCopyRepo::Retrieve(Version v) const {
+  if (v == 0 || v > versions_.size()) {
+    return Status::NotFound("version " + std::to_string(v) +
+                            " not in repository");
+  }
+  return versions_[v - 1];
+}
+
+size_t FullCopyRepo::ByteSize() const {
+  size_t total = 0;
+  for (const auto& v : versions_) total += v.size();
+  return total;
+}
+
+std::string FullCopyRepo::ConcatenatedBytes() const {
+  std::string out;
+  for (const auto& v : versions_) out += v;
+  return out;
+}
+
+}  // namespace xarch::diff

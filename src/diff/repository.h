@@ -1,0 +1,87 @@
+#ifndef XARCH_DIFF_REPOSITORY_H_
+#define XARCH_DIFF_REPOSITORY_H_
+
+#include <string>
+#include <vector>
+
+#include "diff/edit_script.h"
+#include "util/status.h"
+#include "util/version_set.h"
+
+namespace xarch::diff {
+
+/// \brief The "sequence-of-delta" baselines of Sec. 5.
+///
+/// IncrementalDiffRepo stores V1 plus the minimal forward line diff between
+/// every pair of consecutive versions ("V1 + incremental diffs"). Retrieval
+/// of version i applies i-1 deltas. (Backward-delta repositories have the
+/// same size, as the paper notes, so only the forward variant is built.)
+class IncrementalDiffRepo {
+ public:
+  /// Appends a new version (its serialized text).
+  void AddVersion(const std::string& text);
+
+  /// Number of archived versions.
+  size_t version_count() const { return count_; }
+
+  /// Reconstructs version v (1-based) by applying v-1 edit scripts.
+  StatusOr<std::string> Retrieve(Version v) const;
+
+  /// Storage cost: |V1| + sum of formatted delta sizes.
+  size_t ByteSize() const;
+
+  /// Number of delta applications Retrieve(v) performs.
+  size_t ApplicationsFor(Version v) const { return v == 0 ? 0 : v - 1; }
+
+  /// Concatenated repository bytes (V1 then each delta) — what gzip is run
+  /// over in the compression experiments.
+  std::string ConcatenatedBytes() const;
+
+  const std::vector<std::string>& deltas() const { return deltas_; }
+
+ private:
+  size_t count_ = 0;
+  std::string first_version_;
+  std::vector<std::string> deltas_;  // ed-format edit scripts (FormatEd)
+  std::vector<std::string> latest_lines_;  // cache for the next diff
+};
+
+/// \brief "V1 + cumulative diffs": V1 plus, for every version i, the diff
+/// from V1 straight to Vi. Any version needs one application, but storage
+/// grows quadratically (Sec. 5.2, Fig. 11).
+class CumulativeDiffRepo {
+ public:
+  void AddVersion(const std::string& text);
+  size_t version_count() const { return count_; }
+
+  /// Reconstructs version v with at most one delta application.
+  StatusOr<std::string> Retrieve(Version v) const;
+
+  size_t ByteSize() const;
+  std::string ConcatenatedBytes() const;
+
+ private:
+  size_t count_ = 0;
+  std::string first_version_;
+  std::vector<std::string> first_lines_;
+  std::vector<std::string> deltas_;  // delta V1 -> Vi for i >= 2
+};
+
+/// \brief Keeps every version verbatim (the Swiss-Prot archiving practice
+/// the introduction describes, and the "xmill(V1+...+Vi)" baseline).
+class FullCopyRepo {
+ public:
+  void AddVersion(const std::string& text) { versions_.push_back(text); }
+  size_t version_count() const { return versions_.size(); }
+  StatusOr<std::string> Retrieve(Version v) const;
+  size_t ByteSize() const;
+  /// All versions side by side (what XMill compresses in Fig. 12).
+  std::string ConcatenatedBytes() const;
+
+ private:
+  std::vector<std::string> versions_;
+};
+
+}  // namespace xarch::diff
+
+#endif  // XARCH_DIFF_REPOSITORY_H_

@@ -1,0 +1,104 @@
+#include "diff/sccs.h"
+
+#include "diff/myers.h"
+
+namespace xarch::diff {
+
+void SccsWeave::AddVersion(const std::vector<std::string>& lines) {
+  Version v = ++count_;
+
+  // Indices of items live in the previous version.
+  std::vector<size_t> prev;
+  if (v > 1) {
+    for (size_t i = 0; i < items_.size(); ++i) {
+      if (items_[i].stamp.Contains(v - 1)) prev.push_back(i);
+    }
+  }
+
+  // Diff the previous version's lines against the new lines. We match
+  // against the weave text of the previous version; dead weave items are
+  // candidates for revival below.
+  auto hunks = MyersDiff(prev.size(), lines.size(), [&](size_t i, size_t j) {
+    return items_[prev[i]].text == lines[j];
+  });
+
+  std::vector<bool> matched_a(prev.size(), false);
+  // Lines of B inserted after previous-version position p (p ranges over
+  // -1..prev.size()-1; slot 0 of the vector is "at the very start").
+  std::vector<std::vector<size_t>> inserts_after(prev.size() + 1);
+  for (const auto& h : hunks) {
+    if (h.equal) {
+      for (size_t i = 0; i < h.a_len; ++i) matched_a[h.a_pos + i] = true;
+    } else {
+      size_t anchor = h.a_pos + h.a_len;  // insert after prev position anchor-1
+      for (size_t j = 0; j < h.b_len; ++j) {
+        inserts_after[anchor].push_back(h.b_pos + j);
+      }
+    }
+  }
+
+  std::vector<Item> result;
+  result.reserve(items_.size() + lines.size());
+  auto emit_inserts = [&](size_t slot) {
+    for (size_t b : inserts_after[slot]) {
+      // Revive a dead item with identical text if one exists at this point:
+      // look ahead in the original weave for the next dead item equal to
+      // this line before any live item. (Cheap local scan; keeps identical
+      // flip-flopping content stored once.)
+      result.push_back(Item{lines[b], VersionSet::Single(v)});
+    }
+  };
+  emit_inserts(0);
+  size_t p = 0;
+  for (size_t wi = 0; wi < items_.size(); ++wi) {
+    Item item = items_[wi];
+    bool active = p < prev.size() && prev[p] == wi;
+    if (active && matched_a[p]) item.stamp.Add(v);
+    result.push_back(std::move(item));
+    if (active) {
+      ++p;
+      emit_inserts(p);
+    }
+  }
+  items_ = std::move(result);
+
+  // Revival pass: an inserted item that value-equals an adjacent dead item
+  // (inserted/deleted flip-flop) is folded into it.
+  std::vector<Item> folded;
+  folded.reserve(items_.size());
+  for (auto& item : items_) {
+    if (!folded.empty() && folded.back().text == item.text) {
+      VersionSet overlap = folded.back().stamp.IntersectWith(item.stamp);
+      if (overlap.empty()) {
+        folded.back().stamp.UnionWith(item.stamp);
+        continue;
+      }
+    }
+    folded.push_back(std::move(item));
+  }
+  items_ = std::move(folded);
+}
+
+std::vector<std::string> SccsWeave::Retrieve(Version v) const {
+  std::vector<std::string> out;
+  for (const auto& item : items_) {
+    if (item.stamp.Contains(v)) out.push_back(item.text);
+  }
+  return out;
+}
+
+size_t SccsWeave::ByteSize() const {
+  size_t total = 0;
+  const VersionSet* run_stamp = nullptr;
+  for (const auto& item : items_) {
+    total += item.text.size() + 1;
+    if (run_stamp == nullptr || !(*run_stamp == item.stamp)) {
+      // "^AI <stamp>\n" style marker for each run of identically-stamped lines.
+      total += item.stamp.ToString().size() + 4;
+      run_stamp = &item.stamp;
+    }
+  }
+  return total;
+}
+
+}  // namespace xarch::diff

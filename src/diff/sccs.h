@@ -1,0 +1,49 @@
+#ifndef XARCH_DIFF_SCCS_H_
+#define XARCH_DIFF_SCCS_H_
+
+#include <string>
+#include <vector>
+
+#include "util/version_set.h"
+
+namespace xarch::diff {
+
+/// \brief An SCCS-style weave (Rochkind 1975, Sec. 8): all versions of a
+/// line sequence interleaved in one body, each line carrying the timestamp
+/// of the versions it belongs to. A single scan retrieves any version.
+///
+/// This is both a related-work baseline and the mechanism behind the
+/// paper's "further compaction" of content below frontier nodes (Sec. 4.2,
+/// Fig. 10) — there the "lines" are the frontier node's child values.
+///
+/// Unlike real SCCS, a re-inserted line that value-equals a dead line in
+/// the weave revives that line's timestamp instead of storing a second
+/// copy, matching the archiver's stored-once behaviour (Sec. 5.3).
+class SccsWeave {
+ public:
+  struct Item {
+    std::string text;
+    VersionSet stamp;
+  };
+
+  /// Merges the next version (its lines) into the weave.
+  void AddVersion(const std::vector<std::string>& lines);
+
+  /// Lines of version v, in order.
+  std::vector<std::string> Retrieve(Version v) const;
+
+  size_t version_count() const { return count_; }
+  const std::vector<Item>& items() const { return items_; }
+
+  /// Storage cost: line bytes plus one timestamp marker per run of items
+  /// sharing a stamp (as the SCCS body would store them).
+  size_t ByteSize() const;
+
+ private:
+  Version count_ = 0;
+  std::vector<Item> items_;
+};
+
+}  // namespace xarch::diff
+
+#endif  // XARCH_DIFF_SCCS_H_

@@ -1,0 +1,183 @@
+#include "extmem/internal_rep.h"
+
+#include <unordered_map>
+
+#include "keys/annotate.h"
+
+namespace xarch::extmem {
+
+namespace {
+
+// Token kinds of the internal representation.
+constexpr uint8_t kOpen = 0x01;       // + varint tag id (+ attr section)
+constexpr uint8_t kClose = 0x02;      // ';' of Example 6.1
+constexpr uint8_t kText = 0x03;       // + varint length + bytes
+constexpr uint8_t kAttrMark = 0x04;   // + varint name id + varint len + bytes
+
+void PutVarint(uint64_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+Status GetVarint(const std::string& data, size_t* pos, uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (*pos < data.size()) {
+    uint8_t b = static_cast<uint8_t>(data[(*pos)++]);
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      *out = v;
+      return Status::OK();
+    }
+    shift += 7;
+    if (shift > 63) break;
+  }
+  return Status::Corruption("bad varint in internal representation");
+}
+
+class Encoder {
+ public:
+  explicit Encoder(const keys::KeySpecSet& spec) : spec_(spec) {}
+
+  Status Walk(const xml::Node& node) {
+    if (node.is_text()) {
+      rep_.tokens.push_back(static_cast<char>(kText));
+      PutVarint(node.text().size(), &rep_.tokens);
+      rep_.tokens.append(node.text());
+      return Status::OK();
+    }
+    steps_.push_back(node.tag());
+    rep_.tokens.push_back(static_cast<char>(kOpen));
+    PutVarint(NameId(node.tag()), &rep_.tokens);
+    PutVarint(node.attrs().size(), &rep_.tokens);
+    for (const auto& [name, value] : node.attrs()) {
+      rep_.tokens.push_back(static_cast<char>(kAttrMark));
+      PutVarint(NameId(name), &rep_.tokens);
+      PutVarint(value.size(), &rep_.tokens);
+      rep_.tokens.append(value);
+    }
+    // "The key value of a node is fully determined by the time that node is
+    // exited. If the root-to-node path is p then the key value is appended
+    // in file p." (Sec. 6.1)
+    const keys::Key* key = spec_.Lookup(steps_);
+    if (key != nullptr && !key->key_paths.empty()) {
+      keys::AnnotateOptions options;
+      XARCH_ASSIGN_OR_RETURN(keys::Label label,
+                             keys::ComputeLabel(node, *key, options));
+      std::string path_name;
+      for (const auto& s : steps_) path_name += "/" + s;
+      std::string& file = rep_.key_files[path_name];
+      for (const auto& part : label.parts) {
+        file += part.path + "=" + part.value + " ";
+      }
+      file += "\n";
+    }
+    for (const auto& child : node.children()) {
+      XARCH_RETURN_NOT_OK(Walk(*child));
+    }
+    rep_.tokens.push_back(static_cast<char>(kClose));
+    steps_.pop_back();
+    return Status::OK();
+  }
+
+  InternalRep Finish() { return std::move(rep_); }
+
+ private:
+  uint64_t NameId(const std::string& name) {
+    auto [it, inserted] = ids_.try_emplace(name, rep_.dictionary.size());
+    if (inserted) rep_.dictionary.push_back(name);
+    return it->second;
+  }
+
+  const keys::KeySpecSet& spec_;
+  InternalRep rep_;
+  std::vector<std::string> steps_;
+  std::unordered_map<std::string, uint64_t> ids_;
+};
+
+}  // namespace
+
+size_t InternalRep::TotalBytes() const {
+  size_t total = tokens.size();
+  for (const auto& name : dictionary) total += name.size() + 1;
+  for (const auto& [path, file] : key_files) {
+    total += path.size() + 1 + file.size();
+  }
+  return total;
+}
+
+StatusOr<InternalRep> EncodeDocument(const xml::Node& root,
+                                     const keys::KeySpecSet& spec) {
+  Encoder encoder(spec);
+  XARCH_RETURN_NOT_OK(encoder.Walk(root));
+  return encoder.Finish();
+}
+
+StatusOr<xml::NodePtr> DecodeDocument(const InternalRep& rep) {
+  size_t pos = 0;
+  std::vector<xml::Node*> stack;
+  xml::NodePtr root;
+  const std::string& t = rep.tokens;
+  while (pos < t.size()) {
+    uint8_t token = static_cast<uint8_t>(t[pos++]);
+    switch (token) {
+      case kOpen: {
+        uint64_t id, nattrs;
+        XARCH_RETURN_NOT_OK(GetVarint(t, &pos, &id));
+        XARCH_RETURN_NOT_OK(GetVarint(t, &pos, &nattrs));
+        if (id >= rep.dictionary.size()) {
+          return Status::Corruption("bad dictionary id");
+        }
+        xml::NodePtr elem = xml::Node::Element(rep.dictionary[id]);
+        xml::Node* raw = elem.get();
+        for (uint64_t a = 0; a < nattrs; ++a) {
+          if (pos >= t.size() || static_cast<uint8_t>(t[pos]) != kAttrMark) {
+            return Status::Corruption("expected attribute token");
+          }
+          ++pos;
+          uint64_t name_id, len;
+          XARCH_RETURN_NOT_OK(GetVarint(t, &pos, &name_id));
+          XARCH_RETURN_NOT_OK(GetVarint(t, &pos, &len));
+          if (name_id >= rep.dictionary.size() || pos + len > t.size()) {
+            return Status::Corruption("bad attribute");
+          }
+          raw->SetAttr(rep.dictionary[name_id], t.substr(pos, len));
+          pos += len;
+        }
+        if (stack.empty()) {
+          if (root != nullptr) return Status::Corruption("multiple roots");
+          root = std::move(elem);
+        } else {
+          stack.back()->AddChild(std::move(elem));
+        }
+        stack.push_back(raw);
+        break;
+      }
+      case kClose:
+        if (stack.empty()) return Status::Corruption("unbalanced close");
+        stack.pop_back();
+        break;
+      case kText: {
+        uint64_t len;
+        XARCH_RETURN_NOT_OK(GetVarint(t, &pos, &len));
+        if (stack.empty() || pos + len > t.size()) {
+          return Status::Corruption("bad text token");
+        }
+        stack.back()->AddText(t.substr(pos, len));
+        pos += len;
+        break;
+      }
+      default:
+        return Status::Corruption("unknown token");
+    }
+  }
+  if (!stack.empty() || root == nullptr) {
+    return Status::Corruption("unbalanced internal representation");
+  }
+  return root;
+}
+
+}  // namespace xarch::extmem

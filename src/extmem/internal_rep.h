@@ -1,0 +1,41 @@
+#ifndef XARCH_EXTMEM_INTERNAL_REP_H_
+#define XARCH_EXTMEM_INTERNAL_REP_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "keys/key_spec.h"
+#include "util/status.h"
+#include "xml/node.h"
+
+namespace xarch::extmem {
+
+/// \brief The Sec. 6.1 preprocessing: an XML document broken into
+///  (1) an internal representation with tag names replaced by 2-byte-ish
+///      integers (varints here) plus open/close markers,
+///  (2) a dictionary mapping tag names to numbers, and
+///  (3) one key file per key in the specification, holding the key values
+///      of the nodes on that key's path, in document order.
+///
+/// This is the same layout as the paper's Example 6.1. The encoding incurs
+/// O(N/B) I/O; byte sizes are exposed so benches can report it.
+struct InternalRep {
+  std::string tokens;                          ///< the tokenized document
+  std::vector<std::string> dictionary;         ///< id -> tag/attr name
+  std::map<std::string, std::string> key_files;  ///< key path -> values file
+
+  size_t TotalBytes() const;
+};
+
+/// Encodes a document (which must satisfy `spec`).
+StatusOr<InternalRep> EncodeDocument(const xml::Node& root,
+                                     const keys::KeySpecSet& spec);
+
+/// Decodes the internal representation back into a document (the key files
+/// are redundant for decoding; they exist for the sort phase).
+StatusOr<xml::NodePtr> DecodeDocument(const InternalRep& rep);
+
+}  // namespace xarch::extmem
+
+#endif  // XARCH_EXTMEM_INTERNAL_REP_H_

@@ -1,0 +1,30 @@
+#ifndef XARCH_EXTMEM_IO_STATS_H_
+#define XARCH_EXTMEM_IO_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xarch::extmem {
+
+/// I/O accounting for the external-memory archiver (the N/B, M/B currency
+/// of the Sec. 6 analysis).
+struct IoStats {
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t run_count = 0;     ///< sorted runs produced (Sec. 6.2)
+  uint64_t merge_passes = 0;  ///< multiway merge passes over the runs
+
+  /// Page counts at the given page size B.
+  uint64_t PagesRead(size_t page_bytes) const {
+    return (bytes_read + page_bytes - 1) / page_bytes;
+  }
+  uint64_t PagesWritten(size_t page_bytes) const {
+    return (bytes_written + page_bytes - 1) / page_bytes;
+  }
+
+  void Clear() { *this = IoStats{}; }
+};
+
+}  // namespace xarch::extmem
+
+#endif  // XARCH_EXTMEM_IO_STATS_H_

@@ -1,0 +1,180 @@
+#include "extmem/row.h"
+
+namespace xarch::extmem {
+
+namespace {
+
+void PutVarint(uint64_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+void PutString(const std::string& s, std::string* out) {
+  PutVarint(s.size(), out);
+  out->append(s);
+}
+
+class Cursor {
+ public:
+  Cursor(const std::string& data) : data_(data) {}
+
+  Status Varint(uint64_t* out) {
+    uint64_t v = 0;
+    int shift = 0;
+    while (pos_ < data_.size()) {
+      uint8_t b = static_cast<uint8_t>(data_[pos_++]);
+      v |= static_cast<uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) {
+        *out = v;
+        return Status::OK();
+      }
+      shift += 7;
+      if (shift > 63) break;
+    }
+    return Status::Corruption("bad varint in row");
+  }
+
+  Status String(std::string* out) {
+    uint64_t len;
+    XARCH_RETURN_NOT_OK(Varint(&len));
+    if (pos_ + len > data_.size()) return Status::Corruption("bad row string");
+    out->assign(data_, pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+ private:
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+Status DecodeRow(const std::string& payload, Row* row) {
+  Cursor cur(payload);
+  XARCH_RETURN_NOT_OK(cur.String(&row->sort_key));
+  uint64_t depth, flags;
+  XARCH_RETURN_NOT_OK(cur.Varint(&depth));
+  row->depth = static_cast<uint32_t>(depth);
+  XARCH_RETURN_NOT_OK(cur.Varint(&flags));
+  row->is_frontier = (flags & 1) != 0;
+  row->has_stamp = (flags & 2) != 0;
+  if (row->has_stamp) {
+    std::string stamp_text;
+    XARCH_RETURN_NOT_OK(cur.String(&stamp_text));
+    XARCH_ASSIGN_OR_RETURN(row->stamp, VersionSet::Parse(stamp_text));
+  } else {
+    row->stamp = VersionSet();
+  }
+  XARCH_RETURN_NOT_OK(cur.String(&row->tag));
+  uint64_t nattrs;
+  XARCH_RETURN_NOT_OK(cur.Varint(&nattrs));
+  row->attrs.clear();
+  for (uint64_t i = 0; i < nattrs; ++i) {
+    std::string name, value;
+    XARCH_RETURN_NOT_OK(cur.String(&name));
+    XARCH_RETURN_NOT_OK(cur.String(&value));
+    row->attrs.emplace_back(std::move(name), std::move(value));
+  }
+  uint64_t nbuckets;
+  XARCH_RETURN_NOT_OK(cur.Varint(&nbuckets));
+  row->buckets.clear();
+  for (uint64_t i = 0; i < nbuckets; ++i) {
+    Row::Bucket bucket;
+    uint64_t bflags;
+    XARCH_RETURN_NOT_OK(cur.Varint(&bflags));
+    bucket.has_stamp = (bflags & 1) != 0;
+    if (bucket.has_stamp) {
+      std::string stamp_text;
+      XARCH_RETURN_NOT_OK(cur.String(&stamp_text));
+      XARCH_ASSIGN_OR_RETURN(bucket.stamp, VersionSet::Parse(stamp_text));
+    }
+    XARCH_RETURN_NOT_OK(cur.String(&bucket.content));
+    row->buckets.push_back(std::move(bucket));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void Row::EncodeTo(std::string* out) const {
+  PutString(sort_key, out);
+  PutVarint(depth, out);
+  PutVarint((is_frontier ? 1 : 0) | (has_stamp ? 2 : 0), out);
+  if (has_stamp) PutString(stamp.ToString(), out);
+  PutString(tag, out);
+  PutVarint(attrs.size(), out);
+  for (const auto& [name, value] : attrs) {
+    PutString(name, out);
+    PutString(value, out);
+  }
+  PutVarint(buckets.size(), out);
+  for (const auto& bucket : buckets) {
+    PutVarint(bucket.has_stamp ? 1 : 0, out);
+    if (bucket.has_stamp) PutString(bucket.stamp.ToString(), out);
+    PutString(bucket.content, out);
+  }
+}
+
+RowWriter::RowWriter(const std::string& path, IoStats* stats)
+    : out_(path, std::ios::binary | std::ios::trunc),
+      path_(path),
+      stats_(stats) {}
+
+Status RowWriter::Write(const Row& row) {
+  if (!out_.is_open() || !out_.good()) {
+    return Status::IoError("cannot write rows to " + path_);
+  }
+  std::string payload;
+  row.EncodeTo(&payload);
+  std::string framed;
+  PutVarint(payload.size(), &framed);
+  framed += payload;
+  out_.write(framed.data(), static_cast<std::streamsize>(framed.size()));
+  stats_->bytes_written += framed.size();
+  return Status::OK();
+}
+
+Status RowWriter::Close() {
+  out_.close();
+  if (out_.fail()) return Status::IoError("error closing " + path_);
+  return Status::OK();
+}
+
+RowReader::RowReader(const std::string& path, IoStats* stats)
+    : in_(path, std::ios::binary), stats_(stats) {
+  if (!in_.is_open()) {
+    status_ = Status::IoError("cannot open rows file " + path);
+  }
+}
+
+bool RowReader::Next(Row* row) {
+  if (!status_.ok() || !in_.good()) return false;
+  // Read the varint length byte by byte.
+  uint64_t len = 0;
+  int shift = 0;
+  for (;;) {
+    int c = in_.get();
+    if (c == EOF) return false;  // clean EOF only at a frame boundary
+    stats_->bytes_read += 1;
+    len |= static_cast<uint64_t>(c & 0x7f) << shift;
+    if ((c & 0x80) == 0) break;
+    shift += 7;
+    if (shift > 63) {
+      status_ = Status::Corruption("bad row frame length");
+      return false;
+    }
+  }
+  std::string payload(len, '\0');
+  in_.read(payload.data(), static_cast<std::streamsize>(len));
+  if (static_cast<uint64_t>(in_.gcount()) != len) {
+    status_ = Status::Corruption("truncated row frame");
+    return false;
+  }
+  stats_->bytes_read += len;
+  status_ = DecodeRow(payload, row);
+  return status_.ok();
+}
+
+}  // namespace xarch::extmem

@@ -1,0 +1,77 @@
+#ifndef XARCH_EXTMEM_ROW_H_
+#define XARCH_EXTMEM_ROW_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "extmem/io_stats.h"
+#include "util/status.h"
+#include "util/version_set.h"
+
+namespace xarch::extmem {
+
+/// \brief One keyed node of an archive or version, flattened for external
+/// processing.
+///
+/// The external archiver (Sec. 6) works on a stream of rows rather than an
+/// in-memory tree: each row carries the full root-to-node key path as its
+/// sort key, so sorting rows lexicographically yields exactly the
+/// "sorted tree" of Sec. 6.2 (every keyed sibling list ordered by key
+/// value, parents before children), and the Sec. 6.3 merge becomes a
+/// single synchronized pass over two sorted row streams.
+struct Row {
+  /// Concatenated label keys from the root ("" for the virtual root);
+  /// '\x00'-separated so prefixes sort first.
+  std::string sort_key;
+  uint32_t depth = 0;  ///< 0 = virtual root
+  std::string tag;
+  std::vector<std::pair<std::string, std::string>> attrs;
+  bool is_frontier = false;
+  bool has_stamp = false;  ///< absent = timestamp inherited (Sec. 2)
+  VersionSet stamp;
+
+  /// Frontier content, stored as compact XML fragments. Fragment equality
+  /// is value equality (compact serialization is canonical for parsed
+  /// trees: attributes sorted, text normalized).
+  struct Bucket {
+    bool has_stamp = false;
+    VersionSet stamp;
+    std::string content;
+  };
+  std::vector<Bucket> buckets;
+
+  /// Serialized size (what the I/O accounting charges).
+  void EncodeTo(std::string* out) const;
+};
+
+/// Buffered writer of length-prefixed rows with I/O accounting.
+class RowWriter {
+ public:
+  RowWriter(const std::string& path, IoStats* stats);
+  Status Write(const Row& row);
+  Status Close();
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+  IoStats* stats_;
+};
+
+/// Buffered reader of length-prefixed rows with I/O accounting.
+class RowReader {
+ public:
+  RowReader(const std::string& path, IoStats* stats);
+  /// Reads the next row; returns false at EOF. `status()` reports errors.
+  bool Next(Row* row);
+  const Status& status() const { return status_; }
+
+ private:
+  std::ifstream in_;
+  IoStats* stats_;
+  Status status_;
+};
+
+}  // namespace xarch::extmem
+
+#endif  // XARCH_EXTMEM_ROW_H_

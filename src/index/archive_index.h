@@ -1,0 +1,61 @@
+#ifndef XARCH_INDEX_ARCHIVE_INDEX_H_
+#define XARCH_INDEX_ARCHIVE_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/archive.h"
+#include "index/timestamp_tree.h"
+#include "util/status.h"
+
+namespace xarch::index {
+
+/// Counters comparing indexed against naive access (the Sec. 7 analyses).
+struct ProbeStats {
+  size_t tree_probes = 0;    ///< timestamp-tree nodes inspected
+  size_t naive_probes = 0;   ///< children a full scan would inspect
+  size_t comparisons = 0;    ///< key comparisons (history lookups)
+};
+
+/// \brief Index structures over an Archive: a timestamp tree per inner node
+/// (Sec. 7.1) and sorted child-key lists for history lookups (Sec. 7.2).
+///
+/// The index is built with one scan of the archive ("constructed each time
+/// a new version arrives, after nested merge") and must be rebuilt after
+/// AddVersion. It borrows the archive; the archive must outlive it.
+class ArchiveIndex {
+ public:
+  explicit ArchiveIndex(const core::Archive& archive);
+
+  /// Version retrieval directed by timestamp trees: at every inner node
+  /// only the relevant children are visited. Probe counts accumulate into
+  /// *stats (optional).
+  StatusOr<xml::NodePtr> RetrieveVersion(Version v, ProbeStats* stats) const;
+
+  /// Temporal history via binary search over the sorted child-key lists:
+  /// O(l log d) comparisons for a path of length l and max degree d.
+  StatusOr<VersionSet> History(const std::vector<core::KeyStep>& path,
+                               ProbeStats* stats) const;
+
+  /// Total timestamp-tree nodes across the archive (index space cost).
+  size_t TreeNodeCount() const;
+
+ private:
+  void BuildRecursive(const core::ArchiveNode& node);
+  const core::ArchiveNode* FindChildSorted(const core::ArchiveNode& parent,
+                                           const core::KeyStep& step,
+                                           ProbeStats* stats) const;
+
+  const core::Archive& archive_;
+  /// Per inner node: its timestamp tree (over child effective stamps) and
+  /// its children sorted by plain label order (for binary search).
+  struct NodeIndex {
+    TimestampTree tree;
+    std::vector<const core::ArchiveNode*> sorted_children;
+  };
+  std::unordered_map<const core::ArchiveNode*, NodeIndex> nodes_;
+};
+
+}  // namespace xarch::index
+
+#endif  // XARCH_INDEX_ARCHIVE_INDEX_H_

@@ -1,0 +1,80 @@
+#include "index/timestamp_tree.h"
+
+#include <algorithm>
+
+namespace xarch::index {
+
+TimestampTree TimestampTree::Build(std::vector<VersionSet> child_stamps) {
+  TimestampTree tree;
+  tree.leaf_count_ = child_stamps.size();
+  if (child_stamps.empty()) return tree;
+  // Level 0: leaves.
+  std::vector<int> level;
+  level.reserve(child_stamps.size());
+  for (size_t i = 0; i < child_stamps.size(); ++i) {
+    tree.nodes_.push_back(Node{std::move(child_stamps[i]), i, i, -1, -1});
+    level.push_back(static_cast<int>(tree.nodes_.size() - 1));
+  }
+  // Pair repeatedly, unioning timestamps (bottom-up construction).
+  while (level.size() > 1) {
+    std::vector<int> next;
+    next.reserve((level.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < level.size(); i += 2) {
+      const Node& l = tree.nodes_[level[i]];
+      const Node& r = tree.nodes_[level[i + 1]];
+      VersionSet stamp = l.stamp;
+      stamp.UnionWith(r.stamp);
+      tree.nodes_.push_back(Node{std::move(stamp), l.leaf_lo, r.leaf_hi,
+                                 level[i], level[i + 1]});
+      next.push_back(static_cast<int>(tree.nodes_.size() - 1));
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+  tree.root_ = level[0];
+  return tree;
+}
+
+std::vector<size_t> TimestampTree::Lookup(Version v, size_t* probes) const {
+  std::vector<size_t> hits;
+  size_t probe_count = 0;
+  if (root_ >= 0) {
+    const size_t k = leaf_count_;
+    bool budget_hit = false;
+    // Iterative DFS with the paper's probe budget of k internal searches;
+    // on budget exhaustion, scan all k leaves instead.
+    std::vector<int> pending = {root_};
+    while (!pending.empty() && !budget_hit) {
+      int id = pending.back();
+      pending.pop_back();
+      const Node& node = nodes_[id];
+      ++probe_count;
+      if (!node.stamp.Contains(v)) continue;
+      if (node.left < 0) {
+        hits.push_back(node.leaf_lo);
+        continue;
+      }
+      if (probe_count >= 2 * k) {
+        budget_hit = true;
+        break;
+      }
+      // Right pushed first so the left child pops first (in-order hits).
+      pending.push_back(node.right);
+      pending.push_back(node.left);
+    }
+    if (budget_hit) {
+      hits.clear();
+      for (size_t i = 0; i < leaf_count_; ++i) {
+        const Node& leaf = nodes_[i];
+        ++probe_count;
+        if (leaf.stamp.Contains(v)) hits.push_back(i);
+      }
+    } else {
+      std::sort(hits.begin(), hits.end());
+    }
+  }
+  if (probes != nullptr) *probes = probe_count;
+  return hits;
+}
+
+}  // namespace xarch::index

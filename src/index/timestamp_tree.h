@@ -1,0 +1,48 @@
+#ifndef XARCH_INDEX_TIMESTAMP_TREE_H_
+#define XARCH_INDEX_TIMESTAMP_TREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/version_set.h"
+
+namespace xarch::index {
+
+/// \brief The timestamp binary tree of Sec. 7.1.
+///
+/// Built over the k children of an archive node: leaves hold each child's
+/// timestamp (plus the child index, standing in for the paper's file
+/// offset); internal nodes hold the union of their children's timestamps.
+/// Lookup(v) finds the α children relevant to version v while probing at
+/// most min(2α − 1 + 2α·log(k/α) , 2k) tree nodes: the paper's search
+/// keeps a probe budget of 2k and falls back to scanning all leaves when
+/// the budget is hit before the leaf level.
+class TimestampTree {
+ public:
+  /// Builds the tree bottom-up by pairing nodes (Sec. 7.1 construction).
+  static TimestampTree Build(std::vector<VersionSet> child_stamps);
+
+  /// Returns the indices of children whose timestamp contains v, in order.
+  /// `*probes` (optional) receives the number of tree nodes inspected.
+  std::vector<size_t> Lookup(Version v, size_t* probes) const;
+
+  size_t leaf_count() const { return leaf_count_; }
+
+  /// Total tree nodes (space cost of the index).
+  size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    VersionSet stamp;
+    size_t leaf_lo, leaf_hi;  // inclusive child-index range
+    int left = -1, right = -1;  // -1: leaf
+  };
+
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  size_t leaf_count_ = 0;
+};
+
+}  // namespace xarch::index
+
+#endif  // XARCH_INDEX_TIMESTAMP_TREE_H_

@@ -1,0 +1,145 @@
+#include "keys/annotate.h"
+
+#include <algorithm>
+
+#include "xml/canonical.h"
+
+namespace xarch::keys {
+
+namespace {
+
+std::string StepsToString(const std::vector<std::string>& steps) {
+  std::string out;
+  for (const auto& s : steps) {
+    out += '/';
+    out += s;
+  }
+  return out.empty() ? "/" : out;
+}
+
+}  // namespace
+
+StatusOr<Label> ComputeLabel(const xml::Node& node, const Key& key,
+                             const AnnotateOptions& options) {
+  Label label;
+  label.tag = node.tag();
+  std::vector<std::string> used_attrs;
+  for (const auto& kp : key.key_paths) {
+    auto targets = xml::EvalPath(node, kp);
+    std::string path_text = kp.empty() ? "." : kp.ToString();
+    if (targets.size() != 1) {
+      return Status::KeyViolation(
+          "key path " + path_text + " of " + key.ToString() + " matched " +
+          std::to_string(targets.size()) + " nodes under <" + node.tag() +
+          "> (must exist uniquely)");
+    }
+    LabelPart part;
+    if (targets[0].is_attr()) {
+      part.path = "@" + targets[0].attr_name;
+      part.value = *targets[0].attr_owner->FindAttr(targets[0].attr_name);
+      used_attrs.push_back(targets[0].attr_name);
+    } else {
+      part.path = path_text;
+      // The key path value is the XML value rooted under the node at the end
+      // of the key path (Sec. 4.1) — its content, canonicalized.
+      part.value = xml::CanonicalizeList(targets[0].node->children());
+    }
+    label.parts.push_back(std::move(part));
+  }
+  // Attributes not consumed by key paths also carry identity: the paper
+  // assumes versions have no attributes outside key values (Sec. 4.2), so
+  // extra attributes are folded into the label rather than silently dropped.
+  for (const auto& [name, value] : node.attrs()) {
+    if (std::find(used_attrs.begin(), used_attrs.end(), name) ==
+        used_attrs.end()) {
+      label.parts.push_back(LabelPart{"@" + name, value});
+    }
+  }
+  std::sort(label.parts.begin(), label.parts.end(),
+            [](const LabelPart& a, const LabelPart& b) {
+              return a.path < b.path;
+            });
+  label.ComputeFingerprint(options.fingerprint_bits);
+  return label;
+}
+
+namespace {
+
+class Annotator {
+ public:
+  Annotator(const KeySpecSet& spec, const AnnotateOptions& options)
+      : spec_(spec), options_(options) {}
+
+  StatusOr<KeyedNode> Run(const xml::Node& root) {
+    steps_.push_back(root.tag());
+    KeyedNode out;
+    XARCH_RETURN_NOT_OK(Annotate(root, &out));
+    return out;
+  }
+
+ private:
+  Status Annotate(const xml::Node& node, KeyedNode* out) {
+    const Key* key = spec_.Lookup(steps_);
+    if (key == nullptr) {
+      return Status::KeyViolation("element at " + StepsToString(steps_) +
+                                  " is not covered by any key");
+    }
+    out->node = &node;
+    XARCH_ASSIGN_OR_RETURN(out->label, ComputeLabel(node, *key, options_));
+    out->is_frontier = spec_.IsFrontier(steps_);
+    if (out->is_frontier) return Status::OK();
+
+    out->children.reserve(node.children().size());
+    for (const auto& child : node.children()) {
+      if (child->is_text()) {
+        return Status::KeyViolation(
+            "text content under non-frontier keyed node at " +
+            StepsToString(steps_) +
+            " (keys must cover everything above the frontier, Sec. 3)");
+      }
+      steps_.push_back(child->tag());
+      out->children.emplace_back();
+      Status st = Annotate(*child, &out->children.back());
+      steps_.pop_back();
+      XARCH_RETURN_NOT_OK(st);
+    }
+    if (options_.sort_children) {
+      std::stable_sort(out->children.begin(), out->children.end(),
+                       [](const KeyedNode& a, const KeyedNode& b) {
+                         return a.label.OrderBefore(b.label);
+                       });
+    }
+    // Key satisfaction: no two siblings may share a label.
+    for (size_t i = 1; i < out->children.size(); ++i) {
+      if (out->children[i - 1].label == out->children[i].label) {
+        return Status::KeyViolation("duplicate key value " +
+                                    out->children[i].label.ToString() +
+                                    " under " + StepsToString(steps_));
+      }
+    }
+    return Status::OK();
+  }
+
+  const KeySpecSet& spec_;
+  const AnnotateOptions& options_;
+  std::vector<std::string> steps_;
+};
+
+}  // namespace
+
+StatusOr<KeyedNode> AnnotateKeys(const xml::Node& root, const KeySpecSet& spec,
+                                 const AnnotateOptions& options) {
+  Annotator annotator(spec, options);
+  return annotator.Run(root);
+}
+
+StatusOr<KeyedNode> AnnotateKeys(const xml::Node& root,
+                                 const KeySpecSet& spec) {
+  return AnnotateKeys(root, spec, AnnotateOptions());
+}
+
+Status CheckKeys(const xml::Node& root, const KeySpecSet& spec) {
+  return AnnotateKeys(root, spec).status();
+}
+
+}  // namespace xarch::keys

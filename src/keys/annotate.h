@@ -1,0 +1,62 @@
+#ifndef XARCH_KEYS_ANNOTATE_H_
+#define XARCH_KEYS_ANNOTATE_H_
+
+#include <vector>
+
+#include "keys/key_spec.h"
+#include "keys/label.h"
+#include "util/status.h"
+#include "xml/node.h"
+
+namespace xarch::keys {
+
+/// Options for Annotate Keys.
+struct AnnotateOptions {
+  /// Bits kept in label fingerprints (Sec. 4.3). 64 is full strength; tests
+  /// truncate to force collisions and exercise the verification path.
+  int fingerprint_bits = 64;
+  /// Sort keyed siblings by (fingerprint, label). Nested Merge requires
+  /// sorted children (its merge phase is a sorted-list merge, Sec. 4.2).
+  bool sort_children = true;
+};
+
+/// \brief A node of a key-annotated document: the underlying XML node, its
+/// label (tag + key values, Fig. 3), and its keyed children. Frontier nodes
+/// (Sec. 3) have no keyed children; their XML content is reachable through
+/// `node`.
+struct KeyedNode {
+  const xml::Node* node = nullptr;
+  Label label;
+  bool is_frontier = false;
+  std::vector<KeyedNode> children;
+};
+
+/// \brief Algorithm "Annotate Keys" (Sec. 4.1) over a parsed document.
+///
+/// Walks the version in document order, identifies every keyed node via the
+/// key specification, and attaches its key value(s). The result is the
+/// key-annotated view of Fig. 3 that Nested Merge consumes. Enforces the
+/// key constraints along the way:
+///  - each key path of a keyed node exists uniquely (strong keys, App. A.4),
+///  - no two siblings carry an equal label,
+///  - every element above the frontier is keyed and non-frontier keyed
+///    nodes have no text content (the coverage assumption of Sec. 3).
+StatusOr<KeyedNode> AnnotateKeys(const xml::Node& root, const KeySpecSet& spec,
+                                 const AnnotateOptions& options);
+
+/// Annotates with default options.
+StatusOr<KeyedNode> AnnotateKeys(const xml::Node& root, const KeySpecSet& spec);
+
+/// Verifies that `root` satisfies `spec` (a document check without keeping
+/// the annotation).
+Status CheckKeys(const xml::Node& root, const KeySpecSet& spec);
+
+/// Computes the label of a single node known to sit at `steps` (root tag
+/// included). Used when loading archives, where timestamp tags interleave
+/// with keyed nodes.
+StatusOr<Label> ComputeLabel(const xml::Node& node, const Key& key,
+                             const AnnotateOptions& options);
+
+}  // namespace xarch::keys
+
+#endif  // XARCH_KEYS_ANNOTATE_H_

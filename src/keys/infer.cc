@@ -1,0 +1,317 @@
+#include "keys/infer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/strings.h"
+#include "xml/canonical.h"
+
+namespace xarch::keys {
+
+namespace {
+
+/// Evidence about one element path: every sibling group (children with
+/// this tag under one parent instance) observed in any version.
+struct PathEvidence {
+  std::vector<std::vector<const xml::Node*>> groups;
+  bool has_text_content = false;  ///< some instance has text children
+};
+
+using EvidenceMap = std::map<std::vector<std::string>, PathEvidence>;
+
+void Collect(const xml::Node& node, std::vector<std::string>* steps,
+             EvidenceMap* evidence) {
+  // Group element children by tag.
+  std::map<std::string, std::vector<const xml::Node*>> by_tag;
+  for (const auto& child : node.children()) {
+    if (child->is_element()) by_tag[child->tag()].push_back(child.get());
+  }
+  for (const auto& [tag, group] : by_tag) {
+    steps->push_back(tag);
+    PathEvidence& entry = (*evidence)[*steps];
+    entry.groups.push_back(group);
+    for (const xml::Node* child : group) {
+      for (const auto& grandchild : child->children()) {
+        if (grandchild->is_text()) entry.has_text_content = true;
+      }
+      Collect(*child, steps, evidence);
+    }
+    steps->pop_back();
+  }
+}
+
+/// A candidate key path for a path's instances: a child tag that exists
+/// exactly once in every instance, an attribute present on every instance,
+/// or "." (the content itself).
+struct Candidate {
+  enum class Kind { kChild, kAttr, kContent };
+  Kind kind;
+  std::string name;
+
+  /// Key value of one instance, or nullopt if the candidate is not
+  /// applicable to it.
+  std::optional<std::string> ValueOf(const xml::Node& instance) const {
+    switch (kind) {
+      case Kind::kChild: {
+        const xml::Node* hit = nullptr;
+        for (const auto& child : instance.children()) {
+          if (child->is_element() && child->tag() == name) {
+            if (hit != nullptr) return std::nullopt;  // not single-valued
+            hit = child.get();
+          }
+        }
+        if (hit == nullptr) return std::nullopt;
+        return xml::CanonicalizeList(hit->children());
+      }
+      case Kind::kAttr: {
+        const std::string* value = instance.FindAttr(name);
+        if (value == nullptr) return std::nullopt;
+        return *value;
+      }
+      case Kind::kContent:
+        return xml::CanonicalizeList(instance.children());
+    }
+    return std::nullopt;
+  }
+};
+
+std::vector<Candidate> FindCandidates(const PathEvidence& evidence) {
+  // A candidate must be applicable (present, single-valued) on EVERY
+  // instance in every group.
+  std::set<std::string> child_tags, attrs;
+  bool first = true;
+  for (const auto& group : evidence.groups) {
+    for (const xml::Node* instance : group) {
+      std::set<std::string> my_tags, my_attrs;
+      std::map<std::string, int> tag_counts;
+      for (const auto& child : instance->children()) {
+        if (child->is_element()) ++tag_counts[child->tag()];
+      }
+      for (const auto& [tag, count] : tag_counts) {
+        if (count == 1) my_tags.insert(tag);
+      }
+      for (const auto& [name, value] : instance->attrs()) {
+        (void)value;
+        my_attrs.insert(name);
+      }
+      if (first) {
+        child_tags = std::move(my_tags);
+        attrs = std::move(my_attrs);
+        first = false;
+      } else {
+        std::set<std::string> kept;
+        std::set_intersection(child_tags.begin(), child_tags.end(),
+                              my_tags.begin(), my_tags.end(),
+                              std::inserter(kept, kept.begin()));
+        child_tags = std::move(kept);
+        kept.clear();
+        std::set_intersection(attrs.begin(), attrs.end(), my_attrs.begin(),
+                              my_attrs.end(),
+                              std::inserter(kept, kept.begin()));
+        attrs = std::move(kept);
+      }
+    }
+  }
+  std::vector<Candidate> out;
+  for (const auto& name : attrs) {
+    out.push_back(Candidate{Candidate::Kind::kAttr, name});
+  }
+  for (const auto& tag : child_tags) {
+    out.push_back(Candidate{Candidate::Kind::kChild, tag});
+  }
+  // Prefer short, id-like fields: order candidates by average value
+  // length (real keys — accession numbers, ids — are short; prose fields
+  // that merely happen to be unique are long). Ties: attributes first,
+  // then by name.
+  auto avg_length = [&](const Candidate& candidate) {
+    size_t total = 0, count = 0;
+    for (const auto& group : evidence.groups) {
+      for (const xml::Node* instance : group) {
+        auto value = candidate.ValueOf(*instance);
+        if (value.has_value()) {
+          total += value->size();
+          ++count;
+        }
+      }
+    }
+    return count == 0 ? 1e9 : static_cast<double>(total) / count;
+  };
+  std::vector<std::pair<double, size_t>> ranked;
+  for (size_t i = 0; i < out.size(); ++i) {
+    ranked.push_back({avg_length(out[i]), i});
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  std::vector<Candidate> sorted;
+  sorted.reserve(out.size() + 1);
+  for (const auto& [len, i] : ranked) {
+    (void)len;
+    sorted.push_back(std::move(out[i]));
+  }
+  sorted.push_back(Candidate{Candidate::Kind::kContent, "."});
+  return sorted;
+}
+
+/// True if the candidate combination distinguishes all siblings in every
+/// group.
+bool Distinguishes(const std::vector<Candidate>& combo,
+                   const PathEvidence& evidence) {
+  for (const auto& group : evidence.groups) {
+    std::set<std::string> seen;
+    for (const xml::Node* instance : group) {
+      std::string tuple;
+      for (const Candidate& candidate : combo) {
+        auto value = candidate.ValueOf(*instance);
+        if (!value.has_value()) return false;
+        tuple += *value;
+        tuple.push_back('\x00');
+      }
+      if (!seen.insert(tuple).second) return false;  // duplicate key value
+    }
+  }
+  return true;
+}
+
+/// Searches combinations of increasing arity; returns the first (smallest,
+/// lexicographically earliest) one that works.
+std::optional<std::vector<Candidate>> FindKeyPaths(
+    const PathEvidence& evidence, size_t max_arity) {
+  std::vector<Candidate> candidates = FindCandidates(evidence);
+  // "." subsumes everything; try it last and alone (a content key cannot
+  // combine with others — it already contains them).
+  std::vector<Candidate> proper;
+  for (const auto& c : candidates) {
+    if (c.kind != Candidate::Kind::kContent) proper.push_back(c);
+  }
+  auto next_combination = [](std::vector<size_t>& idx, size_t n) {
+    size_t k = idx.size();
+    for (size_t i = k; i-- > 0;) {
+      if (idx[i] < n - (k - i)) {
+        ++idx[i];
+        for (size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+        return true;
+      }
+    }
+    return false;
+  };
+  for (size_t arity = 1; arity <= std::min(max_arity, proper.size());
+       ++arity) {
+    std::vector<size_t> idx(arity);
+    for (size_t i = 0; i < arity; ++i) idx[i] = i;
+    do {
+      std::vector<Candidate> combo;
+      for (size_t i : idx) combo.push_back(proper[i]);
+      if (Distinguishes(combo, evidence)) return combo;
+    } while (next_combination(idx, proper.size()));
+  }
+  // Fall back to keying by content.
+  std::vector<Candidate> content = {{Candidate::Kind::kContent, "."}};
+  if (Distinguishes(content, evidence)) return content;
+  return std::nullopt;
+}
+
+}  // namespace
+
+StatusOr<std::vector<Key>> InferKeys(
+    const std::vector<const xml::Node*>& versions,
+    const InferOptions& options) {
+  if (versions.empty()) {
+    return Status::InvalidArgument("need at least one version to infer keys");
+  }
+  const std::string& root_tag = versions[0]->tag();
+  EvidenceMap evidence;
+  for (const xml::Node* version : versions) {
+    if (version->tag() != root_tag) {
+      return Status::InvalidArgument(
+          "versions disagree on the root element tag");
+    }
+    std::vector<std::string> steps = {root_tag};
+    Collect(*version, &steps, &evidence);
+  }
+
+  // Find key paths per path; record unkeyable paths. Paths that are
+  // singletons in every instance need no key values ({} keys) and never
+  // fall back to content keying.
+  std::map<std::vector<std::string>, std::vector<Candidate>> keyed;
+  std::set<std::vector<std::string>> singletons;
+  std::set<std::vector<std::string>> unkeyable;
+  for (const auto& [path, entry] : evidence) {
+    bool always_single = true;
+    for (const auto& group : entry.groups) {
+      if (group.size() > 1) always_single = false;
+    }
+    if (always_single) {
+      singletons.insert(path);
+      keyed[path] = {};
+      continue;
+    }
+    auto combo = FindKeyPaths(entry, options.max_key_arity);
+    if (combo.has_value()) {
+      keyed[path] = std::move(*combo);
+    } else {
+      unkeyable.insert(path);
+    }
+  }
+
+  // Coverage (Sec. 3): a node with an unkeyable child becomes a frontier —
+  // drop every inferred key strictly below it. Also drop keys beneath
+  // paths keyed by "." (their content is the key; nothing below may be
+  // keyed) and beneath chosen key paths.
+  std::set<std::vector<std::string>> frontier_roots;
+  for (const auto& path : unkeyable) {
+    std::vector<std::string> parent(path.begin(), path.end() - 1);
+    frontier_roots.insert(parent);
+  }
+  for (const auto& [path, combo] : keyed) {
+    if (combo.size() == 1 && combo[0].kind == Candidate::Kind::kContent) {
+      frontier_roots.insert(path);
+    }
+  }
+  auto below_frontier = [&](const std::vector<std::string>& path) {
+    for (const auto& root : frontier_roots) {
+      if (root.size() < path.size() &&
+          std::equal(root.begin(), root.end(), path.begin())) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  std::vector<Key> keys;
+  // A key for the root element itself: (/, (root, {})).
+  {
+    Key root_key;
+    root_key.context.absolute = true;
+    root_key.target.steps = {root_tag};
+    keys.push_back(std::move(root_key));
+  }
+  for (const auto& [path, combo] : keyed) {
+    if (below_frontier(path)) continue;
+    Key key;
+    key.context.absolute = true;
+    key.context.steps.assign(path.begin(), path.end() - 1);
+    key.target.steps = {path.back()};
+    // Singleton paths get the {} key: at most one such child per parent.
+    if (singletons.count(path) == 0) {
+      for (const Candidate& candidate : combo) {
+        xml::Path key_path;
+        if (candidate.kind != Candidate::Kind::kContent) {
+          key_path.steps = {candidate.name};
+        }
+        key.key_paths.push_back(std::move(key_path));
+      }
+    }
+    keys.push_back(std::move(key));
+  }
+  return keys;
+}
+
+StatusOr<std::vector<Key>> InferKeys(
+    const std::vector<const xml::Node*>& versions) {
+  return InferKeys(versions, InferOptions());
+}
+
+}  // namespace xarch::keys

@@ -1,0 +1,44 @@
+#ifndef XARCH_KEYS_INFER_H_
+#define XARCH_KEYS_INFER_H_
+
+#include <vector>
+
+#include "keys/key_spec.h"
+#include "util/status.h"
+#include "xml/node.h"
+
+namespace xarch::keys {
+
+/// Options for key inference.
+struct InferOptions {
+  /// Largest composite key tried (1 = single key paths only, 2 = also
+  /// pairs, ...). The paper's real specs rarely exceed arity 4; inference
+  /// cost grows combinatorially.
+  size_t max_key_arity = 3;
+};
+
+/// \brief Derives a key specification from example versions — the Sec. 9
+/// open question: "whether the keys can be automatically derived, through
+/// data analysis or mining methodologies on various versions".
+///
+/// For every element path observed in the versions it searches for a
+/// minimal set of key paths (single-valued child paths, attributes, or the
+/// node's own content ".") whose values distinguish all siblings in every
+/// instance across every provided version. Paths for which no key exists
+/// become content below a frontier: all inferred keys beneath them are
+/// discarded so the result satisfies the coverage assumptions of Sec. 3
+/// and can be fed straight to KeySpecSet::Build / the Archive.
+///
+/// More versions give better evidence: a field that happens to be unique
+/// in one snapshot (e.g. salary) is eliminated once any version shows a
+/// duplicate.
+StatusOr<std::vector<Key>> InferKeys(
+    const std::vector<const xml::Node*>& versions, const InferOptions& options);
+
+/// Infers with default options.
+StatusOr<std::vector<Key>> InferKeys(
+    const std::vector<const xml::Node*>& versions);
+
+}  // namespace xarch::keys
+
+#endif  // XARCH_KEYS_INFER_H_

@@ -1,0 +1,58 @@
+#include "keys/label.h"
+
+#include "util/hash.h"
+#include "util/strings.h"
+
+namespace xarch::keys {
+
+int Label::Compare(const Label& other) const {
+  int c = tag.compare(other.tag);
+  if (c != 0) return c < 0 ? -1 : 1;
+  if (parts.size() != other.parts.size()) {
+    return parts.size() < other.parts.size() ? -1 : 1;
+  }
+  for (size_t i = 0; i < parts.size(); ++i) {
+    c = parts[i].path.compare(other.parts[i].path);
+    if (c != 0) return c < 0 ? -1 : 1;
+    c = parts[i].value.compare(other.parts[i].value);
+    if (c != 0) return c < 0 ? -1 : 1;
+  }
+  return 0;
+}
+
+void Label::ComputeFingerprint(int fingerprint_bits) {
+  Md5Hasher hasher;
+  hasher.Update(tag);
+  for (const auto& part : parts) {
+    hasher.Update("\x01");
+    hasher.Update(part.path);
+    hasher.Update("\x02");
+    hasher.Update(part.value);
+  }
+  uint64_t fp = hasher.Finish().Low64();
+  if (fingerprint_bits < 64) {
+    fp &= (uint64_t{1} << fingerprint_bits) - 1;
+  }
+  fingerprint = fp;
+}
+
+std::string Label::ToString() const {
+  if (parts.empty()) return tag;
+  std::string out = tag + "{";
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += parts[i].path;
+    out += '=';
+    // A canonical value that is a single text node reads "Tdata".
+    if (!parts[i].value.empty() && parts[i].value[0] == 'T' &&
+        parts[i].value.find('<') == std::string::npos) {
+      out += parts[i].value.substr(1);
+    } else {
+      out += parts[i].value;
+    }
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace xarch::keys

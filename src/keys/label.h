@@ -1,0 +1,55 @@
+#ifndef XARCH_KEYS_LABEL_H_
+#define XARCH_KEYS_LABEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xarch::keys {
+
+/// One key-path/value pair of a node label, e.g. ("fn", "TJohn"). Values
+/// are stored in canonical XML form (Sec. 4.3) so that string equality
+/// coincides with value equality of the underlying XML values.
+struct LabelPart {
+  std::string path;   ///< key path as text ("fn", "Date/Month", "." or "@id")
+  std::string value;  ///< canonical form of the key path value
+};
+
+/// \brief The full label of a node (Sec. 4.2): its tag name plus its key
+/// values, e.g. emp{fn=John, ln=Doe}. Two nodes correspond across versions
+/// iff their labels are equal.
+struct Label {
+  std::string tag;
+  std::vector<LabelPart> parts;  ///< sorted by path
+  /// Fingerprint of (tag, parts); equal labels have equal fingerprints.
+  /// May be truncated (AnnotateOptions::fingerprint_bits) to exercise the
+  /// collision-handling path of Sec. 4.3.
+  uint64_t fingerprint = 0;
+
+  /// The `<=lab` order of Sec. 4.2: by tag, then number of key parts, then
+  /// lexicographically by (path, value). Returns <0, 0, >0.
+  int Compare(const Label& other) const;
+
+  bool operator==(const Label& other) const { return Compare(other) == 0; }
+
+  /// Sort order used for children in archives and annotated versions:
+  /// fingerprint first (cheap), full label compare on ties. With untruncated
+  /// fingerprints ties are almost surely equal labels; with truncated ones
+  /// the label comparison performs the paper's "verify actual key values".
+  bool OrderBefore(const Label& other) const {
+    if (fingerprint != other.fingerprint) return fingerprint < other.fingerprint;
+    return Compare(other) < 0;
+  }
+
+  /// Computes and stores the fingerprint, keeping only the low
+  /// `fingerprint_bits` bits (64 = full strength).
+  void ComputeFingerprint(int fingerprint_bits);
+
+  /// Renders "emp{fn=John, ln=Doe}". Canonical text-only values are shown
+  /// without their T marker for readability.
+  std::string ToString() const;
+};
+
+}  // namespace xarch::keys
+
+#endif  // XARCH_KEYS_LABEL_H_

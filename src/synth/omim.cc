@@ -1,0 +1,150 @@
+#include "synth/omim.h"
+
+#include <algorithm>
+
+#include "synth/words.h"
+
+namespace xarch::synth {
+
+const char* OmimGenerator::KeySpecText() {
+  return R"((/, (ROOT, {}))
+(/ROOT, (Record, {Num}))
+(/ROOT/Record, (Title, {}))
+(/ROOT/Record, (AlternativeTitle, {\e}))
+(/ROOT/Record, (Text, {\e}))
+(/ROOT/Record, (Contributors, {Name, CNtype, Date/Month, Date/Day, Date/Year}))
+(/ROOT/Record/Contributors, (Date, {}))
+(/ROOT/Record, (Creation_Date, {Name, Date/Month, Date/Day, Date/Year}))
+(/ROOT/Record/Creation_Date, (Date, {}))
+)";
+}
+
+OmimGenerator::OmimGenerator(Options options)
+    : options_(options), rng_(options.seed) {
+  records_.reserve(options_.initial_records);
+  for (size_t i = 0; i < options_.initial_records; ++i) {
+    records_.push_back(MakeRecord());
+  }
+}
+
+OmimGenerator::Contributor OmimGenerator::MakeContributor() {
+  Contributor c;
+  c.name = Name(rng_) + " " + Name(rng_);
+  c.cntype = rng_.Chance(0.7) ? "updated" : "edited";
+  c.month = std::to_string(rng_.Uniform(1, 12));
+  c.day = std::to_string(rng_.Uniform(1, 28));
+  c.year = std::to_string(rng_.Uniform(1993, 2002));
+  return c;
+}
+
+void OmimGenerator::AddContributor(Record* r) {
+  // Contributors is keyed by {Name, CNtype, Date/*}: re-roll duplicates.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    Contributor c = MakeContributor();
+    bool duplicate = false;
+    for (const auto& existing : r->contributors) {
+      if (existing.name == c.name && existing.cntype == c.cntype &&
+          existing.month == c.month && existing.day == c.day &&
+          existing.year == c.year) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      r->contributors.push_back(std::move(c));
+      return;
+    }
+  }
+}
+
+OmimGenerator::Record OmimGenerator::MakeRecord() {
+  Record r;
+  r.num = std::to_string(next_num_);
+  next_num_ += rng_.Uniform(1, 9);
+  r.title = "*" + r.num + " " + Sentence(rng_, 3, 8);
+  std::transform(r.title.begin(), r.title.end(), r.title.begin(), ::toupper);
+  size_t alts = rng_.Uniform(0, 3);
+  for (size_t i = 0; i < alts; ++i) {
+    std::string alt = Sentence(rng_, 2, 5);
+    std::transform(alt.begin(), alt.end(), alt.begin(), ::toupper);
+    // AlternativeTitle is keyed by content ({\e}): skip duplicates.
+    if (std::find(r.alt_titles.begin(), r.alt_titles.end(), alt) ==
+        r.alt_titles.end()) {
+      r.alt_titles.push_back(std::move(alt));
+    }
+  }
+  size_t texts = rng_.Uniform(1, 4);
+  for (size_t i = 0; i < texts; ++i) {
+    r.texts.push_back(Sentence(rng_, 40, 140));
+  }
+  size_t contribs = rng_.Uniform(1, 4);
+  for (size_t i = 0; i < contribs; ++i) {
+    AddContributor(&r);
+  }
+  r.creation = MakeContributor();
+  return r;
+}
+
+void OmimGenerator::Mutate() {
+  size_t n = records_.size();
+  size_t deletes = static_cast<size_t>(n * options_.delete_ratio + 0.5);
+  size_t inserts = static_cast<size_t>(n * options_.insert_ratio + 0.5);
+  size_t modifies = static_cast<size_t>(n * options_.modify_ratio + 0.5);
+  // Daily OMIM always changes *something*; round small ratios up to 1.
+  if (inserts == 0) inserts = 1;
+  if (modifies == 0) modifies = 1;
+  for (size_t i = 0; i < deletes && !records_.empty(); ++i) {
+    records_.erase(records_.begin() + rng_.Uniform(0, records_.size() - 1));
+  }
+  for (size_t i = 0; i < inserts; ++i) {
+    records_.push_back(MakeRecord());
+  }
+  for (size_t i = 0; i < modifies && !records_.empty(); ++i) {
+    Record& r = records_[rng_.Uniform(0, records_.size() - 1)];
+    if (rng_.Chance(0.6)) {
+      // Curated update: append prose and record the contributor.
+      r.texts.push_back(Sentence(rng_, 30, 100));
+      AddContributor(&r);
+    } else if (!r.texts.empty()) {
+      r.texts[rng_.Uniform(0, r.texts.size() - 1)] = Sentence(rng_, 40, 140);
+    }
+  }
+}
+
+xml::NodePtr OmimGenerator::Render() const {
+  xml::NodePtr root = xml::Node::Element("ROOT");
+  for (const auto& r : records_) {
+    xml::Node* rec = root->AddElement("Record");
+    rec->AddElementWithText("Num", r.num);
+    rec->AddElementWithText("Title", r.title);
+    for (const auto& alt : r.alt_titles) {
+      rec->AddElementWithText("AlternativeTitle", alt);
+    }
+    for (const auto& text : r.texts) {
+      rec->AddElementWithText("Text", text);
+    }
+    auto add_dated = [](xml::Node* parent, const Contributor& c,
+                        bool with_type) {
+      parent->AddElementWithText("Name", c.name);
+      if (with_type) parent->AddElementWithText("CNtype", c.cntype);
+      xml::Node* date = parent->AddElement("Date");
+      date->AddElementWithText("Month", c.month);
+      date->AddElementWithText("Day", c.day);
+      date->AddElementWithText("Year", c.year);
+    };
+    for (const auto& c : r.contributors) {
+      add_dated(rec->AddElement("Contributors"), c, /*with_type=*/true);
+    }
+    add_dated(rec->AddElement("Creation_Date"), r.creation,
+              /*with_type=*/false);
+  }
+  return root;
+}
+
+xml::NodePtr OmimGenerator::NextVersion() {
+  if (versions_emitted_ > 0) Mutate();
+  ++versions_emitted_;
+  return Render();
+}
+
+}  // namespace xarch::synth

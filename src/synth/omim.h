@@ -1,0 +1,69 @@
+#ifndef XARCH_SYNTH_OMIM_H_
+#define XARCH_SYNTH_OMIM_H_
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+#include "xml/node.h"
+
+namespace xarch::synth {
+
+/// \brief Generates OMIM-shaped versions (Appendix B.1).
+///
+/// Substitution note (DESIGN.md): real OMIM data is licensed and offline-
+/// unavailable; this generator reproduces what the archiver is sensitive
+/// to — the record schema of Appendix B.1, the key structure, height 5,
+/// and the measured change ratios between daily versions, roughly
+/// 0.02% deletions / 0.2% insertions / 0.03% modifications (Sec. 5.3):
+/// OMIM is almost purely accretive.
+class OmimGenerator {
+ public:
+  struct Options {
+    size_t initial_records = 300;
+    double insert_ratio = 0.002;
+    double delete_ratio = 0.0002;
+    double modify_ratio = 0.0003;
+    uint64_t seed = 20020601;
+  };
+
+  explicit OmimGenerator(Options options);
+
+  /// Produces the next version (version 1 is the initial state; later calls
+  /// apply one day's worth of changes first).
+  xml::NodePtr NextVersion();
+
+  /// The Appendix B.1 key specification for this dataset.
+  static const char* KeySpecText();
+
+ private:
+  struct Contributor {
+    std::string name, cntype, month, day, year;
+  };
+  struct Record {
+    std::string num;
+    std::string title;
+    std::vector<std::string> alt_titles;
+    std::vector<std::string> texts;
+    std::vector<Contributor> contributors;
+    Contributor creation;
+  };
+
+  Record MakeRecord();
+  Contributor MakeContributor();
+  /// Appends a fresh contributor, re-rolling duplicates (Contributors is
+  /// keyed by all its fields).
+  void AddContributor(Record* r);
+  void Mutate();
+  xml::NodePtr Render() const;
+
+  Options options_;
+  Rng rng_;
+  size_t next_num_ = 100050;
+  size_t versions_emitted_ = 0;
+  std::vector<Record> records_;
+};
+
+}  // namespace xarch::synth
+
+#endif  // XARCH_SYNTH_OMIM_H_

@@ -1,0 +1,217 @@
+#include "synth/swissprot.h"
+
+#include "synth/words.h"
+#include "util/hash.h"
+
+namespace xarch::synth {
+
+const char* SwissProtGenerator::KeySpecText() {
+  return R"((/, (ROOT, {}))
+(/ROOT, (Record, {pac}))
+(/ROOT/Record, (id, {}))
+(/ROOT/Record, (class, {}))
+(/ROOT/Record, (type, {}))
+(/ROOT/Record, (slen, {}))
+(/ROOT/Record, (protein, {name}))
+(/ROOT/Record/protein, (from, {\e}))
+(/ROOT/Record/protein, (taxo, {\e}))
+(/ROOT/Record, (References, {}))
+(/ROOT/Record/References, (Ref, {num}))
+(/ROOT/Record/References/Ref, (pos, {}))
+(/ROOT/Record/References/Ref, (comment, {\e}))
+(/ROOT/Record/References/Ref, (xref, {bib_name, id}))
+(/ROOT/Record/References/Ref, (author, {\e}))
+(/ROOT/Record/References/Ref, (title, {}))
+(/ROOT/Record/References/Ref, (in, {}))
+(/ROOT/Record, (CrossRefs, {}))
+(/ROOT/Record/CrossRefs, (ref, {dbid, primaryid}))
+(/ROOT/Record/CrossRefs/ref, (secid, {}))
+(/ROOT/Record, (keywords, {}))
+(/ROOT/Record/keywords, (word, {\e}))
+(/ROOT/Record, (feature, {name, from, to}))
+(/ROOT/Record/feature, (desc, {}))
+(/ROOT/Record, (sequence, {}))
+(/ROOT/Record/sequence, (aacid, {}))
+(/ROOT/Record/sequence, (mweight, {}))
+(/ROOT/Record/sequence, (crc, {}))
+(/ROOT/Record/sequence/crc, (checksum, {}))
+(/ROOT/Record/sequence, (seq, {}))
+)";
+}
+
+SwissProtGenerator::SwissProtGenerator(Options options)
+    : options_(options), rng_(options.seed) {
+  for (size_t i = 0; i < options_.initial_records; ++i) {
+    records_.push_back(MakeRecord());
+  }
+}
+
+bool SwissProtGenerator::HasFeature(const Record& r, const Feature& f) {
+  for (const auto& existing : r.features) {
+    if (existing.name == f.name && existing.from == f.from &&
+        existing.to == f.to) {
+      return true;
+    }
+  }
+  return false;
+}
+
+SwissProtGenerator::Record SwissProtGenerator::MakeRecord() {
+  Record r;
+  r.pac = "Q" + std::to_string(next_pac_++);
+  r.id = rng_.Word(3, 5) + "_" + (rng_.Chance(0.5) ? "RAT" : "HUMAN");
+  for (auto& c : r.id) c = static_cast<char>(::toupper(c));
+  r.clazz = "STANDARD";
+  r.type = "PRT";
+  size_t seq_len = rng_.Uniform(120, 900);
+  r.slen = std::to_string(seq_len);
+  r.protein_name = Sentence(rng_, 2, 6);
+  r.protein_from = rng_.Chance(0.5) ? "Rattus norvegicus (Rat)."
+                                    : "Homo sapiens (Human).";
+  r.taxo = {"Eukaryota", rng_.Chance(0.5) ? "Metazoa" : "Chordata"};
+  size_t nrefs = rng_.Uniform(1, 4);
+  for (size_t i = 0; i < nrefs; ++i) {
+    Ref ref;
+    ref.num = std::to_string(i + 1);
+    ref.pos = "SEQUENCE FROM N.A.";
+    ref.title = Sentence(rng_, 4, 10);
+    ref.in = "Nucleic Acids Res. " + std::to_string(rng_.Uniform(10, 30)) +
+             ":" + std::to_string(rng_.Uniform(100, 2000)) + "(" +
+             std::to_string(rng_.Uniform(1985, 2002)) + ")";
+    size_t nauth = rng_.Uniform(1, 4);
+    for (size_t a = 0; a < nauth; ++a) {
+      ref.authors.push_back(Name(rng_) + " " +
+                            std::string(1, static_cast<char>('A' + a)) + ".");
+    }
+    if (rng_.Chance(0.5)) ref.comments.push_back("STRAIN=WISTAR");
+    if (rng_.Chance(0.3)) ref.comments.push_back("TISSUE=TESTIS");
+    ref.xref_bib = "MEDLINE";
+    ref.xref_id = std::to_string(rng_.Uniform(90000000, 99999999));
+    r.refs.push_back(std::move(ref));
+  }
+  size_t nxref = rng_.Uniform(1, 5);
+  for (size_t i = 0; i < nxref; ++i) {
+    CrossRef x;
+    x.dbid = rng_.Chance(0.5) ? "EMBL" : (rng_.Chance(0.5) ? "PIR" : "PDB");
+    x.primaryid = "X" + std::to_string(rng_.Uniform(10000, 99999)) +
+                  std::to_string(i);
+    x.secid = "CAA" + std::to_string(rng_.Uniform(10000, 99999)) + ".1";
+    r.xrefs.push_back(std::move(x));
+  }
+  size_t nkw = rng_.Uniform(1, 4);
+  for (size_t i = 0; i < nkw; ++i) {
+    std::string w = Sentence(rng_, 1, 2) + "-" + std::to_string(i);
+    r.keywords.push_back(std::move(w));
+  }
+  size_t nfeat = rng_.Uniform(0, 5);
+  for (size_t i = 0; i < nfeat; ++i) {
+    Feature f;
+    f.name = rng_.Chance(0.5) ? "DOMAIN" : "CHAIN";
+    size_t from = rng_.Uniform(1, seq_len - 2);
+    f.from = std::to_string(from);
+    f.to = std::to_string(rng_.Uniform(from + 1, seq_len));
+    f.desc = Sentence(rng_, 2, 5);
+    if (!HasFeature(r, f)) r.features.push_back(std::move(f));
+  }
+  r.aacid = r.slen;
+  r.mweight = std::to_string(seq_len * 110 + rng_.Uniform(0, 109));
+  r.seq = ResidueSequence(rng_, seq_len);
+  r.checksum = Md5(r.seq).ToHex().substr(0, 16);
+  for (auto& c : r.checksum) c = static_cast<char>(::toupper(c));
+  return r;
+}
+
+void SwissProtGenerator::Mutate() {
+  size_t n = records_.size();
+  size_t deletes = static_cast<size_t>(n * options_.delete_ratio + 0.5);
+  size_t inserts = static_cast<size_t>(n * options_.insert_ratio + 0.5);
+  size_t modifies = static_cast<size_t>(n * options_.modify_ratio + 0.5);
+  for (size_t i = 0; i < deletes && !records_.empty(); ++i) {
+    records_.erase(records_.begin() + rng_.Uniform(0, records_.size() - 1));
+  }
+  for (size_t i = 0; i < inserts; ++i) records_.push_back(MakeRecord());
+  for (size_t i = 0; i < modifies && !records_.empty(); ++i) {
+    Record& r = records_[rng_.Uniform(0, records_.size() - 1)];
+    switch (rng_.Uniform(0, 2)) {
+      case 0:
+        r.protein_name = Sentence(rng_, 2, 6);
+        break;
+      case 1:
+        if (!r.keywords.empty()) {
+          r.keywords.push_back(Sentence(rng_, 1, 2) + "-" +
+                               std::to_string(r.keywords.size()));
+        }
+        break;
+      default: {
+        Feature f;
+        f.name = "VARIANT";
+        f.from = std::to_string(rng_.Uniform(1, 100));
+        f.to = std::to_string(rng_.Uniform(101, 200));
+        f.desc = Sentence(rng_, 2, 5);
+        // feature is keyed by {name, from, to}: never emit a duplicate.
+        if (!HasFeature(r, f)) r.features.push_back(std::move(f));
+        break;
+      }
+    }
+  }
+}
+
+xml::NodePtr SwissProtGenerator::Render() const {
+  xml::NodePtr root = xml::Node::Element("ROOT");
+  for (const auto& r : records_) {
+    xml::Node* rec = root->AddElement("Record");
+    rec->AddElementWithText("id", r.id);
+    rec->AddElementWithText("class", r.clazz);
+    rec->AddElementWithText("type", r.type);
+    rec->AddElementWithText("slen", r.slen);
+    rec->AddElementWithText("pac", r.pac);
+    xml::Node* protein = rec->AddElement("protein");
+    protein->AddElementWithText("name", r.protein_name);
+    protein->AddElementWithText("from", r.protein_from);
+    for (const auto& t : r.taxo) protein->AddElementWithText("taxo", t);
+    xml::Node* refs = rec->AddElement("References");
+    for (const auto& ref : r.refs) {
+      xml::Node* e = refs->AddElement("Ref");
+      e->AddElementWithText("num", ref.num);
+      e->AddElementWithText("pos", ref.pos);
+      for (const auto& c : ref.comments) e->AddElementWithText("comment", c);
+      xml::Node* x = e->AddElement("xref");
+      x->AddElementWithText("bib_name", ref.xref_bib);
+      x->AddElementWithText("id", ref.xref_id);
+      for (const auto& a : ref.authors) e->AddElementWithText("author", a);
+      e->AddElementWithText("title", ref.title);
+      e->AddElementWithText("in", ref.in);
+    }
+    xml::Node* xrefs = rec->AddElement("CrossRefs");
+    for (const auto& x : r.xrefs) {
+      xml::Node* e = xrefs->AddElement("ref");
+      e->AddElementWithText("dbid", x.dbid);
+      e->AddElementWithText("primaryid", x.primaryid);
+      e->AddElementWithText("secid", x.secid);
+    }
+    xml::Node* kw = rec->AddElement("keywords");
+    for (const auto& w : r.keywords) kw->AddElementWithText("word", w);
+    for (const auto& f : r.features) {
+      xml::Node* e = rec->AddElement("feature");
+      e->AddElementWithText("name", f.name);
+      e->AddElementWithText("from", f.from);
+      e->AddElementWithText("to", f.to);
+      e->AddElementWithText("desc", f.desc);
+    }
+    xml::Node* seq = rec->AddElement("sequence");
+    seq->AddElementWithText("aacid", r.aacid);
+    seq->AddElementWithText("mweight", r.mweight);
+    xml::Node* crc = seq->AddElement("crc");
+    crc->AddElementWithText("checksum", r.checksum);
+    seq->AddElementWithText("seq", r.seq);
+  }
+  return root;
+}
+
+xml::NodePtr SwissProtGenerator::NextVersion() {
+  if (versions_emitted_ > 0) Mutate();
+  ++versions_emitted_;
+  return Render();
+}
+
+}  // namespace xarch::synth

@@ -1,0 +1,78 @@
+#ifndef XARCH_SYNTH_SWISSPROT_H_
+#define XARCH_SYNTH_SWISSPROT_H_
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+#include "xml/node.h"
+
+namespace xarch::synth {
+
+/// \brief Generates Swiss-Prot-shaped releases (Appendix B.2).
+///
+/// Substitution note (DESIGN.md): reproduces the properties the archiver
+/// sees in real Swiss-Prot — the record schema and keys of Appendix B.2,
+/// height 6, release-to-release change ratios of roughly 14% deletions /
+/// 26% insertions / 1.2% modifications (Sec. 5.3), and *growing* release
+/// sizes, which is what makes the paper's Fig. 11/12(b) curves grow
+/// quadratically.
+class SwissProtGenerator {
+ public:
+  struct Options {
+    size_t initial_records = 150;
+    double insert_ratio = 0.26;
+    double delete_ratio = 0.14;
+    double modify_ratio = 0.012;
+    uint64_t seed = 19971101;
+  };
+
+  explicit SwissProtGenerator(Options options);
+
+  /// Produces the next release.
+  xml::NodePtr NextVersion();
+
+  /// The Appendix B.2 key specification for this dataset.
+  static const char* KeySpecText();
+
+ private:
+  struct Ref {
+    std::string num, pos, title, in;
+    std::string xref_bib, xref_id;
+    std::vector<std::string> authors;
+    std::vector<std::string> comments;
+  };
+  struct CrossRef {
+    std::string dbid, primaryid, secid;
+  };
+  struct Feature {
+    std::string name, from, to, desc;
+  };
+  struct Record {
+    std::string pac, id, clazz, type, slen;
+    std::string protein_name, protein_from;
+    std::vector<std::string> taxo;
+    std::vector<Ref> refs;
+    std::vector<CrossRef> xrefs;
+    std::vector<std::string> keywords;
+    std::vector<Feature> features;
+    std::string aacid, mweight, checksum, seq;
+  };
+
+  /// True if `r` already has a feature with f's key {name, from, to}.
+  static bool HasFeature(const Record& r, const Feature& f);
+
+  Record MakeRecord();
+  void Mutate();
+  xml::NodePtr Render() const;
+
+  Options options_;
+  Rng rng_;
+  size_t next_pac_ = 62000;
+  size_t versions_emitted_ = 0;
+  std::vector<Record> records_;
+};
+
+}  // namespace xarch::synth
+
+#endif  // XARCH_SYNTH_SWISSPROT_H_

@@ -1,0 +1,75 @@
+#include "synth/words.h"
+
+namespace xarch::synth {
+
+namespace {
+
+const std::vector<std::string>& Vocabulary() {
+  static const std::vector<std::string> kWords = {
+      "protein",    "sequence",   "factor",     "replication", "gene",
+      "expression", "binding",    "domain",     "mutation",    "variant",
+      "observed",   "patients",   "analysis",   "structure",   "function",
+      "cell",       "human",      "mouse",      "encodes",     "subunit",
+      "complex",    "pathway",    "signal",     "receptor",    "kinase",
+      "promoter",   "transcript", "chromosome", "locus",       "allele",
+      "syndrome",   "disorder",   "clinical",   "evidence",    "studies",
+      "reported",   "described",  "identified", "associated",  "linked",
+      "auction",    "bidder",     "payment",    "shipping",    "category",
+      "promotion",  "tempest",    "despair",    "varlet",      "modesty"};
+  return kWords;
+}
+
+const std::vector<std::string>& FirstNames() {
+  static const std::vector<std::string> kNames = {
+      "John", "Jane", "Victor", "Paul",  "Jennifer", "Maria", "Keishi",
+      "Wang", "Peter", "Sanjeev", "Alice", "Robert",  "Elena", "Hiro"};
+  return kNames;
+}
+
+const std::vector<std::string>& LastNames() {
+  static const std::vector<std::string> kNames = {
+      "Doe",     "Smith",  "McKusick", "Converse", "Macke", "Tan",
+      "Tajima",  "Khanna", "Buneman",  "Mueller",  "Rehbein", "Glew",
+      "Suwanda", "Ng"};
+  return kNames;
+}
+
+}  // namespace
+
+std::string Sentence(Rng& rng, size_t min_words, size_t max_words) {
+  size_t n = rng.Uniform(min_words, max_words);
+  std::string out;
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0) out += ' ';
+    out += rng.Pick(Vocabulary());
+  }
+  return out;
+}
+
+std::string Name(Rng& rng) {
+  return rng.Chance(0.5) ? rng.Pick(FirstNames()) : rng.Pick(LastNames());
+}
+
+std::string ResidueSequence(Rng& rng, size_t length) {
+  static const char kResidues[] = "ACDEFGHIKLMNPQRSTVWY";
+  std::string out;
+  out.reserve(length + length / 60);
+  for (size_t i = 0; i < length; ++i) {
+    out.push_back(kResidues[rng.Uniform(0, 19)]);
+  }
+  return out;
+}
+
+std::string Date(Rng& rng) {
+  static const char* kMonths[] = {"JAN", "FEB", "MAR", "APR", "MAY", "JUN",
+                                  "JUL", "AUG", "SEP", "OCT", "NOV", "DEC"};
+  std::string out = std::to_string(rng.Uniform(1, 28));
+  if (out.size() == 1) out = "0" + out;
+  out += "-";
+  out += kMonths[rng.Uniform(0, 11)];
+  out += "-";
+  out += std::to_string(rng.Uniform(1990, 2002));
+  return out;
+}
+
+}  // namespace xarch::synth

@@ -1,0 +1,27 @@
+#ifndef XARCH_SYNTH_WORDS_H_
+#define XARCH_SYNTH_WORDS_H_
+
+#include <string>
+
+#include "util/random.h"
+
+namespace xarch::synth {
+
+/// English-ish filler text for generated documents. Real curated databases
+/// carry prose (OMIM Text fields, auction descriptions); drawing words from
+/// a fixed vocabulary reproduces their compressibility, which the Sec. 5
+/// compression experiments depend on.
+std::string Sentence(Rng& rng, size_t min_words, size_t max_words);
+
+/// A capitalized person-like name, e.g. "Keishi" / "Tajima".
+std::string Name(Rng& rng);
+
+/// A protein-style residue sequence of the given length (A,C,G,T,...).
+std::string ResidueSequence(Rng& rng, size_t length);
+
+/// A date like "14-DEC-1993".
+std::string Date(Rng& rng);
+
+}  // namespace xarch::synth
+
+#endif  // XARCH_SYNTH_WORDS_H_

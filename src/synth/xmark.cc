@@ -1,0 +1,372 @@
+#include "synth/xmark.h"
+
+#include "synth/words.h"
+
+namespace xarch::synth {
+
+namespace {
+const char* kRegions[] = {"africa", "asia",     "australia",
+                          "europe", "namerica", "samerica"};
+}  // namespace
+
+const char* XMarkGenerator::KeySpecText() {
+  return R"((/, (site, {}))
+(/site, (regions, {}))
+(/site, (people, {}))
+(/site, (open_auctions, {}))
+(/site/regions, (africa, {}))
+(/site/regions, (asia, {}))
+(/site/regions, (australia, {}))
+(/site/regions, (europe, {}))
+(/site/regions, (namerica, {}))
+(/site/regions, (samerica, {}))
+(/site/regions/_, (item, {id}))
+(/site/regions/_/item, (location, {}))
+(/site/regions/_/item, (quantity, {}))
+(/site/regions/_/item, (name, {}))
+(/site/regions/_/item, (payment, {}))
+(/site/regions/_/item, (description, {}))
+(/site/regions/_/item, (shipping, {}))
+(/site/regions/_/item, (incategory, {category}))
+(/site/regions/_/item, (mailbox, {}))
+(/site/regions/_/item/mailbox, (mail, {from, to, date, text}))
+(/site/people, (person, {id}))
+(/site/people/person, (name, {}))
+(/site/people/person, (emailaddress, {\e}))
+(/site/people/person, (phone, {\e}))
+(/site/people/person, (creditcard, {\e}))
+(/site/open_auctions, (open_auction, {id}))
+(/site/open_auctions/open_auction, (initial, {}))
+(/site/open_auctions/open_auction, (reserve, {\e}))
+(/site/open_auctions/open_auction, (bidder, {date, time, personref/person, increase}))
+(/site/open_auctions/open_auction/bidder, (personref, {}))
+(/site/open_auctions/open_auction, (current, {}))
+(/site/open_auctions/open_auction, (itemref, {}))
+(/site/open_auctions/open_auction/itemref, (item, {}))
+(/site/open_auctions/open_auction, (seller, {}))
+(/site/open_auctions/open_auction/seller, (person, {}))
+(/site/open_auctions/open_auction, (annotation, {}))
+(/site/open_auctions/open_auction/annotation, (author, {}))
+(/site/open_auctions/open_auction/annotation/author, (person, {}))
+(/site/open_auctions/open_auction/annotation, (description, {}))
+(/site/open_auctions/open_auction/annotation, (happiness, {}))
+(/site/open_auctions/open_auction, (quantity, {}))
+(/site/open_auctions/open_auction, (type, {}))
+)";
+}
+
+XMarkGenerator::XMarkGenerator(Options options)
+    : options_(options), rng_(options.seed) {
+  doc_ = xml::Node::Element("site");
+  xml::Node* regions = doc_->AddElement("regions");
+  for (const char* region : kRegions) {
+    xml::Node* r = regions->AddElement(region);
+    for (size_t i = 0; i < options_.items; ++i) {
+      r->AddChild(MakeItem());
+    }
+  }
+  xml::Node* people = doc_->AddElement("people");
+  for (size_t i = 0; i < options_.people; ++i) {
+    people->AddChild(MakePerson());
+  }
+  xml::Node* auctions = doc_->AddElement("open_auctions");
+  for (size_t i = 0; i < options_.open_auctions; ++i) {
+    auctions->AddChild(MakeOpenAuction());
+  }
+}
+
+xml::NodePtr XMarkGenerator::MakeItem() {
+  xml::NodePtr item = xml::Node::Element("item");
+  item->SetAttr("id", "item" + std::to_string(next_item_++));
+  item->AddElementWithText("location", Sentence(rng_, 1, 3));
+  item->AddElementWithText("quantity", std::to_string(rng_.Uniform(1, 9)));
+  item->AddElementWithText("name", Sentence(rng_, 1, 3));
+  item->AddElementWithText("payment",
+                           rng_.Chance(0.5) ? "Money order, Creditcard, Cash"
+                                            : "Creditcard, Personal Check");
+  xml::Node* desc = item->AddElement("description");
+  if (rng_.Chance(0.3)) {
+    // XMark's nested parlists push document height to 12 (Fig. 7);
+    // description is a frontier node so the nesting is free-form content.
+    xml::Node* level = desc;
+    size_t depth = rng_.Uniform(1, 4);
+    for (size_t d = 0; d < depth; ++d) {
+      xml::Node* parlist = level->AddElement("parlist");
+      xml::Node* listitem = parlist->AddElement("listitem");
+      listitem->AddElementWithText("text", Sentence(rng_, 5, 20));
+      level = listitem;
+    }
+  } else {
+    desc->AddElementWithText("text", Sentence(rng_, 10, 40));
+  }
+  item->AddElementWithText("shipping",
+                           "Will ship " + Sentence(rng_, 2, 5));
+  size_t cats = rng_.Uniform(1, 3);
+  for (size_t i = 0; i < cats; ++i) {
+    xml::Node* cat = item->AddElement("incategory");
+    cat->SetAttr("category",
+                 "category" + std::to_string(rng_.Uniform(0, 99) * 4 + i));
+  }
+  xml::Node* mailbox = item->AddElement("mailbox");
+  size_t mails = rng_.Uniform(0, 2);
+  for (size_t i = 0; i < mails; ++i) {
+    xml::Node* mail = mailbox->AddElement("mail");
+    mail->AddElementWithText("from", Name(rng_) + " mailto:" +
+                                         rng_.Word(3, 8) + "@example.org");
+    mail->AddElementWithText("to", Name(rng_) + " mailto:" +
+                                       rng_.Word(3, 8) + "@example.org");
+    mail->AddElementWithText(
+        "date", std::to_string(rng_.Uniform(1, 12)) + "/" +
+                    std::to_string(rng_.Uniform(1, 28)) + "/" +
+                    std::to_string(rng_.Uniform(1998, 2001)));
+    mail->AddElementWithText("text", Sentence(rng_, 8, 30));
+  }
+  return item;
+}
+
+xml::NodePtr XMarkGenerator::MakePerson() {
+  xml::NodePtr person = xml::Node::Element("person");
+  person->SetAttr("id", "person" + std::to_string(next_person_++));
+  person->AddElementWithText("name", Name(rng_) + " " + Name(rng_));
+  person->AddElementWithText("emailaddress",
+                             "mailto:" + rng_.Word(4, 10) + "@example.org");
+  if (rng_.Chance(0.6)) {
+    person->AddElementWithText(
+        "phone", "+" + std::to_string(rng_.Uniform(1, 99)) + " (" +
+                     std::to_string(rng_.Uniform(10, 999)) + ") " +
+                     std::to_string(rng_.Uniform(1000000, 99999999)));
+  }
+  if (rng_.Chance(0.4)) {
+    std::string cc;
+    for (int g = 0; g < 4; ++g) {
+      if (g > 0) cc += ' ';
+      cc += std::to_string(rng_.Uniform(1000, 9999));
+    }
+    person->AddElementWithText("creditcard", cc);
+  }
+  return person;
+}
+
+xml::NodePtr XMarkGenerator::MakeOpenAuction() {
+  xml::NodePtr auction = xml::Node::Element("open_auction");
+  auction->SetAttr("id", "open_auction" + std::to_string(next_auction_++));
+  auction->AddElementWithText(
+      "initial", std::to_string(rng_.Uniform(10, 300)) + "." +
+                     std::to_string(rng_.Uniform(10, 99)));
+  if (rng_.Chance(0.4)) {
+    auction->AddElementWithText("reserve",
+                                std::to_string(rng_.Uniform(50, 900)) + ".00");
+  }
+  size_t bidders = rng_.Uniform(0, 4);
+  for (size_t i = 0; i < bidders; ++i) {
+    xml::Node* bidder = auction->AddElement("bidder");
+    bidder->AddElementWithText(
+        "date", std::to_string(rng_.Uniform(1, 12)) + "/" +
+                    std::to_string(rng_.Uniform(1, 28)) + "/" +
+                    std::to_string(rng_.Uniform(1998, 2001)));
+    bidder->AddElementWithText(
+        "time", std::to_string(rng_.Uniform(0, 23)) + ":" +
+                    std::to_string(rng_.Uniform(10, 59)) + ":" +
+                    std::to_string(rng_.Uniform(10, 59)));
+    xml::Node* pref = bidder->AddElement("personref");
+    pref->SetAttr("person",
+                  "person" + std::to_string(rng_.Uniform(
+                                 0, options_.people > 0
+                                        ? options_.people - 1
+                                        : 0)));
+    bidder->AddElementWithText(
+        "increase", std::to_string(rng_.Uniform(1, 50)) + "." +
+                        std::to_string(i) + "0");
+  }
+  auction->AddElementWithText(
+      "current", std::to_string(rng_.Uniform(10, 999)) + ".00");
+  xml::Node* itemref = auction->AddElement("itemref");
+  itemref->AddElementWithText(
+      "item", "item" + std::to_string(rng_.Uniform(
+                           0, next_item_ > 0 ? next_item_ - 1 : 0)));
+  xml::Node* seller = auction->AddElement("seller");
+  seller->AddElementWithText(
+      "person", "person" + std::to_string(rng_.Uniform(
+                               0, options_.people > 0 ? options_.people - 1
+                                                      : 0)));
+  xml::Node* annotation = auction->AddElement("annotation");
+  xml::Node* author = annotation->AddElement("author");
+  author->AddElementWithText(
+      "person", "person" + std::to_string(rng_.Uniform(
+                               0, options_.people > 0 ? options_.people - 1
+                                                      : 0)));
+  xml::Node* desc = annotation->AddElement("description");
+  desc->AddElementWithText("text", Sentence(rng_, 10, 30));
+  annotation->AddElementWithText("happiness",
+                                 std::to_string(rng_.Uniform(1, 10)));
+  auction->AddElementWithText("quantity", std::to_string(rng_.Uniform(1, 5)));
+  auction->AddElementWithText("type",
+                              rng_.Chance(0.5) ? "Regular" : "Featured");
+  return auction;
+}
+
+xml::NodePtr XMarkGenerator::Current() const { return doc_->Clone(); }
+
+size_t XMarkGenerator::ScaledCount(size_t n, double pct) {
+  // Probabilistic rounding keeps fractional ratios meaningful at small
+  // scale (3.33% of 20 records must differ from 6.66% on average).
+  double exact = n * pct / 100.0;
+  size_t whole = static_cast<size_t>(exact);
+  if (rng_.NextDouble() < exact - whole) ++whole;
+  return whole;
+}
+
+std::vector<XMarkGenerator::RecordSet> XMarkGenerator::RecordSets() {
+  std::vector<RecordSet> sets;
+  xml::Node* regions = doc_->FindChild("regions");
+  for (const char* region : kRegions) {
+    sets.push_back({regions->FindChild(region), &XMarkGenerator::MakeItem});
+  }
+  sets.push_back({doc_->FindChild("people"), &XMarkGenerator::MakePerson});
+  sets.push_back(
+      {doc_->FindChild("open_auctions"), &XMarkGenerator::MakeOpenAuction});
+  return sets;
+}
+
+void XMarkGenerator::ModifyTextFields(xml::Node* record) {
+  // "Modifying string values ... to random strings": replace the text of
+  // one non-key field. Values are drawn from small domains, so "a text
+  // sometimes happens to be modified to some of its old values" (Sec. 5.3)
+  // — the effect that lets the archive revive a stored value while diffs
+  // must store it again.
+  static const char* kSafeFields[] = {"location",  "name",   "payment",
+                                      "shipping",  "current", "initial",
+                                      "quantity",  "happiness", "emailaddress",
+                                      "phone"};
+  std::vector<xml::Node*> candidates;
+  for (const auto& child : record->children()) {
+    if (!child->is_element()) continue;
+    for (const char* field : kSafeFields) {
+      if (child->tag() == field) {
+        candidates.push_back(child.get());
+        break;
+      }
+    }
+    if (child->tag() == "description") {
+      if (xml::Node* text = child->FindChild("text")) candidates.push_back(text);
+    }
+  }
+  if (candidates.empty()) return;
+  xml::Node* field = candidates[rng_.Uniform(0, candidates.size() - 1)];
+  std::string value;
+  if (field->tag() == "quantity" || field->tag() == "happiness") {
+    value = std::to_string(rng_.Uniform(1, 10));
+  } else if (field->tag() == "current" || field->tag() == "initial") {
+    value = std::to_string(rng_.Uniform(1, 40) * 25) + ".00";
+  } else {
+    value = Sentence(rng_, 1, 2);
+  }
+  field->mutable_children().clear();
+  field->AddText(std::move(value));
+}
+
+void XMarkGenerator::MutateSubElements(xml::Node* record, size_t deletes,
+                                       size_t inserts) {
+  // Element-granularity churn within a record: optional repeating children
+  // (incategory, mail, bidder) come and go.
+  auto repeating = [&](xml::Node* parent,
+                       const char* tag) -> std::vector<xml::Node*> {
+    return parent == nullptr ? std::vector<xml::Node*>{}
+                             : parent->FindChildren(tag);
+  };
+  if (record->tag() == "item") {
+    for (size_t i = 0; i < deletes; ++i) {
+      auto cats = repeating(record, "incategory");
+      if (cats.size() <= 1) break;
+      auto& children = record->mutable_children();
+      for (size_t c = 0; c < children.size(); ++c) {
+        if (children[c].get() == cats[rng_.Uniform(0, cats.size() - 1)]) {
+          children.erase(children.begin() + c);
+          break;
+        }
+      }
+    }
+    for (size_t i = 0; i < inserts; ++i) {
+      // Small category domain: a removed category often comes back later.
+      std::string cat = "category" + std::to_string(rng_.Uniform(0, 49));
+      bool exists = false;
+      for (xml::Node* c : record->FindChildren("incategory")) {
+        if (*c->FindAttr("category") == cat) exists = true;
+      }
+      if (exists) continue;
+      xml::Node* c = record->AddElement("incategory");
+      c->SetAttr("category", cat);
+    }
+  } else if (record->tag() == "open_auction") {
+    for (size_t i = 0; i < deletes; ++i) {
+      auto bidders = repeating(record, "bidder");
+      if (bidders.empty()) break;
+      auto& children = record->mutable_children();
+      for (size_t c = 0; c < children.size(); ++c) {
+        if (children[c].get() == bidders[0]) {  // oldest bidder leaves
+          children.erase(children.begin() + c);
+          break;
+        }
+      }
+    }
+    // (bidder inserts are covered by modifications to current/initial.)
+  }
+}
+
+void XMarkGenerator::MutateRandom(double pct) {
+  // The paper's ratios are per *element*, not per record: most churn lands
+  // on sub-elements inside records; a smaller share removes or adds whole
+  // records.
+  for (auto& set : RecordSets()) {
+    auto& children = set.container->mutable_children();
+    size_t n = children.size();
+    size_t count = ScaledCount(n, pct);
+    size_t record_count = count / 4;      // whole-record delete+insert
+    size_t element_count = count - record_count;  // sub-element churn
+    for (size_t i = 0; i < record_count && !children.empty(); ++i) {
+      children.erase(children.begin() + rng_.Uniform(0, children.size() - 1));
+    }
+    for (size_t i = 0; i < record_count; ++i) {
+      size_t pos = children.empty() ? 0 : rng_.Uniform(0, children.size());
+      children.insert(children.begin() + pos, (this->*set.factory)());
+    }
+    for (size_t i = 0; i < element_count && !children.empty(); ++i) {
+      MutateSubElements(children[rng_.Uniform(0, children.size() - 1)].get(),
+                        /*deletes=*/1, /*inserts=*/1);
+    }
+    // Modify string values of count elements.
+    for (size_t i = 0; i < count && !children.empty(); ++i) {
+      ModifyTextFields(
+          children[rng_.Uniform(0, children.size() - 1)].get());
+    }
+  }
+}
+
+void XMarkGenerator::MutateKeys(double pct) {
+  // Worst case: rewrite part of the key value of pct% of records. The
+  // record keeps all its content but gets a brand-new id — to a key-based
+  // archiver this is a delete + insert of a highly similar element, while
+  // a line diff sees a one-line change.
+  for (auto& set : RecordSets()) {
+    auto& children = set.container->mutable_children();
+    size_t n = children.size();
+    size_t count = ScaledCount(n, pct);
+    for (size_t i = 0; i < count && !children.empty(); ++i) {
+      xml::Node* record =
+          children[rng_.Uniform(0, children.size() - 1)].get();
+      const std::string* id = record->FindAttr("id");
+      if (id == nullptr) continue;
+      std::string fresh;
+      if (record->tag() == "item") {
+        fresh = "item" + std::to_string(next_item_++);
+      } else if (record->tag() == "person") {
+        fresh = "person" + std::to_string(next_person_++);
+      } else {
+        fresh = "open_auction" + std::to_string(next_auction_++);
+      }
+      record->SetAttr("id", fresh);
+    }
+  }
+}
+
+}  // namespace xarch::synth

@@ -1,0 +1,73 @@
+#ifndef XARCH_SYNTH_XMARK_H_
+#define XARCH_SYNTH_XMARK_H_
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+#include "xml/node.h"
+
+namespace xarch::synth {
+
+/// \brief Generates XMark-shaped auction documents (Schmidt et al. 2002)
+/// with the key structure of Appendix B.3, plus the paper's two change
+/// simulators (Sec. 5.3):
+///
+///  - MutateRandom(n): "creates a new version by deleting n% of elements,
+///    inserting the same number of elements with random string values, and
+///    modifying string values of n% of elements to random strings"
+///    (Fig. 13 / Appendix C.1);
+///  - MutateKeys(n): "modifies part of key values for n% of elements
+///    instead of deleting and inserting", simulating deletion + insertion
+///    of highly similar elements at the same spot — the archiver's worst
+///    case (Fig. 14 / Appendix C.2).
+class XMarkGenerator {
+ public:
+  struct Options {
+    size_t items = 120;      ///< per region (6 regions)
+    size_t people = 150;
+    size_t open_auctions = 120;
+    uint64_t seed = 974750;
+  };
+
+  explicit XMarkGenerator(Options options);
+
+  /// A deep copy of the current document state.
+  xml::NodePtr Current() const;
+
+  /// Applies the random change simulator at the given percentage.
+  void MutateRandom(double pct);
+
+  /// Applies the worst-case key-mutation simulator.
+  void MutateKeys(double pct);
+
+  /// The Appendix B.3 key specification for this dataset.
+  static const char* KeySpecText();
+
+ private:
+  xml::NodePtr MakeItem();
+  xml::NodePtr MakePerson();
+  xml::NodePtr MakeOpenAuction();
+
+  /// All mutable record containers: the six region elements, people, and
+  /// open_auctions, each with a factory for fresh records.
+  struct RecordSet {
+    xml::Node* container;
+    xml::NodePtr (XMarkGenerator::*factory)();
+  };
+  std::vector<RecordSet> RecordSets();
+
+  void ModifyTextFields(xml::Node* record);
+  void MutateSubElements(xml::Node* record, size_t deletes, size_t inserts);
+  /// n·pct/100 with probabilistic rounding of the fractional part.
+  size_t ScaledCount(size_t n, double pct);
+
+  Options options_;
+  Rng rng_;
+  size_t next_item_ = 0, next_person_ = 0, next_auction_ = 0;
+  xml::NodePtr doc_;
+};
+
+}  // namespace xarch::synth
+
+#endif  // XARCH_SYNTH_XMARK_H_

@@ -1,0 +1,57 @@
+#ifndef XARCH_UTIL_HASH_H_
+#define XARCH_UTIL_HASH_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace xarch {
+
+/// \brief 128-bit MD5 digest.
+///
+/// The paper fingerprints canonical XML key values with a hash such as MD5
+/// (via DOMHash); collisions are expected with probability O(1/t), t = 2^64
+/// or 2^128 (Sec. 4.3). This is a from-scratch RFC 1321 implementation used
+/// only as a fingerprint, never for security.
+struct Md5Digest {
+  std::array<uint8_t, 16> bytes{};
+
+  bool operator==(const Md5Digest& o) const { return bytes == o.bytes; }
+  bool operator!=(const Md5Digest& o) const { return !(*this == o); }
+
+  /// Lowercase hex rendering, e.g. "d41d8cd98f00b204e9800998ecf8427e".
+  std::string ToHex() const;
+
+  /// First 8 bytes as a little-endian integer (cheap comparisons).
+  uint64_t Low64() const;
+};
+
+/// Computes the MD5 digest of `data`.
+Md5Digest Md5(std::string_view data);
+
+/// FNV-1a 64-bit hash; used for hash tables and as a "truncatable"
+/// fingerprint in collision-injection tests.
+uint64_t Fnv1a64(std::string_view data);
+
+/// \brief Incremental MD5 hasher for streaming input.
+class Md5Hasher {
+ public:
+  Md5Hasher();
+  /// Absorbs `data` into the running digest.
+  void Update(std::string_view data);
+  /// Finalizes and returns the digest. The hasher must not be reused after.
+  Md5Digest Finish();
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t a_, b_, c_, d_;
+  uint64_t length_ = 0;
+  std::array<uint8_t, 64> buffer_{};
+  size_t buffered_ = 0;
+};
+
+}  // namespace xarch
+
+#endif  // XARCH_UTIL_HASH_H_

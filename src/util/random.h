@@ -1,0 +1,56 @@
+#ifndef XARCH_UTIL_RANDOM_H_
+#define XARCH_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace xarch {
+
+/// \brief Deterministic pseudo-random generator for synthetic data.
+///
+/// All generators in src/synth take an explicit seed so experiments are
+/// reproducible run to run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  uint64_t Uniform(uint64_t lo, uint64_t hi) {
+    std::uniform_int_distribution<uint64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+  }
+
+  /// Bernoulli trial with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Random lowercase word of length in [min_len, max_len].
+  std::string Word(size_t min_len, size_t max_len) {
+    size_t len = Uniform(min_len, max_len);
+    std::string w(len, 'a');
+    for (auto& c : w) c = static_cast<char>('a' + Uniform(0, 25));
+    return w;
+  }
+
+  /// Picks a uniformly random element of `items` (must be non-empty).
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    return items[Uniform(0, items.size() - 1)];
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace xarch
+
+#endif  // XARCH_UTIL_RANDOM_H_

@@ -1,0 +1,128 @@
+#ifndef XARCH_UTIL_STATUS_H_
+#define XARCH_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace xarch {
+
+/// \brief Error codes used across the library.
+///
+/// xarch does not use C++ exceptions; fallible operations return a Status
+/// (or a StatusOr<T> when they produce a value). This mirrors the idiom of
+/// Arrow and RocksDB.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,
+  kKeyViolation,
+  kNotFound,
+  kIoError,
+  kCorruption,
+  kUnimplemented,
+};
+
+/// \brief A success-or-error outcome carrying a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status KeyViolation(std::string msg) {
+    return Status(StatusCode::kKeyViolation, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" string.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Holds either a value of type T or an error Status.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (success).
+  StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  /// Implicit construction from an error Status.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Accesses the contained value; requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define XARCH_RETURN_NOT_OK(expr)         \
+  do {                                    \
+    ::xarch::Status _st = (expr);         \
+    if (!_st.ok()) return _st;            \
+  } while (0)
+
+/// Evaluates a StatusOr expression, propagating errors, else assigns the value.
+#define XARCH_ASSIGN_OR_RETURN(lhs, expr)       \
+  auto XARCH_CONCAT_(_so_, __LINE__) = (expr);  \
+  if (!XARCH_CONCAT_(_so_, __LINE__).ok())      \
+    return XARCH_CONCAT_(_so_, __LINE__).status(); \
+  lhs = std::move(XARCH_CONCAT_(_so_, __LINE__)).value();
+
+#define XARCH_CONCAT_(a, b) XARCH_CONCAT_IMPL_(a, b)
+#define XARCH_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace xarch
+
+#endif  // XARCH_UTIL_STATUS_H_

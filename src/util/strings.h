@@ -1,0 +1,41 @@
+#ifndef XARCH_UTIL_STRINGS_H_
+#define XARCH_UTIL_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xarch {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits `s` on `sep`, dropping empty fields.
+std::vector<std::string> SplitSkipEmpty(std::string_view s, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// True if every character of `s` is ASCII whitespace (or `s` is empty).
+bool IsAllWhitespace(std::string_view s);
+
+/// Splits text into lines on '\n'. A trailing newline does not produce an
+/// extra empty line.
+std::vector<std::string> SplitLines(std::string_view text);
+
+/// Formats a byte count with a thousands separator, e.g. "1,234,567".
+std::string FormatWithCommas(uint64_t n);
+
+/// Formats a double with `digits` digits after the decimal point.
+std::string FormatDouble(double v, int digits);
+
+}  // namespace xarch
+
+#endif  // XARCH_UTIL_STRINGS_H_

@@ -1,0 +1,206 @@
+#include "util/version_set.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace xarch {
+
+VersionSet VersionSet::Interval(Version lo, Version hi) {
+  VersionSet set;
+  if (lo <= hi) set.intervals_.push_back({lo, hi});
+  return set;
+}
+
+StatusOr<VersionSet> VersionSet::Parse(std::string_view text) {
+  VersionSet set;
+  std::string_view t = Trim(text);
+  if (t.empty()) return set;
+  for (const auto& part : Split(t, ',')) {
+    std::string_view p = Trim(part);
+    size_t dash = p.find('-');
+    Version lo = 0, hi = 0;
+    auto parse_num = [](std::string_view s, Version* out) {
+      if (s.empty()) return false;
+      uint64_t v = 0;
+      for (char c : s) {
+        if (c < '0' || c > '9') return false;
+        v = v * 10 + (c - '0');
+        if (v > UINT32_MAX) return false;
+      }
+      *out = static_cast<Version>(v);
+      return true;
+    };
+    if (dash == std::string_view::npos) {
+      if (!parse_num(p, &lo)) {
+        return Status::ParseError("bad timestamp '" + std::string(text) + "'");
+      }
+      hi = lo;
+    } else {
+      if (!parse_num(Trim(p.substr(0, dash)), &lo) ||
+          !parse_num(Trim(p.substr(dash + 1)), &hi) || lo > hi) {
+        return Status::ParseError("bad timestamp '" + std::string(text) + "'");
+      }
+    }
+    if (!set.intervals_.empty() && lo <= set.intervals_.back().second + 1) {
+      return Status::ParseError("non-canonical timestamp '" +
+                                std::string(text) + "'");
+    }
+    set.intervals_.push_back({lo, hi});
+  }
+  return set;
+}
+
+size_t VersionSet::Count() const {
+  size_t n = 0;
+  for (const auto& [lo, hi] : intervals_) n += hi - lo + 1;
+  return n;
+}
+
+bool VersionSet::Contains(Version v) const {
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), v,
+      [](Version value, const auto& iv) { return value < iv.first; });
+  if (it == intervals_.begin()) return false;
+  --it;
+  return v >= it->first && v <= it->second;
+}
+
+void VersionSet::Add(Version v) {
+  // Fast path: accretive append.
+  if (!intervals_.empty()) {
+    auto& last = intervals_.back();
+    if (v == last.second + 1) {
+      last.second = v;
+      return;
+    }
+    if (v >= last.first && v <= last.second) return;
+    if (v > last.second) {
+      intervals_.push_back({v, v});
+      return;
+    }
+  } else {
+    intervals_.push_back({v, v});
+    return;
+  }
+  UnionWith(Single(v));
+}
+
+void VersionSet::UnionWith(const VersionSet& other) {
+  if (other.intervals_.empty()) return;
+  std::vector<std::pair<Version, Version>> merged;
+  merged.reserve(intervals_.size() + other.intervals_.size());
+  std::merge(intervals_.begin(), intervals_.end(), other.intervals_.begin(),
+             other.intervals_.end(), std::back_inserter(merged));
+  intervals_ = std::move(merged);
+  Normalize();
+}
+
+void VersionSet::Normalize() {
+  if (intervals_.empty()) return;
+  std::vector<std::pair<Version, Version>> out;
+  out.push_back(intervals_[0]);
+  for (size_t i = 1; i < intervals_.size(); ++i) {
+    auto& last = out.back();
+    const auto& cur = intervals_[i];
+    if (cur.first <= last.second + 1 && cur.first >= last.first) {
+      last.second = std::max(last.second, cur.second);
+    } else if (cur.first < last.first) {
+      // Shouldn't happen with sorted input; re-sort defensively.
+      std::sort(intervals_.begin(), intervals_.end());
+      out.clear();
+      out.push_back(intervals_[0]);
+      i = 0;
+    } else {
+      out.push_back(cur);
+    }
+  }
+  intervals_ = std::move(out);
+}
+
+void VersionSet::Remove(Version v) {
+  for (size_t i = 0; i < intervals_.size(); ++i) {
+    auto& [lo, hi] = intervals_[i];
+    if (v < lo || v > hi) continue;
+    if (lo == hi) {
+      intervals_.erase(intervals_.begin() + i);
+    } else if (v == lo) {
+      lo = v + 1;
+    } else if (v == hi) {
+      hi = v - 1;
+    } else {
+      Version old_hi = hi;
+      hi = v - 1;
+      intervals_.insert(intervals_.begin() + i + 1, {v + 1, old_hi});
+    }
+    return;
+  }
+}
+
+VersionSet VersionSet::Minus(const VersionSet& other) const {
+  VersionSet out;
+  size_t j = 0;
+  for (auto [lo, hi] : intervals_) {
+    Version cur = lo;
+    while (cur <= hi) {
+      // Skip other-intervals entirely below cur.
+      while (j < other.intervals_.size() && other.intervals_[j].second < cur) {
+        ++j;
+      }
+      if (j >= other.intervals_.size() || other.intervals_[j].first > hi) {
+        out.intervals_.push_back({cur, hi});
+        break;
+      }
+      const auto& o = other.intervals_[j];
+      if (o.first > cur) {
+        out.intervals_.push_back({cur, o.first - 1});
+      }
+      if (o.second >= hi) break;
+      cur = o.second + 1;
+    }
+  }
+  return out;
+}
+
+VersionSet VersionSet::IntersectWith(const VersionSet& other) const {
+  VersionSet out;
+  size_t i = 0, j = 0;
+  while (i < intervals_.size() && j < other.intervals_.size()) {
+    Version lo = std::max(intervals_[i].first, other.intervals_[j].first);
+    Version hi = std::min(intervals_[i].second, other.intervals_[j].second);
+    if (lo <= hi) out.intervals_.push_back({lo, hi});
+    if (intervals_[i].second < other.intervals_[j].second) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+bool VersionSet::IsSupersetOf(const VersionSet& other) const {
+  size_t i = 0;
+  for (const auto& [lo, hi] : other.intervals_) {
+    while (i < intervals_.size() && intervals_[i].second < lo) ++i;
+    if (i >= intervals_.size() || intervals_[i].first > lo ||
+        intervals_[i].second < hi) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string VersionSet::ToString() const {
+  std::string out;
+  for (const auto& [lo, hi] : intervals_) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(lo);
+    if (hi != lo) {
+      out += '-';
+      out += std::to_string(hi);
+    }
+  }
+  return out;
+}
+
+}  // namespace xarch

@@ -1,0 +1,86 @@
+#ifndef XARCH_UTIL_VERSION_SET_H_
+#define XARCH_UTIL_VERSION_SET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace xarch {
+
+/// A version number. Versions are numbered from 1 as in the paper.
+using Version = uint32_t;
+
+/// \brief A set of version numbers stored as sorted disjoint intervals —
+/// the paper's timestamps (Sec. 2): "the time intervals [1-3,5,7-9] denotes
+/// the set {1,2,3,5,7,8,9}".
+///
+/// Scientific data is accretive, so an element usually lives in one long
+/// interval; this representation makes its timestamp O(1) in space.
+class VersionSet {
+ public:
+  VersionSet() = default;
+
+  /// The set {v}.
+  static VersionSet Single(Version v) { return Interval(v, v); }
+  /// The set {lo, ..., hi}.
+  static VersionSet Interval(Version lo, Version hi);
+
+  /// Parses "1-3,5,7-9". Fails on malformed or non-canonical input
+  /// (unsorted or overlapping intervals).
+  static StatusOr<VersionSet> Parse(std::string_view text);
+
+  bool empty() const { return intervals_.empty(); }
+  /// Number of versions in the set.
+  size_t Count() const;
+  /// Number of maximal intervals (the space cost of the timestamp).
+  size_t IntervalCount() const { return intervals_.size(); }
+  /// Largest version in the set; set must be non-empty.
+  Version Max() const { return intervals_.back().second; }
+  /// Smallest version in the set; set must be non-empty.
+  Version Min() const { return intervals_.front().first; }
+
+  bool Contains(Version v) const;
+
+  /// Adds one version (extends the last interval in O(1) for the common
+  /// accretive case v == Max()+1).
+  void Add(Version v);
+
+  /// Set union.
+  void UnionWith(const VersionSet& other);
+  /// Removes one version.
+  void Remove(Version v);
+
+  /// Set difference this \ other.
+  VersionSet Minus(const VersionSet& other) const;
+  /// Set intersection.
+  VersionSet IntersectWith(const VersionSet& other) const;
+
+  /// True if this ⊇ other. The paper's archive invariant: the timestamp of
+  /// a node is always a superset of the timestamps of its descendants.
+  bool IsSupersetOf(const VersionSet& other) const;
+
+  bool operator==(const VersionSet& other) const {
+    return intervals_ == other.intervals_;
+  }
+  bool operator!=(const VersionSet& other) const { return !(*this == other); }
+
+  /// Renders "1-3,5,7-9" ("" for the empty set).
+  std::string ToString() const;
+
+  /// The underlying sorted disjoint [lo, hi] intervals.
+  const std::vector<std::pair<Version, Version>>& intervals() const {
+    return intervals_;
+  }
+
+ private:
+  void Normalize();
+
+  std::vector<std::pair<Version, Version>> intervals_;
+};
+
+}  // namespace xarch
+
+#endif  // XARCH_UTIL_VERSION_SET_H_

@@ -1,0 +1,86 @@
+#include "xarch/checkpoint.h"
+
+namespace xarch {
+
+void CheckpointedDiffRepo::AddVersion(const std::string& text) {
+  if (count_ % k_ == 0) {
+    segments_.emplace_back();  // fresh segment: version stored in full
+  }
+  segments_.back().AddVersion(text);
+  ++count_;
+}
+
+StatusOr<std::string> CheckpointedDiffRepo::Retrieve(Version v) const {
+  if (v == 0 || v > count_) {
+    return Status::NotFound("version " + std::to_string(v) +
+                            " not in repository");
+  }
+  size_t segment = (v - 1) / k_;
+  return segments_[segment].Retrieve(static_cast<Version>((v - 1) % k_ + 1));
+}
+
+size_t CheckpointedDiffRepo::ByteSize() const {
+  size_t total = 0;
+  for (const auto& segment : segments_) total += segment.ByteSize();
+  return total;
+}
+
+CheckpointedArchive::CheckpointedArchive(keys::KeySpecSet spec,
+                                         size_t checkpoint_every,
+                                         core::ArchiveOptions options)
+    : spec_(std::move(spec)),
+      k_(checkpoint_every == 0 ? 1 : checkpoint_every),
+      options_(options) {}
+
+Status CheckpointedArchive::AddVersion(const xml::Node& version_root) {
+  if (count_ % k_ == 0) {
+    XARCH_ASSIGN_OR_RETURN(keys::KeySpecSet spec, spec_.Clone());
+    segments_.emplace_back(std::move(spec), options_);
+  }
+  XARCH_RETURN_NOT_OK(segments_.back().AddVersion(version_root));
+  ++count_;
+  return Status::OK();
+}
+
+StatusOr<xml::NodePtr> CheckpointedArchive::RetrieveVersion(Version v) const {
+  if (v == 0 || v > count_) {
+    return Status::NotFound("version " + std::to_string(v) + " not archived");
+  }
+  size_t segment = (v - 1) / k_;
+  return segments_[segment].RetrieveVersion(
+      static_cast<Version>((v - 1) % k_ + 1));
+}
+
+StatusOr<VersionSet> CheckpointedArchive::History(
+    const std::vector<core::KeyStep>& path) const {
+  VersionSet out;
+  bool found = false;
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    auto local = segments_[i].History(path);
+    if (!local.ok()) {
+      if (local.status().code() == StatusCode::kNotFound) continue;
+      return local.status();
+    }
+    found = true;
+    Version base = static_cast<Version>(i * k_);
+    for (const auto& [lo, hi] : local->intervals()) {
+      out.UnionWith(VersionSet::Interval(lo + base, hi + base));
+    }
+  }
+  if (!found) {
+    return Status::NotFound("element does not exist in any segment");
+  }
+  return out;
+}
+
+size_t CheckpointedArchive::ByteSize() const {
+  core::ArchiveSerializeOptions options;
+  options.indent_width = 0;
+  size_t total = 0;
+  for (const auto& segment : segments_) {
+    total += segment.ToXml(options).size();
+  }
+  return total;
+}
+
+}  // namespace xarch

@@ -1,0 +1,80 @@
+#ifndef XARCH_XARCH_CHECKPOINT_H_
+#define XARCH_XARCH_CHECKPOINT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/archive.h"
+#include "diff/repository.h"
+#include "keys/key_spec.h"
+#include "util/status.h"
+
+namespace xarch {
+
+/// \brief Checkpointed storage, the Sec. 9 open issue: "in the case of our
+/// archive, a fresh archive may be created at every kth addition and in
+/// the case of a delta-based repository, an entire version of data is
+/// stored as a whole for every kth version".
+///
+/// Checkpointing trades storage for bounded retrieval cost: any version is
+/// reachable from the nearest checkpoint with at most k-1 delta
+/// applications (diff variant) or one scan of a k-version archive.
+class CheckpointedDiffRepo {
+ public:
+  explicit CheckpointedDiffRepo(size_t checkpoint_every)
+      : k_(checkpoint_every == 0 ? 1 : checkpoint_every) {}
+
+  void AddVersion(const std::string& text);
+  size_t version_count() const { return count_; }
+
+  /// Reconstructs version v from its checkpoint segment.
+  StatusOr<std::string> Retrieve(Version v) const;
+
+  /// Delta applications Retrieve(v) performs (bounded by k-1).
+  size_t ApplicationsFor(Version v) const {
+    return v == 0 ? 0 : (v - 1) % k_;
+  }
+
+  size_t ByteSize() const;
+
+ private:
+  size_t k_;
+  size_t count_ = 0;
+  std::vector<diff::IncrementalDiffRepo> segments_;
+};
+
+/// \brief A sequence of archives, each covering k consecutive versions.
+/// Bounds how far any archive diverges from the versions it stores (useful
+/// when the key-mutation worst case of Fig. 14 would otherwise make one
+/// archive grow without bound).
+class CheckpointedArchive {
+ public:
+  CheckpointedArchive(keys::KeySpecSet spec, size_t checkpoint_every,
+                      core::ArchiveOptions options = {});
+
+  Status AddVersion(const xml::Node& version_root);
+  Version version_count() const { return count_; }
+
+  /// Retrieves version v from the segment archive holding it.
+  StatusOr<xml::NodePtr> RetrieveVersion(Version v) const;
+
+  /// History of an element: the union of its per-segment histories,
+  /// shifted to global version numbers.
+  StatusOr<VersionSet> History(const std::vector<core::KeyStep>& path) const;
+
+  size_t ByteSize() const;
+  size_t segment_count() const { return segments_.size(); }
+
+ private:
+  keys::KeySpecSet spec_;
+  size_t k_;
+  core::ArchiveOptions options_;
+  Version count_ = 0;
+  std::vector<core::Archive> segments_;  // segment i covers versions
+                                         // [i*k+1, (i+1)*k]
+};
+
+}  // namespace xarch
+
+#endif  // XARCH_XARCH_CHECKPOINT_H_

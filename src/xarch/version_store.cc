@@ -1,0 +1,109 @@
+#include "xarch/version_store.h"
+
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xarch {
+
+namespace {
+
+class ArchiveStore : public VersionStore {
+ public:
+  ArchiveStore(keys::KeySpecSet spec, core::ArchiveOptions options)
+      : archive_(std::move(spec), options) {}
+
+  Status AddVersion(const std::string& xml_text) override {
+    XARCH_ASSIGN_OR_RETURN(xml::NodePtr doc, xml::Parse(xml_text));
+    return archive_.AddVersion(*doc);
+  }
+
+  StatusOr<std::string> Retrieve(Version v) override {
+    XARCH_ASSIGN_OR_RETURN(xml::NodePtr doc, archive_.RetrieveVersion(v));
+    if (doc == nullptr) return std::string();
+    return xml::Serialize(*doc);
+  }
+
+  size_t ByteSize() const override { return StoredBytes().size(); }
+  std::string StoredBytes() const override {
+    // Indentation-free form: the archive nests two levels deeper than a
+    // version, so indentation would bias size comparisons against it.
+    core::ArchiveSerializeOptions options;
+    options.indent_width = 0;
+    return archive_.ToXml(options);
+  }
+  std::string name() const override { return "archive"; }
+
+  core::Archive& archive() { return archive_; }
+
+ private:
+  core::Archive archive_;
+};
+
+class IncStore : public VersionStore {
+ public:
+  Status AddVersion(const std::string& xml_text) override {
+    repo_.AddVersion(xml_text);
+    return Status::OK();
+  }
+  StatusOr<std::string> Retrieve(Version v) override {
+    return repo_.Retrieve(v);
+  }
+  size_t ByteSize() const override { return repo_.ByteSize(); }
+  std::string StoredBytes() const override { return repo_.ConcatenatedBytes(); }
+  std::string name() const override { return "V1+inc diffs"; }
+
+ private:
+  diff::IncrementalDiffRepo repo_;
+};
+
+class CumuStore : public VersionStore {
+ public:
+  Status AddVersion(const std::string& xml_text) override {
+    repo_.AddVersion(xml_text);
+    return Status::OK();
+  }
+  StatusOr<std::string> Retrieve(Version v) override {
+    return repo_.Retrieve(v);
+  }
+  size_t ByteSize() const override { return repo_.ByteSize(); }
+  std::string StoredBytes() const override { return repo_.ConcatenatedBytes(); }
+  std::string name() const override { return "V1+cumu diffs"; }
+
+ private:
+  diff::CumulativeDiffRepo repo_;
+};
+
+class FullStore : public VersionStore {
+ public:
+  Status AddVersion(const std::string& xml_text) override {
+    repo_.AddVersion(xml_text);
+    return Status::OK();
+  }
+  StatusOr<std::string> Retrieve(Version v) override {
+    return repo_.Retrieve(v);
+  }
+  size_t ByteSize() const override { return repo_.ByteSize(); }
+  std::string StoredBytes() const override { return repo_.ConcatenatedBytes(); }
+  std::string name() const override { return "all versions"; }
+
+ private:
+  diff::FullCopyRepo repo_;
+};
+
+}  // namespace
+
+std::unique_ptr<VersionStore> MakeArchiveStore(keys::KeySpecSet spec,
+                                               core::ArchiveOptions options) {
+  return std::make_unique<ArchiveStore>(std::move(spec), options);
+}
+std::unique_ptr<VersionStore> MakeIncrementalDiffStore() {
+  return std::make_unique<IncStore>();
+}
+std::unique_ptr<VersionStore> MakeCumulativeDiffStore() {
+  return std::make_unique<CumuStore>();
+}
+std::unique_ptr<VersionStore> MakeFullCopyStore() {
+  return std::make_unique<FullStore>();
+}
+
+}  // namespace xarch

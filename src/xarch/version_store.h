@@ -1,0 +1,45 @@
+#ifndef XARCH_XARCH_VERSION_STORE_H_
+#define XARCH_XARCH_VERSION_STORE_H_
+
+#include <memory>
+#include <string>
+
+#include "core/archive.h"
+#include "diff/repository.h"
+#include "keys/key_spec.h"
+#include "util/status.h"
+
+namespace xarch {
+
+/// \brief A uniform interface over every versioned-storage strategy the
+/// paper compares, so examples and benches can swap them freely:
+/// the key-based archive (ours), incremental diffs, cumulative diffs, and
+/// full copies.
+class VersionStore {
+ public:
+  virtual ~VersionStore() = default;
+
+  /// Archives the next version given as serialized XML.
+  virtual Status AddVersion(const std::string& xml_text) = 0;
+  /// Reconstructs version v as serialized XML.
+  virtual StatusOr<std::string> Retrieve(Version v) = 0;
+  /// Current storage footprint in bytes.
+  virtual size_t ByteSize() const = 0;
+  /// Raw stored bytes (what a byte compressor would be run over).
+  virtual std::string StoredBytes() const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// The paper's archiver behind the VersionStore interface.
+std::unique_ptr<VersionStore> MakeArchiveStore(keys::KeySpecSet spec,
+                                               core::ArchiveOptions options = {});
+/// "V1 + incremental diffs".
+std::unique_ptr<VersionStore> MakeIncrementalDiffStore();
+/// "V1 + cumulative diffs".
+std::unique_ptr<VersionStore> MakeCumulativeDiffStore();
+/// Every version kept verbatim.
+std::unique_ptr<VersionStore> MakeFullCopyStore();
+
+}  // namespace xarch
+
+#endif  // XARCH_XARCH_VERSION_STORE_H_

@@ -1,0 +1,48 @@
+#include "xml/canonical.h"
+
+#include "xml/serializer.h"
+
+namespace xarch::xml {
+
+namespace {
+
+void CanonAppend(const Node& node, std::string* out) {
+  if (node.is_text()) {
+    // 'T' marker distinguishes a text node "<x>" from an element <x>.
+    *out += 'T';
+    *out += EscapeText(node.text());
+    return;
+  }
+  *out += '<';
+  *out += node.tag();
+  for (const auto& [name, value] : node.attrs()) {
+    *out += ' ';
+    *out += name;
+    *out += "=\"";
+    *out += EscapeAttr(value);
+    *out += '"';
+  }
+  *out += '>';
+  for (const auto& c : node.children()) CanonAppend(*c, out);
+  *out += "</";
+  *out += node.tag();
+  *out += '>';
+}
+
+}  // namespace
+
+std::string Canonicalize(const Node& node) {
+  std::string out;
+  CanonAppend(node, &out);
+  return out;
+}
+
+std::string CanonicalizeList(const std::vector<NodePtr>& nodes) {
+  std::string out;
+  for (const auto& n : nodes) CanonAppend(*n, &out);
+  return out;
+}
+
+Md5Digest Fingerprint(const Node& node) { return Md5(Canonicalize(node)); }
+
+}  // namespace xarch::xml

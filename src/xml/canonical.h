@@ -1,0 +1,31 @@
+#ifndef XARCH_XML_CANONICAL_H_
+#define XARCH_XML_CANONICAL_H_
+
+#include <string>
+
+#include "util/hash.h"
+#include "xml/node.h"
+
+namespace xarch::xml {
+
+/// \brief Canonical form of an XML value (Sec. 4.3).
+///
+/// The canonical form has the defining property that two XML values are
+/// value equal iff their canonical forms are string equal:
+///   V =v V'  <=>  Canonicalize(V) == Canonicalize(V').
+/// It is a compact serialization with attributes sorted by name, all
+/// delimiters escaped in character data, and no inter-element whitespace
+/// (our XML model ignores such whitespace, as the paper's does).
+std::string Canonicalize(const Node& node);
+
+/// Canonical form of an ordered list of sibling nodes (an "XML value" that
+/// is the content of an element, e.g. a key path value).
+std::string CanonicalizeList(const std::vector<NodePtr>& nodes);
+
+/// \brief Fingerprint of an XML value: MD5 over the canonical form
+/// (DOMHash-style, Sec. 4.3). Value-equal nodes have equal fingerprints.
+Md5Digest Fingerprint(const Node& node);
+
+}  // namespace xarch::xml
+
+#endif  // XARCH_XML_CANONICAL_H_

@@ -1,0 +1,69 @@
+#include "xml/node.h"
+
+#include <algorithm>
+
+namespace xarch::xml {
+
+void Node::SetAttr(std::string_view name, std::string_view value) {
+  auto it = std::lower_bound(
+      attrs_.begin(), attrs_.end(), name,
+      [](const auto& a, std::string_view n) { return a.first < n; });
+  if (it != attrs_.end() && it->first == name) {
+    it->second = std::string(value);
+  } else {
+    attrs_.insert(it, {std::string(name), std::string(value)});
+  }
+}
+
+const std::string* Node::FindAttr(std::string_view name) const {
+  auto it = std::lower_bound(
+      attrs_.begin(), attrs_.end(), name,
+      [](const auto& a, std::string_view n) { return a.first < n; });
+  if (it != attrs_.end() && it->first == name) return &it->second;
+  return nullptr;
+}
+
+Node* Node::FindChild(std::string_view tag) const {
+  for (const auto& c : children_) {
+    if (c->is_element() && c->tag() == tag) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<Node*> Node::FindChildren(std::string_view tag) const {
+  std::vector<Node*> out;
+  for (const auto& c : children_) {
+    if (c->is_element() && c->tag() == tag) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::string Node::TextContent() const {
+  if (is_text()) return text();
+  std::string out;
+  for (const auto& c : children_) out += c->TextContent();
+  return out;
+}
+
+NodePtr Node::Clone() const {
+  NodePtr copy(new Node(kind_, value_));
+  copy->attrs_ = attrs_;
+  copy->children_.reserve(children_.size());
+  for (const auto& c : children_) copy->children_.push_back(c->Clone());
+  return copy;
+}
+
+size_t Node::CountNodes() const {
+  size_t n = 1 + attrs_.size();
+  for (const auto& c : children_) n += c->CountNodes();
+  return n;
+}
+
+int Node::Height() const {
+  if (is_text()) return 0;
+  int h = 0;
+  for (const auto& c : children_) h = std::max(h, c->Height());
+  return h + 1;
+}
+
+}  // namespace xarch::xml

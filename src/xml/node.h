@@ -1,0 +1,111 @@
+#ifndef XARCH_XML_NODE_H_
+#define XARCH_XML_NODE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace xarch::xml {
+
+class Node;
+using NodePtr = std::unique_ptr<Node>;
+
+/// Node kinds of the paper's XML model (Appendix A.1). Attribute nodes
+/// (A-nodes) are stored inside their owning element as (name, value) pairs;
+/// they participate in value equality and ordering as a set.
+enum class NodeKind { kElement, kText };
+
+/// \brief A node of an XML tree: an element (tag + attributes + ordered
+/// children) or a text node.
+///
+/// Trees own their children via unique_ptr; Node is movable but not
+/// copyable (use Clone()).
+class Node {
+ public:
+  /// Creates an element node with the given tag name.
+  static NodePtr Element(std::string tag) {
+    return NodePtr(new Node(NodeKind::kElement, std::move(tag)));
+  }
+  /// Creates a text node with the given character data.
+  static NodePtr Text(std::string text) {
+    return NodePtr(new Node(NodeKind::kText, std::move(text)));
+  }
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeKind kind() const { return kind_; }
+  bool is_element() const { return kind_ == NodeKind::kElement; }
+  bool is_text() const { return kind_ == NodeKind::kText; }
+
+  /// Tag name; only meaningful for elements.
+  const std::string& tag() const { return value_; }
+  /// Character data; only meaningful for text nodes.
+  const std::string& text() const { return value_; }
+  void set_text(std::string text) { value_ = std::move(text); }
+
+  /// Attributes, kept sorted by name (they form a set, Appendix A.1).
+  const std::vector<std::pair<std::string, std::string>>& attrs() const {
+    return attrs_;
+  }
+  /// Sets (or replaces) an attribute.
+  void SetAttr(std::string_view name, std::string_view value);
+  /// Returns the attribute value or nullptr if absent.
+  const std::string* FindAttr(std::string_view name) const;
+
+  const std::vector<NodePtr>& children() const { return children_; }
+  std::vector<NodePtr>& mutable_children() { return children_; }
+
+  /// Appends a child and returns a raw pointer to it (owned by this node).
+  Node* AddChild(NodePtr child) {
+    children_.push_back(std::move(child));
+    return children_.back().get();
+  }
+  /// Convenience: appends `<tag/>` and returns it.
+  Node* AddElement(std::string tag) {
+    return AddChild(Element(std::move(tag)));
+  }
+  /// Convenience: appends a text child and returns it.
+  Node* AddText(std::string text) { return AddChild(Text(std::move(text))); }
+  /// Convenience: appends `<tag>text</tag>` and returns the element.
+  Node* AddElementWithText(std::string tag, std::string text) {
+    Node* e = AddElement(std::move(tag));
+    e->AddText(std::move(text));
+    return e;
+  }
+
+  /// First child element with the given tag, or nullptr.
+  Node* FindChild(std::string_view tag) const;
+  /// All child elements with the given tag.
+  std::vector<Node*> FindChildren(std::string_view tag) const;
+
+  /// Concatenation of all descendant text, in document order.
+  std::string TextContent() const;
+
+  /// Deep copy.
+  NodePtr Clone() const;
+
+  /// Total node count of the subtree, counting elements, text nodes, and
+  /// attribute nodes (the paper's N of Fig. 7).
+  size_t CountNodes() const;
+
+  /// Element nesting depth of the subtree (the paper's h of Fig. 7): a leaf
+  /// element has height 1; text nodes do not add a level.
+  int Height() const;
+
+ private:
+  Node(NodeKind kind, std::string value)
+      : kind_(kind), value_(std::move(value)) {}
+
+  NodeKind kind_;
+  std::string value_;  // tag for elements, character data for text nodes
+  std::vector<std::pair<std::string, std::string>> attrs_;
+  std::vector<NodePtr> children_;
+};
+
+}  // namespace xarch::xml
+
+#endif  // XARCH_XML_NODE_H_

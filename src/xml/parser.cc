@@ -1,0 +1,291 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <string>
+
+#include "util/strings.h"
+
+namespace xarch::xml {
+
+namespace {
+
+/// Recursive-descent XML parser over a string_view.
+class Parser {
+ public:
+  Parser(std::string_view input, const ParseOptions& options)
+      : in_(input), options_(options) {}
+
+  StatusOr<NodePtr> ParseDocument() {
+    SkipProlog();
+    if (Eof() || Peek() != '<') {
+      return Status::ParseError("expected root element at offset " +
+                                std::to_string(pos_));
+    }
+    XARCH_ASSIGN_OR_RETURN(NodePtr root, ParseElement());
+    SkipMisc();
+    if (!Eof()) {
+      return Status::ParseError("trailing content after root element at offset " +
+                                std::to_string(pos_));
+    }
+    return root;
+  }
+
+ private:
+  bool Eof() const { return pos_ >= in_.size(); }
+  char Peek() const { return in_[pos_]; }
+  bool LookingAt(std::string_view s) const {
+    return in_.substr(pos_, s.size()) == s;
+  }
+  void SkipWs() {
+    while (!Eof() && std::isspace(static_cast<unsigned char>(Peek()))) ++pos_;
+  }
+
+  void SkipProlog() {
+    // XML declaration, DOCTYPE, comments, PIs, whitespace.
+    for (;;) {
+      SkipWs();
+      if (LookingAt("<?")) {
+        size_t end = in_.find("?>", pos_);
+        pos_ = (end == std::string_view::npos) ? in_.size() : end + 2;
+      } else if (LookingAt("<!--")) {
+        size_t end = in_.find("-->", pos_);
+        pos_ = (end == std::string_view::npos) ? in_.size() : end + 3;
+      } else if (LookingAt("<!DOCTYPE")) {
+        // Skip to matching '>' (internal subsets with brackets supported).
+        int depth = 0;
+        while (!Eof()) {
+          char c = in_[pos_++];
+          if (c == '[') ++depth;
+          if (c == ']') --depth;
+          if (c == '>' && depth == 0) break;
+        }
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipMisc() {
+    for (;;) {
+      SkipWs();
+      if (LookingAt("<!--")) {
+        size_t end = in_.find("-->", pos_);
+        pos_ = (end == std::string_view::npos) ? in_.size() : end + 3;
+      } else if (LookingAt("<?")) {
+        size_t end = in_.find("?>", pos_);
+        pos_ = (end == std::string_view::npos) ? in_.size() : end + 2;
+      } else {
+        return;
+      }
+    }
+  }
+
+  static bool IsNameStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  }
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':' || c == '-' || c == '.';
+  }
+
+  StatusOr<std::string> ParseName() {
+    if (Eof() || !IsNameStart(Peek())) {
+      return Status::ParseError("expected name at offset " +
+                                std::to_string(pos_));
+    }
+    size_t start = pos_;
+    while (!Eof() && IsNameChar(Peek())) ++pos_;
+    return std::string(in_.substr(start, pos_ - start));
+  }
+
+  Status DecodeEntity(std::string* out) {
+    // pos_ is at '&'.
+    size_t semi = in_.find(';', pos_);
+    if (semi == std::string_view::npos || semi - pos_ > 12) {
+      return Status::ParseError("unterminated entity at offset " +
+                                std::to_string(pos_));
+    }
+    std::string_view ent = in_.substr(pos_ + 1, semi - pos_ - 1);
+    if (ent == "lt") {
+      out->push_back('<');
+    } else if (ent == "gt") {
+      out->push_back('>');
+    } else if (ent == "amp") {
+      out->push_back('&');
+    } else if (ent == "quot") {
+      out->push_back('"');
+    } else if (ent == "apos") {
+      out->push_back('\'');
+    } else if (!ent.empty() && ent[0] == '#') {
+      long code = 0;
+      if (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X')) {
+        code = std::strtol(std::string(ent.substr(2)).c_str(), nullptr, 16);
+      } else {
+        code = std::strtol(std::string(ent.substr(1)).c_str(), nullptr, 10);
+      }
+      AppendUtf8(code, out);
+    } else {
+      return Status::ParseError("unknown entity '&" + std::string(ent) + ";'");
+    }
+    pos_ = semi + 1;
+    return Status::OK();
+  }
+
+  static void AppendUtf8(long cp, std::string* out) {
+    if (cp < 0) cp = 0xFFFD;
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  StatusOr<std::string> ParseAttrValue() {
+    if (Eof() || (Peek() != '"' && Peek() != '\'')) {
+      return Status::ParseError("expected quoted attribute value at offset " +
+                                std::to_string(pos_));
+    }
+    char quote = Peek();
+    ++pos_;
+    std::string value;
+    while (!Eof() && Peek() != quote) {
+      if (Peek() == '&') {
+        XARCH_RETURN_NOT_OK(DecodeEntity(&value));
+      } else {
+        value.push_back(in_[pos_++]);
+      }
+    }
+    if (Eof()) {
+      return Status::ParseError("unterminated attribute value");
+    }
+    ++pos_;  // closing quote
+    return value;
+  }
+
+  StatusOr<NodePtr> ParseElement() {
+    // pos_ is at '<'.
+    ++pos_;
+    XARCH_ASSIGN_OR_RETURN(std::string tag, ParseName());
+    NodePtr element = Node::Element(std::move(tag));
+    // Attributes.
+    for (;;) {
+      SkipWs();
+      if (Eof()) return Status::ParseError("unterminated start tag");
+      if (Peek() == '>' || LookingAt("/>")) break;
+      XARCH_ASSIGN_OR_RETURN(std::string name, ParseName());
+      SkipWs();
+      if (Eof() || Peek() != '=') {
+        return Status::ParseError("expected '=' after attribute name '" +
+                                  name + "'");
+      }
+      ++pos_;
+      SkipWs();
+      XARCH_ASSIGN_OR_RETURN(std::string value, ParseAttrValue());
+      element->SetAttr(name, value);
+    }
+    if (LookingAt("/>")) {
+      pos_ += 2;
+      return element;
+    }
+    ++pos_;  // '>'
+    // Content.
+    std::string pending_text;
+    auto flush_text = [&]() {
+      if (pending_text.empty()) return;
+      bool keep = !options_.skip_whitespace_text ||
+                  !IsAllWhitespace(pending_text);
+      if (keep) {
+        std::string t = options_.trim_text
+                            ? std::string(Trim(pending_text))
+                            : pending_text;
+        element->AddText(std::move(t));
+      }
+      pending_text.clear();
+    };
+    for (;;) {
+      if (Eof()) {
+        return Status::ParseError("unterminated element <" + element->tag() +
+                                  ">");
+      }
+      if (LookingAt("</")) {
+        flush_text();
+        pos_ += 2;
+        XARCH_ASSIGN_OR_RETURN(std::string close, ParseName());
+        SkipWs();
+        if (Eof() || Peek() != '>') {
+          return Status::ParseError("malformed end tag </" + close + ">");
+        }
+        ++pos_;
+        if (close != element->tag()) {
+          return Status::ParseError("mismatched end tag: expected </" +
+                                    element->tag() + ">, found </" + close +
+                                    ">");
+        }
+        return element;
+      }
+      if (LookingAt("<!--")) {
+        size_t end = in_.find("-->", pos_);
+        if (end == std::string_view::npos) {
+          return Status::ParseError("unterminated comment");
+        }
+        pos_ = end + 3;
+        continue;
+      }
+      if (LookingAt("<![CDATA[")) {
+        size_t end = in_.find("]]>", pos_);
+        if (end == std::string_view::npos) {
+          return Status::ParseError("unterminated CDATA section");
+        }
+        pending_text.append(in_.substr(pos_ + 9, end - pos_ - 9));
+        pos_ = end + 3;
+        continue;
+      }
+      if (LookingAt("<?")) {
+        size_t end = in_.find("?>", pos_);
+        if (end == std::string_view::npos) {
+          return Status::ParseError("unterminated processing instruction");
+        }
+        pos_ = end + 2;
+        continue;
+      }
+      if (Peek() == '<') {
+        flush_text();
+        XARCH_ASSIGN_OR_RETURN(NodePtr child, ParseElement());
+        element->AddChild(std::move(child));
+        continue;
+      }
+      if (Peek() == '&') {
+        XARCH_RETURN_NOT_OK(DecodeEntity(&pending_text));
+        continue;
+      }
+      pending_text.push_back(in_[pos_++]);
+    }
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+  ParseOptions options_;
+};
+
+}  // namespace
+
+StatusOr<NodePtr> Parse(std::string_view input, const ParseOptions& options) {
+  Parser parser(input, options);
+  return parser.ParseDocument();
+}
+
+StatusOr<NodePtr> Parse(std::string_view input) {
+  return Parse(input, ParseOptions());
+}
+
+}  // namespace xarch::xml

@@ -1,0 +1,35 @@
+#ifndef XARCH_XML_PARSER_H_
+#define XARCH_XML_PARSER_H_
+
+#include <string_view>
+
+#include "util/status.h"
+#include "xml/node.h"
+
+namespace xarch::xml {
+
+/// Options controlling XML parsing.
+struct ParseOptions {
+  /// Drop text nodes that consist entirely of whitespace. The paper's XML
+  /// model ignores inter-element whitespace (Sec. 4.3, footnote 3).
+  bool skip_whitespace_text = true;
+  /// Trim leading/trailing whitespace of retained text nodes.
+  bool trim_text = false;
+};
+
+/// \brief Parses an XML document and returns its root element.
+///
+/// Supports elements, attributes, character data, entity references
+/// (&lt; &gt; &amp; &quot; &apos; and numeric &#NN; / &#xHH;), comments,
+/// CDATA sections, XML declarations and DOCTYPE (both skipped).
+/// Namespaces are not expanded; prefixed names are kept verbatim, which
+/// matches the paper's treatment of the `T` timestamp tag as "in a separate
+/// namespace".
+StatusOr<NodePtr> Parse(std::string_view input, const ParseOptions& options);
+
+/// Parses with default options.
+StatusOr<NodePtr> Parse(std::string_view input);
+
+}  // namespace xarch::xml
+
+#endif  // XARCH_XML_PARSER_H_

@@ -1,0 +1,85 @@
+#include "xml/path.h"
+
+#include "util/strings.h"
+
+namespace xarch::xml {
+
+std::string Path::ToString() const {
+  if (steps.empty()) return absolute ? "/" : ".";
+  std::string out;
+  for (const auto& s : steps) {
+    if (!out.empty() || absolute) out += '/';
+    out += s;
+  }
+  return out;
+}
+
+Path Path::Concat(const Path& q) const {
+  Path out = *this;
+  out.steps.insert(out.steps.end(), q.steps.begin(), q.steps.end());
+  return out;
+}
+
+bool Path::IsProperPrefixOf(const Path& other) const {
+  if (steps.size() >= other.steps.size()) return false;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (steps[i] != other.steps[i]) return false;
+  }
+  return true;
+}
+
+StatusOr<Path> ParsePath(std::string_view text) {
+  Path path;
+  std::string_view t = Trim(text);
+  if (t.empty() || t == "." || t == "\\e") return path;
+  if (t == "/") {
+    path.absolute = true;
+    return path;
+  }
+  if (t.front() == '/') {
+    path.absolute = true;
+    t.remove_prefix(1);
+  }
+  for (auto& step : Split(t, '/')) {
+    if (step.empty()) {
+      return Status::ParseError("empty step in path expression '" +
+                                std::string(text) + "'");
+    }
+    path.steps.push_back(std::move(step));
+  }
+  return path;
+}
+
+namespace {
+
+void EvalStep(const Node& node, const std::vector<std::string>& steps,
+              size_t index, std::vector<PathTarget>* out) {
+  if (index == steps.size()) {
+    out->push_back(PathTarget{&node, nullptr, ""});
+    return;
+  }
+  const std::string& name = steps[index];
+  bool matched_element = false;
+  for (const auto& c : node.children()) {
+    if (c->is_element() && c->tag() == name) {
+      matched_element = true;
+      EvalStep(*c, steps, index + 1, out);
+    }
+  }
+  // An attribute can only terminate a path (A-nodes are leaves).
+  if (!matched_element && index + 1 == steps.size()) {
+    if (node.FindAttr(name) != nullptr) {
+      out->push_back(PathTarget{nullptr, &node, name});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<PathTarget> EvalPath(const Node& start, const Path& path) {
+  std::vector<PathTarget> out;
+  EvalStep(start, path.steps, 0, &out);
+  return out;
+}
+
+}  // namespace xarch::xml

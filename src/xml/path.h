@@ -1,0 +1,63 @@
+#ifndef XARCH_XML_PATH_H_
+#define XARCH_XML_PATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+#include "xml/node.h"
+
+namespace xarch::xml {
+
+/// \brief A path expression (Appendix A.2): a sequence of node names, with
+/// "/" as the concatenator. The empty path is written "", "." or "\e" (the
+/// key-spec files of Appendix B use "\e").
+///
+/// The path language deliberately contains only names — no wildcards,
+/// predicates or axes — exactly the fragment the paper uses for keys.
+struct Path {
+  std::vector<std::string> steps;
+  /// True if the expression started with '/' (anchored at the root).
+  bool absolute = false;
+
+  bool empty() const { return steps.empty(); }
+  size_t size() const { return steps.size(); }
+
+  /// Renders "/a/b" (absolute), "a/b" (relative) or "." (empty relative).
+  std::string ToString() const;
+
+  /// Concatenation P/Q; Q must be relative.
+  Path Concat(const Path& q) const;
+
+  bool operator==(const Path& o) const {
+    return absolute == o.absolute && steps == o.steps;
+  }
+
+  /// True if this path is a proper prefix of `other` (used to compute
+  /// frontier paths, Sec. 3).
+  bool IsProperPrefixOf(const Path& other) const;
+};
+
+/// Parses a path expression. Accepts "", ".", "\e" for the empty path.
+StatusOr<Path> ParsePath(std::string_view text);
+
+/// \brief The result of evaluating a path step: either an element/text node
+/// or an attribute of some element. Attributes act as A-node leaves in the
+/// paper's model, and XMark keys use them as key paths ({id}).
+struct PathTarget {
+  const Node* node = nullptr;        ///< set for element matches
+  const Node* attr_owner = nullptr;  ///< set for attribute matches
+  std::string attr_name;
+
+  bool is_attr() const { return attr_owner != nullptr; }
+};
+
+/// Evaluates a relative path from `start` (n[[P]] of Appendix A). For the
+/// empty path, the result is `start` itself. The final step may match an
+/// attribute name when no child element matches.
+std::vector<PathTarget> EvalPath(const Node& start, const Path& path);
+
+}  // namespace xarch::xml
+
+#endif  // XARCH_XML_PATH_H_

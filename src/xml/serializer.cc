@@ -1,0 +1,119 @@
+#include "xml/serializer.h"
+
+namespace xarch::xml {
+
+std::string EscapeText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string EscapeAttr(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// True if the element's children are text nodes only (rendered inline).
+bool IsTextOnly(const Node& node) {
+  for (const auto& c : node.children()) {
+    if (!c->is_text()) return false;
+  }
+  return true;
+}
+
+void WriteNode(const Node& node, const SerializeOptions& options, int depth,
+               std::string* out) {
+  std::string indent =
+      options.pretty ? std::string(depth * options.indent_width, ' ') : "";
+  if (node.is_text()) {
+    *out += indent;
+    *out += EscapeText(node.text());
+    if (options.pretty) *out += '\n';
+    return;
+  }
+  *out += indent;
+  *out += '<';
+  *out += node.tag();
+  for (const auto& [name, value] : node.attrs()) {
+    *out += ' ';
+    *out += name;
+    *out += "=\"";
+    *out += EscapeAttr(value);
+    *out += '"';
+  }
+  if (node.children().empty()) {
+    *out += "/>";
+    if (options.pretty) *out += '\n';
+    return;
+  }
+  *out += '>';
+  if (options.pretty && IsTextOnly(node)) {
+    for (const auto& c : node.children()) *out += EscapeText(c->text());
+    *out += "</";
+    *out += node.tag();
+    *out += ">\n";
+    return;
+  }
+  if (options.pretty) *out += '\n';
+  for (const auto& c : node.children()) {
+    WriteNode(*c, options, depth + 1, out);
+  }
+  *out += indent;
+  *out += "</";
+  *out += node.tag();
+  *out += '>';
+  if (options.pretty) *out += '\n';
+}
+
+}  // namespace
+
+std::string Serialize(const Node& node, const SerializeOptions& options) {
+  std::string out;
+  WriteNode(node, options, 0, &out);
+  return out;
+}
+
+std::string Serialize(const Node& node) {
+  return Serialize(node, SerializeOptions());
+}
+
+}  // namespace xarch::xml

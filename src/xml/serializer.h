@@ -1,0 +1,35 @@
+#ifndef XARCH_XML_SERIALIZER_H_
+#define XARCH_XML_SERIALIZER_H_
+
+#include <string>
+#include <string_view>
+
+#include "xml/node.h"
+
+namespace xarch::xml {
+
+/// Options controlling serialization.
+struct SerializeOptions {
+  /// Indent nested elements on their own lines. Text-only elements are kept
+  /// on one line so that line diffs stay element-aligned, as the paper's
+  /// data was formatted ("each element is represented by one or more
+  /// consecutive lines", Sec. 5).
+  bool pretty = true;
+  int indent_width = 2;
+};
+
+/// Serializes `node` to XML text.
+std::string Serialize(const Node& node, const SerializeOptions& options);
+
+/// Serializes with default (pretty) options.
+std::string Serialize(const Node& node);
+
+/// Escapes character data: & < >.
+std::string EscapeText(std::string_view text);
+
+/// Escapes attribute values: & < > " '.
+std::string EscapeAttr(std::string_view text);
+
+}  // namespace xarch::xml
+
+#endif  // XARCH_XML_SERIALIZER_H_

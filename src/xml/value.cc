@@ -1,0 +1,54 @@
+#include "xml/value.h"
+
+namespace xarch::xml {
+
+namespace {
+
+int Sign(int v) { return (v > 0) - (v < 0); }
+
+int CompareAttrs(const Node& a, const Node& b) {
+  const auto& aa = a.attrs();
+  const auto& ba = b.attrs();
+  if (aa.size() != ba.size()) return aa.size() < ba.size() ? -1 : 1;
+  // Attribute vectors are kept sorted by name, so the `<=s` order of
+  // Appendix A.6 is a pairwise lexicographic comparison.
+  for (size_t i = 0; i < aa.size(); ++i) {
+    int c = aa[i].first.compare(ba[i].first);
+    if (c != 0) return Sign(c);
+    c = aa[i].second.compare(ba[i].second);
+    if (c != 0) return Sign(c);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int ValueCompare(const Node& a, const Node& b) {
+  // T-nodes order before E-nodes (Appendix A.6).
+  if (a.kind() != b.kind()) return a.is_text() ? -1 : 1;
+  if (a.is_text()) return Sign(a.text().compare(b.text()));
+  int c = Sign(a.tag().compare(b.tag()));
+  if (c != 0) return c;
+  c = ValueCompareChildren(a.children(), b.children());
+  if (c != 0) return c;
+  return CompareAttrs(a, b);
+}
+
+int ValueCompareChildren(const std::vector<NodePtr>& a,
+                         const std::vector<NodePtr>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (size_t i = 0; i < a.size(); ++i) {
+    int c = ValueCompare(*a[i], *b[i]);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+bool ValueEqual(const Node& a, const Node& b) { return ValueCompare(a, b) == 0; }
+
+bool ValueEqualChildren(const std::vector<NodePtr>& a,
+                        const std::vector<NodePtr>& b) {
+  return ValueCompareChildren(a, b) == 0;
+}
+
+}  // namespace xarch::xml

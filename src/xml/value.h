@@ -1,0 +1,35 @@
+#ifndef XARCH_XML_VALUE_H_
+#define XARCH_XML_VALUE_H_
+
+#include "xml/node.h"
+
+namespace xarch::xml {
+
+/// \brief Value equality `=v` of Appendix A.3.
+///
+/// Two nodes are value equal when the trees rooted at them are isomorphic by
+/// an isomorphism that is identity on string values: same kind; text nodes
+/// agree on their data; elements agree on tag, on the ordered list of E/T
+/// children values, and on the set of attribute (name, value) pairs.
+bool ValueEqual(const Node& a, const Node& b);
+
+/// \brief Total value order `<=v` of Appendix A.6.
+///
+/// Returns <0, 0, >0 like strcmp. The order is: T-nodes < A-nodes < E-nodes
+/// (attributes never appear at top level here, so effectively T < E); text
+/// by string; elements by tag, then children lists (shorter first, then
+/// lexicographic by value), then attribute sets (fewer first, then
+/// lexicographic by name and value).
+int ValueCompare(const Node& a, const Node& b);
+
+/// Compares two ordered lists of sibling values (the `<=l` relation).
+int ValueCompareChildren(const std::vector<NodePtr>& a,
+                         const std::vector<NodePtr>& b);
+
+/// Value equality over ordered lists of siblings.
+bool ValueEqualChildren(const std::vector<NodePtr>& a,
+                        const std::vector<NodePtr>& b);
+
+}  // namespace xarch::xml
+
+#endif  // XARCH_XML_VALUE_H_

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "core/archive.h"
+#include "core/changes.h"
+#include "keys/key_spec.h"
+#include "xml/parser.h"
+
+namespace xarch::core {
+namespace {
+
+keys::KeySpecSet MustSpec(const char* text) {
+  auto spec = keys::ParseKeySpecSet(text);
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+  return std::move(spec).value();
+}
+
+xml::NodePtr MustParseXml(std::string_view text) {
+  auto result = xml::Parse(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+constexpr const char* kGeneKeys = R"(
+(/, (genes, {}))
+(/genes, (gene, {id}))
+(/genes/gene, (name, {}))
+(/genes/gene, (seq, {}))
+(/genes/gene, (pos, {}))
+)";
+
+TEST(ChangesTest, Figure1GeneSwapIsDescribedByKey) {
+  // The paper's Fig. 1: two genes whose information had been confused and
+  // was corrected. diff explains it as genes renaming themselves; the
+  // key-based description says the truth: each gene's seq/pos changed.
+  Archive archive(MustSpec(kGeneKeys));
+  ASSERT_TRUE(archive
+                  .AddVersion(*MustParseXml(
+                      "<genes>"
+                      "<gene id='6230'><name>GRTM</name><seq>GTCG</seq>"
+                      "<pos>11A52</pos></gene>"
+                      "<gene id='2953'><name>ACV2</name><seq>AGTT</seq>"
+                      "<pos>08A96</pos></gene></genes>"))
+                  .ok());
+  ASSERT_TRUE(archive
+                  .AddVersion(*MustParseXml(
+                      "<genes>"
+                      "<gene id='2953'><name>ACV2</name><seq>GTCG</seq>"
+                      "<pos>11A52</pos></gene>"
+                      "<gene id='6230'><name>GRTM</name><seq>AGTT</seq>"
+                      "<pos>08A96</pos></gene></genes>"))
+                  .ok());
+  auto changes = DescribeChanges(archive, 1, 2);
+  ASSERT_TRUE(changes.ok()) << changes.status().ToString();
+  // Four content changes (seq and pos of both genes); crucially NO
+  // insertion/deletion and NO name change: the genes kept their identity.
+  EXPECT_EQ(changes->size(), 4u);
+  for (const auto& change : *changes) {
+    EXPECT_EQ(change.kind, Change::Kind::kContentChanged);
+    EXPECT_TRUE(change.path.find("/seq") != std::string::npos ||
+                change.path.find("/pos") != std::string::npos)
+        << change.path;
+  }
+}
+
+constexpr const char* kCompanyKeys = R"(
+(/, (db, {}))
+(/db, (dept, {name}))
+(/db/dept, (emp, {fn, ln}))
+(/db/dept/emp, (sal, {}))
+(/db/dept/emp, (tel, {.}))
+)";
+
+Archive CompanyArchive() {
+  Archive archive(MustSpec(kCompanyKeys));
+  const char* versions[] = {
+      "<db><dept><name>finance</name>"
+      "<emp><fn>John</fn><ln>Doe</ln><sal>95K</sal></emp></dept></db>",
+      "<db><dept><name>finance</name>"
+      "<emp><fn>Jane</fn><ln>Smith</ln></emp></dept></db>",
+      "<db><dept><name>finance</name>"
+      "<emp><fn>John</fn><ln>Doe</ln><sal>90K</sal></emp></dept>"
+      "<dept><name>marketing</name></dept></db>",
+  };
+  for (const char* v : versions) {
+    EXPECT_TRUE(archive.AddVersion(*MustParseXml(v)).ok());
+  }
+  return archive;
+}
+
+TEST(ChangesTest, InsertionsAndDeletionsReportedOutermost) {
+  Archive archive = CompanyArchive();
+  auto changes = DescribeChanges(archive, 1, 2);
+  ASSERT_TRUE(changes.ok());
+  // John left (one deletion, not one per sub-element), Jane arrived.
+  int inserted = 0, deleted = 0;
+  for (const auto& change : *changes) {
+    if (change.kind == Change::Kind::kInserted) {
+      ++inserted;
+      EXPECT_NE(change.path.find("Jane"), std::string::npos);
+    }
+    if (change.kind == Change::Kind::kDeleted) {
+      ++deleted;
+      EXPECT_NE(change.path.find("John"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(inserted, 1);
+  EXPECT_EQ(deleted, 1);
+}
+
+TEST(ChangesTest, ContentChangeOnFrontier) {
+  Archive archive = CompanyArchive();
+  auto changes = DescribeChanges(archive, 1, 3);
+  ASSERT_TRUE(changes.ok());
+  // John 95K -> 90K (sal content change) and marketing dept inserted.
+  bool sal_changed = false, marketing_inserted = false;
+  for (const auto& change : *changes) {
+    if (change.kind == Change::Kind::kContentChanged &&
+        change.path.find("/sal") != std::string::npos) {
+      sal_changed = true;
+    }
+    if (change.kind == Change::Kind::kInserted &&
+        change.path.find("marketing") != std::string::npos) {
+      marketing_inserted = true;
+    }
+  }
+  EXPECT_TRUE(sal_changed);
+  EXPECT_TRUE(marketing_inserted);
+}
+
+TEST(ChangesTest, SameVersionNoChanges) {
+  Archive archive = CompanyArchive();
+  auto changes = DescribeChanges(archive, 2, 2);
+  ASSERT_TRUE(changes.ok());
+  EXPECT_TRUE(changes->empty());
+}
+
+TEST(ChangesTest, ReverseDirectionSwapsKinds) {
+  Archive archive = CompanyArchive();
+  auto forward = DescribeChanges(archive, 1, 2);
+  auto backward = DescribeChanges(archive, 2, 1);
+  ASSERT_TRUE(forward.ok() && backward.ok());
+  ASSERT_EQ(forward->size(), backward->size());
+  size_t forward_inserts = 0, backward_deletes = 0;
+  for (const auto& c : *forward) {
+    if (c.kind == Change::Kind::kInserted) ++forward_inserts;
+  }
+  for (const auto& c : *backward) {
+    if (c.kind == Change::Kind::kDeleted) ++backward_deletes;
+  }
+  EXPECT_EQ(forward_inserts, backward_deletes);
+}
+
+TEST(ChangesTest, OutOfRangeRejected) {
+  Archive archive = CompanyArchive();
+  EXPECT_FALSE(DescribeChanges(archive, 0, 1).ok());
+  EXPECT_FALSE(DescribeChanges(archive, 1, 9).ok());
+}
+
+TEST(ChangesTest, FormatUsesSigils) {
+  std::vector<Change> changes = {
+      {Change::Kind::kInserted, "/db/a"},
+      {Change::Kind::kDeleted, "/db/b"},
+      {Change::Kind::kContentChanged, "/db/c"},
+  };
+  EXPECT_EQ(FormatChanges(changes), "+ /db/a\n- /db/b\n~ /db/c\n");
+}
+
+}  // namespace
+}  // namespace xarch::core

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "compress/container.h"
+#include "compress/lzss.h"
+#include "util/random.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xml/value.h"
+
+namespace xarch::compress {
+namespace {
+
+// ----------------------------------------------------------------- LZSS
+
+TEST(LzssTest, RoundTripEmpty) {
+  auto out = LzssDecompress(LzssCompress(""));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "");
+}
+
+TEST(LzssTest, RoundTripShort) {
+  for (const char* s : {"a", "ab", "abc", "aaaa", "abcdabcdabcd"}) {
+    auto out = LzssDecompress(LzssCompress(s));
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_EQ(*out, s);
+  }
+}
+
+TEST(LzssTest, RoundTripRepetitive) {
+  std::string data;
+  for (int i = 0; i < 1000; ++i) data += "<emp><fn>John</fn><ln>Doe</ln></emp>";
+  std::string compressed = LzssCompress(data);
+  EXPECT_LT(compressed.size(), data.size() / 5);
+  auto out = LzssDecompress(compressed);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, data);
+}
+
+TEST(LzssTest, RoundTripRandomBinary) {
+  Rng rng(5);
+  std::string data;
+  for (int i = 0; i < 50000; ++i) {
+    data.push_back(static_cast<char>(rng.Uniform(0, 255)));
+  }
+  auto out = LzssDecompress(LzssCompress(data));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, data);
+}
+
+TEST(LzssTest, RoundTripMixed) {
+  Rng rng(6);
+  std::string data;
+  for (int block = 0; block < 200; ++block) {
+    if (rng.Chance(0.5)) {
+      data += "repeated block of xml-ish text <tag attr=\"v\">payload</tag>\n";
+    } else {
+      data += rng.Word(5, 80) + "\n";
+    }
+  }
+  auto out = LzssDecompress(LzssCompress(data));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, data);
+}
+
+TEST(LzssTest, LongMatchesBeyondTokenCap) {
+  // A run far longer than one match token can encode (258 bytes).
+  std::string data(100000, 'x');
+  std::string compressed = LzssCompress(data);
+  EXPECT_LT(compressed.size(), 3000u);
+  auto out = LzssDecompress(compressed);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), data.size());
+  EXPECT_EQ(*out, data);
+}
+
+TEST(LzssTest, MatchesAcrossWindow) {
+  // Redundancy at distance < 32K compresses; beyond the window it cannot.
+  std::string unit(1000, 'a');
+  for (size_t i = 0; i < unit.size(); i += 7) unit[i] = 'b' + (i % 20);
+  std::string near = unit + unit;  // distance 1000
+  EXPECT_LT(LzssCompressedSize(near), unit.size() * 3 / 2);
+  auto out = LzssDecompress(LzssCompress(near));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, near);
+}
+
+TEST(LzssTest, DecompressRejectsGarbage) {
+  EXPECT_FALSE(LzssDecompress("").ok());
+  EXPECT_FALSE(LzssDecompress("nonsense data").ok());
+  std::string valid = LzssCompress("hello world hello world");
+  std::string truncated = valid.substr(0, valid.size() - 3);
+  EXPECT_FALSE(LzssDecompress(truncated).ok());
+}
+
+TEST(LzssTest, VersionedDataCompressesWell) {
+  // Two near-identical versions side by side: the second compresses almost
+  // entirely as matches against the first — the property the compression
+  // experiments rely on.
+  Rng rng(9);
+  std::string v1;
+  for (int i = 0; i < 300; ++i) {
+    v1 += "<rec><id>" + std::to_string(i) + "</id><val>" + rng.Word(5, 15) +
+          "</val></rec>\n";
+  }
+  std::string v2 = v1;
+  v2.replace(v2.find("<val>"), 5, "<VAL>");
+  std::string both = v1 + v2;
+  EXPECT_LT(LzssCompressedSize(both),
+            LzssCompressedSize(v1) + LzssCompressedSize(v2) / 4);
+}
+
+// ------------------------------------------------------------- Container
+
+xml::NodePtr MustParseXml(std::string_view text) {
+  auto result = xml::Parse(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+TEST(ContainerTest, RoundTripSimple) {
+  xml::NodePtr doc = MustParseXml(
+      "<db><dept><name>finance</name><emp a='1'><fn>John</fn></emp></dept></db>");
+  std::string blob = XmlContainerCompressor::Compress(*doc);
+  auto back = XmlContainerCompressor::Decompress(blob);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(xml::ValueEqual(*doc, **back));
+}
+
+TEST(ContainerTest, RoundTripWithEntitiesAndAttrs) {
+  xml::NodePtr doc = MustParseXml(
+      "<a x='1 &amp; 2'><b>text &lt;here&gt;</b><c/><b>more</b></a>");
+  auto back = XmlContainerCompressor::Decompress(
+      XmlContainerCompressor::Compress(*doc));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(xml::ValueEqual(*doc, **back));
+}
+
+TEST(ContainerTest, RoundTripLargeGenerated) {
+  Rng rng(13);
+  xml::NodePtr root = xml::Node::Element("site");
+  for (int i = 0; i < 500; ++i) {
+    xml::Node* item = root->AddElement("item");
+    item->SetAttr("id", "item" + std::to_string(i));
+    item->AddElementWithText("name", rng.Word(4, 12));
+    item->AddElementWithText("desc", rng.Word(20, 60));
+    item->AddElementWithText("price", std::to_string(rng.Uniform(1, 999)));
+  }
+  std::string blob = XmlContainerCompressor::Compress(*root);
+  auto back = XmlContainerCompressor::Decompress(blob);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(xml::ValueEqual(*root, **back));
+}
+
+TEST(ContainerTest, GroupingBeatsPlainLzssOnStructuredData) {
+  // The XMill effect: grouping same-tag text makes structured XML compress
+  // better than byte-serial LZSS of the document text.
+  Rng rng(17);
+  xml::NodePtr root = xml::Node::Element("db");
+  std::vector<std::string> words = {"alpha", "beta", "gamma", "delta",
+                                    "epsilon"};
+  for (int i = 0; i < 2000; ++i) {
+    xml::Node* rec = root->AddElement("rec");
+    rec->AddElementWithText("num", std::to_string(100000 + i));
+    rec->AddElementWithText("word", words[rng.Uniform(0, words.size() - 1)]);
+    rec->AddElementWithText("seq", rng.Word(30, 30));
+  }
+  std::string text = xml::Serialize(*root);
+  size_t plain = LzssCompressedSize(text);
+  size_t grouped = XmlContainerCompressor::CompressedSize(*root);
+  EXPECT_LT(grouped, plain);
+}
+
+TEST(ContainerTest, CompressTextParsesFirst) {
+  auto blob = XmlContainerCompressor::CompressText("<a><b>x</b></a>");
+  ASSERT_TRUE(blob.ok());
+  auto back = XmlContainerCompressor::Decompress(*blob);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)->tag(), "a");
+  EXPECT_FALSE(XmlContainerCompressor::CompressText("<broken").ok());
+}
+
+TEST(ContainerTest, DecompressRejectsGarbage) {
+  EXPECT_FALSE(XmlContainerCompressor::Decompress("").ok());
+  EXPECT_FALSE(XmlContainerCompressor::Decompress("XMC1garbage").ok());
+}
+
+TEST(ContainerTest, TimestampedArchiveXmlRoundTrips) {
+  // Shape of the paper's archive XML (Fig. 5).
+  xml::NodePtr doc = MustParseXml(
+      "<T t='1-4'><root><db><dept><name>finance</name>"
+      "<T t='3-4'><emp><fn>John</fn><ln>Doe</ln>"
+      "<T t='3'><sal>90K</sal></T><T t='4'><sal>95K</sal></T>"
+      "<tel>123-4567</tel></emp></T></dept></db></root></T>");
+  auto back = XmlContainerCompressor::Decompress(
+      XmlContainerCompressor::Compress(*doc));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(xml::ValueEqual(*doc, **back));
+}
+
+}  // namespace
+}  // namespace xarch::compress

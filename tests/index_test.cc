@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/archive.h"
+#include "index/archive_index.h"
+#include "index/timestamp_tree.h"
+#include "xml/value.h"
+#include "synth/omim.h"
+#include "util/random.h"
+#include "xml/parser.h"
+
+namespace xarch::index {
+namespace {
+
+// ---------------------------------------------------------- TimestampTree
+
+TEST(TimestampTreeTest, EmptyTree) {
+  TimestampTree tree = TimestampTree::Build({});
+  size_t probes = 0;
+  EXPECT_TRUE(tree.Lookup(1, &probes).empty());
+  EXPECT_EQ(probes, 0u);
+}
+
+TEST(TimestampTreeTest, PaperFigure15) {
+  // The archive of Fig. 15: children l1..l8 with the given timestamps.
+  std::vector<VersionSet> stamps = {
+      *VersionSet::Parse("1-2"),     *VersionSet::Parse("1-2"),
+      *VersionSet::Parse("3-5"),     *VersionSet::Parse("4"),
+      *VersionSet::Parse("3-5"),     *VersionSet::Parse("3-5"),
+      *VersionSet::Parse("4-6"),     *VersionSet::Parse("3-5,7-9")};
+  TimestampTree tree = TimestampTree::Build(stamps);
+  size_t probes = 0;
+  // Version 2: only l1 and l2 (the highlighted search of Fig. 15).
+  auto hits = tree.Lookup(2, &probes);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], 0u);
+  EXPECT_EQ(hits[1], 1u);
+  // The right half (3-9) is pruned at its root: far fewer than 2k probes.
+  EXPECT_LT(probes, 2 * stamps.size());
+  // Version 7: only l8.
+  hits = tree.Lookup(7, &probes);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 7u);
+  // Version 10: nothing; one root probe suffices.
+  hits = tree.Lookup(10, &probes);
+  EXPECT_TRUE(hits.empty());
+  EXPECT_EQ(probes, 1u);
+}
+
+TEST(TimestampTreeTest, LookupMatchesLinearScan) {
+  Rng rng(91);
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t k = rng.Uniform(1, 40);
+    std::vector<VersionSet> stamps(k);
+    for (auto& s : stamps) {
+      size_t n = rng.Uniform(1, 4);
+      for (size_t i = 0; i < n; ++i) {
+        Version lo = static_cast<Version>(rng.Uniform(1, 20));
+        Version hi = lo + static_cast<Version>(rng.Uniform(0, 5));
+        s.UnionWith(VersionSet::Interval(lo, hi));
+      }
+    }
+    TimestampTree tree = TimestampTree::Build(stamps);
+    for (Version v = 1; v <= 26; ++v) {
+      std::vector<size_t> expected;
+      for (size_t i = 0; i < k; ++i) {
+        if (stamps[i].Contains(v)) expected.push_back(i);
+      }
+      size_t probes = 0;
+      EXPECT_EQ(tree.Lookup(v, &probes), expected);
+      EXPECT_LE(probes, 2 * k + k);  // budget + fallback scan at worst
+    }
+  }
+}
+
+TEST(TimestampTreeTest, ProbeBoundForSparseVersions) {
+  // k children, only α=1 relevant: probes ≤ 2α-1+2α·log2(k/α) + slack.
+  const size_t k = 256;
+  std::vector<VersionSet> stamps;
+  for (size_t i = 0; i < k; ++i) {
+    stamps.push_back(VersionSet::Single(static_cast<Version>(i + 1)));
+  }
+  TimestampTree tree = TimestampTree::Build(stamps);
+  size_t probes = 0;
+  auto hits = tree.Lookup(17, &probes);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 16u);
+  double bound = 2 * 1 - 1 + 2 * 1 * std::log2(static_cast<double>(k));
+  EXPECT_LE(probes, static_cast<size_t>(bound) + 2);
+}
+
+TEST(TimestampTreeTest, DenseVersionFallsBackNearLinear) {
+  // All children relevant: probing every tree node would cost ~2k; the
+  // 2k budget caps it and the answer stays correct.
+  const size_t k = 64;
+  std::vector<VersionSet> stamps(k, VersionSet::Interval(1, 10));
+  TimestampTree tree = TimestampTree::Build(stamps);
+  size_t probes = 0;
+  auto hits = tree.Lookup(5, &probes);
+  EXPECT_EQ(hits.size(), k);
+  EXPECT_LE(probes, 3 * k);
+}
+
+TEST(TimestampTreeTest, NodeCountLinearInLeaves) {
+  std::vector<VersionSet> stamps(100, VersionSet::Single(1));
+  TimestampTree tree = TimestampTree::Build(stamps);
+  EXPECT_EQ(tree.leaf_count(), 100u);
+  EXPECT_LT(tree.node_count(), 200u);
+}
+
+// ----------------------------------------------------------- ArchiveIndex
+
+constexpr const char* kCompanyKeys = R"(
+(/, (db, {}))
+(/db, (dept, {name}))
+(/db/dept, (emp, {fn, ln}))
+(/db/dept/emp, (sal, {}))
+(/db/dept/emp, (tel, {.}))
+)";
+
+keys::KeySpecSet MustSpec(const char* text) {
+  auto spec = keys::ParseKeySpecSet(text);
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+  return std::move(spec).value();
+}
+
+core::Archive MakeOmimArchive(int versions) {
+  synth::OmimGenerator::Options options;
+  options.initial_records = 60;
+  options.insert_ratio = 0.05;
+  options.delete_ratio = 0.02;
+  options.modify_ratio = 0.02;
+  synth::OmimGenerator gen(options);
+  core::Archive archive(MustSpec(synth::OmimGenerator::KeySpecText()));
+  for (int v = 0; v < versions; ++v) {
+    Status st = archive.AddVersion(*gen.NextVersion());
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+  return archive;
+}
+
+TEST(ArchiveIndexTest, RetrieveMatchesScan) {
+  core::Archive archive = MakeOmimArchive(8);
+  ArchiveIndex index(archive);
+  for (Version v = 1; v <= 8; ++v) {
+    ProbeStats stats;
+    auto indexed = index.RetrieveVersion(v, &stats);
+    auto scanned = archive.RetrieveVersion(v);
+    ASSERT_TRUE(indexed.ok()) << indexed.status().ToString();
+    ASSERT_TRUE(scanned.ok());
+    ASSERT_NE(indexed->get(), nullptr);
+    // Identical reconstruction (both walk children in archive order).
+    EXPECT_TRUE(xml::ValueEqual(**indexed, **scanned)) << "version " << v;
+  }
+}
+
+TEST(ArchiveIndexTest, EarlyVersionsProbeFewerThanNaive) {
+  // After many accretive versions, version 1 touches a small fraction of
+  // the archive: the timestamp trees must prune most children.
+  core::Archive archive = MakeOmimArchive(12);
+  ArchiveIndex index(archive);
+  ProbeStats stats;
+  auto got = index.RetrieveVersion(1, &stats);
+  ASSERT_TRUE(got.ok());
+  // naive probes counts every child of every *visited* node; the real
+  // naive scan visits all nodes. Tree probes must not exceed the scan of
+  // visited nodes by more than the 2k budget factor.
+  EXPECT_GT(stats.naive_probes, 0u);
+  EXPECT_LE(stats.tree_probes, 3 * stats.naive_probes);
+}
+
+TEST(ArchiveIndexTest, HistoryMatchesArchiveHistory) {
+  core::Archive archive = MakeOmimArchive(6);
+  ArchiveIndex index(archive);
+  // Probe a record that exists from version 1.
+  auto v1 = archive.RetrieveVersion(1);
+  ASSERT_TRUE(v1.ok());
+  const xml::Node* record = (*v1)->FindChild("Record");
+  ASSERT_NE(record, nullptr);
+  std::string num = record->FindChild("Num")->TextContent();
+  std::vector<core::KeyStep> path = {{"ROOT", {}},
+                                     {"Record", {{"Num", num}}}};
+  ProbeStats stats;
+  auto indexed = index.History(path, &stats);
+  auto scanned = archive.History(path);
+  ASSERT_TRUE(indexed.ok()) << indexed.status().ToString();
+  ASSERT_TRUE(scanned.ok());
+  EXPECT_EQ(indexed->ToString(), scanned->ToString());
+  EXPECT_GT(stats.comparisons, 0u);
+  // O(l log d): comparisons far below the total number of records.
+  EXPECT_LT(stats.comparisons, 60u);
+}
+
+TEST(ArchiveIndexTest, HistoryMissingElement) {
+  core::Archive archive = MakeOmimArchive(3);
+  ArchiveIndex index(archive);
+  ProbeStats stats;
+  auto got = index.History({{"ROOT", {}}, {"Record", {{"Num", "nope"}}}},
+                           &stats);
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ArchiveIndexTest, EmptyVersionRetrievesNull) {
+  auto spec = MustSpec(kCompanyKeys);
+  core::Archive archive(std::move(spec));
+  auto doc = xml::Parse("<db><dept><name>x</name></dept></db>");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_TRUE(archive.AddVersion(**doc).ok());
+  archive.AddEmptyVersion();
+  ArchiveIndex index(archive);
+  ProbeStats stats;
+  auto got = index.RetrieveVersion(2, &stats);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->get(), nullptr);
+  auto got1 = index.RetrieveVersion(1, &stats);
+  ASSERT_TRUE(got1.ok());
+  EXPECT_NE(got1->get(), nullptr);
+}
+
+TEST(ArchiveIndexTest, TreeNodeCountReported) {
+  core::Archive archive = MakeOmimArchive(3);
+  ArchiveIndex index(archive);
+  EXPECT_GT(index.TreeNodeCount(), 0u);
+}
+
+}  // namespace
+}  // namespace xarch::index

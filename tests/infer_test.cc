@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "core/archive.h"
+#include "keys/annotate.h"
+#include "keys/infer.h"
+#include "synth/omim.h"
+#include "synth/xmark.h"
+#include "xml/parser.h"
+
+namespace xarch::keys {
+namespace {
+
+xml::NodePtr MustParseXml(std::string_view text) {
+  auto result = xml::Parse(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+std::string KeysToString(const std::vector<Key>& keys) {
+  std::string out;
+  for (const auto& key : keys) out += key.ToString() + "\n";
+  return out;
+}
+
+TEST(InferKeysTest, CompanyDatabase) {
+  // With enough versions, inference discovers that fn alone does not key
+  // employees (two John/Jane pairs would be needed to force fn+ln; here a
+  // single field suffices unless versions contradict it).
+  xml::NodePtr v4 = MustParseXml(
+      "<db><dept><name>finance</name>"
+      "<emp><fn>John</fn><ln>Doe</ln><sal>95K</sal></emp>"
+      "<emp><fn>Jane</fn><ln>Smith</ln><sal>95K</sal></emp></dept></db>");
+  auto keys = InferKeys({v4.get()});
+  ASSERT_TRUE(keys.ok()) << keys.status().ToString();
+  std::string text = KeysToString(*keys);
+  // dept keyed (singleton here -> {}), emp keyed by fn (sal ties at 95K).
+  EXPECT_NE(text.find("(/db, (dept, {}))"), std::string::npos) << text;
+  EXPECT_NE(text.find("(/db/dept, (emp, {fn}))"), std::string::npos) << text;
+}
+
+TEST(InferKeysTest, MoreVersionsEliminateFalseKeys) {
+  // In v1, sal accidentally distinguishes the employees; v2 disproves it.
+  xml::NodePtr v1 = MustParseXml(
+      "<db><emp><fn>Al</fn><sal>90K</sal></emp>"
+      "<emp><fn>Bo</fn><sal>95K</sal></emp></db>");
+  xml::NodePtr v2 = MustParseXml(
+      "<db><emp><fn>Al</fn><sal>95K</sal></emp>"
+      "<emp><fn>Bo</fn><sal>95K</sal></emp></db>");
+  auto only_v1 = InferKeys({v1.get()});
+  ASSERT_TRUE(only_v1.ok());
+  // fn is chosen (alphabetically first among single candidates that work);
+  // but force the point with a doc where only sal works in v1:
+  xml::NodePtr v1b = MustParseXml(
+      "<db><emp><fn>Al</fn><sal>90K</sal></emp>"
+      "<emp><fn>Al</fn><sal>95K</sal></emp></db>");
+  auto keys_v1b = InferKeys({v1b.get()});
+  ASSERT_TRUE(keys_v1b.ok());
+  EXPECT_NE(KeysToString(*keys_v1b).find("(/db, (emp, {sal}))"),
+            std::string::npos);
+  // Adding v2-style evidence forces a composite or kills sal.
+  xml::NodePtr v2b = MustParseXml(
+      "<db><emp><fn>Al</fn><sal>95K</sal></emp>"
+      "<emp><fn>Bo</fn><sal>95K</sal></emp></db>");
+  auto combined = InferKeys({v1b.get(), v2b.get()});
+  ASSERT_TRUE(combined.ok());
+  EXPECT_NE(KeysToString(*combined).find("(/db, (emp, {fn, sal}))"),
+            std::string::npos)
+      << KeysToString(*combined);
+}
+
+TEST(InferKeysTest, AttributesPreferred) {
+  xml::NodePtr doc = MustParseXml(
+      "<site><item id='i1'><name>a</name></item>"
+      "<item id='i2'><name>a</name></item></site>");
+  auto keys = InferKeys({doc.get()});
+  ASSERT_TRUE(keys.ok());
+  EXPECT_NE(KeysToString(*keys).find("(/site, (item, {id}))"),
+            std::string::npos)
+      << KeysToString(*keys);
+}
+
+TEST(InferKeysTest, ContentKeyFallback) {
+  // tel has no distinguishing children: keyed by its own content ({\e}).
+  xml::NodePtr doc = MustParseXml(
+      "<db><emp><fn>A</fn><tel>111</tel><tel>222</tel></emp></db>");
+  auto keys = InferKeys({doc.get()});
+  ASSERT_TRUE(keys.ok());
+  EXPECT_NE(KeysToString(*keys).find("(/db/emp, (tel, {\\e}))"),
+            std::string::npos)
+      << KeysToString(*keys);
+}
+
+TEST(InferKeysTest, UnkeyablePathMakesParentFrontier) {
+  // Two identical <line> elements cannot be keyed: body becomes a frontier
+  // and no key below it survives.
+  xml::NodePtr doc = MustParseXml(
+      "<doc><section><title>t1</title><body><line>x</line><line>x</line>"
+      "</body></section></doc>");
+  auto keys = InferKeys({doc.get()});
+  ASSERT_TRUE(keys.ok());
+  std::string text = KeysToString(*keys);
+  EXPECT_EQ(text.find("line"), std::string::npos) << text;
+  EXPECT_NE(text.find("(/doc/section, (body, {}))"), std::string::npos)
+      << text;
+}
+
+TEST(InferKeysTest, InferredKeysDriveTheArchiver) {
+  // End to end: infer keys from OMIM-like versions, build a KeySpecSet,
+  // and archive the very versions the keys were inferred from.
+  synth::OmimGenerator::Options options;
+  options.initial_records = 20;
+  options.insert_ratio = 0.1;
+  options.modify_ratio = 0.1;
+  synth::OmimGenerator gen(options);
+  std::vector<xml::NodePtr> docs;
+  std::vector<const xml::Node*> ptrs;
+  for (int v = 0; v < 4; ++v) {
+    docs.push_back(gen.NextVersion());
+    ptrs.push_back(docs.back().get());
+  }
+  auto keys = InferKeys(ptrs);
+  ASSERT_TRUE(keys.ok()) << keys.status().ToString();
+  auto spec = KeySpecSet::Build(std::move(*keys));
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  core::Archive archive(std::move(*spec));
+  for (const auto& doc : docs) {
+    Status st = archive.AddVersion(*doc);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+  EXPECT_TRUE(archive.Check().ok());
+  for (Version v = 1; v <= docs.size(); ++v) {
+    EXPECT_TRUE(archive.RetrieveVersion(v).ok());
+  }
+}
+
+TEST(InferKeysTest, XMarkInference) {
+  synth::XMarkGenerator::Options options;
+  options.items = 8;
+  options.people = 12;
+  options.open_auctions = 8;
+  synth::XMarkGenerator gen(options);
+  xml::NodePtr v1 = gen.Current();
+  gen.MutateRandom(10.0);
+  xml::NodePtr v2 = gen.Current();
+  auto keys = InferKeys({v1.get(), v2.get()});
+  ASSERT_TRUE(keys.ok()) << keys.status().ToString();
+  std::string text = KeysToString(*keys);
+  // The id attributes are discovered as keys.
+  EXPECT_NE(text.find("(item, {id})"), std::string::npos) << text;
+  EXPECT_NE(text.find("(person, {id})"), std::string::npos) << text;
+  // And the inferred spec archives the versions.
+  auto spec = KeySpecSet::Build(std::move(*keys));
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  core::Archive archive(std::move(*spec));
+  EXPECT_TRUE(archive.AddVersion(*v1).ok());
+  EXPECT_TRUE(archive.AddVersion(*v2).ok());
+  EXPECT_TRUE(archive.Check().ok());
+}
+
+TEST(InferKeysTest, ErrorsOnEmptyOrMismatched) {
+  EXPECT_FALSE(InferKeys({}).ok());
+  xml::NodePtr a = MustParseXml("<a/>");
+  xml::NodePtr b = MustParseXml("<b/>");
+  EXPECT_FALSE(InferKeys({a.get(), b.get()}).ok());
+}
+
+}  // namespace
+}  // namespace xarch::keys

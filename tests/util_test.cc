@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "util/hash.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace xarch {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::ParseError("bad token");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_EQ(st.message(), "bad token");
+  EXPECT_EQ(st.ToString(), "ParseError: bad token");
+}
+
+TEST(StatusTest, FactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::KeyViolation("x").code(), StatusCode::kKeyViolation);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> so(42);
+  ASSERT_TRUE(so.ok());
+  EXPECT_EQ(*so, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> so(Status::NotFound("missing"));
+  ASSERT_FALSE(so.ok());
+  EXPECT_EQ(so.status().code(), StatusCode::kNotFound);
+}
+
+StatusOr<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+Status UseAssignOrReturn(int v, int* out) {
+  XARCH_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+  *out = parsed * 2;
+  return Status::OK();
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(21, &out).ok());
+  EXPECT_EQ(out, 42);
+  EXPECT_FALSE(UseAssignOrReturn(-1, &out).ok());
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, SplitSkipEmpty) {
+  auto parts = SplitSkipEmpty("/a//b/", '/');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(StringsTest, JoinRoundTrips) {
+  std::vector<std::string> parts = {"a", "b", "c"};
+  EXPECT_EQ(Join(parts, "/"), "a/b/c");
+  EXPECT_EQ(Join({}, "/"), "");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  x y \t\n"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("hello", "hello!"));
+  EXPECT_TRUE(EndsWith("hello", "lo"));
+  EXPECT_FALSE(EndsWith("hello", "hhello"));
+}
+
+TEST(StringsTest, IsAllWhitespace) {
+  EXPECT_TRUE(IsAllWhitespace(" \t\r\n"));
+  EXPECT_TRUE(IsAllWhitespace(""));
+  EXPECT_FALSE(IsAllWhitespace(" x "));
+}
+
+TEST(StringsTest, SplitLines) {
+  auto lines = SplitLines("a\nb\nc\n");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[2], "c");
+  lines = SplitLines("a\nb");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1], "b");
+  EXPECT_TRUE(SplitLines("").empty());
+}
+
+TEST(StringsTest, FormatWithCommas) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(1234567), "1,234,567");
+}
+
+TEST(StringsTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+// RFC 1321 test vectors.
+TEST(Md5Test, Rfc1321Vectors) {
+  EXPECT_EQ(Md5("").ToHex(), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(Md5("a").ToHex(), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(Md5("abc").ToHex(), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(Md5("message digest").ToHex(),
+            "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(Md5("abcdefghijklmnopqrstuvwxyz").ToHex(),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(
+      Md5("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789")
+          .ToHex(),
+      "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(Md5("1234567890123456789012345678901234567890123456789012345678"
+                "9012345678901234567890")
+                .ToHex(),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5Test, IncrementalMatchesOneShot) {
+  std::string data;
+  for (int i = 0; i < 1000; ++i) data += "chunk-" + std::to_string(i);
+  Md5Hasher hasher;
+  size_t pos = 0;
+  size_t sizes[] = {1, 7, 63, 64, 65, 128, 500};
+  int i = 0;
+  while (pos < data.size()) {
+    size_t take = std::min(sizes[i % 7], data.size() - pos);
+    hasher.Update(std::string_view(data).substr(pos, take));
+    pos += take;
+    ++i;
+  }
+  EXPECT_EQ(hasher.Finish().ToHex(), Md5(data).ToHex());
+}
+
+TEST(Md5Test, Low64IsStable) {
+  EXPECT_EQ(Md5("abc").Low64(), Md5("abc").Low64());
+  EXPECT_NE(Md5("abc").Low64(), Md5("abd").Low64());
+}
+
+TEST(Fnv1aTest, KnownValues) {
+  // FNV-1a 64-bit reference values.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_NE(Fnv1a64("archive"), Fnv1a64("archives"));
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000000), b.Uniform(0, 1000000));
+  }
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Uniform(5, 10);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 10u);
+  }
+}
+
+TEST(RngTest, WordLengthInRange) {
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    std::string w = rng.Word(3, 8);
+    EXPECT_GE(w.size(), 3u);
+    EXPECT_LE(w.size(), 8u);
+    for (char c : w) {
+      EXPECT_GE(c, 'a');
+      EXPECT_LE(c, 'z');
+    }
+  }
+}
+
+TEST(RngTest, PickReturnsElement) {
+  Rng rng(3);
+  std::vector<int> items = {1, 2, 3};
+  for (int i = 0; i < 50; ++i) {
+    int v = rng.Pick(items);
+    EXPECT_TRUE(v >= 1 && v <= 3);
+  }
+}
+
+}  // namespace
+}  // namespace xarch

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/random.h"
+#include "util/version_set.h"
+
+namespace xarch {
+namespace {
+
+VersionSet FromList(std::initializer_list<Version> versions) {
+  VersionSet s;
+  for (Version v : versions) s.Add(v);
+  return s;
+}
+
+TEST(VersionSetTest, EmptyByDefault) {
+  VersionSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.Count(), 0u);
+  EXPECT_EQ(s.ToString(), "");
+  EXPECT_FALSE(s.Contains(1));
+}
+
+TEST(VersionSetTest, SingleAndInterval) {
+  EXPECT_EQ(VersionSet::Single(5).ToString(), "5");
+  EXPECT_EQ(VersionSet::Interval(1, 4).ToString(), "1-4");
+  EXPECT_EQ(VersionSet::Interval(4, 1).Count(), 0u);  // empty when lo > hi
+}
+
+TEST(VersionSetTest, PaperExample) {
+  // "[1-3,5,7-9] denotes the set {1,2,3,5,7,8,9}" (Sec. 2).
+  auto s = VersionSet::Parse("1-3,5,7-9");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->Count(), 7u);
+  for (Version v : {1u, 2u, 3u, 5u, 7u, 8u, 9u}) EXPECT_TRUE(s->Contains(v));
+  for (Version v : {4u, 6u, 10u}) EXPECT_FALSE(s->Contains(v));
+  EXPECT_EQ(s->ToString(), "1-3,5,7-9");
+  EXPECT_EQ(s->IntervalCount(), 3u);
+  EXPECT_EQ(s->Min(), 1u);
+  EXPECT_EQ(s->Max(), 9u);
+}
+
+TEST(VersionSetTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(VersionSet::Parse("a-b").ok());
+  EXPECT_FALSE(VersionSet::Parse("3-1").ok());
+  EXPECT_FALSE(VersionSet::Parse("1-3,2").ok());   // overlapping
+  EXPECT_FALSE(VersionSet::Parse("1,2").ok());     // non-canonical (adjacent)
+  EXPECT_FALSE(VersionSet::Parse("5,3").ok());     // unsorted
+  EXPECT_TRUE(VersionSet::Parse("").ok());
+  EXPECT_TRUE(VersionSet::Parse("1,3").ok());
+}
+
+TEST(VersionSetTest, AccretiveAddExtendsInterval) {
+  VersionSet s;
+  for (Version v = 1; v <= 100; ++v) s.Add(v);
+  EXPECT_EQ(s.IntervalCount(), 1u);
+  EXPECT_EQ(s.ToString(), "1-100");
+}
+
+TEST(VersionSetTest, AddWithGapsAndMerges) {
+  VersionSet s = FromList({1, 3, 5});
+  EXPECT_EQ(s.ToString(), "1,3,5");
+  s.Add(2);  // merges 1 and 3
+  EXPECT_EQ(s.ToString(), "1-3,5");
+  s.Add(4);
+  EXPECT_EQ(s.ToString(), "1-5");
+  s.Add(3);  // idempotent
+  EXPECT_EQ(s.ToString(), "1-5");
+}
+
+TEST(VersionSetTest, RemoveSplitsIntervals) {
+  VersionSet s = VersionSet::Interval(1, 5);
+  s.Remove(3);
+  EXPECT_EQ(s.ToString(), "1-2,4-5");
+  s.Remove(1);
+  EXPECT_EQ(s.ToString(), "2,4-5");
+  s.Remove(5);
+  EXPECT_EQ(s.ToString(), "2,4");
+  s.Remove(9);  // no-op
+  EXPECT_EQ(s.ToString(), "2,4");
+  s.Remove(2);
+  s.Remove(4);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(VersionSetTest, UnionWith) {
+  VersionSet a = *VersionSet::Parse("1-3,8");
+  VersionSet b = *VersionSet::Parse("2-5,7");
+  a.UnionWith(b);
+  EXPECT_EQ(a.ToString(), "1-5,7-8");
+}
+
+TEST(VersionSetTest, Minus) {
+  VersionSet a = *VersionSet::Parse("1-10");
+  EXPECT_EQ(a.Minus(*VersionSet::Parse("3-5,9")).ToString(), "1-2,6-8,10");
+  EXPECT_EQ(a.Minus(a).ToString(), "");
+  EXPECT_EQ(a.Minus(VersionSet()).ToString(), "1-10");
+  // The Nested Merge idiom T - {i}.
+  EXPECT_EQ(a.Minus(VersionSet::Single(10)).ToString(), "1-9");
+}
+
+TEST(VersionSetTest, Intersect) {
+  VersionSet a = *VersionSet::Parse("1-5,8-10");
+  VersionSet b = *VersionSet::Parse("4-9");
+  EXPECT_EQ(a.IntersectWith(b).ToString(), "4-5,8-9");
+  EXPECT_TRUE(a.IntersectWith(VersionSet()).empty());
+}
+
+TEST(VersionSetTest, SupersetInvariant) {
+  VersionSet parent = *VersionSet::Parse("1-10");
+  EXPECT_TRUE(parent.IsSupersetOf(*VersionSet::Parse("2-4,7")));
+  EXPECT_TRUE(parent.IsSupersetOf(VersionSet()));
+  EXPECT_FALSE(parent.IsSupersetOf(*VersionSet::Parse("5-11")));
+  EXPECT_FALSE(VersionSet().IsSupersetOf(VersionSet::Single(1)));
+  EXPECT_TRUE(VersionSet().IsSupersetOf(VersionSet()));
+}
+
+TEST(VersionSetTest, RandomizedAgainstStdSet) {
+  Rng rng(31);
+  VersionSet s;
+  std::set<Version> ref;
+  for (int step = 0; step < 2000; ++step) {
+    Version v = static_cast<Version>(rng.Uniform(1, 60));
+    if (rng.Chance(0.7)) {
+      s.Add(v);
+      ref.insert(v);
+    } else {
+      s.Remove(v);
+      ref.erase(v);
+    }
+    ASSERT_EQ(s.Count(), ref.size());
+    if (step % 50 == 0) {
+      for (Version check = 1; check <= 61; ++check) {
+        ASSERT_EQ(s.Contains(check), ref.count(check) > 0) << "v=" << check;
+      }
+      // Round-trip through text.
+      auto parsed = VersionSet::Parse(s.ToString());
+      ASSERT_TRUE(parsed.ok());
+      ASSERT_EQ(*parsed, s);
+    }
+  }
+}
+
+TEST(VersionSetTest, RandomizedSetAlgebra) {
+  Rng rng(37);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::set<Version> ra, rb;
+    VersionSet a, b;
+    for (int i = 0; i < 30; ++i) {
+      Version v = static_cast<Version>(rng.Uniform(1, 40));
+      if (rng.Chance(0.5)) {
+        a.Add(v);
+        ra.insert(v);
+      } else {
+        b.Add(v);
+        rb.insert(v);
+      }
+    }
+    VersionSet u = a;
+    u.UnionWith(b);
+    VersionSet m = a.Minus(b);
+    VersionSet x = a.IntersectWith(b);
+    for (Version v = 1; v <= 41; ++v) {
+      ASSERT_EQ(u.Contains(v), ra.count(v) > 0 || rb.count(v) > 0);
+      ASSERT_EQ(m.Contains(v), ra.count(v) > 0 && rb.count(v) == 0);
+      ASSERT_EQ(x.Contains(v), ra.count(v) > 0 && rb.count(v) > 0);
+    }
+    bool superset = true;
+    for (Version v : rb) superset = superset && ra.count(v) > 0;
+    ASSERT_EQ(a.IsSupersetOf(b), superset);
+  }
+}
+
+}  // namespace
+}  // namespace xarch

@@ -1,0 +1,364 @@
+#include <gtest/gtest.h>
+
+#include "xml/canonical.h"
+#include "xml/node.h"
+#include "xml/parser.h"
+#include "xml/path.h"
+#include "xml/serializer.h"
+#include "xml/value.h"
+
+namespace xarch::xml {
+namespace {
+
+NodePtr MustParse(std::string_view text) {
+  auto result = Parse(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+// ---------------------------------------------------------------- Node
+
+TEST(NodeTest, ElementBasics) {
+  NodePtr e = Node::Element("db");
+  EXPECT_TRUE(e->is_element());
+  EXPECT_EQ(e->tag(), "db");
+  EXPECT_TRUE(e->children().empty());
+}
+
+TEST(NodeTest, AttrsSortedAndReplaceable) {
+  NodePtr e = Node::Element("x");
+  e->SetAttr("b", "2");
+  e->SetAttr("a", "1");
+  e->SetAttr("c", "3");
+  ASSERT_EQ(e->attrs().size(), 3u);
+  EXPECT_EQ(e->attrs()[0].first, "a");
+  EXPECT_EQ(e->attrs()[1].first, "b");
+  EXPECT_EQ(e->attrs()[2].first, "c");
+  e->SetAttr("b", "22");
+  ASSERT_EQ(e->attrs().size(), 3u);
+  EXPECT_EQ(*e->FindAttr("b"), "22");
+  EXPECT_EQ(e->FindAttr("zz"), nullptr);
+}
+
+TEST(NodeTest, BuildAndFind) {
+  NodePtr db = Node::Element("db");
+  Node* dept = db->AddElement("dept");
+  dept->AddElementWithText("name", "finance");
+  dept->AddElementWithText("name", "hr");
+  EXPECT_EQ(db->FindChild("dept"), dept);
+  EXPECT_EQ(db->FindChild("none"), nullptr);
+  EXPECT_EQ(dept->FindChildren("name").size(), 2u);
+  EXPECT_EQ(dept->TextContent(), "financehr");
+}
+
+TEST(NodeTest, CloneIsDeepAndEqual) {
+  NodePtr doc = MustParse("<a x='1'><b>t1</b><c><d/>text</c></a>");
+  NodePtr copy = doc->Clone();
+  EXPECT_TRUE(ValueEqual(*doc, *copy));
+  copy->FindChild("b")->mutable_children()[0]->set_text("t2");
+  EXPECT_FALSE(ValueEqual(*doc, *copy));
+}
+
+TEST(NodeTest, CountNodesIncludesAttrs) {
+  NodePtr doc = MustParse("<a x='1' y='2'><b/>text</a>");
+  // a, x, y, b, text = 5
+  EXPECT_EQ(doc->CountNodes(), 5u);
+}
+
+TEST(NodeTest, Height) {
+  NodePtr doc = MustParse("<a><b><c>t</c></b><d/></a>");
+  EXPECT_EQ(doc->Height(), 3);  // a -> b -> c (element levels only)
+}
+
+// ---------------------------------------------------------------- Parser
+
+TEST(ParserTest, SimpleElement) {
+  NodePtr doc = MustParse("<gene><id>6230</id><name>GRTM</name></gene>");
+  EXPECT_EQ(doc->tag(), "gene");
+  ASSERT_EQ(doc->children().size(), 2u);
+  EXPECT_EQ(doc->children()[0]->tag(), "id");
+  EXPECT_EQ(doc->children()[0]->TextContent(), "6230");
+}
+
+TEST(ParserTest, AttributesBothQuotes) {
+  NodePtr doc = MustParse("<item id=\"item1\" cat='c48'/>");
+  EXPECT_EQ(*doc->FindAttr("id"), "item1");
+  EXPECT_EQ(*doc->FindAttr("cat"), "c48");
+}
+
+TEST(ParserTest, WhitespaceTextSkippedByDefault) {
+  NodePtr doc = MustParse("<a>\n  <b>x</b>\n  <c>y</c>\n</a>");
+  ASSERT_EQ(doc->children().size(), 2u);
+  EXPECT_TRUE(doc->children()[0]->is_element());
+}
+
+TEST(ParserTest, WhitespaceKeptWhenRequested) {
+  ParseOptions opts;
+  opts.skip_whitespace_text = false;
+  auto result = Parse("<a> <b/> </a>", opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value()->children().size(), 3u);
+}
+
+TEST(ParserTest, Entities) {
+  NodePtr doc = MustParse("<t a='&quot;q&apos;'>x &lt;tag&gt; &amp; &#65;&#x42;</t>");
+  EXPECT_EQ(doc->TextContent(), "x <tag> & AB");
+  EXPECT_EQ(*doc->FindAttr("a"), "\"q'");
+}
+
+TEST(ParserTest, CommentsAndPIsSkipped) {
+  NodePtr doc = MustParse(
+      "<?xml version=\"1.0\"?><!-- hi --><a><!-- in -->x<?pi data?></a>");
+  EXPECT_EQ(doc->TextContent(), "x");
+}
+
+TEST(ParserTest, Doctype) {
+  NodePtr doc = MustParse("<!DOCTYPE db [ <!ELEMENT a (b)> ]><a><b/></a>");
+  EXPECT_EQ(doc->tag(), "a");
+}
+
+TEST(ParserTest, Cdata) {
+  NodePtr doc = MustParse("<a><![CDATA[<raw> & stuff]]></a>");
+  EXPECT_EQ(doc->TextContent(), "<raw> & stuff");
+}
+
+TEST(ParserTest, SelfClosing) {
+  NodePtr doc = MustParse("<a><b/><c x='1'/></a>");
+  EXPECT_EQ(doc->children().size(), 2u);
+  EXPECT_TRUE(doc->children()[0]->children().empty());
+}
+
+TEST(ParserTest, MismatchedTagFails) {
+  EXPECT_FALSE(Parse("<a><b></a></b>").ok());
+}
+
+TEST(ParserTest, UnterminatedFails) {
+  EXPECT_FALSE(Parse("<a><b>").ok());
+  EXPECT_FALSE(Parse("<a attr='x").ok());
+  EXPECT_FALSE(Parse("").ok());
+}
+
+TEST(ParserTest, TrailingGarbageFails) {
+  EXPECT_FALSE(Parse("<a/><b/>").ok());
+  EXPECT_FALSE(Parse("<a/>junk").ok());
+}
+
+TEST(ParserTest, NamespacePrefixesKeptVerbatim) {
+  NodePtr doc = MustParse("<v:T t='1-4'><db/></v:T>");
+  EXPECT_EQ(doc->tag(), "v:T");
+  EXPECT_EQ(*doc->FindAttr("t"), "1-4");
+}
+
+// ------------------------------------------------------------- Serializer
+
+TEST(SerializerTest, RoundTripPretty) {
+  NodePtr doc = MustParse(
+      "<db><dept><name>finance</name><emp><fn>John</fn><ln>Doe</ln>"
+      "<sal>95K</sal></emp></dept></db>");
+  std::string text = Serialize(*doc);
+  NodePtr again = MustParse(text);
+  EXPECT_TRUE(ValueEqual(*doc, *again));
+}
+
+TEST(SerializerTest, RoundTripCompact) {
+  NodePtr doc = MustParse("<a x='1'><b>hi &amp; low</b><c/></a>");
+  SerializeOptions opts;
+  opts.pretty = false;
+  std::string text = Serialize(*doc, opts);
+  EXPECT_EQ(text, "<a x=\"1\"><b>hi &amp; low</b><c/></a>");
+  NodePtr again = MustParse(text);
+  EXPECT_TRUE(ValueEqual(*doc, *again));
+}
+
+TEST(SerializerTest, TextOnlyElementsAreSingleLine) {
+  NodePtr doc = MustParse("<a><b>x</b></a>");
+  std::string text = Serialize(*doc);
+  EXPECT_NE(text.find("<b>x</b>"), std::string::npos);
+}
+
+TEST(SerializerTest, EscapesSpecialChars) {
+  NodePtr e = Node::Element("t");
+  e->AddText("a<b&c>d");
+  e->SetAttr("q", "say \"hi\"");
+  SerializeOptions opts;
+  opts.pretty = false;
+  std::string text = Serialize(*e, opts);
+  EXPECT_EQ(text, "<t q=\"say &quot;hi&quot;\">a&lt;b&amp;c&gt;d</t>");
+}
+
+// ------------------------------------------------------------- ValueEqual
+
+TEST(ValueTest, EqualityIgnoresAttrOrder) {
+  NodePtr a = MustParse("<x b='2' a='1'/>");
+  NodePtr b = MustParse("<x a='1' b='2'/>");
+  EXPECT_TRUE(ValueEqual(*a, *b));
+}
+
+TEST(ValueTest, ChildOrderMatters) {
+  NodePtr a = MustParse("<x><a/><b/></x>");
+  NodePtr b = MustParse("<x><b/><a/></x>");
+  EXPECT_FALSE(ValueEqual(*a, *b));
+}
+
+TEST(ValueTest, TextDiffersDetected) {
+  NodePtr a = MustParse("<x>one</x>");
+  NodePtr b = MustParse("<x>two</x>");
+  EXPECT_FALSE(ValueEqual(*a, *b));
+}
+
+TEST(ValueTest, TagDiffersDetected) {
+  EXPECT_FALSE(ValueEqual(*MustParse("<x/>"), *MustParse("<y/>")));
+}
+
+TEST(ValueTest, AttrValueDiffersDetected) {
+  EXPECT_FALSE(ValueEqual(*MustParse("<x a='1'/>"), *MustParse("<x a='2'/>")));
+  EXPECT_FALSE(ValueEqual(*MustParse("<x a='1'/>"), *MustParse("<x/>")));
+}
+
+TEST(ValueTest, CompareIsTotalOrder) {
+  // T-node < E-node.
+  NodePtr t = Node::Text("zzz");
+  NodePtr e = Node::Element("aaa");
+  EXPECT_LT(ValueCompare(*t, *e), 0);
+  EXPECT_GT(ValueCompare(*e, *t), 0);
+  // Texts by string.
+  EXPECT_LT(ValueCompare(*Node::Text("a"), *Node::Text("b")), 0);
+  // Elements by tag first.
+  EXPECT_LT(ValueCompare(*MustParse("<a><z/></a>"), *MustParse("<b/>")), 0);
+  // Then by children: shorter list first.
+  EXPECT_LT(ValueCompare(*MustParse("<a><x/></a>"),
+                         *MustParse("<a><x/><x/></a>")),
+            0);
+  // Then lexicographic by child value.
+  EXPECT_LT(ValueCompare(*MustParse("<a><x>1</x></a>"),
+                         *MustParse("<a><x>2</x></a>")),
+            0);
+  // Then attributes: fewer first.
+  EXPECT_LT(ValueCompare(*MustParse("<a/>"), *MustParse("<a b='1'/>")), 0);
+  EXPECT_LT(ValueCompare(*MustParse("<a b='1'/>"), *MustParse("<a b='2'/>")),
+            0);
+  EXPECT_LT(ValueCompare(*MustParse("<a b='1'/>"), *MustParse("<a c='1'/>")),
+            0);
+}
+
+TEST(ValueTest, CompareAntisymmetric) {
+  NodePtr docs[] = {
+      MustParse("<a/>"), MustParse("<a>t</a>"), MustParse("<a b='1'/>"),
+      MustParse("<b><c/></b>"), MustParse("<a><b/><c>x</c></a>")};
+  for (auto& x : docs) {
+    for (auto& y : docs) {
+      int cx = ValueCompare(*x, *y);
+      int cy = ValueCompare(*y, *x);
+      EXPECT_EQ(cx, -cy);
+      EXPECT_EQ(cx == 0, ValueEqual(*x, *y));
+    }
+  }
+}
+
+// ------------------------------------------------------------- Canonical
+
+TEST(CanonicalTest, EqualValuesEqualCanon) {
+  NodePtr a = MustParse("<x b='2' a='1'><y>t</y></x>");
+  NodePtr b = MustParse("<x  a=\"1\"  b=\"2\" ><y>t</y></x>");
+  EXPECT_EQ(Canonicalize(*a), Canonicalize(*b));
+}
+
+TEST(CanonicalTest, DifferentValuesDifferentCanon) {
+  EXPECT_NE(Canonicalize(*MustParse("<x>1</x>")),
+            Canonicalize(*MustParse("<x>2</x>")));
+  // A text child "b" vs an element child <b/> must differ.
+  EXPECT_NE(Canonicalize(*MustParse("<x>b</x>")),
+            Canonicalize(*MustParse("<x><b/></x>")));
+}
+
+TEST(CanonicalTest, EscapingPreventsConfusion) {
+  // Text "<y/>" vs element <y/> must canonicalize differently.
+  NodePtr a = Node::Element("x");
+  a->AddText("<y/>");
+  NodePtr b = MustParse("<x><y/></x>");
+  EXPECT_NE(Canonicalize(*a), Canonicalize(*b));
+}
+
+TEST(CanonicalTest, FingerprintMatchesValueEquality) {
+  NodePtr a = MustParse("<x b='2' a='1'><y>t</y></x>");
+  NodePtr b = MustParse("<x a='1' b='2'><y>t</y></x>");
+  NodePtr c = MustParse("<x a='1' b='2'><y>u</y></x>");
+  EXPECT_EQ(Fingerprint(*a).ToHex(), Fingerprint(*b).ToHex());
+  EXPECT_NE(Fingerprint(*a).ToHex(), Fingerprint(*c).ToHex());
+}
+
+// ------------------------------------------------------------------ Path
+
+TEST(PathTest, ParseAbsolute) {
+  auto p = ParsePath("/db/dept/emp");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->absolute);
+  ASSERT_EQ(p->steps.size(), 3u);
+  EXPECT_EQ(p->ToString(), "/db/dept/emp");
+}
+
+TEST(PathTest, ParseRelativeAndEmpty) {
+  auto p = ParsePath("Date/Month");
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(p->absolute);
+  EXPECT_EQ(p->steps.size(), 2u);
+  EXPECT_TRUE(ParsePath("")->empty());
+  EXPECT_TRUE(ParsePath(".")->empty());
+  EXPECT_TRUE(ParsePath("\\e")->empty());
+  EXPECT_TRUE(ParsePath("/")->absolute);
+}
+
+TEST(PathTest, ParseRejectsEmptyStep) {
+  EXPECT_FALSE(ParsePath("/a//b").ok());
+}
+
+TEST(PathTest, ConcatAndPrefix) {
+  Path q = *ParsePath("/db/dept");
+  Path r = *ParsePath("emp");
+  Path full = q.Concat(r);
+  EXPECT_EQ(full.ToString(), "/db/dept/emp");
+  EXPECT_TRUE(q.IsProperPrefixOf(full));
+  EXPECT_FALSE(full.IsProperPrefixOf(q));
+  EXPECT_FALSE(full.IsProperPrefixOf(full));
+}
+
+TEST(PathTest, EvalElements) {
+  NodePtr doc = MustParse(
+      "<db><dept><name>fin</name></dept><dept><name>mkt</name></dept></db>");
+  auto hits = EvalPath(*doc, *ParsePath("dept/name"));
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].node->TextContent(), "fin");
+  EXPECT_EQ(hits[1].node->TextContent(), "mkt");
+}
+
+TEST(PathTest, EvalEmptyPathIsSelf) {
+  NodePtr doc = MustParse("<a/>");
+  auto hits = EvalPath(*doc, *ParsePath("."));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].node, doc.get());
+}
+
+TEST(PathTest, EvalAttributeTerminal) {
+  NodePtr doc = MustParse("<item id='item1'><sub id='s'/></item>");
+  auto hits = EvalPath(*doc, *ParsePath("id"));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_TRUE(hits[0].is_attr());
+  EXPECT_EQ(hits[0].attr_name, "id");
+  EXPECT_EQ(*hits[0].attr_owner->FindAttr("id"), "item1");
+}
+
+TEST(PathTest, EvalElementPreferredOverAttribute) {
+  NodePtr doc = MustParse("<x id='attr'><id>elem</id></x>");
+  auto hits = EvalPath(*doc, *ParsePath("id"));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_FALSE(hits[0].is_attr());
+  EXPECT_EQ(hits[0].node->TextContent(), "elem");
+}
+
+TEST(PathTest, EvalNoMatch) {
+  NodePtr doc = MustParse("<a><b/></a>");
+  EXPECT_TRUE(EvalPath(*doc, *ParsePath("c/d")).empty());
+}
+
+}  // namespace
+}  // namespace xarch::xml
