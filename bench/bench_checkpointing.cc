@@ -4,11 +4,16 @@
 // kth version." Sweeps k and reports the storage / retrieval-cost
 // trade-off for both systems under the worst-case key-mutation workload
 // (where checkpointing helps the archive most).
+//
+// Both systems run behind Store v2 ("checkpoint-archive" and
+// "checkpoint-diff"), with segment counts and worst-case delta
+// applications read off Stats().
 
 #include <cstdio>
 
 #include "synth/xmark.h"
-#include "xarch/checkpoint.h"
+#include "xarch/store.h"
+#include "xarch/store_registry.h"
 #include "xml/serializer.h"
 
 int main() {
@@ -17,8 +22,8 @@ int main() {
   std::printf("# E14 — checkpointing trade-off (%d versions, key-mutation "
               "5%%/version)\n",
               kVersions);
-  std::printf("%-6s %16s %18s %22s\n", "k", "archive bytes", "diff repo bytes",
-              "max delta applications");
+  std::printf("%-6s %16s %18s %10s %22s\n", "k", "archive bytes",
+              "diff repo bytes", "segments", "max delta applications");
 
   xml::SerializeOptions flat;
   flat.indent_width = 0;
@@ -29,30 +34,45 @@ int main() {
     gen_options.people = 18;
     gen_options.open_auctions = 12;
     synth::XMarkGenerator gen(gen_options);
-    auto spec = keys::ParseKeySpecSet(synth::XMarkGenerator::KeySpecText());
-    CheckpointedArchive archive(std::move(*spec), k);
-    CheckpointedDiffRepo repo(k);
+
+    auto make = [&](const char* backend) {
+      StoreOptions options;
+      auto spec = keys::ParseKeySpecSet(synth::XMarkGenerator::KeySpecText());
+      options.spec = std::move(*spec);
+      options.checkpoint_every = k;
+      auto store = StoreRegistry::Create(backend, std::move(options));
+      if (!store.ok()) {
+        std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+        std::exit(1);
+      }
+      return std::move(store).value();
+    };
+    auto archive = make("checkpoint-archive");
+    auto repo = make("checkpoint-diff");
+
     for (int v = 0; v < kVersions; ++v) {
       if (v > 0) gen.MutateKeys(5.0);
-      auto doc = gen.Current();
-      Status st = archive.AddVersion(*doc);
-      if (!st.ok()) {
-        std::fprintf(stderr, "%s\n", st.ToString().c_str());
-        return 1;
+      std::string text = xml::Serialize(*gen.Current(), flat);
+      for (Store* store : {archive.get(), repo.get()}) {
+        if (Status st = store->Append(text); !st.ok()) {
+          std::fprintf(stderr, "%s\n", st.ToString().c_str());
+          return 1;
+        }
       }
-      repo.AddVersion(xml::Serialize(*doc, flat));
     }
-    size_t max_apps = 0;
     for (Version v = 1; v <= kVersions; ++v) {
-      max_apps = std::max(max_apps, repo.ApplicationsFor(v));
       // All versions must remain retrievable under every k.
-      if (!archive.RetrieveVersion(v).ok() || !repo.Retrieve(v).ok()) {
+      if (!archive->Retrieve(v).ok() || !repo->Retrieve(v).ok()) {
         std::fprintf(stderr, "retrieval failed at k=%zu v=%u\n", k, v);
         return 1;
       }
     }
-    std::printf("%-6zu %16zu %18zu %22zu\n", k, archive.ByteSize(),
-                repo.ByteSize(), max_apps);
+    StoreStats archive_stats = archive->Stats();
+    StoreStats repo_stats = repo->Stats();
+    std::printf("%-6zu %16zu %18zu %10zu %22zu\n", k,
+                archive_stats.stored_bytes, repo_stats.stored_bytes,
+                archive_stats.checkpoint_segments,
+                repo_stats.max_retrieval_applications);
   }
   std::printf("\nexpected shape: k=1 stores every version in full (both "
               "systems identical cost, zero applications); large k saves "

@@ -3,12 +3,16 @@
 // runs, merge passes and page I/O: the O((N/B) log_{M/B}(N/B)) behaviour —
 // smaller budgets mean more runs and more merge passes.
 // Also verifies the external archive equals the in-memory one.
+//
+// Drives the archiver through the Store v2 "extmem" backend: ingest via
+// Store::Append, I/O counters via Stats().io, archive bytes via
+// StoredBytes().
 
 #include <cstdio>
-#include <filesystem>
 
 #include "core/archive.h"
-#include "extmem/external_archiver.h"
+#include "xarch/store.h"
+#include "xarch/store_registry.h"
 #include "xml/parser.h"
 #include "synth/swissprot.h"
 #include "xml/serializer.h"
@@ -16,6 +20,7 @@
 int main() {
   using namespace xarch;
   constexpr int kReleases = 5;
+  constexpr size_t kPageBytes = 4096;
 
   // Pre-generate the releases once.
   synth::SwissProtGenerator::Options gen_options;
@@ -27,8 +32,8 @@ int main() {
   }
 
   std::printf("# E10 — external archiver: I/O vs memory budget "
-              "(%d Swiss-Prot releases, fan-in 4, B=4096)\n",
-              kReleases);
+              "(%d Swiss-Prot releases, fan-in 4, B=%zu)\n",
+              kReleases, kPageBytes);
   std::printf("%-12s %8s %8s %12s %12s\n", "M (rows)", "runs", "passes",
               "pages read", "pages written");
 
@@ -36,35 +41,38 @@ int main() {
   for (size_t budget : {64, 256, 1024, 8192, 65536}) {
     auto spec =
         keys::ParseKeySpecSet(synth::SwissProtGenerator::KeySpecText());
-    extmem::ExternalArchiver::Options options;
-    options.work_dir = std::filesystem::temp_directory_path() /
-                       ("xarch_bench_extmem_" + std::to_string(budget));
-    options.memory_budget_rows = budget;
-    options.fan_in = 4;
-    extmem::ExternalArchiver ext(std::move(*spec), options);
+    StoreOptions options;
+    options.spec = std::move(*spec);
+    options.extmem.memory_budget_rows = budget;
+    options.extmem.fan_in = 4;
+    options.extmem.page_bytes = kPageBytes;
+    auto store = StoreRegistry::Create("extmem", std::move(options));
+    if (!store.ok()) {
+      std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+      return 1;
+    }
     for (const auto& text : releases) {
-      auto doc = xml::Parse(text);
-      Status st = ext.AddVersion(**doc);
+      Status st = (*store)->Append(text);
       if (!st.ok()) {
         std::fprintf(stderr, "%s\n", st.ToString().c_str());
         return 1;
       }
     }
-    const auto& io = ext.stats();
+    const extmem::IoStats io = (*store)->Stats().io;
     std::printf("%-12zu %8llu %8llu %12llu %12llu\n", budget,
                 static_cast<unsigned long long>(io.run_count),
                 static_cast<unsigned long long>(io.merge_passes),
-                static_cast<unsigned long long>(io.PagesRead(4096)),
-                static_cast<unsigned long long>(io.PagesWritten(4096)));
-    auto xml = ext.ToXml();
-    if (xml.ok()) {
+                static_cast<unsigned long long>(io.PagesRead(kPageBytes)),
+                static_cast<unsigned long long>(io.PagesWritten(kPageBytes)));
+    std::string xml = (*store)->StoredBytes();
+    if (!xml.empty()) {
       if (reference_xml.empty()) {
-        reference_xml = *xml;
-      } else if (reference_xml != *xml) {
+        reference_xml = xml;
+      } else if (reference_xml != xml) {
         std::printf("  WARNING: archive differs across budgets!\n");
       }
     }
-    std::filesystem::remove_all(options.work_dir);
+    // The store owns its work directory and removes it on destruction.
   }
 
   // Equivalence with the in-memory archiver.

@@ -14,6 +14,7 @@ int main() {
   bench::SweepOptions options;
   options.with_cumulative = false;
   options.with_compression = true;
+  options.archive_backend = "archive";  // Store v2 registry name
 
   for (double pct : {1.66, 10.0}) {
     synth::XMarkGenerator::Options gen_options;

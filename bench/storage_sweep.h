@@ -2,19 +2,21 @@
 #define XARCH_BENCH_STORAGE_SWEEP_H_
 
 // Shared driver for the storage experiments (Fig. 11-14, Appendix C):
-// feeds a sequence of versions to every storage strategy of Sec. 5 and
-// prints one row per version with all the byte counts the paper plots.
+// feeds a sequence of versions to every storage strategy of Sec. 5 —
+// resolved through the Store v2 registry — and prints one row per version
+// with all the byte counts the paper plots.
 
 #include <cstdio>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "compress/container.h"
 #include "compress/lzss.h"
-#include "core/archive.h"
-#include "diff/repository.h"
 #include "keys/key_spec.h"
+#include "xarch/store.h"
+#include "xarch/store_registry.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
 
@@ -23,6 +25,8 @@ namespace xarch::bench {
 struct SweepOptions {
   bool with_cumulative = true;   ///< include the V1+cumu-diffs line (Fig. 11)
   bool with_compression = true;  ///< include the compressed lines (Fig. 12+)
+  /// Registry name of the archive line ("archive" or "archive-weave").
+  std::string archive_backend = "archive";
 };
 
 /// Serialization used for all byte counts: line-structured (so line diffs
@@ -40,15 +44,31 @@ inline void RunStorageSweep(const std::string& title,
                             const char* key_spec_text, int versions,
                             const std::function<xml::NodePtr()>& next_version,
                             const SweepOptions& options) {
-  auto spec = keys::ParseKeySpecSet(key_spec_text);
-  if (!spec.ok()) {
-    std::fprintf(stderr, "bad key spec: %s\n", spec.status().ToString().c_str());
-    std::exit(1);
-  }
-  core::Archive archive(std::move(*spec));
-  diff::IncrementalDiffRepo inc;
-  diff::CumulativeDiffRepo cumu;
-  diff::FullCopyRepo all;
+  auto make_store = [&](const char* name,
+                        bool with_spec) -> std::unique_ptr<Store> {
+    StoreOptions store_options;
+    if (with_spec) {
+      auto spec = keys::ParseKeySpecSet(key_spec_text);
+      if (!spec.ok()) {
+        std::fprintf(stderr, "bad key spec: %s\n",
+                     spec.status().ToString().c_str());
+        std::exit(1);
+      }
+      store_options.spec = std::move(*spec);
+    }
+    auto store = StoreRegistry::Create(name, std::move(store_options));
+    if (!store.ok()) {
+      std::fprintf(stderr, "store \"%s\": %s\n", name,
+                   store.status().ToString().c_str());
+      std::exit(1);
+    }
+    return std::move(store).value();
+  };
+  std::unique_ptr<Store> archive =
+      make_store(options.archive_backend.c_str(), /*with_spec=*/true);
+  std::unique_ptr<Store> inc = make_store("incr-diff", /*with_spec=*/false);
+  std::unique_ptr<Store> cumu = make_store("cum-diff", /*with_spec=*/false);
+  std::unique_ptr<Store> all = make_store("full-copy", /*with_spec=*/false);
 
   std::printf("# %s\n", title.c_str());
   std::printf("%-3s %10s %10s %10s", "v", "version", "archive", "V1+inc");
@@ -59,35 +79,32 @@ inline void RunStorageSweep(const std::string& title,
   }
   std::printf("\n");
 
-  core::ArchiveSerializeOptions archive_ser;
-  archive_ser.indent_width = 0;
   for (int v = 1; v <= versions; ++v) {
     xml::NodePtr doc = next_version();
     std::string text = SerializeForBench(*doc);
-    Status st = archive.AddVersion(*doc);
-    if (!st.ok()) {
-      std::fprintf(stderr, "v%d merge: %s\n", v, st.ToString().c_str());
-      std::exit(1);
+    for (Store* store : {archive.get(), inc.get(), cumu.get(), all.get()}) {
+      if (Status st = store->Append(text); !st.ok()) {
+        std::fprintf(stderr, "v%d %s: %s\n", v, store->name().c_str(),
+                     st.ToString().c_str());
+        std::exit(1);
+      }
     }
-    inc.AddVersion(text);
-    cumu.AddVersion(text);
-    all.AddVersion(text);
 
-    std::string archive_xml = archive.ToXml(archive_ser);
+    std::string archive_xml = archive->StoredBytes();
     std::printf("%-3d %10zu %10zu %10zu", v, text.size(), archive_xml.size(),
-                inc.ByteSize());
-    if (options.with_cumulative) std::printf(" %10zu", cumu.ByteSize());
+                inc->ByteSize());
+    if (options.with_cumulative) std::printf(" %10zu", cumu->ByteSize());
     if (options.with_compression) {
-      size_t gzip_inc = compress::LzssCompress(inc.ConcatenatedBytes()).size();
+      size_t gzip_inc = compress::LzssCompress(inc->StoredBytes()).size();
       size_t gzip_cumu =
-          compress::LzssCompress(cumu.ConcatenatedBytes()).size();
+          compress::LzssCompress(cumu->StoredBytes()).size();
       auto xmill_arch =
           compress::XmlContainerCompressor::CompressText(archive_xml);
       // "xmill(V1+...+Vi)": all versions side by side in one XML tree
       // (Sec. 5), made well-formed with a wrapper element.
       auto xmill_all_or =
           compress::XmlContainerCompressor::CompressText(
-              "<all>" + all.ConcatenatedBytes() + "</all>");
+              "<all>" + all->StoredBytes() + "</all>");
       size_t xmill_all = xmill_all_or.ok() ? xmill_all_or->size() : 0;
       std::printf(" %12zu %12zu %12zu %12zu", gzip_inc, gzip_cumu,
                   xmill_arch.ok() ? xmill_arch->size() : 0, xmill_all);

@@ -53,17 +53,27 @@ int main() {
   }
 
   // 2. Build the lookup structures and archive the very versions the keys
-  //    came from.
+  //    came from — through Store v2, batching all of them into one
+  //    nested-merge pass.
   auto spec = xarch::keys::KeySpecSet::Build(std::move(*keys));
   if (!spec.ok()) Fail(spec.status());
-  xarch::core::Archive archive(std::move(*spec));
+  xarch::StoreOptions store_options;
+  store_options.spec = std::move(*spec);
+  auto store_or = xarch::StoreRegistry::Create("archive",
+                                               std::move(store_options));
+  if (!store_or.ok()) Fail(store_or.status());
+  xarch::Store& archive = **store_or;
+  std::vector<std::string> texts;
   for (const auto& doc : versions) {
-    if (xarch::Status st = archive.AddVersion(*doc); !st.ok()) Fail(st);
+    texts.push_back(xarch::xml::Serialize(*doc));
   }
-  xarch::Status check = archive.Check();
-  std::printf("\narchived %u versions with the inferred keys; invariants: "
-              "%s\n",
-              archive.version_count(), check.ToString().c_str());
+  std::vector<std::string_view> batch(texts.begin(), texts.end());
+  if (xarch::Status st = archive.AppendBatch(batch); !st.ok()) Fail(st);
+  xarch::StoreStats stats = archive.Stats();
+  std::printf("\narchived %u versions with the inferred keys in %llu merge "
+              "pass(es)\n",
+              stats.versions,
+              static_cast<unsigned long long>(stats.merge_passes));
 
   // 3. The inferred keys support the same temporal queries: query the
   //    first record of version 1 by whatever key inference picked.
@@ -86,10 +96,10 @@ int main() {
               "%s\n",
               record_key.ToString().c_str(), history->ToString().c_str());
 
-  // 4. And every version is retrievable.
+  // 4. And every version is retrievable (streamed, here just counted).
   for (xarch::Version v = 1; v <= archive.version_count(); ++v) {
-    auto got = archive.RetrieveVersion(v);
-    if (!got.ok()) Fail(got.status());
+    xarch::CountingSink sink;
+    if (xarch::Status st = archive.RetrieveTo(v, sink); !st.ok()) Fail(st);
   }
   std::printf("all %u versions retrievable from the inferred-key archive\n",
               archive.version_count());

@@ -9,7 +9,6 @@
 //    memory budget and reports its I/O.
 
 #include <cstdio>
-#include <filesystem>
 
 #include "synth/swissprot.h"
 #include "xarch/xarch.h"
@@ -73,33 +72,34 @@ int main() {
               "%zu\n\n",
               stats.comparisons, archive.root().children[0]->children.size());
 
-  // --- Sec. 6: the same archive built with the external-memory archiver.
-  xarch::extmem::ExternalArchiver::Options ext_options;
-  ext_options.work_dir =
-      std::filesystem::temp_directory_path() / "xarch_example_extmem";
-  ext_options.memory_budget_rows = 256;  // deliberately tiny
-  ext_options.fan_in = 4;
-  xarch::extmem::ExternalArchiver ext(Spec(), ext_options);
+  // --- Sec. 6: the same archive built with the external-memory archiver,
+  // through the Store v2 "extmem" backend. The store gets a private work
+  // directory and removes it on destruction; Stats() folds in the I/O
+  // counters.
+  xarch::StoreOptions store_options;
+  store_options.spec = Spec();
+  store_options.extmem.memory_budget_rows = 256;  // deliberately tiny
+  store_options.extmem.fan_in = 4;
+  const size_t page_bytes = store_options.extmem.page_bytes;
+  auto ext = xarch::StoreRegistry::Create("extmem", std::move(store_options));
+  if (!ext.ok()) Fail(ext.status());
   for (const std::string& text : version_texts) {
-    auto doc = xarch::xml::Parse(text);
-    if (!doc.ok()) Fail(doc.status());
-    if (xarch::Status st = ext.AddVersion(**doc); !st.ok()) Fail(st);
+    if (xarch::Status st = (*ext)->Append(text); !st.ok()) Fail(st);
   }
-  const auto& io = ext.stats();
-  std::printf("external-memory archiver (M=%zu rows, fan-in %zu):\n",
-              ext_options.memory_budget_rows, ext_options.fan_in);
+  const xarch::extmem::IoStats io = (*ext)->Stats().io;
+  std::printf("external-memory archiver (M=256 rows, fan-in 4):\n");
   std::printf("  sorted runs: %llu, merge passes: %llu\n",
               static_cast<unsigned long long>(io.run_count),
               static_cast<unsigned long long>(io.merge_passes));
   std::printf("  pages read: %llu, pages written: %llu (B=%zu)\n",
-              static_cast<unsigned long long>(io.PagesRead(ext_options.page_bytes)),
-              static_cast<unsigned long long>(
-                  io.PagesWritten(ext_options.page_bytes)),
-              ext_options.page_bytes);
-  auto check = ext.RetrieveVersion(1);
+              static_cast<unsigned long long>(io.PagesRead(page_bytes)),
+              static_cast<unsigned long long>(io.PagesWritten(page_bytes)),
+              page_bytes);
+  auto check = (*ext)->Retrieve(1);
   if (!check.ok()) Fail(check.status());
+  auto reparsed = xarch::xml::Parse(*check);
+  if (!reparsed.ok()) Fail(reparsed.status());
   std::printf("  release 1 retrieved from the on-disk archive: %zu records\n",
-              (*check)->FindChildren("Record").size());
-  std::filesystem::remove_all(ext_options.work_dir);
+              (*reparsed)->FindChildren("Record").size());
   return 0;
 }

@@ -116,6 +116,14 @@ class Archive {
   /// is unchanged.
   Status AddVersion(const xml::Node& version_root);
 
+  /// Merges a batch of consecutive versions in ONE traversal of the
+  /// archive (a k-way generalization of Nested Merge): the result is
+  /// byte-identical to calling AddVersion on each document in order, but
+  /// the archive hierarchy is walked once instead of once per version.
+  /// All documents are key-checked up front; on error the archive is
+  /// unchanged.
+  Status AddVersions(const std::vector<const xml::Node*>& version_roots);
+
   /// Archives an empty database state (the Sec. 2 footnote: the root node
   /// tracks versions where the database is empty).
   void AddEmptyVersion();
@@ -157,12 +165,19 @@ class Archive {
   /// Total archive nodes (cheap size proxy; ToXml().size() is the byte one).
   size_t CountNodes() const { return root_->CountNodes(); }
 
+  /// Full traversals of the archive performed by merging so far: one per
+  /// AddVersion call, one per AddVersions *batch*. A counter hook for
+  /// verifying that batched ingest really is a single pass.
+  uint64_t merge_pass_count() const { return merge_passes_; }
+
  private:
   friend class NestedMerger;
+  friend class MultiNestedMerger;
 
   keys::KeySpecSet spec_;
   ArchiveOptions options_;
   Version count_ = 0;
+  uint64_t merge_passes_ = 0;
   std::unique_ptr<ArchiveNode> root_;
 };
 

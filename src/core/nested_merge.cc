@@ -31,6 +31,102 @@ std::vector<xml::NodePtr> CloneContent(const std::vector<xml::NodePtr>& in) {
   return out;
 }
 
+/// One version step of the basic frontier handling: whole-content
+/// alternatives. `T` is the node's effective timestamp with `v` included.
+/// Shared by the single-version and the batched merger.
+void FrontierBucketsStep(ArchiveNode* x,
+                         const std::vector<xml::NodePtr>& ycontent,
+                         const VersionSet& T, Version v) {
+  if (x->buckets.empty()) {
+    // Loaded archives may omit an empty plain bucket.
+    x->buckets.push_back(ArchiveNode::Bucket{});
+  }
+  bool plain = x->buckets.size() == 1 && !x->buckets[0].stamp.has_value();
+  if (plain) {
+    if (ContentValueEqual(x->buckets[0].content, ycontent)) return;
+    // Transition to timestamped alternatives (the sal example, Fig. 4/5).
+    x->buckets[0].stamp = T.Minus(VersionSet::Single(v));
+    ArchiveNode::Bucket fresh;
+    fresh.stamp = VersionSet::Single(v);
+    fresh.content = CloneContent(ycontent);
+    x->buckets.push_back(std::move(fresh));
+    return;
+  }
+  for (auto& bucket : x->buckets) {
+    if (bucket.stamp.has_value() &&
+        ContentValueEqual(bucket.content, ycontent)) {
+      bucket.stamp->Add(v);
+      return;
+    }
+  }
+  ArchiveNode::Bucket fresh;
+  fresh.stamp = VersionSet::Single(v);
+  fresh.content = CloneContent(ycontent);
+  x->buckets.push_back(std::move(fresh));
+}
+
+/// One version step of the further-compaction frontier handling (Sec. 4.2,
+/// Fig. 10): SCCS-style per-item weave. Diffing against all woven items
+/// (dead ones included) revives identical content instead of storing it
+/// twice.
+void FrontierWeaveStep(ArchiveNode* x,
+                       const std::vector<xml::NodePtr>& ycontent,
+                       const VersionSet& T, Version v) {
+  // Flatten to one item per bucket.
+  std::vector<ArchiveNode::Bucket> items;
+  for (auto& bucket : x->buckets) {
+    if (bucket.content.size() <= 1) {
+      if (!bucket.content.empty()) items.push_back(std::move(bucket));
+    } else {
+      for (auto& n : bucket.content) {
+        ArchiveNode::Bucket item;
+        item.stamp = bucket.stamp;
+        item.content.push_back(std::move(n));
+        items.push_back(std::move(item));
+      }
+    }
+  }
+  std::vector<std::string> a_canon;
+  a_canon.reserve(items.size());
+  for (const auto& item : items) {
+    a_canon.push_back(xml::Canonicalize(*item.content[0]));
+  }
+  std::vector<std::string> b_canon;
+  b_canon.reserve(ycontent.size());
+  for (const auto& n : ycontent) b_canon.push_back(xml::Canonicalize(*n));
+
+  auto hunks = diff::MyersDiff(
+      a_canon.size(), b_canon.size(),
+      [&](size_t i, size_t j) { return a_canon[i] == b_canon[j]; });
+
+  std::vector<ArchiveNode::Bucket> result;
+  result.reserve(items.size() + ycontent.size());
+  for (const auto& h : hunks) {
+    if (h.equal) {
+      for (size_t k = 0; k < h.a_len; ++k) {
+        ArchiveNode::Bucket item = std::move(items[h.a_pos + k]);
+        if (item.stamp.has_value()) item.stamp->Add(v);
+        result.push_back(std::move(item));
+      }
+    } else {
+      for (size_t k = 0; k < h.a_len; ++k) {
+        ArchiveNode::Bucket item = std::move(items[h.a_pos + k]);
+        if (!item.stamp.has_value()) {
+          item.stamp = T.Minus(VersionSet::Single(v));
+        }
+        result.push_back(std::move(item));
+      }
+      for (size_t k = 0; k < h.b_len; ++k) {
+        ArchiveNode::Bucket fresh;
+        fresh.stamp = VersionSet::Single(v);
+        fresh.content.push_back(ycontent[h.b_pos + k]->Clone());
+        result.push_back(std::move(fresh));
+      }
+    }
+  }
+  x->buckets = std::move(result);
+}
+
 }  // namespace
 
 /// Implements algorithm Nested Merge (Sec. 4.2) against an Archive.
@@ -93,9 +189,9 @@ class NestedMerger {
     }
     if (y.is_frontier) {
       if (archive_.options_.frontier == FrontierStrategy::kWeave) {
-        MergeFrontierWeave(x, y, T);
+        FrontierWeaveStep(x, y.node->children(), T, v_);
       } else {
-        MergeFrontierBuckets(x, y, T);
+        FrontierBucketsStep(x, y.node->children(), T, v_);
       }
       return;
     }
@@ -112,99 +208,6 @@ class NestedMerger {
     if (!x->stamp.has_value()) {
       x->stamp = T.Minus(VersionSet::Single(v_));
     }
-  }
-
-  /// Frontier handling of the basic algorithm: whole-content alternatives.
-  void MergeFrontierBuckets(ArchiveNode* x, const keys::KeyedNode& y,
-                            const VersionSet& T) {
-    const auto& ycontent = y.node->children();
-    if (x->buckets.empty()) {
-      // Loaded archives may omit an empty plain bucket.
-      x->buckets.push_back(ArchiveNode::Bucket{});
-    }
-    bool plain = x->buckets.size() == 1 && !x->buckets[0].stamp.has_value();
-    if (plain) {
-      if (ContentValueEqual(x->buckets[0].content, ycontent)) return;
-      // Transition to timestamped alternatives (the sal example, Fig. 4/5).
-      x->buckets[0].stamp = T.Minus(VersionSet::Single(v_));
-      ArchiveNode::Bucket fresh;
-      fresh.stamp = VersionSet::Single(v_);
-      fresh.content = CloneContent(ycontent);
-      x->buckets.push_back(std::move(fresh));
-      return;
-    }
-    for (auto& bucket : x->buckets) {
-      if (bucket.stamp.has_value() &&
-          ContentValueEqual(bucket.content, ycontent)) {
-        bucket.stamp->Add(v_);
-        return;
-      }
-    }
-    ArchiveNode::Bucket fresh;
-    fresh.stamp = VersionSet::Single(v_);
-    fresh.content = CloneContent(ycontent);
-    x->buckets.push_back(std::move(fresh));
-  }
-
-  /// Frontier handling under further compaction (Sec. 4.2, Fig. 10):
-  /// SCCS-style per-item weave. Diffing against all woven items (dead ones
-  /// included) revives identical content instead of storing it twice.
-  void MergeFrontierWeave(ArchiveNode* x, const keys::KeyedNode& y,
-                          const VersionSet& T) {
-    // Flatten to one item per bucket.
-    std::vector<ArchiveNode::Bucket> items;
-    for (auto& bucket : x->buckets) {
-      if (bucket.content.size() <= 1) {
-        if (!bucket.content.empty()) items.push_back(std::move(bucket));
-      } else {
-        for (auto& n : bucket.content) {
-          ArchiveNode::Bucket item;
-          item.stamp = bucket.stamp;
-          item.content.push_back(std::move(n));
-          items.push_back(std::move(item));
-        }
-      }
-    }
-    std::vector<std::string> a_canon;
-    a_canon.reserve(items.size());
-    for (const auto& item : items) {
-      a_canon.push_back(xml::Canonicalize(*item.content[0]));
-    }
-    const auto& ycontent = y.node->children();
-    std::vector<std::string> b_canon;
-    b_canon.reserve(ycontent.size());
-    for (const auto& n : ycontent) b_canon.push_back(xml::Canonicalize(*n));
-
-    auto hunks = diff::MyersDiff(
-        a_canon.size(), b_canon.size(),
-        [&](size_t i, size_t j) { return a_canon[i] == b_canon[j]; });
-
-    std::vector<ArchiveNode::Bucket> result;
-    result.reserve(items.size() + ycontent.size());
-    for (const auto& h : hunks) {
-      if (h.equal) {
-        for (size_t k = 0; k < h.a_len; ++k) {
-          ArchiveNode::Bucket item = std::move(items[h.a_pos + k]);
-          if (item.stamp.has_value()) item.stamp->Add(v_);
-          result.push_back(std::move(item));
-        }
-      } else {
-        for (size_t k = 0; k < h.a_len; ++k) {
-          ArchiveNode::Bucket item = std::move(items[h.a_pos + k]);
-          if (!item.stamp.has_value()) {
-            item.stamp = T.Minus(VersionSet::Single(v_));
-          }
-          result.push_back(std::move(item));
-        }
-        for (size_t k = 0; k < h.b_len; ++k) {
-          ArchiveNode::Bucket fresh;
-          fresh.stamp = VersionSet::Single(v_);
-          fresh.content.push_back(ycontent[h.b_pos + k]->Clone());
-          result.push_back(std::move(fresh));
-        }
-      }
-    }
-    x->buckets = std::move(result);
   }
 
   /// Action (c): build a fresh archive subtree for a node that first exists
@@ -233,13 +236,218 @@ class NestedMerger {
   Version v_;
 };
 
+/// \brief The k-way generalization of Nested Merge behind
+/// Archive::AddVersions: merges a batch of consecutive versions into the
+/// archive in ONE traversal of the hierarchy.
+///
+/// Sequential AddVersion calls walk the whole archive once per version.
+/// For a batch v1..vk the effect of those k walks factors through three
+/// per-node quantities: P, the subset of batch versions in which the
+/// node's parent exists; S ⊆ P, the subset in which the node itself
+/// exists; and eff_old, the node's effective timestamp before the batch.
+/// Replaying the sequential algorithm symbolically gives closed forms:
+///
+///  - a materialized timestamp becomes  stamp_old ∪ S;
+///  - an inherited timestamp stays inherited iff S == P, and otherwise
+///    materializes as  eff_old ∪ S  (eff_old is the parent's pre-batch
+///    effective stamp);
+///  - a node first seen in the batch carries  S  — unless its parent is
+///    also new and S == P, in which case it inherits (mirroring Build);
+///  - frontier content evolves by the per-version step with the node's
+///    effective stamp at version v, which is  eff_old ∪ {v' ∈ S : v' ≤ v}.
+///
+/// These rules let one k-way sorted merge of the archive children with all
+/// k versions' children produce an archive byte-identical to the k
+/// sequential merges.
+class MultiNestedMerger {
+ public:
+  explicit MultiNestedMerger(Archive* archive) : archive_(*archive) {}
+
+  /// `versions`: (version number, annotated root) in ascending order.
+  void Run(
+      const std::vector<std::pair<Version, const keys::KeyedNode*>>& versions) {
+    ArchiveNode& root = *archive_.root_;
+    VersionSet eff_old = *root.stamp;
+    VersionSet P;
+    std::vector<ChildList> lists;
+    lists.reserve(versions.size());
+    for (const auto& [v, y] : versions) {
+      root.stamp->Add(v);
+      P.Add(v);
+      lists.push_back(ChildList{v, {y}});
+    }
+    MergeChildrenMulti(&root, lists, P, eff_old, /*x_is_new=*/false);
+  }
+
+ private:
+  /// The keyed children a node has in one batch version.
+  struct ChildList {
+    Version v;
+    std::vector<const keys::KeyedNode*> children;
+  };
+  /// One node's occurrences across the batch, ascending by version.
+  using Group = std::vector<std::pair<Version, const keys::KeyedNode*>>;
+
+  /// K-way sorted merge of children(x) with children(y) for every batch
+  /// version y in which x exists. `P` is that set of versions, `x_eff_old`
+  /// x's effective timestamp before the batch.
+  void MergeChildrenMulti(ArchiveNode* x, const std::vector<ChildList>& lists,
+                          const VersionSet& P, const VersionSet& x_eff_old,
+                          bool x_is_new) {
+    std::vector<std::unique_ptr<ArchiveNode>> merged;
+    merged.reserve(x->children.size());
+    size_t i = 0;
+    std::vector<size_t> js(lists.size(), 0);
+    for (;;) {
+      // Minimum label among the archive cursor and all version heads.
+      const keys::Label* min =
+          i < x->children.size() ? &x->children[i]->label : nullptr;
+      for (size_t s = 0; s < lists.size(); ++s) {
+        if (js[s] >= lists[s].children.size()) continue;
+        const keys::Label& l = lists[s].children[js[s]]->label;
+        if (min == nullptr || CompareOrder(l, *min) < 0) min = &l;
+      }
+      if (min == nullptr) break;
+
+      Group group;  // versions carrying a node with the minimum label
+      for (size_t s = 0; s < lists.size(); ++s) {
+        if (js[s] >= lists[s].children.size()) continue;
+        const keys::KeyedNode* head = lists[s].children[js[s]];
+        if (CompareOrder(head->label, *min) == 0) {
+          group.emplace_back(lists[s].v, head);
+          ++js[s];
+        }
+      }
+      bool in_archive = i < x->children.size() &&
+                        CompareOrder(x->children[i]->label, *min) == 0;
+      VersionSet S;
+      for (const auto& [v, y] : group) S.Add(v);
+
+      if (in_archive) {
+        ArchiveNode* child = x->children[i].get();
+        VersionSet child_eff_old;
+        if (child->stamp.has_value()) {
+          child_eff_old = *child->stamp;
+          child->stamp->UnionWith(S);
+        } else {
+          child_eff_old = x_eff_old;
+          if (S != P) {
+            VersionSet stamped = x_eff_old;
+            stamped.UnionWith(S);
+            child->stamp = std::move(stamped);
+          }
+        }
+        if (!group.empty()) {
+          Descend(child, group, S, child_eff_old, /*is_new=*/false);
+        }
+        merged.push_back(std::move(x->children[i]));
+        ++i;
+      } else {
+        merged.push_back(BuildMulti(group, S, P, x_is_new));
+      }
+    }
+    x->children = std::move(merged);
+  }
+
+  /// Recurses into a node present in the `group` versions.
+  void Descend(ArchiveNode* x, const Group& group, const VersionSet& S,
+               const VersionSet& eff_old, bool is_new) {
+    if (x->is_frontier) {
+      VersionSet T = eff_old;  // becomes eff_old ∪ {v' ∈ S : v' ≤ v}
+      for (const auto& [v, y] : group) {
+        T.Add(v);
+        if (archive_.options_.frontier == FrontierStrategy::kWeave) {
+          FrontierWeaveStep(x, y->node->children(), T, v);
+        } else {
+          FrontierBucketsStep(x, y->node->children(), T, v);
+        }
+      }
+      return;
+    }
+    std::vector<ChildList> lists;
+    lists.reserve(group.size());
+    for (const auto& [v, y] : group) {
+      ChildList list;
+      list.v = v;
+      list.children.reserve(y->children.size());
+      for (const auto& c : y->children) list.children.push_back(&c);
+      lists.push_back(std::move(list));
+    }
+    MergeChildrenMulti(x, lists, S, eff_old, is_new);
+  }
+
+  /// A node absent from the archive: build it from its first occurrence and
+  /// fold the later occurrences in (the batched form of action (c)).
+  std::unique_ptr<ArchiveNode> BuildMulti(const Group& group,
+                                          const VersionSet& S,
+                                          const VersionSet& P,
+                                          bool parent_is_new) {
+    const keys::KeyedNode& first = *group.front().second;
+    auto node = std::make_unique<ArchiveNode>();
+    node->label = first.label;
+    node->is_frontier = first.is_frontier;
+    node->attrs = first.node->attrs();
+    // A fresh subtree's descendants inherit the top timestamp exactly when
+    // they exist alongside it in every batch version.
+    bool inherit = parent_is_new && S == P;
+    if (!inherit) node->stamp = S;
+    if (node->is_frontier) {
+      ArchiveNode::Bucket bucket;
+      bucket.content = CloneContent(first.node->children());
+      node->buckets.push_back(std::move(bucket));
+      VersionSet T = VersionSet::Single(group.front().first);
+      for (size_t g = 1; g < group.size(); ++g) {
+        const auto& [v, y] = group[g];
+        T.Add(v);
+        if (archive_.options_.frontier == FrontierStrategy::kWeave) {
+          FrontierWeaveStep(node.get(), y->node->children(), T, v);
+        } else {
+          FrontierBucketsStep(node.get(), y->node->children(), T, v);
+        }
+      }
+    } else {
+      Descend(node.get(), group, S, /*eff_old=*/VersionSet(), /*is_new=*/true);
+    }
+    return node;
+  }
+
+  Archive& archive_;
+};
+
 Status Archive::AddVersion(const xml::Node& version_root) {
   XARCH_ASSIGN_OR_RETURN(keys::KeyedNode keyed,
                          keys::AnnotateKeys(version_root, spec_,
                                             options_.annotate));
   Version v = ++count_;
+  ++merge_passes_;
   NestedMerger merger(this, v);
   merger.Run(keyed);
+  return Status::OK();
+}
+
+Status Archive::AddVersions(const std::vector<const xml::Node*>& version_roots) {
+  if (version_roots.empty()) return Status::OK();
+  // Annotate (and thereby key-check) every document before touching the
+  // archive, so a bad document in the middle leaves it unchanged.
+  std::vector<keys::KeyedNode> keyed;
+  keyed.reserve(version_roots.size());
+  for (const xml::Node* root : version_roots) {
+    if (root == nullptr) {
+      return Status::InvalidArgument("null document in version batch");
+    }
+    XARCH_ASSIGN_OR_RETURN(keys::KeyedNode k,
+                           keys::AnnotateKeys(*root, spec_, options_.annotate));
+    keyed.push_back(std::move(k));
+  }
+  std::vector<std::pair<Version, const keys::KeyedNode*>> versions;
+  versions.reserve(keyed.size());
+  for (size_t i = 0; i < keyed.size(); ++i) {
+    versions.emplace_back(static_cast<Version>(count_ + 1 + i), &keyed[i]);
+  }
+  ++merge_passes_;
+  MultiNestedMerger merger(this);
+  merger.Run(versions);
+  count_ += static_cast<Version>(keyed.size());
   return Status::OK();
 }
 

@@ -1,13 +1,32 @@
 #include "xarch/checkpoint.h"
 
+#include <algorithm>
+
 namespace xarch {
 
+namespace {
+
+/// Index of the segment covering v given each segment's first version.
+size_t SegmentIndex(const std::vector<Version>& starts, Version v) {
+  auto it = std::upper_bound(starts.begin(), starts.end(), v);
+  return static_cast<size_t>(it - starts.begin()) - 1;
+}
+
+}  // namespace
+
 void CheckpointedDiffRepo::AddVersion(const std::string& text) {
-  if (count_ % k_ == 0) {
+  if (segments_.empty() || pending_checkpoint_ ||
+      segments_.back().version_count() >= k_) {
     segments_.emplace_back();  // fresh segment: version stored in full
+    segment_start_.push_back(static_cast<Version>(count_ + 1));
+    pending_checkpoint_ = false;
   }
   segments_.back().AddVersion(text);
   ++count_;
+}
+
+size_t CheckpointedDiffRepo::SegmentFor(Version v) const {
+  return SegmentIndex(segment_start_, v);
 }
 
 StatusOr<std::string> CheckpointedDiffRepo::Retrieve(Version v) const {
@@ -15,14 +34,25 @@ StatusOr<std::string> CheckpointedDiffRepo::Retrieve(Version v) const {
     return Status::NotFound("version " + std::to_string(v) +
                             " not in repository");
   }
-  size_t segment = (v - 1) / k_;
-  return segments_[segment].Retrieve(static_cast<Version>((v - 1) % k_ + 1));
+  size_t segment = SegmentFor(v);
+  return segments_[segment].Retrieve(v - segment_start_[segment] + 1);
+}
+
+size_t CheckpointedDiffRepo::ApplicationsFor(Version v) const {
+  if (v == 0 || v > count_) return 0;
+  return v - segment_start_[SegmentFor(v)];
 }
 
 size_t CheckpointedDiffRepo::ByteSize() const {
   size_t total = 0;
   for (const auto& segment : segments_) total += segment.ByteSize();
   return total;
+}
+
+std::string CheckpointedDiffRepo::StoredBytes() const {
+  std::string out;
+  for (const auto& segment : segments_) out += segment.ConcatenatedBytes();
+  return out;
 }
 
 CheckpointedArchive::CheckpointedArchive(keys::KeySpecSet spec,
@@ -33,22 +63,28 @@ CheckpointedArchive::CheckpointedArchive(keys::KeySpecSet spec,
       options_(options) {}
 
 Status CheckpointedArchive::AddVersion(const xml::Node& version_root) {
-  if (count_ % k_ == 0) {
+  if (segments_.empty() || pending_checkpoint_ ||
+      segments_.back().version_count() >= k_) {
     XARCH_ASSIGN_OR_RETURN(keys::KeySpecSet spec, spec_.Clone());
     segments_.emplace_back(std::move(spec), options_);
+    segment_start_.push_back(static_cast<Version>(count_ + 1));
+    pending_checkpoint_ = false;
   }
   XARCH_RETURN_NOT_OK(segments_.back().AddVersion(version_root));
   ++count_;
   return Status::OK();
 }
 
+size_t CheckpointedArchive::SegmentFor(Version v) const {
+  return SegmentIndex(segment_start_, v);
+}
+
 StatusOr<xml::NodePtr> CheckpointedArchive::RetrieveVersion(Version v) const {
   if (v == 0 || v > count_) {
     return Status::NotFound("version " + std::to_string(v) + " not archived");
   }
-  size_t segment = (v - 1) / k_;
-  return segments_[segment].RetrieveVersion(
-      static_cast<Version>((v - 1) % k_ + 1));
+  size_t segment = SegmentFor(v);
+  return segments_[segment].RetrieveVersion(v - segment_start_[segment] + 1);
 }
 
 StatusOr<VersionSet> CheckpointedArchive::History(
@@ -62,7 +98,7 @@ StatusOr<VersionSet> CheckpointedArchive::History(
       return local.status();
     }
     found = true;
-    Version base = static_cast<Version>(i * k_);
+    Version base = segment_start_[i] - 1;
     for (const auto& [lo, hi] : local->intervals()) {
       out.UnionWith(VersionSet::Interval(lo + base, hi + base));
     }
@@ -81,6 +117,14 @@ size_t CheckpointedArchive::ByteSize() const {
     total += segment.ToXml(options).size();
   }
   return total;
+}
+
+std::string CheckpointedArchive::StoredBytes() const {
+  core::ArchiveSerializeOptions options;
+  options.indent_width = 0;
+  std::string out;
+  for (const auto& segment : segments_) out += segment.ToXml(options);
+  return out;
 }
 
 }  // namespace xarch

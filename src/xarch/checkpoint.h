@@ -20,6 +20,9 @@ namespace xarch {
 /// Checkpointing trades storage for bounded retrieval cost: any version is
 /// reachable from the nearest checkpoint with at most k-1 delta
 /// applications (diff variant) or one scan of a k-version archive.
+///
+/// Besides the automatic every-k boundaries, StartNewSegment() forces a
+/// checkpoint before the next addition (Store v2's Checkpoint() call).
 class CheckpointedDiffRepo {
  public:
   explicit CheckpointedDiffRepo(size_t checkpoint_every)
@@ -28,20 +31,33 @@ class CheckpointedDiffRepo {
   void AddVersion(const std::string& text);
   size_t version_count() const { return count_; }
 
+  /// Forces the next AddVersion to open a fresh segment (i.e. store the
+  /// version in full), regardless of k.
+  void StartNewSegment() { pending_checkpoint_ = true; }
+
   /// Reconstructs version v from its checkpoint segment.
   StatusOr<std::string> Retrieve(Version v) const;
 
   /// Delta applications Retrieve(v) performs (bounded by k-1).
-  size_t ApplicationsFor(Version v) const {
-    return v == 0 ? 0 : (v - 1) % k_;
-  }
+  size_t ApplicationsFor(Version v) const;
 
   size_t ByteSize() const;
 
+  /// Concatenated repository bytes of all segments (compression input).
+  std::string StoredBytes() const;
+
+  size_t segment_count() const { return segments_.size(); }
+  size_t checkpoint_every() const { return k_; }
+
  private:
+  /// Index of the segment holding version v (v must be in 1..count_).
+  size_t SegmentFor(Version v) const;
+
   size_t k_;
   size_t count_ = 0;
+  bool pending_checkpoint_ = false;
   std::vector<diff::IncrementalDiffRepo> segments_;
+  std::vector<Version> segment_start_;  ///< first version of each segment
 };
 
 /// \brief A sequence of archives, each covering k consecutive versions.
@@ -56,6 +72,9 @@ class CheckpointedArchive {
   Status AddVersion(const xml::Node& version_root);
   Version version_count() const { return count_; }
 
+  /// Forces the next AddVersion to open a fresh segment archive.
+  void StartNewSegment() { pending_checkpoint_ = true; }
+
   /// Retrieves version v from the segment archive holding it.
   StatusOr<xml::NodePtr> RetrieveVersion(Version v) const;
 
@@ -64,15 +83,23 @@ class CheckpointedArchive {
   StatusOr<VersionSet> History(const std::vector<core::KeyStep>& path) const;
 
   size_t ByteSize() const;
+
+  /// Concatenated (indentation-free) XML of all segment archives.
+  std::string StoredBytes() const;
+
   size_t segment_count() const { return segments_.size(); }
+  size_t checkpoint_every() const { return k_; }
 
  private:
+  size_t SegmentFor(Version v) const;
+
   keys::KeySpecSet spec_;
   size_t k_;
   core::ArchiveOptions options_;
   Version count_ = 0;
-  std::vector<core::Archive> segments_;  // segment i covers versions
-                                         // [i*k+1, (i+1)*k]
+  bool pending_checkpoint_ = false;
+  std::vector<core::Archive> segments_;
+  std::vector<Version> segment_start_;  ///< first version of each segment
 };
 
 }  // namespace xarch

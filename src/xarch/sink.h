@@ -1,0 +1,82 @@
+#ifndef XARCH_XARCH_SINK_H_
+#define XARCH_XARCH_SINK_H_
+
+#include <cstddef>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace xarch {
+
+/// \brief A byte sink for streaming retrieval (Store::RetrieveTo).
+///
+/// Backends that advertise Capability::kStreamingRetrieve serialize a
+/// version directly into a Sink chunk by chunk, so a multi-gigabyte
+/// version never has to exist in memory at once.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+
+  /// Consumes the next chunk of output.
+  virtual Status Append(std::string_view chunk) = 0;
+
+  /// Called once after the last chunk.
+  virtual Status Flush() { return Status::OK(); }
+};
+
+/// Collects the stream into an owned string.
+class StringSink : public Sink {
+ public:
+  Status Append(std::string_view chunk) override {
+    data_.append(chunk);
+    return Status::OK();
+  }
+
+  const std::string& data() const { return data_; }
+  std::string Take() && { return std::move(data_); }
+
+ private:
+  std::string data_;
+};
+
+/// Discards the stream, counting bytes — for size probes and benchmarks
+/// that want retrieval cost without retrieval output.
+class CountingSink : public Sink {
+ public:
+  Status Append(std::string_view chunk) override {
+    bytes_ += chunk.size();
+    return Status::OK();
+  }
+
+  size_t bytes() const { return bytes_; }
+
+ private:
+  size_t bytes_ = 0;
+};
+
+/// Writes the stream to an open stdio file. Does not own the handle.
+class FileSink : public Sink {
+ public:
+  explicit FileSink(std::FILE* file) : file_(file) {}
+
+  Status Append(std::string_view chunk) override {
+    if (std::fwrite(chunk.data(), 1, chunk.size(), file_) != chunk.size()) {
+      return Status::IoError("short write to sink file");
+    }
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    if (std::fflush(file_) != 0) return Status::IoError("flush failed");
+    return Status::OK();
+  }
+
+ private:
+  std::FILE* file_;
+};
+
+}  // namespace xarch
+
+#endif  // XARCH_XARCH_SINK_H_

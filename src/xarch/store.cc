@@ -1,0 +1,778 @@
+#include "xarch/store.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <filesystem>
+#include <utility>
+
+#include "compress/container.h"
+#include "compress/lzss.h"
+#include "diff/repository.h"
+#include "index/archive_index.h"
+#include "xarch/checkpoint.h"
+#include "xarch/store_registry.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xarch {
+
+std::string CapabilitiesToString(Capabilities caps) {
+  static constexpr std::pair<Capability, const char*> kNames[] = {
+      {kTemporalQueries, "temporal-queries"},
+      {kStreamingRetrieve, "streaming-retrieve"},
+      {kBatchIngest, "batch-ingest"},
+      {kCheckpoint, "checkpoint"},
+  };
+  std::string out;
+  for (const auto& [flag, name] : kNames) {
+    if ((caps & flag) == 0) continue;
+    if (!out.empty()) out += '|';
+    out += name;
+  }
+  return out;
+}
+
+// ------------------------------------------------------- Store defaults
+
+Status Store::AppendBatchByLoop(const std::vector<std::string_view>& texts) {
+  for (std::string_view text : texts) {
+    XARCH_RETURN_NOT_OK(Append(text));
+  }
+  return Status::OK();
+}
+
+Status Store::UnimplementedCall(const char* call, Capability needed) const {
+  return Status::Unimplemented(
+      std::string(call) + " requires capability " +
+      CapabilitiesToString(needed) + ", which store \"" + name() +
+      "\" does not advertise");
+}
+
+Status Store::AppendBatch(const std::vector<std::string_view>& xml_texts) {
+  if (!Has(kBatchIngest)) return UnimplementedCall("AppendBatch", kBatchIngest);
+  return AppendBatchByLoop(xml_texts);
+}
+
+Status Store::RetrieveTo(Version, Sink&) {
+  return UnimplementedCall("RetrieveTo", kStreamingRetrieve);
+}
+
+StatusOr<VersionSet> Store::History(const std::vector<core::KeyStep>&) {
+  return UnimplementedCall("History", kTemporalQueries);
+}
+
+StatusOr<std::vector<core::Change>> Store::DiffVersions(Version, Version) {
+  return UnimplementedCall("DiffVersions", kTemporalQueries);
+}
+
+Status Store::Checkpoint() {
+  return UnimplementedCall("Checkpoint", kCheckpoint);
+}
+
+namespace {
+
+// ---------------------------------------------------- streaming retrieval
+
+/// Serializes one version straight off the archive's merged hierarchy into
+/// a Sink: the scan of Sec. 7.1 fused with xml::Serialize's formatting.
+/// No xml::Node is ever constructed (tests pin this down with the
+/// xml::Node::CreatedCount() hook); frontier content is emitted through
+/// xml::SerializeAppend, so the byte output is identical to serializing
+/// Archive::RetrieveVersion's tree.
+class VersionStreamer {
+ public:
+  VersionStreamer(const xml::SerializeOptions& options, Sink* sink)
+      : options_(options), sink_(*sink) {}
+
+  Status Stream(const core::Archive& archive, Version v) {
+    for (const auto& child : archive.root().children) {
+      if (child->stamp.has_value() && !child->stamp->Contains(v)) continue;
+      XARCH_RETURN_NOT_OK(WriteArchiveNode(*child, v, 0));
+      break;  // exactly one top element is active per version
+    }
+    if (!buffer_.empty()) {
+      XARCH_RETURN_NOT_OK(sink_.Append(buffer_));
+      buffer_.clear();
+    }
+    return sink_.Flush();
+  }
+
+ private:
+  static constexpr size_t kFlushThreshold = 64 * 1024;
+
+  static bool BucketActiveAt(const core::ArchiveNode::Bucket& bucket,
+                             Version v) {
+    return !bucket.stamp.has_value() || bucket.stamp->Contains(v);
+  }
+
+  Status MaybeFlush() {
+    if (buffer_.size() < kFlushThreshold) return Status::OK();
+    XARCH_RETURN_NOT_OK(sink_.Append(buffer_));
+    buffer_.clear();
+    return Status::OK();
+  }
+
+  void Indent(int depth) {
+    if (options_.pretty) {
+      buffer_.append(static_cast<size_t>(depth) *
+                         static_cast<size_t>(options_.indent_width),
+                     ' ');
+    }
+  }
+
+  void Newline() {
+    if (options_.pretty) buffer_ += '\n';
+  }
+
+  void OpenTag(const core::ArchiveNode& node) {
+    buffer_ += '<';
+    buffer_ += node.label.tag;
+    for (const auto& [name, value] : node.attrs) {
+      buffer_ += ' ';
+      buffer_ += name;
+      buffer_ += "=\"";
+      buffer_ += xml::EscapeAttr(value);
+      buffer_ += '"';
+    }
+  }
+
+  void CloseTag(const core::ArchiveNode& node) {
+    buffer_ += "</";
+    buffer_ += node.label.tag;
+    buffer_ += '>';
+  }
+
+  Status WriteArchiveNode(const core::ArchiveNode& node, Version v,
+                          int depth) {
+    Indent(depth);
+    OpenTag(node);
+    if (node.is_frontier) {
+      return WriteFrontierContent(node, v, depth);
+    }
+    // Inner node: the active keyed children, in archive order.
+    bool any = false;
+    for (const auto& child : node.children) {
+      if (child->stamp.has_value() && !child->stamp->Contains(v)) continue;
+      if (!any) {
+        buffer_ += '>';
+        Newline();
+        any = true;
+      }
+      XARCH_RETURN_NOT_OK(WriteArchiveNode(*child, v, depth + 1));
+      XARCH_RETURN_NOT_OK(MaybeFlush());
+    }
+    if (!any) {
+      buffer_ += "/>";
+      Newline();
+      return Status::OK();
+    }
+    Indent(depth);
+    CloseTag(node);
+    Newline();
+    return Status::OK();
+  }
+
+  Status WriteFrontierContent(const core::ArchiveNode& node, Version v,
+                              int depth) {
+    // The version's content: all active buckets concatenated (one
+    // alternative in bucket mode, the active woven segments in weave mode).
+    bool empty = true, text_only = true;
+    for (const auto& bucket : node.buckets) {
+      if (!BucketActiveAt(bucket, v)) continue;
+      for (const auto& n : bucket.content) {
+        empty = false;
+        if (!n->is_text()) text_only = false;
+      }
+    }
+    if (empty) {
+      buffer_ += "/>";
+      Newline();
+      return Status::OK();
+    }
+    buffer_ += '>';
+    if (options_.pretty && text_only) {
+      // Text-only elements stay on one line (element-aligned diffs, Sec. 5).
+      for (const auto& bucket : node.buckets) {
+        if (!BucketActiveAt(bucket, v)) continue;
+        for (const auto& n : bucket.content) {
+          buffer_ += xml::EscapeText(n->text());
+        }
+      }
+      CloseTag(node);
+      Newline();
+      return Status::OK();
+    }
+    Newline();
+    for (const auto& bucket : node.buckets) {
+      if (!BucketActiveAt(bucket, v)) continue;
+      for (const auto& n : bucket.content) {
+        xml::SerializeAppend(*n, options_, depth + 1, &buffer_);
+        XARCH_RETURN_NOT_OK(MaybeFlush());
+      }
+    }
+    Indent(depth);
+    CloseTag(node);
+    Newline();
+    return Status::OK();
+  }
+
+  xml::SerializeOptions options_;
+  Sink& sink_;
+  std::string buffer_;
+};
+
+// --------------------------------------------------------------- archive
+
+/// The paper's key-based archive (bucket or weave frontier) behind Store.
+class ArchiveStore final : public Store {
+ public:
+  ArchiveStore(std::string name, keys::KeySpecSet spec,
+               core::ArchiveOptions options, bool use_index)
+      : name_(std::move(name)),
+        archive_(std::move(spec), options),
+        use_index_(use_index) {}
+
+  std::string name() const override { return name_; }
+  Capabilities capabilities() const override {
+    return kTemporalQueries | kStreamingRetrieve | kBatchIngest;
+  }
+
+  Status Append(std::string_view xml_text) override {
+    XARCH_ASSIGN_OR_RETURN(xml::NodePtr doc, xml::Parse(xml_text));
+    index_.reset();
+    return archive_.AddVersion(*doc);
+  }
+
+  Status AppendBatch(const std::vector<std::string_view>& xml_texts) override {
+    std::vector<xml::NodePtr> docs;
+    docs.reserve(xml_texts.size());
+    std::vector<const xml::Node*> roots;
+    roots.reserve(xml_texts.size());
+    for (std::string_view text : xml_texts) {
+      XARCH_ASSIGN_OR_RETURN(xml::NodePtr doc, xml::Parse(text));
+      roots.push_back(doc.get());
+      docs.push_back(std::move(doc));
+    }
+    index_.reset();
+    return archive_.AddVersions(roots);  // one multi-version merge pass
+  }
+
+  StatusOr<std::string> Retrieve(Version v) override {
+    StringSink sink;
+    XARCH_RETURN_NOT_OK(RetrieveTo(v, sink));
+    return std::move(sink).Take();
+  }
+
+  Status RetrieveTo(Version v, Sink& sink) override {
+    if (v == 0 || v > archive_.version_count()) {
+      return Status::NotFound("version " + std::to_string(v) +
+                              " is not archived (have 1-" +
+                              std::to_string(archive_.version_count()) + ")");
+    }
+    VersionStreamer streamer(xml::SerializeOptions{}, &sink);
+    return streamer.Stream(archive_, v);
+  }
+
+  StatusOr<VersionSet> History(
+      const std::vector<core::KeyStep>& path) override {
+    if (use_index_) {
+      if (index_ == nullptr) {
+        index_ = std::make_unique<index::ArchiveIndex>(archive_);
+      }
+      return index_->History(path, nullptr);
+    }
+    return archive_.History(path);
+  }
+
+  StatusOr<std::vector<core::Change>> DiffVersions(Version from,
+                                                   Version to) override {
+    return core::DescribeChanges(archive_, from, to);
+  }
+
+  Version version_count() const override { return archive_.version_count(); }
+
+  StoreStats Stats() const override {
+    StoreStats stats;
+    stats.versions = archive_.version_count();
+    stats.stored_bytes = StoredBytes().size();
+    stats.node_count = archive_.CountNodes();
+    stats.merge_passes = archive_.merge_pass_count();
+    return stats;
+  }
+
+  std::string StoredBytes() const override {
+    // Indentation-free form: the archive nests two levels deeper than a
+    // version, so indentation would bias size comparisons against it.
+    core::ArchiveSerializeOptions options;
+    options.indent_width = 0;
+    return archive_.ToXml(options);
+  }
+
+ private:
+  std::string name_;
+  core::Archive archive_;
+  bool use_index_;
+  std::unique_ptr<index::ArchiveIndex> index_;  // lazily (re)built
+};
+
+// -------------------------------------------------- diff / copy baselines
+
+/// Shared behaviour of the Sec. 5 baseline repositories.
+template <typename Repo>
+class RepoStore : public Store {
+ public:
+  explicit RepoStore(std::string name) : name_(std::move(name)) {}
+
+  std::string name() const override { return name_; }
+  Capabilities capabilities() const override { return kBatchIngest; }
+
+  Status Append(std::string_view xml_text) override {
+    repo_.AddVersion(std::string(xml_text));
+    return Status::OK();
+  }
+
+  StatusOr<std::string> Retrieve(Version v) override {
+    return repo_.Retrieve(v);
+  }
+
+  Version version_count() const override {
+    return static_cast<Version>(repo_.version_count());
+  }
+
+  StoreStats Stats() const override {
+    StoreStats stats;
+    stats.versions = static_cast<Version>(repo_.version_count());
+    stats.stored_bytes = repo_.ByteSize();
+    stats.max_retrieval_applications = MaxApplications();
+    return stats;
+  }
+
+  std::string StoredBytes() const override {
+    return repo_.ConcatenatedBytes();
+  }
+
+ protected:
+  virtual size_t MaxApplications() const { return 0; }
+
+  Repo repo_;
+
+ private:
+  std::string name_;
+};
+
+class IncrDiffStore final : public RepoStore<diff::IncrementalDiffRepo> {
+ public:
+  IncrDiffStore() : RepoStore("incr-diff") {}
+
+ protected:
+  size_t MaxApplications() const override {
+    return repo_.ApplicationsFor(static_cast<Version>(repo_.version_count()));
+  }
+};
+
+class CumDiffStore final : public RepoStore<diff::CumulativeDiffRepo> {
+ public:
+  CumDiffStore() : RepoStore("cum-diff") {}
+
+ protected:
+  size_t MaxApplications() const override {
+    return repo_.version_count() > 1 ? 1 : 0;
+  }
+};
+
+class FullCopyStore final : public RepoStore<diff::FullCopyRepo> {
+ public:
+  FullCopyStore() : RepoStore("full-copy") {}
+
+  Capabilities capabilities() const override {
+    return kBatchIngest | kStreamingRetrieve;
+  }
+
+  /// Versions are stored verbatim, so streaming is a straight copy of the
+  /// stored bytes — nothing is reconstructed.
+  Status RetrieveTo(Version v, Sink& sink) override {
+    XARCH_ASSIGN_OR_RETURN(std::string text, repo_.Retrieve(v));
+    XARCH_RETURN_NOT_OK(sink.Append(text));
+    return sink.Flush();
+  }
+};
+
+// ---------------------------------------------------------------- extmem
+
+/// The Sec. 6 external-memory archiver behind Store.
+class ExtmemStore final : public Store {
+ public:
+  ExtmemStore(keys::KeySpecSet spec, extmem::ExternalArchiver::Options options,
+              bool owns_work_dir)
+      : ext_(std::move(spec), options),
+        work_dir_(options.work_dir),
+        owns_work_dir_(owns_work_dir) {}
+
+  ~ExtmemStore() override {
+    if (owns_work_dir_) {
+      std::error_code ec;
+      std::filesystem::remove_all(work_dir_, ec);
+    }
+  }
+
+  std::string name() const override { return "extmem"; }
+  Capabilities capabilities() const override { return kBatchIngest; }
+
+  Status Append(std::string_view xml_text) override {
+    XARCH_ASSIGN_OR_RETURN(xml::NodePtr doc, xml::Parse(xml_text));
+    return ext_.AddVersion(*doc);
+  }
+
+  StatusOr<std::string> Retrieve(Version v) override {
+    XARCH_ASSIGN_OR_RETURN(xml::NodePtr doc, ext_.RetrieveVersion(v));
+    if (doc == nullptr) return std::string();
+    return xml::Serialize(*doc);
+  }
+
+  Version version_count() const override { return ext_.version_count(); }
+
+  StoreStats Stats() const override {
+    StoreStats stats;
+    stats.versions = ext_.version_count();
+    // Snapshot the counters first: StoredBytes() itself reads the whole
+    // on-disk archive and would inflate the reported I/O.
+    stats.io = ext_.stats();
+    stats.stored_bytes = StoredBytes().size();
+    return stats;
+  }
+
+  std::string StoredBytes() const override {
+    auto xml = ext_.ToXml();
+    return xml.ok() ? std::move(xml).value() : std::string();
+  }
+
+ private:
+  // ToXml/RetrieveVersion stream from disk and count I/O, so they are
+  // non-const; introspection stays logically const.
+  mutable extmem::ExternalArchiver ext_;
+  std::string work_dir_;
+  bool owns_work_dir_;
+};
+
+// ------------------------------------------------------------ compressed
+
+/// Wraps any inner store, reporting (and exposing) compressed bytes: the
+/// container compressor for XML-shaped storage, LZSS otherwise — the
+/// Sec. 5.4 "xmill(...)" / "gzip(...)" columns as a backend.
+class CompressedStore final : public Store {
+ public:
+  explicit CompressedStore(std::unique_ptr<Store> inner)
+      : inner_(std::move(inner)) {}
+
+  std::string name() const override {
+    return "compressed(" + inner_->name() + ")";
+  }
+  Capabilities capabilities() const override {
+    return inner_->capabilities();
+  }
+
+  Status Append(std::string_view xml_text) override {
+    return inner_->Append(xml_text);
+  }
+  Status AppendBatch(const std::vector<std::string_view>& texts) override {
+    return inner_->AppendBatch(texts);
+  }
+  StatusOr<std::string> Retrieve(Version v) override {
+    return inner_->Retrieve(v);
+  }
+  Status RetrieveTo(Version v, Sink& sink) override {
+    return inner_->RetrieveTo(v, sink);
+  }
+  StatusOr<VersionSet> History(
+      const std::vector<core::KeyStep>& path) override {
+    return inner_->History(path);
+  }
+  StatusOr<std::vector<core::Change>> DiffVersions(Version from,
+                                                   Version to) override {
+    return inner_->DiffVersions(from, to);
+  }
+  Status Checkpoint() override { return inner_->Checkpoint(); }
+  Version version_count() const override { return inner_->version_count(); }
+
+  StoreStats Stats() const override {
+    StoreStats stats = inner_->Stats();
+    stats.stored_bytes = StoredBytes().size();
+    return stats;
+  }
+
+  std::string StoredBytes() const override {
+    std::string raw = inner_->StoredBytes();
+    auto xml = compress::XmlContainerCompressor::CompressText(raw);
+    if (xml.ok()) return std::move(xml).value();
+    return compress::LzssCompress(raw);
+  }
+
+ private:
+  std::unique_ptr<Store> inner_;
+};
+
+// ---------------------------------------------------------- checkpointed
+
+/// Sec. 9 checkpointing: a fresh archive every k versions.
+class CheckpointArchiveStore final : public Store {
+ public:
+  CheckpointArchiveStore(keys::KeySpecSet spec, keys::KeySpecSet scratch_spec,
+                         size_t k, core::ArchiveOptions options)
+      : archive_(std::move(spec), k, options),
+        scratch_spec_(std::move(scratch_spec)) {}
+
+  std::string name() const override { return "checkpoint-archive"; }
+  Capabilities capabilities() const override {
+    return kTemporalQueries | kBatchIngest | kCheckpoint;
+  }
+
+  Status Append(std::string_view xml_text) override {
+    XARCH_ASSIGN_OR_RETURN(xml::NodePtr doc, xml::Parse(xml_text));
+    return archive_.AddVersion(*doc);
+  }
+
+  StatusOr<std::string> Retrieve(Version v) override {
+    XARCH_ASSIGN_OR_RETURN(xml::NodePtr doc, archive_.RetrieveVersion(v));
+    if (doc == nullptr) return std::string();
+    return xml::Serialize(*doc);
+  }
+
+  StatusOr<VersionSet> History(
+      const std::vector<core::KeyStep>& path) override {
+    return archive_.History(path);
+  }
+
+  StatusOr<std::vector<core::Change>> DiffVersions(Version from,
+                                                   Version to) override {
+    // Versions may live in different segment archives, so the diff runs
+    // over a scratch two-version archive.
+    XARCH_ASSIGN_OR_RETURN(xml::NodePtr doc_from,
+                           archive_.RetrieveVersion(from));
+    XARCH_ASSIGN_OR_RETURN(xml::NodePtr doc_to, archive_.RetrieveVersion(to));
+    XARCH_ASSIGN_OR_RETURN(keys::KeySpecSet spec, scratch_spec_.Clone());
+    core::Archive scratch(std::move(spec));
+    if (doc_from == nullptr) {
+      scratch.AddEmptyVersion();
+    } else {
+      XARCH_RETURN_NOT_OK(scratch.AddVersion(*doc_from));
+    }
+    if (doc_to == nullptr) {
+      scratch.AddEmptyVersion();
+    } else {
+      XARCH_RETURN_NOT_OK(scratch.AddVersion(*doc_to));
+    }
+    return core::DescribeChanges(scratch, 1, 2);
+  }
+
+  Status Checkpoint() override {
+    archive_.StartNewSegment();
+    return Status::OK();
+  }
+
+  Version version_count() const override { return archive_.version_count(); }
+
+  StoreStats Stats() const override {
+    StoreStats stats;
+    stats.versions = archive_.version_count();
+    stats.stored_bytes = archive_.ByteSize();
+    stats.checkpoint_segments = archive_.segment_count();
+    return stats;
+  }
+
+  std::string StoredBytes() const override { return archive_.StoredBytes(); }
+
+ private:
+  CheckpointedArchive archive_;
+  keys::KeySpecSet scratch_spec_;
+};
+
+/// Sec. 9 checkpointing: a full copy every k versions, deltas between.
+class CheckpointDiffStore final : public Store {
+ public:
+  explicit CheckpointDiffStore(size_t k) : repo_(k) {}
+
+  std::string name() const override { return "checkpoint-diff"; }
+  Capabilities capabilities() const override {
+    return kBatchIngest | kCheckpoint;
+  }
+
+  Status Append(std::string_view xml_text) override {
+    repo_.AddVersion(std::string(xml_text));
+    return Status::OK();
+  }
+
+  StatusOr<std::string> Retrieve(Version v) override {
+    return repo_.Retrieve(v);
+  }
+
+  Status Checkpoint() override {
+    repo_.StartNewSegment();
+    return Status::OK();
+  }
+
+  Version version_count() const override {
+    return static_cast<Version>(repo_.version_count());
+  }
+
+  StoreStats Stats() const override {
+    StoreStats stats;
+    stats.versions = static_cast<Version>(repo_.version_count());
+    stats.stored_bytes = repo_.ByteSize();
+    stats.checkpoint_segments = repo_.segment_count();
+    size_t max_apps = 0;
+    for (Version v = 1; v <= repo_.version_count(); ++v) {
+      max_apps = std::max(max_apps, repo_.ApplicationsFor(v));
+    }
+    stats.max_retrieval_applications = max_apps;
+    return stats;
+  }
+
+  std::string StoredBytes() const override { return repo_.StoredBytes(); }
+
+ private:
+  CheckpointedDiffRepo repo_;
+};
+
+// ------------------------------------------------------------- factories
+
+Status RequireSpec(const StoreOptions& options, const char* backend) {
+  if (options.spec.size() == 0) {
+    return Status::InvalidArgument(
+        std::string(backend) +
+        " requires StoreOptions::spec (a non-empty key specification)");
+  }
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<Store>> MakeArchiveBackend(StoreOptions options,
+                                                    const char* name,
+                                                    core::FrontierStrategy
+                                                        frontier) {
+  XARCH_RETURN_NOT_OK(RequireSpec(options, name));
+  core::ArchiveOptions archive_options = options.archive;
+  archive_options.frontier = frontier;
+  return std::unique_ptr<Store>(
+      std::make_unique<ArchiveStore>(name, std::move(options.spec),
+                                     archive_options, options.use_index));
+}
+
+}  // namespace
+
+namespace detail {
+
+void RegisterBuiltinStores(StoreRegistry& registry) {
+  auto must = [](Status status) {
+    (void)status;
+    assert(status.ok());
+  };
+  must(registry.Register({
+      "archive",
+      "key-based archive, Nested Merge with bucket frontiers (the paper's)",
+      kTemporalQueries | kStreamingRetrieve | kBatchIngest,
+      [](StoreOptions options) {
+        return MakeArchiveBackend(std::move(options), "archive",
+                                  core::FrontierStrategy::kBuckets);
+      },
+  }));
+  must(registry.Register({
+      "archive-weave",
+      "key-based archive with SCCS-weave frontiers (further compaction)",
+      kTemporalQueries | kStreamingRetrieve | kBatchIngest,
+      [](StoreOptions options) {
+        return MakeArchiveBackend(std::move(options), "archive-weave",
+                                  core::FrontierStrategy::kWeave);
+      },
+  }));
+  must(registry.Register({
+      "incr-diff",
+      "V1 + incremental line diffs (Sec. 5 baseline)",
+      kBatchIngest,
+      [](StoreOptions) -> StatusOr<std::unique_ptr<Store>> {
+        return std::unique_ptr<Store>(std::make_unique<IncrDiffStore>());
+      },
+  }));
+  must(registry.Register({
+      "cum-diff",
+      "V1 + cumulative line diffs (Sec. 5 baseline)",
+      kBatchIngest,
+      [](StoreOptions) -> StatusOr<std::unique_ptr<Store>> {
+        return std::unique_ptr<Store>(std::make_unique<CumDiffStore>());
+      },
+  }));
+  must(registry.Register({
+      "full-copy",
+      "every version stored verbatim",
+      kBatchIngest | kStreamingRetrieve,
+      [](StoreOptions) -> StatusOr<std::unique_ptr<Store>> {
+        return std::unique_ptr<Store>(std::make_unique<FullCopyStore>());
+      },
+  }));
+  must(registry.Register({
+      "extmem",
+      "external-memory archiver (Sec. 6), on-disk sorted rows",
+      kBatchIngest,
+      [](StoreOptions options) -> StatusOr<std::unique_ptr<Store>> {
+        XARCH_RETURN_NOT_OK(RequireSpec(options, "extmem"));
+        bool owns_work_dir = false;
+        if (options.extmem.work_dir ==
+            extmem::ExternalArchiver::Options{}.work_dir) {
+          static std::atomic<uint64_t> counter{0};
+          options.extmem.work_dir =
+              (std::filesystem::temp_directory_path() /
+               ("xarch_store_extmem_" + std::to_string(::getpid()) + "_" +
+                std::to_string(counter.fetch_add(1))))
+                  .string();
+          owns_work_dir = true;
+        }
+        return std::unique_ptr<Store>(std::make_unique<ExtmemStore>(
+            std::move(options.spec), options.extmem, owns_work_dir));
+      },
+  }));
+  must(registry.Register({
+      "compressed",
+      "compression wrapper over StoreOptions::inner (capabilities follow "
+      "the wrapped store)",
+      kTemporalQueries | kStreamingRetrieve | kBatchIngest,
+      [](StoreOptions options) -> StatusOr<std::unique_ptr<Store>> {
+        std::string inner_name = options.inner;
+        if (inner_name == "compressed") {
+          return Status::InvalidArgument(
+              "\"compressed\" cannot wrap itself");
+        }
+        XARCH_ASSIGN_OR_RETURN(
+            std::unique_ptr<Store> inner,
+            StoreRegistry::Create(inner_name, std::move(options)));
+        return std::unique_ptr<Store>(
+            std::make_unique<CompressedStore>(std::move(inner)));
+      },
+  }));
+  must(registry.Register({
+      "checkpoint-archive",
+      "a fresh archive every k versions (Sec. 9 checkpointing)",
+      kTemporalQueries | kBatchIngest | kCheckpoint,
+      [](StoreOptions options) -> StatusOr<std::unique_ptr<Store>> {
+        XARCH_RETURN_NOT_OK(RequireSpec(options, "checkpoint-archive"));
+        XARCH_ASSIGN_OR_RETURN(keys::KeySpecSet scratch,
+                               options.spec.Clone());
+        return std::unique_ptr<Store>(std::make_unique<CheckpointArchiveStore>(
+            std::move(options.spec), std::move(scratch),
+            options.checkpoint_every, options.archive));
+      },
+  }));
+  must(registry.Register({
+      "checkpoint-diff",
+      "a full copy every k versions, deltas between (Sec. 9 checkpointing)",
+      kBatchIngest | kCheckpoint,
+      [](StoreOptions options) -> StatusOr<std::unique_ptr<Store>> {
+        return std::unique_ptr<Store>(
+            std::make_unique<CheckpointDiffStore>(options.checkpoint_every));
+      },
+  }));
+}
+
+}  // namespace detail
+
+}  // namespace xarch

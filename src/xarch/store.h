@@ -1,0 +1,185 @@
+#ifndef XARCH_XARCH_STORE_H_
+#define XARCH_XARCH_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/archive.h"
+#include "core/changes.h"
+#include "extmem/external_archiver.h"
+#include "extmem/io_stats.h"
+#include "keys/key_spec.h"
+#include "util/status.h"
+#include "util/version_set.h"
+#include "xarch/sink.h"
+
+namespace xarch {
+
+/// \brief Optional abilities a Store backend may advertise. The contract is
+/// honest flags: an advertised capability's calls must work; an
+/// unadvertised capability's calls return StatusCode::kUnimplemented —
+/// never crash, never silently degrade.
+enum Capability : uint32_t {
+  /// History() and DiffVersions() answer key-based temporal queries.
+  kTemporalQueries = 1u << 0,
+  /// RetrieveTo() serializes a version straight into a Sink without
+  /// materializing an intermediate document tree.
+  kStreamingRetrieve = 1u << 1,
+  /// AppendBatch() ingests many versions in one call (the archive backend
+  /// runs one multi-version nested-merge pass instead of N traversals).
+  kBatchIngest = 1u << 2,
+  /// The backend maintains checkpoints / segments; Checkpoint() forces a
+  /// boundary and Stats().checkpoint_segments reports the count.
+  kCheckpoint = 1u << 3,
+};
+
+/// Bitmask of Capability values.
+using Capabilities = uint32_t;
+
+/// Renders a capability mask as "temporal-queries|batch-ingest" (empty
+/// string for no capabilities).
+std::string CapabilitiesToString(Capabilities caps);
+
+/// \brief Introspection counters every backend reports uniformly, folding
+/// the per-layer side channels (extmem/io_stats.h, archive node counts,
+/// checkpoint segment counts) into one struct.
+struct StoreStats {
+  /// Versions ingested so far.
+  Version versions = 0;
+  /// Raw storage footprint in bytes (what StoredBytes() would return).
+  size_t stored_bytes = 0;
+  /// Archive nodes in the merged hierarchy (archive backends; 0 otherwise).
+  size_t node_count = 0;
+  /// Full merge traversals performed (archive backends; one per Append,
+  /// one per AppendBatch).
+  uint64_t merge_passes = 0;
+  /// Checkpoint segments (checkpointing backends; 0 otherwise).
+  size_t checkpoint_segments = 0;
+  /// Worst-case delta applications any Retrieve() may perform
+  /// (delta-based backends; 0 means retrieval is delta-free).
+  size_t max_retrieval_applications = 0;
+  /// External-memory I/O counters (extmem backend; zeros otherwise).
+  extmem::IoStats io;
+};
+
+/// \brief Construction parameters for registry-created stores. Backends
+/// take what they need and ignore the rest; archive-family backends fail
+/// with kInvalidArgument when `spec` is empty.
+///
+/// Move-only (KeySpecSet owns derived lookup structures).
+struct StoreOptions {
+  /// Key specification (required by "archive", "archive-weave", "extmem",
+  /// "checkpoint-archive", and by "compressed" wrapping any of those).
+  keys::KeySpecSet spec;
+  /// Archive tuning (frontier strategy is overridden by "archive-weave").
+  core::ArchiveOptions archive;
+  /// Segment length k for the checkpointing backends.
+  size_t checkpoint_every = 8;
+  /// External-memory archiver tuning. If `extmem.work_dir` is left at its
+  /// default, each store instance gets a fresh private directory that is
+  /// removed when the store is destroyed.
+  extmem::ExternalArchiver::Options extmem;
+  /// Backend wrapped by "compressed".
+  std::string inner = "archive";
+  /// Maintain an index::ArchiveIndex over the archive backend and answer
+  /// History() through it (rebuilt lazily after ingest).
+  bool use_index = false;
+};
+
+/// \brief The uniform service interface over every versioned-storage
+/// strategy (Store API v2).
+///
+/// All strategies the paper compares — the key-based archive (bucket and
+/// weave frontiers), incremental/cumulative diffs, full copies — plus the
+/// external-memory archiver, the compression wrapper, and the Sec. 9
+/// checkpointed variants implement this interface and register themselves
+/// in StoreRegistry under stable names, so examples, benches, and tests
+/// swap backends by string.
+///
+///   auto store = StoreRegistry::Create("archive", std::move(options));
+///   (*store)->AppendBatch(texts);             // one merge pass
+///   StringSink sink;
+///   (*store)->RetrieveTo(2, sink);            // no intermediate tree
+///   auto when = (*store)->History(path);      // Sec. 7.2
+///   StoreStats stats = (*store)->Stats();
+class Store {
+ public:
+  virtual ~Store() = default;
+
+  /// Stable backend name (the registry key it was created under).
+  virtual std::string name() const = 0;
+
+  /// Advertised capability flags.
+  virtual Capabilities capabilities() const = 0;
+
+  /// True if every capability in `mask` is advertised.
+  bool Has(Capabilities mask) const {
+    return (capabilities() & mask) == mask;
+  }
+
+  // ----------------------------------------------------------- ingest
+
+  /// Archives the next version, given as serialized XML.
+  virtual Status Append(std::string_view xml_text) = 0;
+
+  /// Archives a batch of versions in one call (kBatchIngest). The archive
+  /// backend merges the whole batch in a single traversal; other backends
+  /// ingest sequentially. Atomic for the archive backend: a bad document
+  /// leaves the store unchanged.
+  virtual Status AppendBatch(const std::vector<std::string_view>& xml_texts);
+
+  // -------------------------------------------------------- retrieval
+
+  /// Reconstructs version v as serialized XML.
+  virtual StatusOr<std::string> Retrieve(Version v) = 0;
+
+  /// Streams version v into `sink` (kStreamingRetrieve) without building
+  /// an intermediate document tree.
+  virtual Status RetrieveTo(Version v, Sink& sink);
+
+  // -------------------------------------------- temporal queries (Sec. 7)
+
+  /// The set of versions in which the keyed element at `path` exists.
+  virtual StatusOr<VersionSet> History(
+      const std::vector<core::KeyStep>& path);
+
+  /// Key-based change description between two archived versions (Sec. 1):
+  /// which keyed elements appeared, disappeared, or changed content.
+  virtual StatusOr<std::vector<core::Change>> DiffVersions(Version from,
+                                                           Version to);
+
+  // ------------------------------------------------------ maintenance
+
+  /// Forces a checkpoint boundary (kCheckpoint): the next Append starts a
+  /// fresh segment.
+  virtual Status Checkpoint();
+
+  // ---------------------------------------------------- introspection
+
+  /// Number of archived versions (numbered 1..version_count()).
+  virtual Version version_count() const = 0;
+
+  /// Uniform counters; see StoreStats.
+  virtual StoreStats Stats() const = 0;
+
+  /// Raw stored bytes (what a byte compressor would be run over).
+  virtual std::string StoredBytes() const = 0;
+
+  /// Storage footprint in bytes (== Stats().stored_bytes).
+  size_t ByteSize() const { return Stats().stored_bytes; }
+
+ protected:
+  /// Sequential fallback for backends whose AppendBatch has no batched
+  /// fast path.
+  Status AppendBatchByLoop(const std::vector<std::string_view>& xml_texts);
+
+  /// Status returned by every call whose capability is not advertised.
+  Status UnimplementedCall(const char* call, Capability needed) const;
+};
+
+}  // namespace xarch
+
+#endif  // XARCH_XARCH_STORE_H_

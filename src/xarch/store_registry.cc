@@ -1,0 +1,64 @@
+#include "xarch/store_registry.h"
+
+#include <utility>
+
+namespace xarch {
+
+StoreRegistry& StoreRegistry::Global() {
+  static StoreRegistry* registry = [] {
+    auto* r = new StoreRegistry();
+    detail::RegisterBuiltinStores(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+Status StoreRegistry::Register(Entry entry) {
+  if (entry.name.empty()) {
+    return Status::InvalidArgument("backend name must be non-empty");
+  }
+  if (!entry.factory) {
+    return Status::InvalidArgument("backend \"" + entry.name +
+                                   "\" has no factory");
+  }
+  auto [it, inserted] = entries_.emplace(entry.name, std::move(entry));
+  if (!inserted) {
+    return Status::InvalidArgument("backend \"" + it->first +
+                                   "\" is already registered");
+  }
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<Store>> StoreRegistry::CreateStore(
+    const std::string& name, StoreOptions options) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    std::string known;
+    for (const auto& [key, entry] : entries_) {
+      if (!known.empty()) known += ", ";
+      known += key;
+    }
+    return Status::NotFound("no store backend \"" + name +
+                            "\" (registered: " + known + ")");
+  }
+  return it->second.factory(std::move(options));
+}
+
+StatusOr<std::unique_ptr<Store>> StoreRegistry::Create(const std::string& name,
+                                                       StoreOptions options) {
+  return Global().CreateStore(name, std::move(options));
+}
+
+std::vector<const StoreRegistry::Entry*> StoreRegistry::List() const {
+  std::vector<const Entry*> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(&entry);
+  return out;  // std::map iterates in name order
+}
+
+const StoreRegistry::Entry* StoreRegistry::Find(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+}  // namespace xarch

@@ -1,0 +1,77 @@
+#ifndef XARCH_XARCH_STORE_REGISTRY_H_
+#define XARCH_XARCH_STORE_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "xarch/store.h"
+
+namespace xarch {
+
+/// \brief String-keyed factory registry of Store backends.
+///
+/// Built-in backends self-register on first use of Global():
+///
+///   name                 capabilities
+///   "archive"            temporal-queries | streaming-retrieve | batch-ingest
+///   "archive-weave"      temporal-queries | streaming-retrieve | batch-ingest
+///   "incr-diff"          batch-ingest
+///   "cum-diff"           batch-ingest
+///   "full-copy"          batch-ingest | streaming-retrieve
+///   "extmem"             batch-ingest
+///   "compressed"         (follows the wrapped backend, StoreOptions::inner)
+///   "checkpoint-archive" temporal-queries | batch-ingest | checkpoint
+///   "checkpoint-diff"    batch-ingest | checkpoint
+///
+/// Out-of-tree backends register through Global().Register().
+class StoreRegistry {
+ public:
+  using Factory =
+      std::function<StatusOr<std::unique_ptr<Store>>(StoreOptions options)>;
+
+  /// One registered backend.
+  struct Entry {
+    std::string name;
+    std::string description;
+    /// Capabilities instances will advertise ("compressed" follows its
+    /// wrapped backend; this field then reflects the default inner).
+    Capabilities capabilities = 0;
+    Factory factory;
+  };
+
+  /// The process-wide registry with all built-in backends registered.
+  static StoreRegistry& Global();
+
+  /// Registers a backend; fails with kInvalidArgument on a duplicate name.
+  Status Register(Entry entry);
+
+  /// Instantiates a registered backend; kNotFound for unknown names.
+  StatusOr<std::unique_ptr<Store>> CreateStore(const std::string& name,
+                                               StoreOptions options) const;
+
+  /// Convenience: Global().CreateStore(...).
+  static StatusOr<std::unique_ptr<Store>> Create(const std::string& name,
+                                                 StoreOptions options = {});
+
+  /// Registered backend metadata, sorted by name.
+  std::vector<const Entry*> List() const;
+
+  /// Metadata for one backend, or nullptr.
+  const Entry* Find(const std::string& name) const;
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+namespace detail {
+/// Defined in store.cc; called once by StoreRegistry::Global().
+void RegisterBuiltinStores(StoreRegistry& registry);
+}  // namespace detail
+
+}  // namespace xarch
+
+#endif  // XARCH_XARCH_STORE_REGISTRY_H_

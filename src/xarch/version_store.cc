@@ -1,109 +1,81 @@
 #include "xarch/version_store.h"
 
-#include "xml/parser.h"
-#include "xml/serializer.h"
+#include <utility>
+
+#include "xarch/store.h"
+#include "xarch/store_registry.h"
 
 namespace xarch {
 
 namespace {
 
-class ArchiveStore : public VersionStore {
+/// The v1 interface implemented by forwarding to a v2 Store.
+class StoreAdapter final : public VersionStore {
  public:
-  ArchiveStore(keys::KeySpecSet spec, core::ArchiveOptions options)
-      : archive_(std::move(spec), options) {}
+  explicit StoreAdapter(std::unique_ptr<Store> store)
+      : store_(std::move(store)) {}
 
   Status AddVersion(const std::string& xml_text) override {
-    XARCH_ASSIGN_OR_RETURN(xml::NodePtr doc, xml::Parse(xml_text));
-    return archive_.AddVersion(*doc);
+    return store_->Append(xml_text);
   }
-
   StatusOr<std::string> Retrieve(Version v) override {
-    XARCH_ASSIGN_OR_RETURN(xml::NodePtr doc, archive_.RetrieveVersion(v));
-    if (doc == nullptr) return std::string();
-    return xml::Serialize(*doc);
+    return store_->Retrieve(v);
   }
-
-  size_t ByteSize() const override { return StoredBytes().size(); }
-  std::string StoredBytes() const override {
-    // Indentation-free form: the archive nests two levels deeper than a
-    // version, so indentation would bias size comparisons against it.
-    core::ArchiveSerializeOptions options;
-    options.indent_width = 0;
-    return archive_.ToXml(options);
-  }
-  std::string name() const override { return "archive"; }
-
-  core::Archive& archive() { return archive_; }
+  size_t ByteSize() const override { return store_->ByteSize(); }
+  std::string StoredBytes() const override { return store_->StoredBytes(); }
+  std::string name() const override { return store_->name(); }
 
  private:
-  core::Archive archive_;
+  std::unique_ptr<Store> store_;
 };
 
-class IncStore : public VersionStore {
+/// Surfaces a backend-construction error through the v1 interface, whose
+/// factories cannot report one (e.g. MakeArchiveStore with an empty key
+/// specification): every fallible call returns the construction error.
+class ErrorStore final : public VersionStore {
  public:
-  Status AddVersion(const std::string& xml_text) override {
-    repo_.AddVersion(xml_text);
-    return Status::OK();
-  }
-  StatusOr<std::string> Retrieve(Version v) override {
-    return repo_.Retrieve(v);
-  }
-  size_t ByteSize() const override { return repo_.ByteSize(); }
-  std::string StoredBytes() const override { return repo_.ConcatenatedBytes(); }
-  std::string name() const override { return "V1+inc diffs"; }
+  explicit ErrorStore(Status status) : status_(std::move(status)) {}
+
+  Status AddVersion(const std::string&) override { return status_; }
+  StatusOr<std::string> Retrieve(Version) override { return status_; }
+  size_t ByteSize() const override { return 0; }
+  std::string StoredBytes() const override { return std::string(); }
+  std::string name() const override { return "error"; }
 
  private:
-  diff::IncrementalDiffRepo repo_;
+  Status status_;
 };
 
-class CumuStore : public VersionStore {
- public:
-  Status AddVersion(const std::string& xml_text) override {
-    repo_.AddVersion(xml_text);
-    return Status::OK();
+std::unique_ptr<VersionStore> Adapt(const char* backend,
+                                    StoreOptions options = {}) {
+  auto store = StoreRegistry::Create(backend, std::move(options));
+  if (!store.ok()) {
+    return std::make_unique<ErrorStore>(store.status());
   }
-  StatusOr<std::string> Retrieve(Version v) override {
-    return repo_.Retrieve(v);
-  }
-  size_t ByteSize() const override { return repo_.ByteSize(); }
-  std::string StoredBytes() const override { return repo_.ConcatenatedBytes(); }
-  std::string name() const override { return "V1+cumu diffs"; }
-
- private:
-  diff::CumulativeDiffRepo repo_;
-};
-
-class FullStore : public VersionStore {
- public:
-  Status AddVersion(const std::string& xml_text) override {
-    repo_.AddVersion(xml_text);
-    return Status::OK();
-  }
-  StatusOr<std::string> Retrieve(Version v) override {
-    return repo_.Retrieve(v);
-  }
-  size_t ByteSize() const override { return repo_.ByteSize(); }
-  std::string StoredBytes() const override { return repo_.ConcatenatedBytes(); }
-  std::string name() const override { return "all versions"; }
-
- private:
-  diff::FullCopyRepo repo_;
-};
+  return std::make_unique<StoreAdapter>(std::move(store).value());
+}
 
 }  // namespace
 
 std::unique_ptr<VersionStore> MakeArchiveStore(keys::KeySpecSet spec,
                                                core::ArchiveOptions options) {
-  return std::make_unique<ArchiveStore>(std::move(spec), options);
+  StoreOptions store_options;
+  store_options.spec = std::move(spec);
+  store_options.archive = options;
+  const char* backend = options.frontier == core::FrontierStrategy::kWeave
+                            ? "archive-weave"
+                            : "archive";
+  return Adapt(backend, std::move(store_options));
 }
+
 std::unique_ptr<VersionStore> MakeIncrementalDiffStore() {
-  return std::make_unique<IncStore>();
+  return Adapt("incr-diff");
 }
 std::unique_ptr<VersionStore> MakeCumulativeDiffStore() {
-  return std::make_unique<CumuStore>();
+  return Adapt("cum-diff");
 }
 std::unique_ptr<VersionStore> MakeFullCopyStore() {
-  return std::make_unique<FullStore>();
+  return Adapt("full-copy");
 }
 
 }  // namespace xarch

@@ -5,16 +5,15 @@
 #include <string>
 
 #include "core/archive.h"
-#include "diff/repository.h"
 #include "keys/key_spec.h"
 #include "util/status.h"
 
 namespace xarch {
 
-/// \brief A uniform interface over every versioned-storage strategy the
-/// paper compares, so examples and benches can swap them freely:
-/// the key-based archive (ours), incremental diffs, cumulative diffs, and
-/// full copies.
+/// \brief Deprecated: the v1 storage façade, kept as a thin adapter over
+/// Store v2 (xarch/store.h). New code should create backends through
+/// StoreRegistry::Create, which adds batching, streaming retrieval,
+/// temporal queries, and Stats() introspection.
 class VersionStore {
  public:
   virtual ~VersionStore() = default;
@@ -30,14 +29,14 @@ class VersionStore {
   virtual std::string name() const = 0;
 };
 
-/// The paper's archiver behind the VersionStore interface.
+/// Deprecated shim for StoreRegistry::Create("archive", ...).
 std::unique_ptr<VersionStore> MakeArchiveStore(keys::KeySpecSet spec,
                                                core::ArchiveOptions options = {});
-/// "V1 + incremental diffs".
+/// Deprecated shim for StoreRegistry::Create("incr-diff", ...).
 std::unique_ptr<VersionStore> MakeIncrementalDiffStore();
-/// "V1 + cumulative diffs".
+/// Deprecated shim for StoreRegistry::Create("cum-diff", ...).
 std::unique_ptr<VersionStore> MakeCumulativeDiffStore();
-/// Every version kept verbatim.
+/// Deprecated shim for StoreRegistry::Create("full-copy", ...).
 std::unique_ptr<VersionStore> MakeFullCopyStore();
 
 }  // namespace xarch

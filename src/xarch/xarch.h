@@ -30,15 +30,20 @@
 #include "diff/sccs.h"
 #include "extmem/external_archiver.h"
 #include "extmem/internal_rep.h"
+#include "extmem/io_stats.h"
 #include "index/archive_index.h"
-#include "xarch/checkpoint.h"
-#include "xarch/version_store.h"
 #include "index/timestamp_tree.h"
 #include "keys/annotate.h"
 #include "keys/infer.h"
 #include "keys/key_spec.h"
+#include "keys/label.h"
 #include "util/status.h"
 #include "util/version_set.h"
+#include "xarch/checkpoint.h"
+#include "xarch/sink.h"
+#include "xarch/store.h"
+#include "xarch/store_registry.h"
+#include "xarch/version_store.h"
 #include "xml/canonical.h"
 #include "xml/node.h"
 #include "xml/parser.h"

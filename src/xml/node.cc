@@ -4,6 +4,8 @@
 
 namespace xarch::xml {
 
+std::atomic<uint64_t> Node::created_{0};
+
 void Node::SetAttr(std::string_view name, std::string_view value) {
   auto it = std::lower_bound(
       attrs_.begin(), attrs_.end(), name,

@@ -1,7 +1,9 @@
 #ifndef XARCH_XML_NODE_H_
 #define XARCH_XML_NODE_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -96,9 +98,21 @@ class Node {
   /// element has height 1; text nodes do not add a level.
   int Height() const;
 
+  /// Total Nodes constructed since process start. A counter hook for tests
+  /// that assert a code path materializes no tree (e.g. streaming retrieval
+  /// must serialize straight from the archive scan): sample before and
+  /// after, the delta is the number of nodes allocated in between.
+  static uint64_t CreatedCount() {
+    return created_.load(std::memory_order_relaxed);
+  }
+
  private:
   Node(NodeKind kind, std::string value)
-      : kind_(kind), value_(std::move(value)) {}
+      : kind_(kind), value_(std::move(value)) {
+    created_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  static std::atomic<uint64_t> created_;
 
   NodeKind kind_;
   std::string value_;  // tag for elements, character data for text nodes

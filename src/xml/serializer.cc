@@ -106,6 +106,11 @@ void WriteNode(const Node& node, const SerializeOptions& options, int depth,
 
 }  // namespace
 
+void SerializeAppend(const Node& node, const SerializeOptions& options,
+                     int depth, std::string* out) {
+  WriteNode(node, options, depth, out);
+}
+
 std::string Serialize(const Node& node, const SerializeOptions& options) {
   std::string out;
   WriteNode(node, options, 0, &out);

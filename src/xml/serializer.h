@@ -24,6 +24,13 @@ std::string Serialize(const Node& node, const SerializeOptions& options);
 /// Serializes with default (pretty) options.
 std::string Serialize(const Node& node);
 
+/// Low-level entry point: appends the serialization of `node`, indented as
+/// if it sat at nesting level `depth`, to `*out`. Lets callers that emit
+/// XML incrementally (e.g. streaming retrieval from an archive scan) reuse
+/// the exact formatting of Serialize() for embedded subtrees.
+void SerializeAppend(const Node& node, const SerializeOptions& options,
+                     int depth, std::string* out);
+
 /// Escapes character data: & < >.
 std::string EscapeText(std::string_view text);
 

@@ -1,15 +1,16 @@
 // Cross-module integration tests: the full pipeline (generators -> keys ->
 // nested merge -> serialization -> compression -> retrieval) and the
-// VersionStore façade, exercised end to end.
+// Store v2 façade, exercised end to end.
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
 
 #include "compress/container.h"
 #include "compress/lzss.h"
 #include "synth/omim.h"
 #include "synth/swissprot.h"
 #include "synth/xmark.h"
-#include "xarch/version_store.h"
 #include "xarch/xarch.h"
 
 namespace xarch {
@@ -27,12 +28,19 @@ std::string SerializeFlat(const xml::Node& node) {
   return xml::Serialize(node, options);
 }
 
-// Every VersionStore must reproduce every version byte-for-byte after a
+std::unique_ptr<Store> MustStore(const char* backend, const char* spec_text) {
+  StoreOptions options;
+  options.spec = MustSpec(spec_text);
+  auto store = StoreRegistry::Create(backend, std::move(options));
+  EXPECT_TRUE(store.ok()) << backend << ": " << store.status().ToString();
+  return std::move(store).value();
+}
+
+// Every Store backend must reproduce every version byte-for-byte after a
 // normalizing re-parse (keyed-sibling order is free for the archive).
-class VersionStoreTest : public ::testing::TestWithParam<int> {};
+class VersionStoreTest : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(VersionStoreTest, AllStoresReproduceAllVersions) {
-  int which = GetParam();
   synth::OmimGenerator::Options gen_options;
   gen_options.initial_records = 25;
   gen_options.insert_ratio = 0.05;
@@ -40,25 +48,12 @@ TEST_P(VersionStoreTest, AllStoresReproduceAllVersions) {
   gen_options.modify_ratio = 0.04;
   synth::OmimGenerator gen(gen_options);
 
-  std::unique_ptr<VersionStore> store;
-  switch (which) {
-    case 0:
-      store = MakeArchiveStore(MustSpec(synth::OmimGenerator::KeySpecText()));
-      break;
-    case 1:
-      store = MakeIncrementalDiffStore();
-      break;
-    case 2:
-      store = MakeCumulativeDiffStore();
-      break;
-    default:
-      store = MakeFullCopyStore();
-      break;
-  }
+  std::unique_ptr<Store> store =
+      MustStore(GetParam(), synth::OmimGenerator::KeySpecText());
   std::vector<std::string> texts;
   for (int v = 0; v < 8; ++v) {
     texts.push_back(SerializeFlat(*gen.NextVersion()));
-    Status st = store->AddVersion(texts.back());
+    Status st = store->Append(texts.back());
     ASSERT_TRUE(st.ok()) << store->name() << ": " << st.ToString();
   }
   EXPECT_GT(store->ByteSize(), 0u);
@@ -79,7 +74,14 @@ TEST_P(VersionStoreTest, AllStoresReproduceAllVersions) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllStores, VersionStoreTest,
-                         ::testing::Values(0, 1, 2, 3));
+                         ::testing::Values("archive", "archive-weave",
+                                           "incr-diff", "cum-diff",
+                                           "full-copy"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
 
 TEST(PipelineTest, ArchiveCompressRoundTrip) {
   // archive -> XML -> container-compress -> decompress -> reload -> query.
@@ -116,12 +118,12 @@ TEST(PipelineTest, CompressedArchiveBeatsCompressedDiffsOnAccretiveData) {
   gen_options.insert_ratio = 0.02;
   gen_options.modify_ratio = 0.01;
   synth::OmimGenerator gen(gen_options);
-  auto archive = MakeArchiveStore(MustSpec(synth::OmimGenerator::KeySpecText()));
-  auto inc = MakeIncrementalDiffStore();
+  auto archive = MustStore("archive", synth::OmimGenerator::KeySpecText());
+  auto inc = MustStore("incr-diff", synth::OmimGenerator::KeySpecText());
   for (int v = 0; v < 12; ++v) {
     std::string text = SerializeFlat(*gen.NextVersion());
-    ASSERT_TRUE(archive->AddVersion(text).ok());
-    ASSERT_TRUE(inc->AddVersion(text).ok());
+    ASSERT_TRUE(archive->Append(text).ok());
+    ASSERT_TRUE(inc->Append(text).ok());
   }
   auto xmill_archive =
       compress::XmlContainerCompressor::CompressText(archive->StoredBytes());
@@ -136,13 +138,13 @@ TEST(PipelineTest, WorstCaseArchiveLargerButRetrievable) {
   gen_options.people = 12;
   gen_options.open_auctions = 8;
   synth::XMarkGenerator gen(gen_options);
-  auto archive = MakeArchiveStore(MustSpec(synth::XMarkGenerator::KeySpecText()));
-  auto inc = MakeIncrementalDiffStore();
+  auto archive = MustStore("archive", synth::XMarkGenerator::KeySpecText());
+  auto inc = MustStore("incr-diff", synth::XMarkGenerator::KeySpecText());
   for (int v = 0; v < 6; ++v) {
     if (v > 0) gen.MutateKeys(15.0);
     std::string text = SerializeFlat(*gen.Current());
-    ASSERT_TRUE(archive->AddVersion(text).ok());
-    ASSERT_TRUE(inc->AddVersion(text).ok());
+    ASSERT_TRUE(archive->Append(text).ok());
+    ASSERT_TRUE(inc->Append(text).ok());
   }
   // Key mutation is the archiver's worst case (Fig. 14).
   EXPECT_GT(archive->ByteSize(), inc->ByteSize());
