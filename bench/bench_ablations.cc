@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "core/archive.h"
+#include "json_report.h"
 #include "synth/omim.h"
 #include "synth/words.h"
 #include "util/random.h"
@@ -38,7 +39,8 @@ core::Archive BuildOmim(core::ArchiveOptions options, int versions) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report("bench_ablations");
   constexpr int kVersions = 15;
   std::printf("# E13 — design ablations (OMIM-like, %d versions)\n\n",
               kVersions);
@@ -62,6 +64,14 @@ int main() {
                 "(+%.1f%%)\n",
                 base_size, no_interval_size,
                 100.0 * (no_interval_size - base_size) / base_size);
+    report.BeginRow();
+    report.Add("ablation", "timestamp_inheritance_off");
+    report.Add("base_bytes", base_size);
+    report.Add("ablated_bytes", no_inherit_size);
+    report.BeginRow();
+    report.Add("ablation", "interval_encoding_off");
+    report.Add("base_bytes", base_size);
+    report.Add("ablated_bytes", no_interval_size);
   }
 
   // --- 3: frontier strategy on the paper's free-text scenario ("some data
@@ -115,6 +125,10 @@ int main() {
     std::printf("frontier strategy (free-text lines): buckets %9zu bytes   "
                 "weave %9zu bytes (%.1f%% of buckets)\n",
                 buckets, weave, 100.0 * weave / buckets);
+    report.BeginRow();
+    report.Add("ablation", "frontier_weave");
+    report.Add("base_bytes", buckets);
+    report.Add("ablated_bytes", weave);
   }
 
   // --- 4: fingerprint strength vs merge time (heavy truncation forces
@@ -126,11 +140,16 @@ int main() {
       auto t0 = std::chrono::steady_clock::now();
       core::Archive archive = BuildOmim(options, kVersions);
       auto t1 = std::chrono::steady_clock::now();
+      const double build_ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
       std::printf("fingerprint bits %2d: archive build %8.1f ms "
                   "(truncation forces the Sec. 4.3 value verification)\n",
-                  bits,
-                  std::chrono::duration<double, std::milli>(t1 - t0).count());
+                  bits, build_ms);
+      report.BeginRow();
+      report.Add("ablation", "fingerprint_bits");
+      report.Add("bits", bits);
+      report.Add("build_ms", build_ms);
     }
   }
-  return 0;
+  return report.Write(bench::JsonPathFromArgs(argc, argv)) ? 0 : 1;
 }

@@ -5,9 +5,11 @@
 #include "synth/xmark.h"
 #include "xml/serializer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xarch;
   bench::SweepOptions options;
+  bench::JsonReport report("bench_appc2_worst_case");
+  options.json = &report;
   options.with_cumulative = false;
   options.with_compression = true;
 
@@ -29,5 +31,6 @@ int main() {
         },
         options);
   }
+  if (!report.Write(bench::JsonPathFromArgs(argc, argv))) return 1;
   return 0;
 }

@@ -11,13 +11,15 @@
 
 #include <cstdio>
 
+#include "json_report.h"
 #include "synth/xmark.h"
 #include "xarch/store.h"
 #include "xarch/store_registry.h"
 #include "xml/serializer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xarch;
+  bench::JsonReport report("bench_checkpointing");
   constexpr int kVersions = 16;
   std::printf("# E14 — checkpointing trade-off (%d versions, key-mutation "
               "5%%/version)\n",
@@ -73,11 +75,18 @@ int main() {
                 archive_stats.stored_bytes, repo_stats.stored_bytes,
                 archive_stats.checkpoint_segments,
                 repo_stats.max_retrieval_applications);
+    report.BeginRow();
+    report.Add("k", k);
+    report.Add("archive_bytes", archive_stats.stored_bytes);
+    report.Add("diff_repo_bytes", repo_stats.stored_bytes);
+    report.Add("segments", archive_stats.checkpoint_segments);
+    report.Add("max_delta_applications",
+               repo_stats.max_retrieval_applications);
   }
   std::printf("\nexpected shape: k=1 stores every version in full (both "
               "systems identical cost, zero applications); large k saves "
               "space at the cost of longer delta chains (diff repo) or a "
               "worst-case-grown archive segment. Intermediate k bounds "
               "both.\n");
-  return 0;
+  return report.Write(bench::JsonPathFromArgs(argc, argv)) ? 0 : 1;
 }

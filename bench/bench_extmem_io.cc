@@ -11,14 +11,16 @@
 #include <cstdio>
 
 #include "core/archive.h"
+#include "json_report.h"
 #include "xarch/store.h"
 #include "xarch/store_registry.h"
 #include "xml/parser.h"
 #include "synth/swissprot.h"
 #include "xml/serializer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xarch;
+  bench::JsonReport report("bench_extmem_io");
   constexpr int kReleases = 5;
   constexpr size_t kPageBytes = 4096;
 
@@ -64,6 +66,12 @@ int main() {
                 static_cast<unsigned long long>(io.merge_passes),
                 static_cast<unsigned long long>(io.PagesRead(kPageBytes)),
                 static_cast<unsigned long long>(io.PagesWritten(kPageBytes)));
+    report.BeginRow();
+    report.Add("memory_budget_rows", budget);
+    report.Add("runs", io.run_count);
+    report.Add("merge_passes", io.merge_passes);
+    report.Add("pages_read", io.PagesRead(kPageBytes));
+    report.Add("pages_written", io.PagesWritten(kPageBytes));
     std::string xml = (*store)->StoredBytes();
     if (!xml.empty()) {
       if (reference_xml.empty()) {
@@ -103,5 +111,5 @@ int main() {
               equal ? "yes" : "NO");
   std::printf("expected shape: runs and merge passes fall as M grows; page "
               "I/O falls accordingly.\n");
-  return 0;
+  return report.Write(bench::JsonPathFromArgs(argc, argv)) ? 0 : 1;
 }

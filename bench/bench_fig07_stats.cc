@@ -6,17 +6,31 @@
 
 #include <cstdio>
 
+#include "json_report.h"
 #include "synth/omim.h"
 #include "synth/swissprot.h"
 #include "synth/xmark.h"
 #include "util/strings.h"
 #include "xml/serializer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xarch;
+  bench::JsonReport report("bench_fig07_stats");
   std::printf("# Fig. 7 — dataset statistics (largest generated version)\n");
   std::printf("%-12s %14s %12s %8s\n", "Data", "Size", "No. of Nodes(N)",
               "Height(h)");
+
+  auto row = [&](const char* data, const xml::Node& doc) {
+    const size_t size = xml::Serialize(doc).size();
+    std::printf("%-12s %14s %12s %8d\n", data,
+                FormatWithCommas(size).c_str(),
+                FormatWithCommas(doc.CountNodes()).c_str(), doc.Height());
+    report.BeginRow();
+    report.Add("data", data);
+    report.Add("size_bytes", size);
+    report.Add("nodes", doc.CountNodes());
+    report.Add("height", doc.Height());
+  };
 
   {
     synth::OmimGenerator::Options options;
@@ -24,9 +38,7 @@ int main() {
     synth::OmimGenerator gen(options);
     xml::NodePtr doc;
     for (int v = 0; v < 5; ++v) doc = gen.NextVersion();
-    std::printf("%-12s %14s %12s %8d\n", "OMIM",
-                FormatWithCommas(xml::Serialize(*doc).size()).c_str(),
-                FormatWithCommas(doc->CountNodes()).c_str(), doc->Height());
+    row("OMIM", *doc);
   }
   {
     synth::SwissProtGenerator::Options options;
@@ -34,9 +46,7 @@ int main() {
     synth::SwissProtGenerator gen(options);
     xml::NodePtr doc;
     for (int v = 0; v < 5; ++v) doc = gen.NextVersion();
-    std::printf("%-12s %14s %12s %8d\n", "Swiss-Prot",
-                FormatWithCommas(xml::Serialize(*doc).size()).c_str(),
-                FormatWithCommas(doc->CountNodes()).c_str(), doc->Height());
+    row("Swiss-Prot", *doc);
   }
   {
     synth::XMarkGenerator::Options options;
@@ -45,11 +55,9 @@ int main() {
     options.open_auctions = 60;
     synth::XMarkGenerator gen(options);
     xml::NodePtr doc = gen.Current();
-    std::printf("%-12s %14s %12s %8d\n", "XMark",
-                FormatWithCommas(xml::Serialize(*doc).size()).c_str(),
-                FormatWithCommas(doc->CountNodes()).c_str(), doc->Height());
+    row("XMark", *doc);
   }
   std::printf("\npaper (Fig. 7): OMIM 27.0MB/206,466/5  Swiss-Prot "
               "436.2MB/10,903,568/6  XMark 11.2MB/167,864/12\n");
-  return 0;
+  return report.Write(bench::JsonPathFromArgs(argc, argv)) ? 0 : 1;
 }

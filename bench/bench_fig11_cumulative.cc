@@ -9,9 +9,11 @@
 #include "synth/swissprot.h"
 #include "xml/serializer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xarch;
   bench::SweepOptions options;
+  bench::JsonReport report("bench_fig11_cumulative");
+  options.json = &report;
   options.with_cumulative = true;
   options.with_compression = false;
 
@@ -38,5 +40,6 @@ int main() {
   }
   std::printf("expected shape: V1+cumu grows quadratically and exceeds the "
               "others; archive stays within a few %% of V1+inc.\n");
+  if (!report.Write(bench::JsonPathFromArgs(argc, argv))) return 1;
   return 0;
 }

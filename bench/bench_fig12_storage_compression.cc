@@ -9,9 +9,11 @@
 #include "synth/swissprot.h"
 #include "xml/serializer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xarch;
   bench::SweepOptions options;
+  bench::JsonReport report("bench_fig12_storage_compression");
+  options.json = &report;
   options.with_cumulative = false;
   options.with_compression = true;
   options.archive_backend = "archive";  // Store v2 registry name
@@ -38,5 +40,6 @@ int main() {
   }
   std::printf("expected shape: xmill(arch) < gzip(inc) < gzip(cumu), "
               "xmill(V1..Vi); archive within %% of V1+inc raw.\n");
+  if (!report.Write(bench::JsonPathFromArgs(argc, argv))) return 1;
   return 0;
 }

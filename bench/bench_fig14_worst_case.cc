@@ -10,9 +10,11 @@
 #include "synth/xmark.h"
 #include "xml/serializer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xarch;
   bench::SweepOptions options;
+  bench::JsonReport report("bench_fig14_worst_case");
+  options.json = &report;
   options.with_cumulative = false;
   options.with_compression = true;
   options.archive_backend = "archive";  // Store v2 registry name
@@ -35,5 +37,6 @@ int main() {
         },
         options);
   }
+  if (!report.Write(bench::JsonPathFromArgs(argc, argv))) return 1;
   return 0;
 }

@@ -11,11 +11,13 @@
 
 #include "compress/container.h"
 #include "core/archive.h"
+#include "json_report.h"
 #include "synth/omim.h"
 #include "xml/serializer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xarch;
+  bench::JsonReport report("bench_omim_yearly");
   constexpr int kDays = 90;
   synth::OmimGenerator::Options gen_options;
   gen_options.initial_records = 400;
@@ -57,6 +59,13 @@ int main() {
                   xml.size(),
                   static_cast<double>(xml.size()) / last_version,
                   compressed.ok() ? compressed->size() : 0);
+      report.BeginRow();
+      report.Add("day", day);
+      report.Add("version_bytes", last_version);
+      report.Add("archive_bytes", xml.size());
+      report.Add("ratio", static_cast<double>(xml.size()) / last_version);
+      report.Add("xmill_archive_bytes",
+                 compressed.ok() ? compressed->size() : size_t{0});
     }
   }
   std::string xml = archive.ToXml(arch_ser);
@@ -71,5 +80,9 @@ int main() {
               "(paper: ~40%% with real XMill+MD-heavy text)\n",
               100.0 * (compressed.ok() ? compressed->size() : 0) /
                   last_version);
-  return 0;
+  report.BeginRow();
+  report.Add("day", kDays);
+  report.Add("final_ratio", ratio);
+  report.Add("extrapolated_365d_ratio", yearly);
+  return report.Write(bench::JsonPathFromArgs(argc, argv)) ? 0 : 1;
 }

@@ -7,11 +7,13 @@
 #include <cstdio>
 
 #include "core/archive.h"
+#include "json_report.h"
 #include "index/archive_index.h"
 #include "synth/omim.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xarch;
+  bench::JsonReport report("bench_retrieval_index");
   constexpr int kVersions = 40;
   synth::OmimGenerator::Options gen_options;
   gen_options.initial_records = 40;
@@ -51,10 +53,16 @@ int main() {
         std::chrono::duration<double, std::micro>(t2 - t1).count();
     std::printf("%-8u %14zu %18zu %14.1f %14.1f\n", v, stats.tree_probes,
                 full_scan_nodes, scan_us, indexed_us);
+    report.BeginRow();
+    report.Add("version", v);
+    report.Add("tree_probes", stats.tree_probes);
+    report.Add("full_scan_nodes", full_scan_nodes);
+    report.Add("scan_us", scan_us);
+    report.Add("indexed_us", indexed_us);
   }
   std::printf("\nexpected shape: retrieving an early (small) version probes "
               "far fewer tree nodes than the full scan touches; the "
               "advantage shrinks as α approaches k for recent versions "
               "(Sec. 7.1).\n");
-  return 0;
+  return report.Write(bench::JsonPathFromArgs(argc, argv)) ? 0 : 1;
 }

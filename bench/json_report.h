@@ -1,0 +1,122 @@
+#ifndef XARCH_BENCH_JSON_REPORT_H_
+#define XARCH_BENCH_JSON_REPORT_H_
+
+// Machine-readable bench output. Every bench accepts `--json <path>` and
+// mirrors its printed table into a JSON document
+//
+//   {"bench": "<name>", "rows": [{"col": value, ...}, ...]}
+//
+// so BENCH_*.json trajectories can be recorded and compared across
+// commits. (bench_micro_algorithms is the exception: Google Benchmark
+// already ships --benchmark_format=json.)
+
+#include <cstdio>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace xarch::bench {
+
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+  /// Starts a new row; subsequent Add() calls fill it.
+  void BeginRow() { rows_.emplace_back(); }
+
+  void Add(const std::string& key, const std::string& value) {
+    AddRendered(key, Quote(value));
+  }
+  void Add(const std::string& key, const char* value) {
+    AddRendered(key, Quote(value));
+  }
+  void Add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    AddRendered(key, buf);
+  }
+  void Add(const std::string& key, bool value) {
+    AddRendered(key, value ? "true" : "false");
+  }
+  template <typename Int,
+            typename = std::enable_if_t<std::is_integral<Int>::value>>
+  void Add(const std::string& key, Int value) {
+    AddRendered(key, std::to_string(value));
+  }
+
+  /// Writes the report; a null/empty path is a no-op (bench ran without
+  /// --json). Returns false when the file cannot be written.
+  bool Write(const char* path) const {
+    if (path == nullptr || path[0] == '\0') return true;
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path);
+      return false;
+    }
+    std::fprintf(f, "{\"bench\": %s, \"rows\": [", Quote(bench_).c_str());
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(f, "%s\n  {", r == 0 ? "" : ",");
+      for (size_t c = 0; c < rows_[r].size(); ++c) {
+        std::fprintf(f, "%s%s: %s", c == 0 ? "" : ", ",
+                     Quote(rows_[r][c].first).c_str(),
+                     rows_[r][c].second.c_str());
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  void AddRendered(const std::string& key, std::string rendered) {
+    if (rows_.empty()) rows_.emplace_back();
+    rows_.back().emplace_back(key, std::move(rendered));
+  }
+
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  std::string bench_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
+
+/// The argument after "--json", or nullptr when absent.
+inline const char* JsonPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return nullptr;
+}
+
+/// True if `flag` (e.g. "--smoke") appears among the arguments.
+inline bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == flag) return true;
+  }
+  return false;
+}
+
+}  // namespace xarch::bench
+
+#endif  // XARCH_BENCH_JSON_REPORT_H_

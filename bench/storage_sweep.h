@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "json_report.h"
 #include "compress/container.h"
 #include "compress/lzss.h"
 #include "keys/key_spec.h"
@@ -27,6 +28,8 @@ struct SweepOptions {
   bool with_compression = true;  ///< include the compressed lines (Fig. 12+)
   /// Registry name of the archive line ("archive" or "archive-weave").
   std::string archive_backend = "archive";
+  /// When set, every printed row is mirrored into the report (--json).
+  JsonReport* json = nullptr;
 };
 
 /// Serialization used for all byte counts: line-structured (so line diffs
@@ -93,7 +96,20 @@ inline void RunStorageSweep(const std::string& title,
     std::string archive_xml = archive->StoredBytes();
     std::printf("%-3d %10zu %10zu %10zu", v, text.size(), archive_xml.size(),
                 inc->ByteSize());
-    if (options.with_cumulative) std::printf(" %10zu", cumu->ByteSize());
+    if (options.json != nullptr) {
+      options.json->BeginRow();
+      options.json->Add("sweep", title);
+      options.json->Add("v", v);
+      options.json->Add("version_bytes", text.size());
+      options.json->Add("archive_bytes", archive_xml.size());
+      options.json->Add("incr_diff_bytes", inc->ByteSize());
+    }
+    if (options.with_cumulative) {
+      std::printf(" %10zu", cumu->ByteSize());
+      if (options.json != nullptr) {
+        options.json->Add("cum_diff_bytes", cumu->ByteSize());
+      }
+    }
     if (options.with_compression) {
       size_t gzip_inc = compress::LzssCompress(inc->StoredBytes()).size();
       size_t gzip_cumu =
@@ -106,8 +122,15 @@ inline void RunStorageSweep(const std::string& title,
           compress::XmlContainerCompressor::CompressText(
               "<all>" + all->StoredBytes() + "</all>");
       size_t xmill_all = xmill_all_or.ok() ? xmill_all_or->size() : 0;
+      size_t xmill_arch_bytes = xmill_arch.ok() ? xmill_arch->size() : 0;
       std::printf(" %12zu %12zu %12zu %12zu", gzip_inc, gzip_cumu,
-                  xmill_arch.ok() ? xmill_arch->size() : 0, xmill_all);
+                  xmill_arch_bytes, xmill_all);
+      if (options.json != nullptr) {
+        options.json->Add("gzip_incr_bytes", gzip_inc);
+        options.json->Add("gzip_cum_bytes", gzip_cumu);
+        options.json->Add("xmill_archive_bytes", xmill_arch_bytes);
+        options.json->Add("xmill_all_versions_bytes", xmill_all);
+      }
     }
     std::printf("\n");
   }

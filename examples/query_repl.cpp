@@ -1,0 +1,132 @@
+// query_repl — an interactive XAQL shell over a small curated database.
+//
+// Seeds an indexed archive store with a handful of versions of the
+// paper's company database (departments and employees), then reads XAQL
+// queries from stdin and streams the answers. Run it and try:
+//
+//   /db @ version 1
+//   /db/dept[name="finance"]/emp[*] @ version 4
+//   /db/dept[name="finance"]/emp[fn="John", ln="Doe"] history
+//   /db diff 1 4
+//   explain /db @ version 2
+//
+// Non-interactive use: pass queries as arguments
+// (`query_repl '/db diff 1 4'`) — handy for scripts and CI smoke runs.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "xarch/xarch.h"
+
+namespace {
+
+constexpr const char* kKeys = R"(
+(/, (db, {}))
+(/db, (dept, {name}))
+(/db/dept, (emp, {fn, ln}))
+(/db/dept/emp, (sal, {}))
+(/db/dept/emp, (tel, {.}))
+)";
+
+void Fail(const xarch::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  std::exit(1);
+}
+
+std::string Emp(const std::string& fn, const std::string& ln,
+                const std::string& sal) {
+  return "<emp><fn>" + fn + "</fn><ln>" + ln + "</ln><sal>" + sal +
+         "</sal></emp>";
+}
+
+std::string Dept(const std::string& name, const std::string& emps) {
+  return "<dept><name>" + name + "</name>" + emps + "</dept>";
+}
+
+std::vector<std::string> CompanyVersions() {
+  // v1: two departments; v2: John Doe gets a raise; v3: Anna moves — the
+  // Fig. 1 motivation: key-based diff reports the move, not a mutation;
+  // v4: a new hire.
+  return {
+      "<db>" +
+          Dept("finance", Emp("John", "Doe", "50000") +
+                              Emp("Anna", "Smith", "61000")) +
+          Dept("research", Emp("Mary", "Major", "70000")) + "</db>",
+      "<db>" +
+          Dept("finance", Emp("John", "Doe", "55000") +
+                              Emp("Anna", "Smith", "61000")) +
+          Dept("research", Emp("Mary", "Major", "70000")) + "</db>",
+      "<db>" + Dept("finance", Emp("John", "Doe", "55000")) +
+          Dept("research", Emp("Anna", "Smith", "61000") +
+                               Emp("Mary", "Major", "70000")) +
+          "</db>",
+      "<db>" + Dept("finance", Emp("John", "Doe", "55000") +
+                                   Emp("Ken", "Thompson", "90000")) +
+          Dept("research", Emp("Anna", "Smith", "62000") +
+                               Emp("Mary", "Major", "70000")) +
+          "</db>",
+  };
+}
+
+bool RunOne(xarch::Store& store, const std::string& query) {
+  xarch::StringSink sink;
+  xarch::Status st = store.Query(query, sink);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return false;
+  }
+  std::fputs(sink.data().c_str(), stdout);
+  if (sink.data().empty() || sink.data().back() != '\n') std::printf("\n");
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto spec = xarch::keys::ParseKeySpecSet(kKeys);
+  if (!spec.ok()) Fail(spec.status());
+  xarch::StoreOptions options;
+  options.spec = std::move(*spec);
+  options.use_index = true;
+  auto store = xarch::StoreRegistry::Create("archive", std::move(options));
+  if (!store.ok()) Fail(store.status());
+  for (const std::string& text : CompanyVersions()) {
+    if (xarch::Status st = (*store)->Append(text); !st.ok()) Fail(st);
+  }
+
+  if (argc > 1) {
+    // Script mode: any failed query fails the run (CI smoke relies on it).
+    bool ok = true;
+    for (int i = 1; i < argc; ++i) {
+      std::printf("xaql> %s\n", argv[i]);
+      ok = RunOne(**store, argv[i]) && ok;
+    }
+    return ok ? 0 : 1;
+  }
+
+  std::printf("XAQL shell — %u versions of the company database archived "
+              "(%zu archive nodes).\n",
+              (*store)->version_count(), (*store)->Stats().node_count);
+  std::printf("Try: /db/dept[name=\"finance\"]/emp[*] @ version 4\n");
+  std::printf("     /db/dept[name=\"research\"]/emp[fn=\"Anna\", "
+              "ln=\"Smith\"] history\n");
+  std::printf("     /db diff 1 4    |    explain /db @ version 2\n");
+  std::printf("Ctrl-D quits.\n");
+  char line[4096];
+  for (;;) {
+    std::printf("xaql> ");
+    std::fflush(stdout);
+    if (std::fgets(line, sizeof line, stdin) == nullptr) break;
+    std::string query(line);
+    while (!query.empty() &&
+           (query.back() == '\n' || query.back() == '\r')) {
+      query.pop_back();
+    }
+    if (query.empty()) continue;
+    if (query == "quit" || query == "exit") break;
+    RunOne(**store, query);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -18,6 +18,7 @@ Archive::Archive(keys::KeySpecSet spec, ArchiveOptions options)
 
 void Archive::AddEmptyVersion() {
   Version v = ++count_;
+  ++ingest_generation_;
   VersionSet before = *root_->stamp;
   root_->stamp->Add(v);
   // Children must not inherit the new version: materialize inherited stamps.

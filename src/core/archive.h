@@ -170,6 +170,13 @@ class Archive {
   /// verifying that batched ingest really is a single pass.
   uint64_t merge_pass_count() const { return merge_passes_; }
 
+  /// Monotone counter bumped by every successful ingest (AddVersion,
+  /// AddVersions, AddEmptyVersion). Derived structures built over the
+  /// archive (index::ArchiveIndex) record the generation they were built
+  /// at and rebuild lazily when it moves — the stale-index hazard of
+  /// "constructed each time a new version arrives" (Sec. 7).
+  uint64_t ingest_generation() const { return ingest_generation_; }
+
  private:
   friend class NestedMerger;
   friend class MultiNestedMerger;
@@ -178,6 +185,7 @@ class Archive {
   ArchiveOptions options_;
   Version count_ = 0;
   uint64_t merge_passes_ = 0;
+  uint64_t ingest_generation_ = 0;
   std::unique_ptr<ArchiveNode> root_;
 };
 

@@ -420,6 +420,7 @@ Status Archive::AddVersion(const xml::Node& version_root) {
                                             options_.annotate));
   Version v = ++count_;
   ++merge_passes_;
+  ++ingest_generation_;
   NestedMerger merger(this, v);
   merger.Run(keyed);
   return Status::OK();
@@ -445,6 +446,7 @@ Status Archive::AddVersions(const std::vector<const xml::Node*>& version_roots) 
     versions.emplace_back(static_cast<Version>(count_ + 1 + i), &keyed[i]);
   }
   ++merge_passes_;
+  ++ingest_generation_;
   MultiNestedMerger merger(this);
   merger.Run(versions);
   count_ += static_cast<Version>(keyed.size());

@@ -1,0 +1,156 @@
+#include "core/scan.h"
+
+namespace xarch::core {
+
+namespace {
+
+bool BucketActiveAt(const ArchiveNode::Bucket& bucket, Version v) {
+  return !bucket.stamp.has_value() || bucket.stamp->Contains(v);
+}
+
+}  // namespace
+
+Status ScanCursor::Emit(std::string_view text) {
+  buffer_.append(text);
+  return MaybeFlush();
+}
+
+Status ScanCursor::Finish() {
+  if (!buffer_.empty()) {
+    XARCH_RETURN_NOT_OK(emit_(buffer_));
+    buffer_.clear();
+  }
+  return Status::OK();
+}
+
+Status ScanCursor::MaybeFlush() {
+  if (buffer_.size() < kFlushThreshold) return Status::OK();
+  XARCH_RETURN_NOT_OK(emit_(buffer_));
+  buffer_.clear();
+  return Status::OK();
+}
+
+void ScanCursor::Indent(int depth) {
+  if (options_.pretty) {
+    buffer_.append(static_cast<size_t>(depth) *
+                       static_cast<size_t>(options_.indent_width),
+                   ' ');
+  }
+}
+
+void ScanCursor::Newline() {
+  if (options_.pretty) buffer_ += '\n';
+}
+
+void ScanCursor::OpenTag(const ArchiveNode& node) {
+  buffer_ += '<';
+  buffer_ += node.label.tag;
+  for (const auto& [name, value] : node.attrs) {
+    buffer_ += ' ';
+    buffer_ += name;
+    buffer_ += "=\"";
+    buffer_ += xml::EscapeAttr(value);
+    buffer_ += '"';
+  }
+}
+
+void ScanCursor::CloseTag(const ArchiveNode& node) {
+  buffer_ += "</";
+  buffer_ += node.label.tag;
+  buffer_ += '>';
+}
+
+Status ScanCursor::Scan(const ArchiveNode& node, Version v, int depth) {
+  Indent(depth);
+  OpenTag(node);
+  if (node.is_frontier) return WriteFrontier(node, v, depth);
+  return WriteInner(node, v, depth);
+}
+
+Status ScanCursor::WriteInner(const ArchiveNode& node, Version v, int depth) {
+  if (stats_ != nullptr) stats_->naive_probes += node.children.size();
+  // The relevant children: timestamp-tree pruned when a selector is
+  // installed, per-child timestamp checks otherwise.
+  std::vector<size_t> relevant;
+  bool pruned = false;
+  if (selector_) {
+    size_t probes = 0;
+    pruned = selector_(node, v, &relevant, &probes);
+    if (stats_ != nullptr) stats_->tree_probes += probes;
+  }
+  bool any = false;
+  auto write_child = [&](const ArchiveNode& child) -> Status {
+    if (!any) {
+      buffer_ += '>';
+      Newline();
+      any = true;
+    }
+    XARCH_RETURN_NOT_OK(Scan(child, v, depth + 1));
+    return MaybeFlush();
+  };
+  if (pruned) {
+    for (size_t child_index : relevant) {
+      XARCH_RETURN_NOT_OK(write_child(*node.children[child_index]));
+    }
+  } else {
+    for (const auto& child : node.children) {
+      if (child->stamp.has_value() && !child->stamp->Contains(v)) continue;
+      XARCH_RETURN_NOT_OK(write_child(*child));
+    }
+  }
+  if (!any) {
+    buffer_ += "/>";
+    Newline();
+    return Status::OK();
+  }
+  Indent(depth);
+  CloseTag(node);
+  Newline();
+  return Status::OK();
+}
+
+Status ScanCursor::WriteFrontier(const ArchiveNode& node, Version v,
+                                 int depth) {
+  // The version's content: all active buckets concatenated (one
+  // alternative in bucket mode, the active woven segments in weave mode).
+  bool empty = true, text_only = true;
+  for (const auto& bucket : node.buckets) {
+    if (!BucketActiveAt(bucket, v)) continue;
+    for (const auto& n : bucket.content) {
+      empty = false;
+      if (!n->is_text()) text_only = false;
+    }
+  }
+  if (empty) {
+    buffer_ += "/>";
+    Newline();
+    return Status::OK();
+  }
+  buffer_ += '>';
+  if (options_.pretty && text_only) {
+    // Text-only elements stay on one line (element-aligned diffs, Sec. 5).
+    for (const auto& bucket : node.buckets) {
+      if (!BucketActiveAt(bucket, v)) continue;
+      for (const auto& n : bucket.content) {
+        buffer_ += xml::EscapeText(n->text());
+      }
+    }
+    CloseTag(node);
+    Newline();
+    return Status::OK();
+  }
+  Newline();
+  for (const auto& bucket : node.buckets) {
+    if (!BucketActiveAt(bucket, v)) continue;
+    for (const auto& n : bucket.content) {
+      xml::SerializeAppend(*n, options_, depth + 1, &buffer_);
+      XARCH_RETURN_NOT_OK(MaybeFlush());
+    }
+  }
+  Indent(depth);
+  CloseTag(node);
+  Newline();
+  return Status::OK();
+}
+
+}  // namespace xarch::core

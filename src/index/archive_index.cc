@@ -148,6 +148,15 @@ StatusOr<VersionSet> ArchiveIndex::History(
   return effective;
 }
 
+bool ArchiveIndex::RelevantChildren(const core::ArchiveNode& node, Version v,
+                                    std::vector<size_t>* relevant,
+                                    size_t* probes) const {
+  auto it = nodes_.find(&node);
+  if (it == nodes_.end()) return false;
+  *relevant = it->second.tree.Lookup(v, probes);
+  return true;
+}
+
 size_t ArchiveIndex::TreeNodeCount() const {
   size_t total = 0;
   for (const auto& [node, entry] : nodes_) {

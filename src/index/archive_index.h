@@ -37,6 +37,25 @@ class ArchiveIndex {
   StatusOr<VersionSet> History(const std::vector<core::KeyStep>& path,
                                ProbeStats* stats) const;
 
+  /// Keyed child lookup via the sorted child-key list — the History step
+  /// primitive, exposed for the XAQL query evaluator. Returns nullptr when
+  /// no child carries the exact label (tag + all key values).
+  const core::ArchiveNode* FindChild(const core::ArchiveNode& parent,
+                                     const core::KeyStep& step,
+                                     ProbeStats* stats) const {
+    return FindChildSorted(parent, step, stats);
+  }
+
+  /// Pruned-subtree cursor hook (the Sec. 7.1 search applied below any
+  /// archive node): fills `*relevant` with the indices of `node`'s
+  /// children whose timestamp contains v, via the node's timestamp tree,
+  /// and returns true. Returns false when `node` is not indexed (frontier
+  /// nodes), directing the caller to a full child scan. `*probes` receives
+  /// the tree nodes inspected. Matches core::ChildSelector, so it plugs
+  /// straight into core::ScanCursor.
+  bool RelevantChildren(const core::ArchiveNode& node, Version v,
+                        std::vector<size_t>* relevant, size_t* probes) const;
+
   /// Total timestamp-tree nodes across the archive (index space cost).
   size_t TreeNodeCount() const;
 

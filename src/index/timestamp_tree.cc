@@ -35,14 +35,14 @@ TimestampTree TimestampTree::Build(std::vector<VersionSet> child_stamps) {
   return tree;
 }
 
-std::vector<size_t> TimestampTree::Lookup(Version v, size_t* probes) const {
+std::vector<size_t> TimestampTree::Lookup(Version v, size_t* probes,
+                                          size_t probe_budget) const {
   std::vector<size_t> hits;
   size_t probe_count = 0;
   if (root_ >= 0) {
-    const size_t k = leaf_count_;
     bool budget_hit = false;
-    // Iterative DFS with the paper's probe budget of k internal searches;
-    // on budget exhaustion, scan all k leaves instead.
+    // Iterative DFS with a probe budget (the paper's is 2k); on budget
+    // exhaustion, scan all k leaves instead.
     std::vector<int> pending = {root_};
     while (!pending.empty() && !budget_hit) {
       int id = pending.back();
@@ -54,7 +54,7 @@ std::vector<size_t> TimestampTree::Lookup(Version v, size_t* probes) const {
         hits.push_back(node.leaf_lo);
         continue;
       }
-      if (probe_count >= 2 * k) {
+      if (probe_count >= probe_budget) {
         budget_hit = true;
         break;
       }

@@ -24,7 +24,18 @@ class TimestampTree {
 
   /// Returns the indices of children whose timestamp contains v, in order.
   /// `*probes` (optional) receives the number of tree nodes inspected.
-  std::vector<size_t> Lookup(Version v, size_t* probes) const;
+  std::vector<size_t> Lookup(Version v, size_t* probes) const {
+    return Lookup(v, probes, 2 * leaf_count_);
+  }
+
+  /// Lookup with an explicit probe budget (the paper uses 2k). When the
+  /// tree search exhausts the budget before reaching all relevant leaves,
+  /// it abandons the descent and scans the k leaves directly; the answer
+  /// is identical either way. Exposed so tests can drive the fallback
+  /// path, which the default budget — at least the full node count
+  /// 2k − 1 — never triggers.
+  std::vector<size_t> Lookup(Version v, size_t* probes,
+                             size_t probe_budget) const;
 
   size_t leaf_count() const { return leaf_count_; }
 

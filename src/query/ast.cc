@@ -1,0 +1,112 @@
+#include "query/ast.h"
+
+#include <algorithm>
+
+namespace xarch::query {
+
+namespace {
+
+std::string QuoteValue(const std::string& value) {
+  std::string out = "\"";
+  for (char c : value) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string Step::ToString() const {
+  std::string out = tag;
+  if (wildcard) {
+    out += "[*]";
+  } else if (!matches.empty()) {
+    out += '[';
+    for (size_t i = 0; i < matches.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += matches[i].key_path;
+      out += '=';
+      out += QuoteValue(matches[i].value);
+    }
+    out += ']';
+  }
+  return out;
+}
+
+core::KeyStep Step::ToKeyStep() const {
+  core::KeyStep step;
+  step.tag = tag;
+  for (const auto& match : matches) {
+    step.key.emplace_back(match.key_path, match.value);
+  }
+  return step;
+}
+
+std::string Step::ToLabelString() const {
+  if (matches.empty()) return tag;
+  // Label parts are sorted by key path; mirror that so rendered paths
+  // compare against DescribeChanges output.
+  std::vector<const KeyMatch*> sorted;
+  sorted.reserve(matches.size());
+  for (const auto& match : matches) sorted.push_back(&match);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const KeyMatch* a, const KeyMatch* b) {
+              return a->key_path < b->key_path;
+            });
+  std::string out = tag + "{";
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += sorted[i]->key_path;
+    out += '=';
+    out += sorted[i]->value;
+  }
+  out += '}';
+  return out;
+}
+
+std::string Temporal::ToString() const {
+  switch (kind) {
+    case TemporalKind::kVersion:
+      return "@ version " + std::to_string(from);
+    case TemporalKind::kRange:
+      return "@ versions " + std::to_string(from) + ".." + std::to_string(to);
+    case TemporalKind::kHistory:
+      return "history";
+    case TemporalKind::kDiff:
+      return "diff " + std::to_string(from) + " " + std::to_string(to);
+  }
+  return "";
+}
+
+std::string Query::ToString() const {
+  std::string out;
+  if (explain) out += "explain ";
+  for (const Step& step : steps) {
+    out += '/';
+    out += step.ToString();
+  }
+  out += ' ';
+  out += temporal.ToString();
+  return out;
+}
+
+bool operator==(const KeyMatch& a, const KeyMatch& b) {
+  return a.key_path == b.key_path && a.value == b.value;
+}
+
+bool operator==(const Step& a, const Step& b) {
+  return a.tag == b.tag && a.wildcard == b.wildcard && a.matches == b.matches;
+}
+
+bool operator==(const Temporal& a, const Temporal& b) {
+  return a.kind == b.kind && a.from == b.from && a.to == b.to;
+}
+
+bool operator==(const Query& a, const Query& b) {
+  return a.explain == b.explain && a.steps == b.steps &&
+         a.temporal == b.temporal;
+}
+
+}  // namespace xarch::query

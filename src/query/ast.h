@@ -1,0 +1,81 @@
+#ifndef XARCH_QUERY_AST_H_
+#define XARCH_QUERY_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "core/archive.h"
+#include "util/version_set.h"
+
+namespace xarch::query {
+
+/// One key predicate inside a step: `fn="John"`, `@id="item0"`, `.="x"`.
+/// Key paths use the key-spec syntax: an element path ("fn",
+/// "Date/Month"), an attribute ("@id"), or the element's own content
+/// ("."). Values are plain text, matched against the canonical stored
+/// form exactly as core::KeyStep values are.
+struct KeyMatch {
+  std::string key_path;
+  std::string value;
+};
+
+/// One navigation step of a path expression: `/tag`, `/tag[*]`, or
+/// `/tag[k="v", ...]`. A keyed step must give the element's full key (keys
+/// identify elements, Sec. 2 — partial keys identify nothing); a bare or
+/// wildcard step selects every child with the tag.
+struct Step {
+  std::string tag;
+  bool wildcard = false;          ///< `[*]` was written explicitly
+  std::vector<KeyMatch> matches;  ///< full key values; empty otherwise
+
+  bool keyed() const { return !matches.empty(); }
+
+  /// Renders `tag`, `tag[*]`, or `tag[k="v", ...]`.
+  std::string ToString() const;
+
+  /// The step as a Sec. 7.2 history step (keyed steps only).
+  core::KeyStep ToKeyStep() const;
+
+  /// The step rendered as a key-based change path component — the
+  /// keys::Label::ToString form DescribeChanges uses ("entry{id=2}"), so
+  /// query paths compare against change paths.
+  std::string ToLabelString() const;
+};
+
+/// The temporal qualifier that closes every query.
+enum class TemporalKind {
+  kVersion,  ///< `@ version 17` — snapshot at one version
+  kRange,    ///< `@ versions 3..9` — one snapshot per version
+  kHistory,  ///< `history` — the versions in which the element exists
+  kDiff,     ///< `diff 3 9` — key-based changes under the path
+};
+
+struct Temporal {
+  TemporalKind kind = TemporalKind::kVersion;
+  Version from = 0;  ///< kVersion: the version; kRange/kDiff: lower bound
+  Version to = 0;    ///< kRange/kDiff: upper bound; unused otherwise
+
+  std::string ToString() const;
+};
+
+/// A parsed XAQL query: a path expression plus a temporal qualifier,
+/// optionally under `explain`.
+struct Query {
+  bool explain = false;
+  std::vector<Step> steps;
+  Temporal temporal;
+
+  /// Canonical text of the query. Parsing the result yields an equal AST
+  /// and an identical canonical text (the round-trip property pinned by
+  /// query_test).
+  std::string ToString() const;
+};
+
+bool operator==(const KeyMatch& a, const KeyMatch& b);
+bool operator==(const Step& a, const Step& b);
+bool operator==(const Temporal& a, const Temporal& b);
+bool operator==(const Query& a, const Query& b);
+
+}  // namespace xarch::query
+
+#endif  // XARCH_QUERY_AST_H_

@@ -1,0 +1,478 @@
+#include "query/evaluator.h"
+
+#include <string>
+#include <vector>
+
+#include "core/changes.h"
+#include "core/scan.h"
+#include "util/strings.h"
+#include "xml/parser.h"
+#include "xml/path.h"
+#include "xml/serializer.h"
+
+namespace xarch::query {
+
+namespace {
+
+// ------------------------------------------------------- shared helpers
+
+/// The query path rendered in DescribeChanges' path syntax
+/// ("/db/entry{id=2}"); bare and wildcard steps render as the bare tag.
+std::string RenderPathPrefix(const std::vector<Step>& steps) {
+  std::string out;
+  for (const Step& step : steps) {
+    out += '/';
+    out += step.ToLabelString();
+  }
+  return out;
+}
+
+/// True if a change path lies at or under the rendered query path. A bare
+/// prefix step ("/db/entry") covers every keyed sibling ("/db/entry{id=2}"),
+/// but not unrelated tags that merely share the prefix bytes ("/db/entryX").
+bool ChangeUnderPrefix(const std::string& change_path,
+                       const std::string& prefix) {
+  if (!StartsWith(change_path, prefix)) return false;
+  if (change_path.size() == prefix.size()) return true;
+  const char next = change_path[prefix.size()];
+  return next == '/' || next == '{';
+}
+
+Status EmitText(Sink& sink, std::string_view text, EvalResult* result) {
+  result->bytes_streamed += text.size();
+  return sink.Append(text);
+}
+
+std::string VersionOpenTag(Version v) {
+  return "<version n=\"" + std::to_string(v) + "\">\n";
+}
+
+std::string VersionEmptyTag(Version v) {
+  return "<version n=\"" + std::to_string(v) + "\"/>\n";
+}
+
+Status NoMatchError(const Query& ast) {
+  Query canonical = ast;
+  canonical.explain = false;
+  return Status::NotFound("no element matches " + canonical.ToString());
+}
+
+Status RangeBoundsError(Version count) {
+  return Status::InvalidArgument("versions must be in 1-" +
+                                 std::to_string(count));
+}
+
+/// Runs the shared diff pipeline: describe → filter to the query path →
+/// format. `changes` is the full key-based change list between the two
+/// versions.
+Status EmitFilteredChanges(const std::vector<core::Change>& changes,
+                           const std::vector<Step>& steps, Sink& sink,
+                           EvalResult* result) {
+  const std::string prefix = RenderPathPrefix(steps);
+  std::vector<core::Change> filtered;
+  for (const core::Change& change : changes) {
+    if (ChangeUnderPrefix(change.path, prefix)) filtered.push_back(change);
+  }
+  result->matches = filtered.size();
+  return EmitText(sink, core::FormatChanges(filtered), result);
+}
+
+// ------------------------------------------------- archive-plan support
+
+struct NodeMatch {
+  const core::ArchiveNode* node = nullptr;
+  VersionSet effective;
+  std::string path;  // DescribeChanges-style, e.g. "/db/entry{id=2}"
+};
+
+class ArchiveEvaluator {
+ public:
+  ArchiveEvaluator(const core::Archive& archive,
+                   const index::ArchiveIndex* index, Sink& sink,
+                   EvalResult& result)
+      : archive_(archive), index_(index), sink_(sink), result_(result) {}
+
+  Status Run(const Plan& plan) {
+    const Query& ast = plan.ast;
+    if (ast.temporal.kind == TemporalKind::kDiff) {
+      // Diff needs no navigation: the change walk visits the whole
+      // hierarchy once and the query path filters its output, so absent
+      // paths yield an empty change list, exactly as on generic plans.
+      XARCH_ASSIGN_OR_RETURN(
+          std::vector<core::Change> changes,
+          core::DescribeChanges(archive_, ast.temporal.from,
+                                ast.temporal.to));
+      XARCH_RETURN_NOT_OK(
+          EmitFilteredChanges(changes, ast.steps, sink_, &result_));
+      return sink_.Flush();
+    }
+    // A range query over a path that never existed streams empty
+    // <version/> wrappers (like the generic plan); the other kinds report
+    // the miss. History gives bare steps Store::History's exact semantics
+    // (the unkeyed element with that tag; `[*]` enumerates keyed
+    // siblings), so every plan answers history queries identically.
+    const bool missing_path_is_error =
+        ast.temporal.kind != TemporalKind::kRange;
+    const bool bare_is_exact = ast.temporal.kind == TemporalKind::kHistory;
+    XARCH_ASSIGN_OR_RETURN(
+        std::vector<NodeMatch> matches,
+        Navigate(ast.steps, missing_path_is_error, bare_is_exact));
+    result_.matches = matches.size();
+    switch (ast.temporal.kind) {
+      case TemporalKind::kVersion:
+        XARCH_RETURN_NOT_OK(RunSnapshot(ast, matches));
+        break;
+      case TemporalKind::kRange:
+        XARCH_RETURN_NOT_OK(RunRange(ast, matches));
+        break;
+      case TemporalKind::kHistory:
+        XARCH_RETURN_NOT_OK(RunHistory(matches));
+        break;
+      case TemporalKind::kDiff:
+        break;  // handled above
+    }
+    return sink_.Flush();
+  }
+
+ private:
+  StatusOr<std::vector<NodeMatch>> Navigate(const std::vector<Step>& steps,
+                                            bool missing_is_error,
+                                            bool bare_is_exact) {
+    std::vector<NodeMatch> frontier;
+    frontier.push_back(
+        NodeMatch{&archive_.root(), *archive_.root().stamp, ""});
+    for (const Step& step : steps) {
+      std::vector<NodeMatch> next;
+      for (const NodeMatch& parent : frontier) {
+        if (parent.node->is_frontier) {
+          return Status::InvalidArgument(
+              "query path descends below frontier node " +
+              parent.node->label.ToString());
+        }
+        result_.probes.naive_probes += parent.node->children.size();
+        if (step.keyed()) {
+          const core::ArchiveNode* child = nullptr;
+          if (index_ != nullptr) {
+            child = index_->FindChild(*parent.node, step.ToKeyStep(),
+                                      &result_.probes);
+          } else {
+            child = core::FindChildByKeyStep(*parent.node, step.ToKeyStep());
+          }
+          if (child != nullptr) next.push_back(MakeMatch(parent, *child));
+        } else {
+          for (const auto& child : parent.node->children) {
+            if (child->label.tag != step.tag) continue;
+            if (bare_is_exact && !step.wildcard &&
+                !child->label.parts.empty()) {
+              continue;  // a bare step addresses only the unkeyed element
+            }
+            next.push_back(MakeMatch(parent, *child));
+          }
+        }
+      }
+      if (next.empty()) {
+        if (missing_is_error) return NoMatchErrorForStep(step);
+        return std::vector<NodeMatch>();
+      }
+      frontier = std::move(next);
+    }
+    return frontier;
+  }
+
+  Status NoMatchErrorForStep(const Step& step) const {
+    return Status::NotFound("no element " + step.ToString() +
+                            " on the given path");
+  }
+
+  NodeMatch MakeMatch(const NodeMatch& parent,
+                      const core::ArchiveNode& child) const {
+    NodeMatch match;
+    match.node = &child;
+    match.effective = child.EffectiveStamp(parent.effective);
+    match.path = parent.path + "/" + child.label.ToString();
+    return match;
+  }
+
+  core::ScanCursor MakeCursor() {
+    core::ScanCursor cursor(
+        xml::SerializeOptions{},
+        [this](std::string_view chunk) {
+          result_.bytes_streamed += chunk.size();
+          return sink_.Append(chunk);
+        });
+    if (index_ != nullptr) {
+      cursor.set_selector([this](const core::ArchiveNode& node, Version v,
+                                 std::vector<size_t>* relevant,
+                                 size_t* probes) {
+        return index_->RelevantChildren(node, v, relevant, probes);
+      });
+    }
+    return cursor;
+  }
+
+  Status FinishCursor(core::ScanCursor& cursor,
+                      const core::ScanStats& stats) {
+    result_.probes.tree_probes += stats.tree_probes;
+    result_.probes.naive_probes += stats.naive_probes;
+    return cursor.Finish();
+  }
+
+  Status RunSnapshot(const Query& ast, const std::vector<NodeMatch>& matches) {
+    const Version v = ast.temporal.from;
+    if (v == 0 || v > archive_.version_count()) {
+      return Status::NotFound("version " + std::to_string(v) +
+                              " is not archived (have 1-" +
+                              std::to_string(archive_.version_count()) + ")");
+    }
+    core::ScanCursor cursor = MakeCursor();
+    core::ScanStats stats;
+    cursor.set_stats(&stats);
+    size_t active = 0;
+    for (const NodeMatch& match : matches) {
+      if (!match.effective.Contains(v)) continue;
+      ++active;
+      XARCH_RETURN_NOT_OK(cursor.Scan(*match.node, v, 0));
+    }
+    XARCH_RETURN_NOT_OK(FinishCursor(cursor, stats));
+    if (active == 0) return NoMatchError(ast);
+    return Status::OK();
+  }
+
+  Status RunRange(const Query& ast, const std::vector<NodeMatch>& matches) {
+    const Version from = ast.temporal.from, to = ast.temporal.to;
+    if (from == 0 || to > archive_.version_count()) {
+      return RangeBoundsError(archive_.version_count());
+    }
+    core::ScanCursor cursor = MakeCursor();
+    core::ScanStats stats;
+    cursor.set_stats(&stats);
+    for (Version v = from; v <= to; ++v) {
+      bool any = false;
+      for (const NodeMatch& match : matches) {
+        if (!match.effective.Contains(v)) continue;
+        if (!any) {
+          XARCH_RETURN_NOT_OK(cursor.Emit(VersionOpenTag(v)));
+          any = true;
+        }
+        XARCH_RETURN_NOT_OK(cursor.Scan(*match.node, v, 1));
+      }
+      XARCH_RETURN_NOT_OK(
+          cursor.Emit(any ? std::string("</version>\n") : VersionEmptyTag(v)));
+    }
+    return FinishCursor(cursor, stats);
+  }
+
+  Status RunHistory(const std::vector<NodeMatch>& matches) {
+    std::string out;
+    for (const NodeMatch& match : matches) {
+      out += match.path;
+      out += ": ";
+      out += match.effective.ToString();
+      out += '\n';
+    }
+    return EmitText(sink_, out, &result_);
+  }
+
+  const core::Archive& archive_;
+  const index::ArchiveIndex* index_;
+  Sink& sink_;
+  EvalResult& result_;
+};
+
+// ------------------------------------------------- generic-plan support
+
+/// True if the parsed element satisfies a step: same tag, and every key
+/// predicate's path evaluates (uniquely) to the given plain-text value.
+bool MatchesStep(const xml::Node& node, const Step& step) {
+  if (!node.is_element() || node.tag() != step.tag) return false;
+  for (const KeyMatch& match : step.matches) {
+    if (!match.key_path.empty() && match.key_path[0] == '@') {
+      const std::string* attr = node.FindAttr(match.key_path.substr(1));
+      if (attr == nullptr || *attr != match.value) return false;
+      continue;
+    }
+    if (match.key_path == ".") {
+      if (node.TextContent() != match.value) return false;
+      continue;
+    }
+    auto path = xml::ParsePath(match.key_path);
+    if (!path.ok()) return false;
+    std::vector<xml::PathTarget> targets = xml::EvalPath(node, *path);
+    if (targets.size() != 1) return false;
+    const xml::PathTarget& target = targets[0];
+    if (target.is_attr()) {
+      const std::string* attr = target.attr_owner->FindAttr(target.attr_name);
+      if (attr == nullptr || *attr != match.value) return false;
+    } else {
+      if (target.node->TextContent() != match.value) return false;
+    }
+  }
+  return true;
+}
+
+/// Navigates a parsed document: the first step must match the document
+/// root, later steps descend through child elements.
+std::vector<const xml::Node*> NavigateDoc(const xml::Node& root,
+                                          const std::vector<Step>& steps) {
+  std::vector<const xml::Node*> frontier;
+  if (steps.empty()) return frontier;
+  if (MatchesStep(root, steps[0])) frontier.push_back(&root);
+  for (size_t i = 1; i < steps.size() && !frontier.empty(); ++i) {
+    std::vector<const xml::Node*> next;
+    for (const xml::Node* parent : frontier) {
+      for (const auto& child : parent->children()) {
+        if (MatchesStep(*child, steps[i])) next.push_back(child.get());
+      }
+    }
+    frontier = std::move(next);
+  }
+  return frontier;
+}
+
+class StoreEvaluator {
+ public:
+  StoreEvaluator(Store& store, Sink& sink, EvalResult& result)
+      : store_(store), sink_(sink), result_(result) {}
+
+  Status Run(const Plan& plan) {
+    const Query& ast = plan.ast;
+    switch (ast.temporal.kind) {
+      case TemporalKind::kVersion:
+        XARCH_RETURN_NOT_OK(RunSnapshot(ast));
+        break;
+      case TemporalKind::kRange:
+        XARCH_RETURN_NOT_OK(RunRange(ast));
+        break;
+      case TemporalKind::kHistory:
+        XARCH_RETURN_NOT_OK(RunHistory(ast));
+        break;
+      case TemporalKind::kDiff:
+        XARCH_RETURN_NOT_OK(RunDiff(ast));
+        break;
+    }
+    return sink_.Flush();
+  }
+
+ private:
+  /// Matched subtrees at version v, serialized into `*out` at `depth`.
+  /// Returns the number of matches (0 for a version where the database
+  /// was empty or the path matched nothing).
+  StatusOr<size_t> SnapshotInto(const Query& ast, Version v, int depth,
+                                std::string* out) {
+    XARCH_ASSIGN_OR_RETURN(std::string text, store_.Retrieve(v));
+    ++result_.versions_scanned;
+    if (text.empty()) return size_t{0};  // empty database state
+    XARCH_ASSIGN_OR_RETURN(xml::NodePtr doc, xml::Parse(text));
+    std::vector<const xml::Node*> matches = NavigateDoc(*doc, ast.steps);
+    for (const xml::Node* match : matches) {
+      xml::SerializeAppend(*match, xml::SerializeOptions{}, depth, out);
+    }
+    return matches.size();
+  }
+
+  Status RunSnapshot(const Query& ast) {
+    std::string out;
+    XARCH_ASSIGN_OR_RETURN(size_t matches,
+                           SnapshotInto(ast, ast.temporal.from, 0, &out));
+    if (matches == 0) return NoMatchError(ast);
+    result_.matches = matches;
+    return EmitText(sink_, out, &result_);
+  }
+
+  Status RunRange(const Query& ast) {
+    const Version from = ast.temporal.from, to = ast.temporal.to;
+    if (from == 0 || to > store_.version_count()) {
+      return RangeBoundsError(store_.version_count());
+    }
+    for (Version v = from; v <= to; ++v) {
+      std::string body;
+      XARCH_ASSIGN_OR_RETURN(size_t matches, SnapshotInto(ast, v, 1, &body));
+      result_.matches += matches;
+      if (matches == 0) {
+        XARCH_RETURN_NOT_OK(EmitText(sink_, VersionEmptyTag(v), &result_));
+      } else {
+        XARCH_RETURN_NOT_OK(EmitText(sink_, VersionOpenTag(v), &result_));
+        XARCH_RETURN_NOT_OK(EmitText(sink_, body, &result_));
+        XARCH_RETURN_NOT_OK(EmitText(sink_, "</version>\n", &result_));
+      }
+    }
+    return Status::OK();
+  }
+
+  Status RunHistory(const Query& ast) {
+    for (const Step& step : ast.steps) {
+      if (step.wildcard) {
+        return Status::InvalidArgument(
+            "wildcard history requires an archive backend (generic plans "
+            "cannot enumerate keyed siblings)");
+      }
+    }
+    VersionSet history;
+    if (store_.Has(kTemporalQueries)) {
+      std::vector<core::KeyStep> path;
+      path.reserve(ast.steps.size());
+      for (const Step& step : ast.steps) path.push_back(step.ToKeyStep());
+      XARCH_ASSIGN_OR_RETURN(history, store_.History(path));
+    } else {
+      // Full scan: retrieve and navigate every archived version — the
+      // fallback cost a backend without temporal queries pays. Without a
+      // key specification a bare step matches by tag alone, so a fan-out
+      // means the path addresses keyed siblings ambiguously; fail loudly
+      // rather than silently merging their histories.
+      for (Version v = 1; v <= store_.version_count(); ++v) {
+        std::string ignored;
+        XARCH_ASSIGN_OR_RETURN(size_t matches,
+                               SnapshotInto(ast, v, 0, &ignored));
+        if (matches > 1) {
+          return Status::InvalidArgument(
+              "ambiguous history path (a bare step matches " +
+              std::to_string(matches) +
+              " siblings at version " + std::to_string(v) +
+              "); give the full key, or use [*] on an archive backend");
+        }
+        if (matches > 0) history.Add(v);
+      }
+      if (history.empty()) return NoMatchError(ast);
+    }
+    result_.matches = 1;
+    return EmitText(
+        sink_, RenderPathPrefix(ast.steps) + ": " + history.ToString() + "\n",
+        &result_);
+  }
+
+  Status RunDiff(const Query& ast) {
+    if (!store_.Has(kTemporalQueries)) {
+      return Status::Unimplemented(
+          "diff queries need key-based change tracking; store \"" +
+          store_.name() + "\" does not advertise temporal-queries");
+    }
+    XARCH_ASSIGN_OR_RETURN(
+        std::vector<core::Change> changes,
+        store_.DiffVersions(ast.temporal.from, ast.temporal.to));
+    return EmitFilteredChanges(changes, ast.steps, sink_, &result_);
+  }
+
+  Store& store_;
+  Sink& sink_;
+  EvalResult& result_;
+};
+
+}  // namespace
+
+Status Evaluate(const Plan& plan, const core::Archive& archive,
+                const index::ArchiveIndex* index, Sink& sink,
+                EvalResult* result) {
+  EvalResult local;
+  ArchiveEvaluator evaluator(archive, index, sink,
+                             result != nullptr ? *result : local);
+  return evaluator.Run(plan);
+}
+
+Status EvaluateOverStore(const Plan& plan, Store& store, Sink& sink,
+                         EvalResult* result) {
+  EvalResult local;
+  StoreEvaluator evaluator(store, sink, result != nullptr ? *result : local);
+  return evaluator.Run(plan);
+}
+
+}  // namespace xarch::query

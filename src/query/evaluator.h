@@ -1,0 +1,50 @@
+#ifndef XARCH_QUERY_EVALUATOR_H_
+#define XARCH_QUERY_EVALUATOR_H_
+
+#include <cstddef>
+
+#include "core/archive.h"
+#include "index/archive_index.h"
+#include "query/planner.h"
+#include "util/status.h"
+#include "xarch/sink.h"
+#include "xarch/store.h"
+
+namespace xarch::query {
+
+/// Counters of one query evaluation (what EXPLAIN reports and what
+/// Store::Stats() accumulates).
+struct EvalResult {
+  /// Tree probes, the children a naive scan would have inspected at the
+  /// same nodes, and key comparisons — both real and hypothetical cost
+  /// are counted in the one pass, so indexed vs naive needs no second run.
+  index::ProbeStats probes;
+  /// Elements the path expression matched (changes emitted, for diff).
+  size_t matches = 0;
+  /// Bytes streamed into the result sink.
+  size_t bytes_streamed = 0;
+  /// Full versions retrieved and parsed (generic-plan history fallback).
+  size_t versions_scanned = 0;
+};
+
+/// \brief Streaming evaluation over the merged hierarchy (the archive
+/// plans): walks the archive once, serializing straight into `sink` —
+/// no intermediate xml::Node tree is materialized. With `index` non-null
+/// keyed steps use the sorted-key binary search and snapshots are pruned
+/// by the timestamp trees; otherwise every step is a full child scan.
+Status Evaluate(const Plan& plan, const core::Archive& archive,
+                const index::ArchiveIndex* index, Sink& sink,
+                EvalResult* result);
+
+/// \brief Interface-level evaluation through Store primitives (the
+/// kGeneric plan): snapshots via Retrieve() + parse + navigate, history
+/// via History() (or a per-version full scan when temporal queries are
+/// not advertised), diffs via DiffVersions(). Gives every backend XAQL
+/// queries at full-scan cost; output bytes match the archive plans on
+/// store-canonical documents.
+Status EvaluateOverStore(const Plan& plan, Store& store, Sink& sink,
+                         EvalResult* result);
+
+}  // namespace xarch::query
+
+#endif  // XARCH_QUERY_EVALUATOR_H_

@@ -1,0 +1,68 @@
+#include "query/explain.h"
+
+namespace xarch::query {
+
+namespace {
+
+Status StreamReport(const Plan& plan, const EvalResult& result,
+                    const Status& eval_status, Sink& sink) {
+  XARCH_RETURN_NOT_OK(sink.Append(FormatExplain(plan, result, eval_status)));
+  return sink.Flush();
+}
+
+}  // namespace
+
+std::string FormatExplain(const Plan& plan, const EvalResult& result,
+                          const Status& eval_status) {
+  Query canonical = plan.ast;
+  canonical.explain = false;
+  std::string out = "XAQL EXPLAIN\n";
+  out += "query:  " + canonical.ToString() + "\n";
+  out += "access: " + std::string(AccessName(plan.access)) + "\n";
+  out += "plan:\n";
+  for (size_t i = 0; i < plan.ast.steps.size(); ++i) {
+    out += "  " + std::to_string(i + 1) + ". /" + plan.ast.steps[i].ToString();
+    if (i < plan.step_notes.size()) out += " — " + plan.step_notes[i];
+    out += '\n';
+  }
+  out += "  exec: " + plan.ast.temporal.ToString() + " — " + plan.exec_note +
+         "\n";
+  out += "stats:\n";
+  out += "  matches:          " + std::to_string(result.matches) + "\n";
+  out += "  bytes streamed:   " + std::to_string(result.bytes_streamed) + "\n";
+  out += "  tree probes:      " + std::to_string(result.probes.tree_probes) +
+         "\n";
+  out += "  naive probes:     " + std::to_string(result.probes.naive_probes) +
+         "\n";
+  out += "  key comparisons:  " + std::to_string(result.probes.comparisons) +
+         "\n";
+  if (result.versions_scanned > 0) {
+    out += "  versions scanned: " + std::to_string(result.versions_scanned) +
+           "\n";
+  }
+  if (!eval_status.ok()) {
+    out += "result: " + eval_status.ToString() + "\n";
+  }
+  return out;
+}
+
+Status ExplainArchive(const Plan& plan, const core::Archive& archive,
+                      const index::ArchiveIndex* index, Sink& sink,
+                      EvalResult* result) {
+  EvalResult local;
+  EvalResult& r = result != nullptr ? *result : local;
+  CountingSink discard;
+  Status eval_status = Evaluate(plan, archive, index, discard, &r);
+  return StreamReport(plan, r, eval_status, sink);
+}
+
+Status ExplainOverStore(const Plan& plan, Store& store, Sink& sink,
+                        EvalResult* result) {
+  EvalResult local;
+  EvalResult& r = result != nullptr ? *result : local;
+  CountingSink discard;
+  Status eval_status = EvaluateOverStore(plan, store, discard, &r);
+  return StreamReport(plan, r, eval_status, sink);
+}
+
+}  // namespace xarch::query

@@ -1,0 +1,30 @@
+#ifndef XARCH_QUERY_EXPLAIN_H_
+#define XARCH_QUERY_EXPLAIN_H_
+
+#include "query/evaluator.h"
+
+namespace xarch::query {
+
+/// \brief EXPLAIN mode: runs the plan with its results discarded (counted,
+/// not streamed) and streams a report instead — the compiled operators
+/// plus the evaluation counters. Because ProbeStats counts the indexed
+/// probes and the hypothetical full-scan probes in the same pass, one run
+/// reports indexed vs naive cost side by side.
+
+/// EXPLAIN over the archive plans.
+Status ExplainArchive(const Plan& plan, const core::Archive& archive,
+                      const index::ArchiveIndex* index, Sink& sink,
+                      EvalResult* result);
+
+/// EXPLAIN over the generic store plan.
+Status ExplainOverStore(const Plan& plan, Store& store, Sink& sink,
+                        EvalResult* result);
+
+/// The report text itself (shared by both entry points; exposed for
+/// tests). `eval_status` is the outcome of the discarded evaluation run.
+std::string FormatExplain(const Plan& plan, const EvalResult& result,
+                          const Status& eval_status);
+
+}  // namespace xarch::query
+
+#endif  // XARCH_QUERY_EXPLAIN_H_

@@ -1,0 +1,126 @@
+#include "query/lexer.h"
+
+#include <cctype>
+
+namespace xarch::query {
+
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '-' || c == ':';
+}
+
+Status ErrorAt(size_t pos, const std::string& what) {
+  return Status::ParseError("query: " + what + " at offset " +
+                            std::to_string(pos));
+}
+
+}  // namespace
+
+std::string TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kAt: return "'@'";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kDotDot: return "'..'";
+    case TokenKind::kName: return "name";
+    case TokenKind::kInt: return "integer";
+    case TokenKind::kString: return "quoted string";
+    case TokenKind::kEnd: return "end of query";
+  }
+  return "?";
+}
+
+StatusOr<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  auto push = [&](TokenKind kind, size_t pos, std::string text = "") {
+    tokens.push_back(Token{kind, std::move(text), pos});
+  };
+  while (i < n) {
+    const char c = input[i];
+    const size_t pos = i;
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    switch (c) {
+      case '/': push(TokenKind::kSlash, pos); ++i; continue;
+      case '[': push(TokenKind::kLBracket, pos); ++i; continue;
+      case ']': push(TokenKind::kRBracket, pos); ++i; continue;
+      case '@': push(TokenKind::kAt, pos); ++i; continue;
+      case '=': push(TokenKind::kEq, pos); ++i; continue;
+      case ',': push(TokenKind::kComma, pos); ++i; continue;
+      case '*': push(TokenKind::kStar, pos); ++i; continue;
+      case '.':
+        if (i + 1 < n && input[i + 1] == '.') {
+          push(TokenKind::kDotDot, pos);
+          i += 2;
+        } else {
+          push(TokenKind::kDot, pos);
+          ++i;
+        }
+        continue;
+      case '"': {
+        std::string value;
+        ++i;
+        bool closed = false;
+        while (i < n) {
+          if (input[i] == '\\') {
+            if (i + 1 >= n) break;
+            const char esc = input[i + 1];
+            if (esc != '"' && esc != '\\') {
+              return ErrorAt(i, "unknown escape '\\" + std::string(1, esc) +
+                                    "' in string");
+            }
+            value += esc;
+            i += 2;
+            continue;
+          }
+          if (input[i] == '"') {
+            closed = true;
+            ++i;
+            break;
+          }
+          value += input[i];
+          ++i;
+        }
+        if (!closed) return ErrorAt(pos, "unterminated string");
+        push(TokenKind::kString, pos, std::move(value));
+        continue;
+      }
+      default:
+        break;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) ++j;
+      push(TokenKind::kInt, pos, std::string(input.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+    if (IsNameStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsNameChar(input[j])) ++j;
+      push(TokenKind::kName, pos, std::string(input.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+    return ErrorAt(pos, "stray character '" + std::string(1, c) + "'");
+  }
+  push(TokenKind::kEnd, n);
+  return tokens;
+}
+
+}  // namespace xarch::query

@@ -1,0 +1,48 @@
+#ifndef XARCH_QUERY_LEXER_H_
+#define XARCH_QUERY_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace xarch::query {
+
+/// Token kinds of the XAQL surface syntax.
+enum class TokenKind {
+  kSlash,     // /
+  kLBracket,  // [
+  kRBracket,  // ]
+  kAt,        // @
+  kEq,        // =
+  kComma,     // ,
+  kStar,      // *
+  kDot,       // .
+  kDotDot,    // ..
+  kName,      // tag / key-path segment / keyword
+  kInt,       // version number
+  kString,    // "quoted value" with \" and \\ escapes
+  kEnd,       // end of input
+};
+
+/// Renders a kind for error messages ("'['", "name", ...).
+std::string TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  /// Name text, digits of an int, or the unescaped string value.
+  std::string text;
+  /// Byte offset in the query (for error messages).
+  size_t pos = 0;
+};
+
+/// Tokenizes a whole query. Names are [A-Za-z_][A-Za-z0-9_:-]* (no dots —
+/// '.' and '..' are tokens of their own). Whitespace separates tokens and
+/// is otherwise ignored. Fails with kParseError on stray characters or an
+/// unterminated string, naming the byte offset.
+StatusOr<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace xarch::query
+
+#endif  // XARCH_QUERY_LEXER_H_

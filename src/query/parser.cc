@@ -1,0 +1,177 @@
+#include "query/parser.h"
+
+#include <limits>
+
+#include "query/lexer.h"
+
+namespace xarch::query {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<Query> Run() {
+    Query query;
+    if (At(TokenKind::kName) && Peek().text == "explain") {
+      query.explain = true;
+      Advance();
+    }
+    if (!At(TokenKind::kSlash)) {
+      return Error("expected a path expression starting with '/'");
+    }
+    while (At(TokenKind::kSlash)) {
+      Advance();
+      XARCH_ASSIGN_OR_RETURN(Step step, ParseStep());
+      query.steps.push_back(std::move(step));
+    }
+    XARCH_ASSIGN_OR_RETURN(query.temporal, ParseTemporal());
+    if (!At(TokenKind::kEnd)) {
+      return Error("trailing input after the temporal qualifier");
+    }
+    return query;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[i_]; }
+  bool At(TokenKind kind) const { return Peek().kind == kind; }
+  void Advance() { if (i_ + 1 < tokens_.size()) ++i_; }
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError("query: " + what + ", got " +
+                              TokenKindName(Peek().kind) + " at offset " +
+                              std::to_string(Peek().pos));
+  }
+
+  StatusOr<std::string> ExpectName(const char* what) {
+    if (!At(TokenKind::kName)) {
+      return Error(std::string("expected ") + what);
+    }
+    std::string text = Peek().text;
+    Advance();
+    return text;
+  }
+
+  StatusOr<Version> ExpectInt(const char* what) {
+    if (!At(TokenKind::kInt)) {
+      return Error(std::string("expected ") + what);
+    }
+    unsigned long long value = 0;
+    for (char c : Peek().text) {
+      value = value * 10 + static_cast<unsigned long long>(c - '0');
+      if (value > std::numeric_limits<Version>::max()) {
+        return Error("version number out of range");
+      }
+    }
+    Advance();
+    return static_cast<Version>(value);
+  }
+
+  StatusOr<Step> ParseStep() {
+    Step step;
+    XARCH_ASSIGN_OR_RETURN(step.tag, ExpectName("an element tag"));
+    if (!At(TokenKind::kLBracket)) return step;
+    Advance();
+    if (At(TokenKind::kStar)) {
+      Advance();
+      step.wildcard = true;
+    } else {
+      while (true) {
+        XARCH_ASSIGN_OR_RETURN(KeyMatch match, ParseMatch());
+        step.matches.push_back(std::move(match));
+        if (!At(TokenKind::kComma)) break;
+        Advance();
+      }
+    }
+    if (!At(TokenKind::kRBracket)) return Error("expected ']'");
+    Advance();
+    return step;
+  }
+
+  StatusOr<KeyMatch> ParseMatch() {
+    KeyMatch match;
+    if (At(TokenKind::kDot)) {
+      Advance();
+      match.key_path = ".";
+    } else if (At(TokenKind::kAt)) {
+      Advance();
+      XARCH_ASSIGN_OR_RETURN(std::string name,
+                             ExpectName("an attribute name after '@'"));
+      match.key_path = "@" + name;
+    } else {
+      XARCH_ASSIGN_OR_RETURN(match.key_path, ExpectName("a key path"));
+      while (At(TokenKind::kSlash)) {
+        Advance();
+        XARCH_ASSIGN_OR_RETURN(std::string segment,
+                               ExpectName("a key-path segment after '/'"));
+        match.key_path += "/" + segment;
+      }
+    }
+    if (!At(TokenKind::kEq)) return Error("expected '=' in key predicate");
+    Advance();
+    if (!At(TokenKind::kString)) {
+      return Error("expected a quoted value after '='");
+    }
+    match.value = Peek().text;
+    Advance();
+    return match;
+  }
+
+  StatusOr<Temporal> ParseTemporal() {
+    Temporal temporal;
+    if (At(TokenKind::kAt)) {
+      Advance();
+      XARCH_ASSIGN_OR_RETURN(std::string keyword,
+                             ExpectName("'version' or 'versions' after '@'"));
+      if (keyword == "version") {
+        temporal.kind = TemporalKind::kVersion;
+        XARCH_ASSIGN_OR_RETURN(temporal.from, ExpectInt("a version number"));
+        return temporal;
+      }
+      if (keyword == "versions") {
+        temporal.kind = TemporalKind::kRange;
+        XARCH_ASSIGN_OR_RETURN(temporal.from, ExpectInt("a version number"));
+        if (!At(TokenKind::kDotDot)) {
+          return Error("expected '..' in version range");
+        }
+        Advance();
+        XARCH_ASSIGN_OR_RETURN(temporal.to, ExpectInt("a version number"));
+        if (temporal.from > temporal.to) {
+          return Error("empty version range (from > to)");
+        }
+        return temporal;
+      }
+      return Status::ParseError(
+          "query: expected 'version' or 'versions' after '@', got '" +
+          keyword + "'");
+    }
+    if (At(TokenKind::kName) && Peek().text == "history") {
+      Advance();
+      temporal.kind = TemporalKind::kHistory;
+      return temporal;
+    }
+    if (At(TokenKind::kName) && Peek().text == "diff") {
+      Advance();
+      temporal.kind = TemporalKind::kDiff;
+      XARCH_ASSIGN_OR_RETURN(temporal.from, ExpectInt("a version number"));
+      XARCH_ASSIGN_OR_RETURN(temporal.to, ExpectInt("a version number"));
+      return temporal;
+    }
+    return Error(
+        "expected a temporal qualifier "
+        "(@ version N | @ versions A..B | history | diff A B)");
+  }
+
+  std::vector<Token> tokens_;
+  size_t i_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Query> Parse(std::string_view text) {
+  XARCH_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  return Parser(std::move(tokens)).Run();
+}
+
+}  // namespace xarch::query

@@ -1,0 +1,37 @@
+#ifndef XARCH_QUERY_PARSER_H_
+#define XARCH_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "query/ast.h"
+#include "util/status.h"
+
+namespace xarch::query {
+
+/// \brief Parses an XAQL query.
+///
+/// Grammar (EBNF):
+///
+///   query     = [ "explain" ] path temporal ;
+///   path      = step { step } ;
+///   step      = "/" tag [ "[" predicate "]" ] ;
+///   predicate = "*" | match { "," match } ;
+///   match     = keyref "=" STRING ;
+///   keyref    = "." | "@" NAME | NAME { "/" NAME } ;
+///   temporal  = "@" "version" INT
+///             | "@" "versions" INT ".." INT
+///             | "history"
+///             | "diff" INT INT ;
+///
+/// Examples:
+///   /db/entry[id="2"] @ version 17
+///   /site/people/person[*] @ versions 3..9
+///   /db/dept[name="finance"]/emp[fn="John", ln="Doe"] history
+///   explain /site diff 3 9
+///
+/// Fails with kParseError, naming the byte offset of the offending token.
+StatusOr<Query> Parse(std::string_view text);
+
+}  // namespace xarch::query
+
+#endif  // XARCH_QUERY_PARSER_H_

@@ -1,0 +1,78 @@
+#include "query/planner.h"
+
+namespace xarch::query {
+
+const char* AccessName(Access access) {
+  switch (access) {
+    case Access::kArchiveIndexed: return "archive-indexed";
+    case Access::kArchiveScan: return "archive-scan";
+    case Access::kGeneric: return "store-generic";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string StepNote(const Step& step, Access access) {
+  if (access == Access::kGeneric) {
+    return step.keyed() ? "navigate parsed document, match key paths"
+                        : "navigate parsed document, match tag";
+  }
+  if (step.keyed()) {
+    return access == Access::kArchiveIndexed
+               ? "sorted-key binary search (index)"
+               : "keyed-child scan";
+  }
+  return "child scan by tag";
+}
+
+std::string ExecNote(const Temporal& temporal, Access access) {
+  switch (temporal.kind) {
+    case TemporalKind::kVersion:
+    case TemporalKind::kRange:
+      switch (access) {
+        case Access::kArchiveIndexed:
+          return "timestamp-tree pruned subtree stream";
+        case Access::kArchiveScan:
+          return "full-scan subtree stream";
+        case Access::kGeneric:
+          return "Retrieve() + parse + subtree serialization";
+      }
+      break;
+    case TemporalKind::kHistory:
+      switch (access) {
+        case Access::kArchiveIndexed:
+        case Access::kArchiveScan:
+          return "effective-timestamp read at the matched nodes";
+        case Access::kGeneric:
+          return "History() when advertised, else per-version full scan";
+      }
+      break;
+    case TemporalKind::kDiff:
+      switch (access) {
+        case Access::kArchiveIndexed:
+        case Access::kArchiveScan:
+          return "key-based change walk, filtered to the path";
+        case Access::kGeneric:
+          return "DiffVersions(), filtered to the path";
+      }
+      break;
+  }
+  return "?";
+}
+
+}  // namespace
+
+Plan MakePlan(Query ast, Access access) {
+  Plan plan;
+  plan.access = access;
+  plan.step_notes.reserve(ast.steps.size());
+  for (const Step& step : ast.steps) {
+    plan.step_notes.push_back(StepNote(step, access));
+  }
+  plan.exec_note = ExecNote(ast.temporal, access);
+  plan.ast = std::move(ast);
+  return plan;
+}
+
+}  // namespace xarch::query

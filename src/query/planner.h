@@ -1,0 +1,47 @@
+#ifndef XARCH_QUERY_PLANNER_H_
+#define XARCH_QUERY_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "query/ast.h"
+
+namespace xarch::query {
+
+/// How the plan reaches the data.
+enum class Access {
+  /// Streaming evaluation over the merged hierarchy, directed by an
+  /// index::ArchiveIndex: sorted-key binary search for keyed steps and
+  /// timestamp-tree pruning for snapshots.
+  kArchiveIndexed,
+  /// Streaming evaluation over the merged hierarchy with full child scans
+  /// (the Sec. 7.1 naive scan).
+  kArchiveScan,
+  /// Interface-level evaluation through Store primitives (Retrieve /
+  /// History / DiffVersions) — the fallback that gives every backend
+  /// queries, at full-scan cost.
+  kGeneric,
+};
+
+const char* AccessName(Access access);
+
+/// \brief A compiled query: the AST plus the chosen access strategy and
+/// per-operator notes (what EXPLAIN prints).
+struct Plan {
+  Query ast;
+  Access access = Access::kArchiveScan;
+  /// One line per path step: the navigation operator chosen for it.
+  std::vector<std::string> step_notes;
+  /// The execution operator for the temporal qualifier.
+  std::string exec_note;
+};
+
+/// Compiles an AST into a plan for the given access strategy. Pure
+/// function of (ast, access): operator choice depends only on step shape
+/// (keyed steps get the sorted-key binary search under kArchiveIndexed;
+/// bare and wildcard steps always scan the children).
+Plan MakePlan(Query ast, Access access);
+
+}  // namespace xarch::query
+
+#endif  // XARCH_QUERY_PLANNER_H_

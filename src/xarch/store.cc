@@ -10,8 +10,13 @@
 
 #include "compress/container.h"
 #include "compress/lzss.h"
+#include "core/scan.h"
 #include "diff/repository.h"
 #include "index/archive_index.h"
+#include "query/evaluator.h"
+#include "query/explain.h"
+#include "query/parser.h"
+#include "query/planner.h"
 #include "xarch/checkpoint.h"
 #include "xarch/store_registry.h"
 #include "xml/parser.h"
@@ -25,6 +30,7 @@ std::string CapabilitiesToString(Capabilities caps) {
       {kStreamingRetrieve, "streaming-retrieve"},
       {kBatchIngest, "batch-ingest"},
       {kCheckpoint, "checkpoint"},
+      {kQuery, "query"},
   };
   std::string out;
   for (const auto& [flag, name] : kNames) {
@@ -72,157 +78,28 @@ Status Store::Checkpoint() {
   return UnimplementedCall("Checkpoint", kCheckpoint);
 }
 
+void Store::CountQuery(const query::EvalResult& result) {
+  ++query_counters_.queries;
+  query_counters_.tree_probes += result.probes.tree_probes;
+  query_counters_.naive_probes += result.probes.naive_probes;
+  query_counters_.comparisons += result.probes.comparisons;
+}
+
+Status Store::Query(std::string_view query_text, Sink& sink) {
+  if (!Has(kQuery)) return UnimplementedCall("Query", kQuery);
+  XARCH_ASSIGN_OR_RETURN(query::Query ast, query::Parse(query_text));
+  const bool explain = ast.explain;
+  query::Plan plan =
+      query::MakePlan(std::move(ast), query::Access::kGeneric);
+  query::EvalResult result;
+  Status status =
+      explain ? query::ExplainOverStore(plan, *this, sink, &result)
+              : query::EvaluateOverStore(plan, *this, sink, &result);
+  CountQuery(result);
+  return status;
+}
+
 namespace {
-
-// ---------------------------------------------------- streaming retrieval
-
-/// Serializes one version straight off the archive's merged hierarchy into
-/// a Sink: the scan of Sec. 7.1 fused with xml::Serialize's formatting.
-/// No xml::Node is ever constructed (tests pin this down with the
-/// xml::Node::CreatedCount() hook); frontier content is emitted through
-/// xml::SerializeAppend, so the byte output is identical to serializing
-/// Archive::RetrieveVersion's tree.
-class VersionStreamer {
- public:
-  VersionStreamer(const xml::SerializeOptions& options, Sink* sink)
-      : options_(options), sink_(*sink) {}
-
-  Status Stream(const core::Archive& archive, Version v) {
-    for (const auto& child : archive.root().children) {
-      if (child->stamp.has_value() && !child->stamp->Contains(v)) continue;
-      XARCH_RETURN_NOT_OK(WriteArchiveNode(*child, v, 0));
-      break;  // exactly one top element is active per version
-    }
-    if (!buffer_.empty()) {
-      XARCH_RETURN_NOT_OK(sink_.Append(buffer_));
-      buffer_.clear();
-    }
-    return sink_.Flush();
-  }
-
- private:
-  static constexpr size_t kFlushThreshold = 64 * 1024;
-
-  static bool BucketActiveAt(const core::ArchiveNode::Bucket& bucket,
-                             Version v) {
-    return !bucket.stamp.has_value() || bucket.stamp->Contains(v);
-  }
-
-  Status MaybeFlush() {
-    if (buffer_.size() < kFlushThreshold) return Status::OK();
-    XARCH_RETURN_NOT_OK(sink_.Append(buffer_));
-    buffer_.clear();
-    return Status::OK();
-  }
-
-  void Indent(int depth) {
-    if (options_.pretty) {
-      buffer_.append(static_cast<size_t>(depth) *
-                         static_cast<size_t>(options_.indent_width),
-                     ' ');
-    }
-  }
-
-  void Newline() {
-    if (options_.pretty) buffer_ += '\n';
-  }
-
-  void OpenTag(const core::ArchiveNode& node) {
-    buffer_ += '<';
-    buffer_ += node.label.tag;
-    for (const auto& [name, value] : node.attrs) {
-      buffer_ += ' ';
-      buffer_ += name;
-      buffer_ += "=\"";
-      buffer_ += xml::EscapeAttr(value);
-      buffer_ += '"';
-    }
-  }
-
-  void CloseTag(const core::ArchiveNode& node) {
-    buffer_ += "</";
-    buffer_ += node.label.tag;
-    buffer_ += '>';
-  }
-
-  Status WriteArchiveNode(const core::ArchiveNode& node, Version v,
-                          int depth) {
-    Indent(depth);
-    OpenTag(node);
-    if (node.is_frontier) {
-      return WriteFrontierContent(node, v, depth);
-    }
-    // Inner node: the active keyed children, in archive order.
-    bool any = false;
-    for (const auto& child : node.children) {
-      if (child->stamp.has_value() && !child->stamp->Contains(v)) continue;
-      if (!any) {
-        buffer_ += '>';
-        Newline();
-        any = true;
-      }
-      XARCH_RETURN_NOT_OK(WriteArchiveNode(*child, v, depth + 1));
-      XARCH_RETURN_NOT_OK(MaybeFlush());
-    }
-    if (!any) {
-      buffer_ += "/>";
-      Newline();
-      return Status::OK();
-    }
-    Indent(depth);
-    CloseTag(node);
-    Newline();
-    return Status::OK();
-  }
-
-  Status WriteFrontierContent(const core::ArchiveNode& node, Version v,
-                              int depth) {
-    // The version's content: all active buckets concatenated (one
-    // alternative in bucket mode, the active woven segments in weave mode).
-    bool empty = true, text_only = true;
-    for (const auto& bucket : node.buckets) {
-      if (!BucketActiveAt(bucket, v)) continue;
-      for (const auto& n : bucket.content) {
-        empty = false;
-        if (!n->is_text()) text_only = false;
-      }
-    }
-    if (empty) {
-      buffer_ += "/>";
-      Newline();
-      return Status::OK();
-    }
-    buffer_ += '>';
-    if (options_.pretty && text_only) {
-      // Text-only elements stay on one line (element-aligned diffs, Sec. 5).
-      for (const auto& bucket : node.buckets) {
-        if (!BucketActiveAt(bucket, v)) continue;
-        for (const auto& n : bucket.content) {
-          buffer_ += xml::EscapeText(n->text());
-        }
-      }
-      CloseTag(node);
-      Newline();
-      return Status::OK();
-    }
-    Newline();
-    for (const auto& bucket : node.buckets) {
-      if (!BucketActiveAt(bucket, v)) continue;
-      for (const auto& n : bucket.content) {
-        xml::SerializeAppend(*n, options_, depth + 1, &buffer_);
-        XARCH_RETURN_NOT_OK(MaybeFlush());
-      }
-    }
-    Indent(depth);
-    CloseTag(node);
-    Newline();
-    return Status::OK();
-  }
-
-  xml::SerializeOptions options_;
-  Sink& sink_;
-  std::string buffer_;
-};
 
 // --------------------------------------------------------------- archive
 
@@ -237,12 +114,11 @@ class ArchiveStore final : public Store {
 
   std::string name() const override { return name_; }
   Capabilities capabilities() const override {
-    return kTemporalQueries | kStreamingRetrieve | kBatchIngest;
+    return kTemporalQueries | kStreamingRetrieve | kBatchIngest | kQuery;
   }
 
   Status Append(std::string_view xml_text) override {
     XARCH_ASSIGN_OR_RETURN(xml::NodePtr doc, xml::Parse(xml_text));
-    index_.reset();
     return archive_.AddVersion(*doc);
   }
 
@@ -256,7 +132,6 @@ class ArchiveStore final : public Store {
       roots.push_back(doc.get());
       docs.push_back(std::move(doc));
     }
-    index_.reset();
     return archive_.AddVersions(roots);  // one multi-version merge pass
   }
 
@@ -272,18 +147,23 @@ class ArchiveStore final : public Store {
                               " is not archived (have 1-" +
                               std::to_string(archive_.version_count()) + ")");
     }
-    VersionStreamer streamer(xml::SerializeOptions{}, &sink);
-    return streamer.Stream(archive_, v);
+    // The Sec. 7.1 scan fused with serialization: straight off the merged
+    // hierarchy, no xml::Node is ever constructed.
+    core::ScanCursor cursor(
+        xml::SerializeOptions{},
+        [&sink](std::string_view chunk) { return sink.Append(chunk); });
+    for (const auto& child : archive_.root().children) {
+      if (child->stamp.has_value() && !child->stamp->Contains(v)) continue;
+      XARCH_RETURN_NOT_OK(cursor.Scan(*child, v, 0));
+      break;  // exactly one top element is active per version
+    }
+    XARCH_RETURN_NOT_OK(cursor.Finish());
+    return sink.Flush();
   }
 
   StatusOr<VersionSet> History(
       const std::vector<core::KeyStep>& path) override {
-    if (use_index_) {
-      if (index_ == nullptr) {
-        index_ = std::make_unique<index::ArchiveIndex>(archive_);
-      }
-      return index_->History(path, nullptr);
-    }
+    if (use_index_) return EnsureIndex()->History(path, nullptr);
     return archive_.History(path);
   }
 
@@ -292,9 +172,29 @@ class ArchiveStore final : public Store {
     return core::DescribeChanges(archive_, from, to);
   }
 
+  Status Query(std::string_view query_text, Sink& sink) override {
+    XARCH_ASSIGN_OR_RETURN(query::Query ast, query::Parse(query_text));
+    const bool explain = ast.explain;
+    // Diff queries run the change walk and never touch the index; don't
+    // pay an index (re)build for them.
+    const bool needs_index =
+        use_index_ && ast.temporal.kind != query::TemporalKind::kDiff;
+    const index::ArchiveIndex* index = needs_index ? EnsureIndex() : nullptr;
+    query::Plan plan = query::MakePlan(
+        std::move(ast), index != nullptr ? query::Access::kArchiveIndexed
+                                         : query::Access::kArchiveScan);
+    query::EvalResult result;
+    Status status =
+        explain
+            ? query::ExplainArchive(plan, archive_, index, sink, &result)
+            : query::Evaluate(plan, archive_, index, sink, &result);
+    CountQuery(result);
+    return status;
+  }
+
   Version version_count() const override { return archive_.version_count(); }
 
-  StoreStats Stats() const override {
+  StoreStats BackendStats() const override {
     StoreStats stats;
     stats.versions = archive_.version_count();
     stats.stored_bytes = StoredBytes().size();
@@ -312,10 +212,23 @@ class ArchiveStore final : public Store {
   }
 
  private:
+  /// Lazy index invalidation: the index is rebuilt on first use after any
+  /// ingest, detected through the archive's ingest generation — nothing
+  /// can serve stale answers after AddVersion/AddVersions.
+  const index::ArchiveIndex* EnsureIndex() {
+    const uint64_t generation = archive_.ingest_generation();
+    if (index_ == nullptr || index_generation_ != generation) {
+      index_ = std::make_unique<index::ArchiveIndex>(archive_);
+      index_generation_ = generation;
+    }
+    return index_.get();
+  }
+
   std::string name_;
   core::Archive archive_;
   bool use_index_;
   std::unique_ptr<index::ArchiveIndex> index_;  // lazily (re)built
+  uint64_t index_generation_ = 0;  // ingest generation index_ was built at
 };
 
 // -------------------------------------------------- diff / copy baselines
@@ -327,7 +240,9 @@ class RepoStore : public Store {
   explicit RepoStore(std::string name) : name_(std::move(name)) {}
 
   std::string name() const override { return name_; }
-  Capabilities capabilities() const override { return kBatchIngest; }
+  Capabilities capabilities() const override {
+    return kBatchIngest | kQuery;
+  }
 
   Status Append(std::string_view xml_text) override {
     repo_.AddVersion(std::string(xml_text));
@@ -342,7 +257,7 @@ class RepoStore : public Store {
     return static_cast<Version>(repo_.version_count());
   }
 
-  StoreStats Stats() const override {
+  StoreStats BackendStats() const override {
     StoreStats stats;
     stats.versions = static_cast<Version>(repo_.version_count());
     stats.stored_bytes = repo_.ByteSize();
@@ -388,7 +303,7 @@ class FullCopyStore final : public RepoStore<diff::FullCopyRepo> {
   FullCopyStore() : RepoStore("full-copy") {}
 
   Capabilities capabilities() const override {
-    return kBatchIngest | kStreamingRetrieve;
+    return kBatchIngest | kStreamingRetrieve | kQuery;
   }
 
   /// Versions are stored verbatim, so streaming is a straight copy of the
@@ -419,7 +334,9 @@ class ExtmemStore final : public Store {
   }
 
   std::string name() const override { return "extmem"; }
-  Capabilities capabilities() const override { return kBatchIngest; }
+  Capabilities capabilities() const override {
+    return kBatchIngest | kQuery;
+  }
 
   Status Append(std::string_view xml_text) override {
     XARCH_ASSIGN_OR_RETURN(xml::NodePtr doc, xml::Parse(xml_text));
@@ -434,7 +351,7 @@ class ExtmemStore final : public Store {
 
   Version version_count() const override { return ext_.version_count(); }
 
-  StoreStats Stats() const override {
+  StoreStats BackendStats() const override {
     StoreStats stats;
     stats.versions = ext_.version_count();
     // Snapshot the counters first: StoredBytes() itself reads the whole
@@ -494,10 +411,13 @@ class CompressedStore final : public Store {
                                                    Version to) override {
     return inner_->DiffVersions(from, to);
   }
+  Status Query(std::string_view query_text, Sink& sink) override {
+    return inner_->Query(query_text, sink);
+  }
   Status Checkpoint() override { return inner_->Checkpoint(); }
   Version version_count() const override { return inner_->version_count(); }
 
-  StoreStats Stats() const override {
+  StoreStats BackendStats() const override {
     StoreStats stats = inner_->Stats();
     stats.stored_bytes = StoredBytes().size();
     return stats;
@@ -526,7 +446,7 @@ class CheckpointArchiveStore final : public Store {
 
   std::string name() const override { return "checkpoint-archive"; }
   Capabilities capabilities() const override {
-    return kTemporalQueries | kBatchIngest | kCheckpoint;
+    return kTemporalQueries | kBatchIngest | kCheckpoint | kQuery;
   }
 
   Status Append(std::string_view xml_text) override {
@@ -574,7 +494,7 @@ class CheckpointArchiveStore final : public Store {
 
   Version version_count() const override { return archive_.version_count(); }
 
-  StoreStats Stats() const override {
+  StoreStats BackendStats() const override {
     StoreStats stats;
     stats.versions = archive_.version_count();
     stats.stored_bytes = archive_.ByteSize();
@@ -596,7 +516,7 @@ class CheckpointDiffStore final : public Store {
 
   std::string name() const override { return "checkpoint-diff"; }
   Capabilities capabilities() const override {
-    return kBatchIngest | kCheckpoint;
+    return kBatchIngest | kCheckpoint | kQuery;
   }
 
   Status Append(std::string_view xml_text) override {
@@ -617,7 +537,7 @@ class CheckpointDiffStore final : public Store {
     return static_cast<Version>(repo_.version_count());
   }
 
-  StoreStats Stats() const override {
+  StoreStats BackendStats() const override {
     StoreStats stats;
     stats.versions = static_cast<Version>(repo_.version_count());
     stats.stored_bytes = repo_.ByteSize();
@@ -671,7 +591,7 @@ void RegisterBuiltinStores(StoreRegistry& registry) {
   must(registry.Register({
       "archive",
       "key-based archive, Nested Merge with bucket frontiers (the paper's)",
-      kTemporalQueries | kStreamingRetrieve | kBatchIngest,
+      kTemporalQueries | kStreamingRetrieve | kBatchIngest | kQuery,
       [](StoreOptions options) {
         return MakeArchiveBackend(std::move(options), "archive",
                                   core::FrontierStrategy::kBuckets);
@@ -680,7 +600,7 @@ void RegisterBuiltinStores(StoreRegistry& registry) {
   must(registry.Register({
       "archive-weave",
       "key-based archive with SCCS-weave frontiers (further compaction)",
-      kTemporalQueries | kStreamingRetrieve | kBatchIngest,
+      kTemporalQueries | kStreamingRetrieve | kBatchIngest | kQuery,
       [](StoreOptions options) {
         return MakeArchiveBackend(std::move(options), "archive-weave",
                                   core::FrontierStrategy::kWeave);
@@ -689,7 +609,7 @@ void RegisterBuiltinStores(StoreRegistry& registry) {
   must(registry.Register({
       "incr-diff",
       "V1 + incremental line diffs (Sec. 5 baseline)",
-      kBatchIngest,
+      kBatchIngest | kQuery,
       [](StoreOptions) -> StatusOr<std::unique_ptr<Store>> {
         return std::unique_ptr<Store>(std::make_unique<IncrDiffStore>());
       },
@@ -697,7 +617,7 @@ void RegisterBuiltinStores(StoreRegistry& registry) {
   must(registry.Register({
       "cum-diff",
       "V1 + cumulative line diffs (Sec. 5 baseline)",
-      kBatchIngest,
+      kBatchIngest | kQuery,
       [](StoreOptions) -> StatusOr<std::unique_ptr<Store>> {
         return std::unique_ptr<Store>(std::make_unique<CumDiffStore>());
       },
@@ -705,7 +625,7 @@ void RegisterBuiltinStores(StoreRegistry& registry) {
   must(registry.Register({
       "full-copy",
       "every version stored verbatim",
-      kBatchIngest | kStreamingRetrieve,
+      kBatchIngest | kStreamingRetrieve | kQuery,
       [](StoreOptions) -> StatusOr<std::unique_ptr<Store>> {
         return std::unique_ptr<Store>(std::make_unique<FullCopyStore>());
       },
@@ -713,7 +633,7 @@ void RegisterBuiltinStores(StoreRegistry& registry) {
   must(registry.Register({
       "extmem",
       "external-memory archiver (Sec. 6), on-disk sorted rows",
-      kBatchIngest,
+      kBatchIngest | kQuery,
       [](StoreOptions options) -> StatusOr<std::unique_ptr<Store>> {
         XARCH_RETURN_NOT_OK(RequireSpec(options, "extmem"));
         bool owns_work_dir = false;
@@ -735,7 +655,7 @@ void RegisterBuiltinStores(StoreRegistry& registry) {
       "compressed",
       "compression wrapper over StoreOptions::inner (capabilities follow "
       "the wrapped store)",
-      kTemporalQueries | kStreamingRetrieve | kBatchIngest,
+      kTemporalQueries | kStreamingRetrieve | kBatchIngest | kQuery,
       [](StoreOptions options) -> StatusOr<std::unique_ptr<Store>> {
         std::string inner_name = options.inner;
         if (inner_name == "compressed") {
@@ -752,7 +672,7 @@ void RegisterBuiltinStores(StoreRegistry& registry) {
   must(registry.Register({
       "checkpoint-archive",
       "a fresh archive every k versions (Sec. 9 checkpointing)",
-      kTemporalQueries | kBatchIngest | kCheckpoint,
+      kTemporalQueries | kBatchIngest | kCheckpoint | kQuery,
       [](StoreOptions options) -> StatusOr<std::unique_ptr<Store>> {
         XARCH_RETURN_NOT_OK(RequireSpec(options, "checkpoint-archive"));
         XARCH_ASSIGN_OR_RETURN(keys::KeySpecSet scratch,
@@ -765,7 +685,7 @@ void RegisterBuiltinStores(StoreRegistry& registry) {
   must(registry.Register({
       "checkpoint-diff",
       "a full copy every k versions, deltas between (Sec. 9 checkpointing)",
-      kBatchIngest | kCheckpoint,
+      kBatchIngest | kCheckpoint | kQuery,
       [](StoreOptions options) -> StatusOr<std::unique_ptr<Store>> {
         return std::unique_ptr<Store>(
             std::make_unique<CheckpointDiffStore>(options.checkpoint_every));

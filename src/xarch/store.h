@@ -18,6 +18,10 @@
 
 namespace xarch {
 
+namespace query {
+struct EvalResult;
+}  // namespace query
+
 /// \brief Optional abilities a Store backend may advertise. The contract is
 /// honest flags: an advertised capability's calls must work; an
 /// unadvertised capability's calls return StatusCode::kUnimplemented —
@@ -34,6 +38,13 @@ enum Capability : uint32_t {
   /// The backend maintains checkpoints / segments; Checkpoint() forces a
   /// boundary and Stats().checkpoint_segments reports the count.
   kCheckpoint = 1u << 3,
+  /// Query() parses and answers XAQL temporal queries (src/query): keyed
+  /// path expressions with `@ version N`, `@ versions A..B`, `history`,
+  /// and `diff A B` qualifiers, streamed into a Sink. Archive backends
+  /// evaluate them with one streaming pass of the merged hierarchy
+  /// (timestamp-tree pruned when indexed); every other backend uses the
+  /// interface-level fallback plan over Retrieve/History/DiffVersions.
+  kQuery = 1u << 4,
 };
 
 /// Bitmask of Capability values.
@@ -63,6 +74,14 @@ struct StoreStats {
   size_t max_retrieval_applications = 0;
   /// External-memory I/O counters (extmem backend; zeros otherwise).
   extmem::IoStats io;
+  /// XAQL queries answered so far (kQuery), and the probe counters of
+  /// their evaluations, accumulated across Query() calls: timestamp-tree
+  /// probes actually paid, children a naive scan would have inspected at
+  /// the same nodes, and key comparisons of sorted-child lookups.
+  uint64_t queries = 0;
+  uint64_t query_tree_probes = 0;
+  uint64_t query_naive_probes = 0;
+  uint64_t query_comparisons = 0;
 };
 
 /// \brief Construction parameters for registry-created stores. Backends
@@ -151,6 +170,24 @@ class Store {
   virtual StatusOr<std::vector<core::Change>> DiffVersions(Version from,
                                                            Version to);
 
+  // ------------------------------------------------------ queries (XAQL)
+
+  /// Answers an XAQL temporal query (kQuery), streaming results into
+  /// `sink`:
+  ///
+  ///   /db/entry[id="2"] @ version 17      — the element at one version
+  ///   /site/people/person[*] @ versions 3..9  — snapshots over a range
+  ///   /db/dept[name="x"]/emp[fn="J", ln="D"] history — its version set
+  ///   /db diff 3 9                        — key-based changes under a path
+  ///   explain <query>                     — the plan + probe counters
+  ///
+  /// The base implementation is the interface-level plan (Retrieve /
+  /// History / DiffVersions), which any backend answers; archive backends
+  /// override it with the streaming evaluator over the merged hierarchy,
+  /// pruned by the timestamp-tree index when enabled. Per-query probe
+  /// counters accumulate into Stats().
+  virtual Status Query(std::string_view query_text, Sink& sink);
+
   // ------------------------------------------------------ maintenance
 
   /// Forces a checkpoint boundary (kCheckpoint): the next Append starts a
@@ -162,8 +199,16 @@ class Store {
   /// Number of archived versions (numbered 1..version_count()).
   virtual Version version_count() const = 0;
 
-  /// Uniform counters; see StoreStats.
-  virtual StoreStats Stats() const = 0;
+  /// Uniform counters (see StoreStats): the backend's own counters with
+  /// the per-query probe counters folded in.
+  StoreStats Stats() const {
+    StoreStats stats = BackendStats();
+    stats.queries += query_counters_.queries;
+    stats.query_tree_probes += query_counters_.tree_probes;
+    stats.query_naive_probes += query_counters_.naive_probes;
+    stats.query_comparisons += query_counters_.comparisons;
+    return stats;
+  }
 
   /// Raw stored bytes (what a byte compressor would be run over).
   virtual std::string StoredBytes() const = 0;
@@ -178,6 +223,22 @@ class Store {
 
   /// Status returned by every call whose capability is not advertised.
   Status UnimplementedCall(const char* call, Capability needed) const;
+
+  /// The backend's own counters; Stats() folds the query counters in.
+  virtual StoreStats BackendStats() const = 0;
+
+  /// Accumulates one query evaluation into the counters Stats() reports.
+  /// Query() overrides call this after every evaluation.
+  void CountQuery(const query::EvalResult& result);
+
+ private:
+  struct QueryCounters {
+    uint64_t queries = 0;
+    uint64_t tree_probes = 0;
+    uint64_t naive_probes = 0;
+    uint64_t comparisons = 0;
+  };
+  QueryCounters query_counters_;
 };
 
 }  // namespace xarch

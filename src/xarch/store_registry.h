@@ -14,18 +14,24 @@ namespace xarch {
 
 /// \brief String-keyed factory registry of Store backends.
 ///
-/// Built-in backends self-register on first use of Global():
+/// Built-in backends self-register on first use of Global(). Every
+/// backend answers XAQL queries (Store::Query); archive backends evaluate
+/// them with the streaming archive plan, the rest with the interface-level
+/// fallback:
 ///
 ///   name                 capabilities
-///   "archive"            temporal-queries | streaming-retrieve | batch-ingest
-///   "archive-weave"      temporal-queries | streaming-retrieve | batch-ingest
-///   "incr-diff"          batch-ingest
-///   "cum-diff"           batch-ingest
-///   "full-copy"          batch-ingest | streaming-retrieve
-///   "extmem"             batch-ingest
+///   "archive"            temporal-queries | streaming-retrieve |
+///                        batch-ingest | query
+///   "archive-weave"      temporal-queries | streaming-retrieve |
+///                        batch-ingest | query
+///   "incr-diff"          batch-ingest | query
+///   "cum-diff"           batch-ingest | query
+///   "full-copy"          batch-ingest | streaming-retrieve | query
+///   "extmem"             batch-ingest | query
 ///   "compressed"         (follows the wrapped backend, StoreOptions::inner)
-///   "checkpoint-archive" temporal-queries | batch-ingest | checkpoint
-///   "checkpoint-diff"    batch-ingest | checkpoint
+///   "checkpoint-archive" temporal-queries | batch-ingest | checkpoint |
+///                        query
+///   "checkpoint-diff"    batch-ingest | checkpoint | query
 ///
 /// Out-of-tree backends register through Global().Register().
 class StoreRegistry {

@@ -25,6 +25,7 @@
 #include "compress/lzss.h"
 #include "core/archive.h"
 #include "core/changes.h"
+#include "core/scan.h"
 #include "diff/edit_script.h"
 #include "diff/repository.h"
 #include "diff/sccs.h"
@@ -37,6 +38,12 @@
 #include "keys/infer.h"
 #include "keys/key_spec.h"
 #include "keys/label.h"
+#include "query/ast.h"
+#include "query/evaluator.h"
+#include "query/explain.h"
+#include "query/lexer.h"
+#include "query/parser.h"
+#include "query/planner.h"
 #include "util/status.h"
 #include "util/version_set.h"
 #include "xarch/checkpoint.h"

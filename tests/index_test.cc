@@ -102,6 +102,95 @@ TEST(TimestampTreeTest, DenseVersionFallsBackNearLinear) {
   EXPECT_LE(probes, 3 * k);
 }
 
+TEST(TimestampTreeTest, SingleLeafTree) {
+  // k=1: the tree is one leaf; a lookup probes exactly it.
+  TimestampTree tree = TimestampTree::Build({*VersionSet::Parse("2-4")});
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  EXPECT_EQ(tree.node_count(), 1u);
+  size_t probes = 0;
+  auto hits = tree.Lookup(3, &probes);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 0u);
+  EXPECT_EQ(probes, 1u);
+  hits = tree.Lookup(5, &probes);
+  EXPECT_TRUE(hits.empty());
+  EXPECT_EQ(probes, 1u);
+}
+
+TEST(TimestampTreeTest, AllChildrenRelevantStaysWithinPaperBound) {
+  // α = k: every node of the tree contains v, so the search pays the
+  // dense side of the paper's bound, min(2α−1+2α·log(k/α), 2k) = 2k−1 —
+  // which is also the entire tree, so the 2k budget is never exhausted.
+  for (size_t k : {1u, 2u, 7u, 64u}) {
+    std::vector<VersionSet> stamps(k, VersionSet::Interval(1, 10));
+    TimestampTree tree = TimestampTree::Build(stamps);
+    size_t probes = 0;
+    auto hits = tree.Lookup(5, &probes);
+    EXPECT_EQ(hits.size(), k);
+    EXPECT_EQ(probes, 2 * k - 1) << "k=" << k;
+    EXPECT_EQ(tree.node_count(), 2 * k - 1) << "k=" << k;
+  }
+}
+
+TEST(TimestampTreeTest, ProbeBudgetFallbackScansLeavesCorrectly) {
+  // The default budget of 2k can never be exhausted (the whole tree has
+  // 2k−1 nodes), so the fallback is driven through the explicit-budget
+  // overload: a starved search must abandon the descent, scan the k
+  // leaves, and return the identical answer.
+  const size_t k = 32;
+  std::vector<VersionSet> stamps;
+  for (size_t i = 0; i < k; ++i) {
+    stamps.push_back(VersionSet::Interval(1, 10));
+  }
+  TimestampTree tree = TimestampTree::Build(stamps);
+  size_t probes = 0;
+  auto full = tree.Lookup(5, &probes);
+  ASSERT_EQ(full.size(), k);
+  for (size_t budget : {size_t{1}, size_t{5}, k}) {
+    size_t starved_probes = 0;
+    auto starved = tree.Lookup(5, &starved_probes, budget);
+    EXPECT_EQ(starved, full) << "budget " << budget;
+    // Cost: the budgeted descent (exceeded by at most the leaves popped
+    // before the next internal node checks the budget) plus the k-leaf
+    // scan.
+    EXPECT_LE(starved_probes, budget + 2 * k) << "budget " << budget;
+    EXPECT_GE(starved_probes, k) << "budget " << budget;
+  }
+}
+
+TEST(TimestampTreeTest, LookupRespectsPaperProbeBound) {
+  // Random trees: every lookup must respect the Sec. 7.1 bound
+  // min(2α−1+2α·log2(k/α), 2k) (with ceil(log2) for the unbalanced last
+  // level of the paired construction), and the α=0 root short-circuit.
+  Rng rng(1347);
+  for (int trial = 0; trial < 40; ++trial) {
+    size_t k = rng.Uniform(1, 200);
+    std::vector<VersionSet> stamps(k);
+    for (auto& s : stamps) {
+      Version lo = static_cast<Version>(rng.Uniform(1, 30));
+      Version hi = lo + static_cast<Version>(rng.Uniform(0, 8));
+      s = VersionSet::Interval(lo, hi);
+    }
+    TimestampTree tree = TimestampTree::Build(stamps);
+    for (Version v = 1; v <= 39; ++v) {
+      size_t probes = 0;
+      auto hits = tree.Lookup(v, &probes);
+      const double a = static_cast<double>(hits.size());
+      if (a == 0) {
+        // Nothing relevant: pruned high up, never worse than the tree.
+        EXPECT_LE(probes, 2 * k - 1);
+        continue;
+      }
+      const double sparse_bound =
+          2 * a - 1 + 2 * a * std::ceil(std::log2(static_cast<double>(k) / a));
+      const double bound = std::min(sparse_bound,
+                                    static_cast<double>(2 * k));
+      EXPECT_LE(static_cast<double>(probes), bound)
+          << "k=" << k << " alpha=" << a << " v=" << v;
+    }
+  }
+}
+
 TEST(TimestampTreeTest, NodeCountLinearInLeaves) {
   std::vector<VersionSet> stamps(100, VersionSet::Single(1));
   TimestampTree tree = TimestampTree::Build(stamps);
