@@ -31,9 +31,28 @@ uint64_t GetU64(const uint8_t* p) {
   return v;
 }
 
+/// All-literal encoding: a valid LZSS stream with no matches. Used for
+/// inputs beyond kLzssMaxInputBytes, where positions no longer fit the
+/// int32_t hash-chain tables — correctness (a decodable stream) is kept
+/// and only ratio is lost.
+std::string CompressAllLiterals(std::string_view data) {
+  std::string out;
+  out.append(kMagic, 4);
+  PutU64(data.size(), &out);
+  size_t pos = 0;
+  while (pos < data.size()) {
+    const size_t run = std::min(size_t{8}, data.size() - pos);
+    out.push_back(0);  // flag byte: 8 literals
+    out.append(data.data() + pos, run);
+    pos += run;
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string LzssCompress(std::string_view data) {
+  if (data.size() > kLzssMaxInputBytes) return CompressAllLiterals(data);
   std::string out;
   out.append(kMagic, 4);
   PutU64(data.size(), &out);
@@ -42,8 +61,9 @@ std::string LzssCompress(std::string_view data) {
   const uint8_t* src = reinterpret_cast<const uint8_t*>(data.data());
   const size_t n = data.size();
 
+  // Positions fit int32_t: n <= kLzssMaxInputBytes < 2^31 (checked above).
   std::vector<int32_t> head(kHashSize, -1);
-  std::vector<int32_t> prev(std::min(n, size_t{1} << 31), -1);
+  std::vector<int32_t> prev(n, -1);
 
   // Token group: one flag byte describes the next 8 tokens (bit set =
   // match), followed by the token bytes.
@@ -85,7 +105,7 @@ std::string LzssCompress(std::string_view data) {
           best_dist = pos - static_cast<size_t>(cand);
           if (len == limit) break;
         }
-        cand = prev[cand % prev.size()];
+        cand = prev[cand];
         ++chain;
       }
     }
@@ -102,7 +122,7 @@ std::string LzssCompress(std::string_view data) {
       size_t end = pos + best_len;
       for (; pos < end && pos + kMinMatch <= n; ++pos) {
         uint32_t h = HashAt(src + pos);
-        prev[pos % prev.size()] = head[h];
+        prev[pos] = head[h];
         head[h] = static_cast<int32_t>(pos);
       }
       pos = end;
@@ -111,7 +131,7 @@ std::string LzssCompress(std::string_view data) {
       end_token(false);
       if (pos + kMinMatch <= n) {
         uint32_t h = HashAt(src + pos);
-        prev[pos % prev.size()] = head[h];
+        prev[pos] = head[h];
         head[h] = static_cast<int32_t>(pos);
       }
       ++pos;
@@ -121,6 +141,22 @@ std::string LzssCompress(std::string_view data) {
   // Drop a trailing empty group.
   if (flag_count == 0 && out.size() == flag_pos + 1) out.pop_back();
   return out;
+}
+
+StatusOr<std::string> LzssTryCompress(std::string_view data) {
+  return LzssTryCompress(data, kLzssMaxInputBytes);
+}
+
+StatusOr<std::string> LzssTryCompress(std::string_view data,
+                                      size_t max_input_bytes) {
+  if (data.size() > max_input_bytes) {
+    return Status::InvalidArgument(
+        "LZSS input of " + std::to_string(data.size()) +
+        " bytes exceeds the supported maximum of " +
+        std::to_string(max_input_bytes) +
+        " bytes (hash-chain positions are 32-bit)");
+  }
+  return LzssCompress(data);
 }
 
 StatusOr<std::string> LzssDecompress(std::string_view data) {

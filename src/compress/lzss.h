@@ -18,7 +18,24 @@ namespace xarch::compress {
 /// artifacts are preserved, which is what the experiments measure.
 /// Parameters: 32 KiB window (gzip's), minimum match 4, maximum match 258,
 /// greedy hash-chain matching.
+///
+/// The hash-chain tables index positions with int32_t; inputs at or above
+/// 2 GiB would overflow them, so dictionary compression is bounded at
+/// kLzssMaxInputBytes. LzssTryCompress rejects larger inputs with a clear
+/// Status. LzssCompress (the legacy infallible entry point) accepts any
+/// size: above the bound it emits a valid all-literal stream (decodable,
+/// no matches — correctness kept, ratio lost) instead of overflowing.
+inline constexpr size_t kLzssMaxInputBytes = (size_t{1} << 31) - 1;
+
 std::string LzssCompress(std::string_view data);
+
+/// Bounds-checked compression: kInvalidArgument when data.size() exceeds
+/// the supported maximum, otherwise exactly LzssCompress(data). The
+/// `max_input_bytes` overload exists so the rejection path is unit-testable
+/// without allocating 2 GiB; production callers use the default.
+StatusOr<std::string> LzssTryCompress(std::string_view data);
+StatusOr<std::string> LzssTryCompress(std::string_view data,
+                                      size_t max_input_bytes);
 
 /// Decompresses LzssCompress output. Fails on malformed input.
 StatusOr<std::string> LzssDecompress(std::string_view data);

@@ -104,6 +104,15 @@ struct KeyStep {
 ///   auto v1_again = archive.RetrieveVersion(1);   // Sec. 7.1
 ///   auto when = archive.History({...});           // Sec. 7.2
 ///   std::string xml = archive.ToXml();            // Fig. 5
+///
+/// Thread safety: the const methods (RetrieveVersion, History, ToXml,
+/// Check, CountNodes, root, the counters) touch no mutable state and are
+/// safe to call from any number of threads, PROVIDED no mutation
+/// (AddVersion/AddVersions/AddEmptyVersion/mutable_root) runs
+/// concurrently. The Archive does no locking of its own; callers that
+/// share one across threads synchronize externally — xarch::Store does so
+/// with a writer-exclusive shared_mutex, and publishes derived structures
+/// (index::ArchiveIndex) from the ingest path under that same lock.
 class Archive {
  public:
   explicit Archive(keys::KeySpecSet spec, ArchiveOptions options = {});

@@ -31,7 +31,9 @@ std::vector<keys::Label> QueryLabels(const core::KeyStep& step) {
 
 }  // namespace
 
-ArchiveIndex::ArchiveIndex(const core::Archive& archive) : archive_(archive) {
+ArchiveIndex::ArchiveIndex(const core::Archive& archive)
+    : archive_(archive),
+      built_at_generation_(archive.ingest_generation()) {
   BuildRecursive(archive.root());
 }
 

@@ -23,9 +23,22 @@ struct ProbeStats {
 /// The index is built with one scan of the archive ("constructed each time
 /// a new version arrives, after nested merge") and must be rebuilt after
 /// AddVersion. It borrows the archive; the archive must outlive it.
+///
+/// Publish protocol (the synchronized rebuild the Store layer uses): the
+/// constructor records the archive's ingest generation, so holders can
+/// assert an index is current (built_at_generation() ==
+/// archive.ingest_generation()). An index must be (re)built and published
+/// by the INGEST path, under the same exclusive lock that guarded the
+/// merge — never lazily from a read, where concurrent readers would race
+/// on the swap. After construction the index is immutable: every query
+/// method is const and safe to call from any number of threads.
 class ArchiveIndex {
  public:
   explicit ArchiveIndex(const core::Archive& archive);
+
+  /// The archive ingest generation this index was built at; stale when the
+  /// archive's ingest_generation() has moved past it.
+  uint64_t built_at_generation() const { return built_at_generation_; }
 
   /// Version retrieval directed by timestamp trees: at every inner node
   /// only the relevant children are visited. Probe counts accumulate into
@@ -66,6 +79,7 @@ class ArchiveIndex {
                                            ProbeStats* stats) const;
 
   const core::Archive& archive_;
+  uint64_t built_at_generation_ = 0;
   /// Per inner node: its timestamp tree (over child effective stamps) and
   /// its children sorted by plain label order (for binary search).
   struct NodeIndex {

@@ -1,6 +1,7 @@
 #include "query/evaluator.h"
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/changes.h"
@@ -62,6 +63,12 @@ Status RangeBoundsError(Version count) {
                                  std::to_string(count));
 }
 
+/// True when `options` allow fanning `versions` across pool workers.
+bool WantParallel(const EvalOptions& options, size_t versions) {
+  return options.pool != nullptr && options.pool->size() > 0 &&
+         versions >= options.min_parallel_versions && versions > 1;
+}
+
 /// Runs the shared diff pipeline: describe → filter to the query path →
 /// format. `changes` is the full key-based change list between the two
 /// versions.
@@ -89,8 +96,12 @@ class ArchiveEvaluator {
  public:
   ArchiveEvaluator(const core::Archive& archive,
                    const index::ArchiveIndex* index, Sink& sink,
-                   EvalResult& result)
-      : archive_(archive), index_(index), sink_(sink), result_(result) {}
+                   EvalResult& result, const EvalOptions& options)
+      : archive_(archive),
+        index_(index),
+        sink_(sink),
+        result_(result),
+        options_(options) {}
 
   Status Run(const Plan& plan) {
     const Query& ast = plan.ast;
@@ -193,6 +204,8 @@ class ArchiveEvaluator {
     return match;
   }
 
+  /// A cursor streaming into the query sink, counting into result_ — for
+  /// the serial paths, which run on the caller thread only.
   core::ScanCursor MakeCursor() {
     core::ScanCursor cursor(
         xml::SerializeOptions{},
@@ -200,14 +213,19 @@ class ArchiveEvaluator {
           result_.bytes_streamed += chunk.size();
           return sink_.Append(chunk);
         });
-    if (index_ != nullptr) {
-      cursor.set_selector([this](const core::ArchiveNode& node, Version v,
-                                 std::vector<size_t>* relevant,
-                                 size_t* probes) {
-        return index_->RelevantChildren(node, v, relevant, probes);
-      });
-    }
+    SetSelector(cursor);
     return cursor;
+  }
+
+  void SetSelector(core::ScanCursor& cursor) {
+    if (index_ == nullptr) return;
+    // The hook reads only the (immutable during evaluation) index; it is
+    // shared by the parallel workers' private cursors.
+    cursor.set_selector([this](const core::ArchiveNode& node, Version v,
+                               std::vector<size_t>* relevant,
+                               size_t* probes) {
+      return index_->RelevantChildren(node, v, relevant, probes);
+    });
   }
 
   Status FinishCursor(core::ScanCursor& cursor,
@@ -238,28 +256,82 @@ class ArchiveEvaluator {
     return Status::OK();
   }
 
+  /// One range version through `cursor`, wrapper included — the single
+  /// source of the range output format, shared by the serial loop (one
+  /// streaming cursor) and the parallel work units (a private buffered
+  /// cursor each), which is what keeps parallel output byte-identical.
+  Status ScanRangeVersion(core::ScanCursor& cursor,
+                          const std::vector<NodeMatch>& matches, Version v) {
+    bool any = false;
+    for (const NodeMatch& match : matches) {
+      if (!match.effective.Contains(v)) continue;
+      if (!any) {
+        XARCH_RETURN_NOT_OK(cursor.Emit(VersionOpenTag(v)));
+        any = true;
+      }
+      XARCH_RETURN_NOT_OK(cursor.Scan(*match.node, v, 1));
+    }
+    return cursor.Emit(any ? std::string("</version>\n")
+                           : VersionEmptyTag(v));
+  }
+
+  /// One range version, serialized complete into a private buffer with
+  /// private stats — the parallel work unit.
+  Status ScanVersionToBuffer(const std::vector<NodeMatch>& matches, Version v,
+                             std::string* out, core::ScanStats* stats) {
+    core::ScanCursor cursor(
+        xml::SerializeOptions{},
+        [out](std::string_view chunk) {
+          out->append(chunk);
+          return Status::OK();
+        });
+    SetSelector(cursor);
+    cursor.set_stats(stats);
+    XARCH_RETURN_NOT_OK(ScanRangeVersion(cursor, matches, v));
+    return cursor.Finish();
+  }
+
   Status RunRange(const Query& ast, const std::vector<NodeMatch>& matches) {
     const Version from = ast.temporal.from, to = ast.temporal.to;
     if (from == 0 || to > archive_.version_count()) {
       return RangeBoundsError(archive_.version_count());
     }
+    const size_t n = static_cast<size_t>(to - from) + 1;
+    if (WantParallel(options_, n)) {
+      return RunRangeParallel(matches, from, n);
+    }
     core::ScanCursor cursor = MakeCursor();
     core::ScanStats stats;
     cursor.set_stats(&stats);
     for (Version v = from; v <= to; ++v) {
-      bool any = false;
-      for (const NodeMatch& match : matches) {
-        if (!match.effective.Contains(v)) continue;
-        if (!any) {
-          XARCH_RETURN_NOT_OK(cursor.Emit(VersionOpenTag(v)));
-          any = true;
-        }
-        XARCH_RETURN_NOT_OK(cursor.Scan(*match.node, v, 1));
-      }
-      XARCH_RETURN_NOT_OK(
-          cursor.Emit(any ? std::string("</version>\n") : VersionEmptyTag(v)));
+      XARCH_RETURN_NOT_OK(ScanRangeVersion(cursor, matches, v));
     }
     return FinishCursor(cursor, stats);
+  }
+
+  /// The parallel range executor: versions fan out across the pool, each
+  /// serialized into a private buffer; buffers are then emitted in version
+  /// order, so the sink sees bytes identical to the serial run and the
+  /// probe counters sum to the same totals. The archive and index are read
+  /// concurrently but never mutated (the store's reader lock guarantees
+  /// no ingest runs during evaluation).
+  Status RunRangeParallel(const std::vector<NodeMatch>& matches, Version from,
+                          size_t n) {
+    std::vector<std::string> outputs(n);
+    std::vector<core::ScanStats> stats(n);
+    std::vector<Status> statuses(n);
+    options_.pool->ParallelFor(n, [&](size_t i) {
+      statuses[i] =
+          ScanVersionToBuffer(matches, from + static_cast<Version>(i),
+                              &outputs[i], &stats[i]);
+    });
+    for (size_t i = 0; i < n; ++i) {
+      result_.probes.tree_probes += stats[i].tree_probes;
+      result_.probes.naive_probes += stats[i].naive_probes;
+      XARCH_RETURN_NOT_OK(statuses[i]);
+      XARCH_RETURN_NOT_OK(EmitText(sink_, outputs[i], &result_));
+    }
+    return Status::OK();
   }
 
   Status RunHistory(const std::vector<NodeMatch>& matches) {
@@ -277,6 +349,7 @@ class ArchiveEvaluator {
   const index::ArchiveIndex* index_;
   Sink& sink_;
   EvalResult& result_;
+  const EvalOptions& options_;
 };
 
 // ------------------------------------------------- generic-plan support
@@ -331,8 +404,9 @@ std::vector<const xml::Node*> NavigateDoc(const xml::Node& root,
 
 class StoreEvaluator {
  public:
-  StoreEvaluator(Store& store, Sink& sink, EvalResult& result)
-      : store_(store), sink_(sink), result_(result) {}
+  StoreEvaluator(StorePrimitives& store, Sink& sink, EvalResult& result,
+                 const EvalOptions& options)
+      : store_(store), sink_(sink), result_(result), options_(options) {}
 
   Status Run(const Plan& plan) {
     const Query& ast = plan.ast;
@@ -356,22 +430,51 @@ class StoreEvaluator {
  private:
   /// Matched subtrees at version v, serialized into `*out` at `depth`.
   /// Returns the number of matches (0 for a version where the database
-  /// was empty or the path matched nothing).
+  /// was empty or the path matched nothing). Pure per-version work —
+  /// touches no evaluator state, so versions may run on pool workers when
+  /// the store's reads are concurrency-safe (callers account
+  /// versions_scanned themselves).
   StatusOr<size_t> SnapshotInto(const Query& ast, Version v, int depth,
                                 std::string* out) {
     XARCH_ASSIGN_OR_RETURN(std::string text, store_.Retrieve(v));
-    ++result_.versions_scanned;
     if (text.empty()) return size_t{0};  // empty database state
     XARCH_ASSIGN_OR_RETURN(xml::NodePtr doc, xml::Parse(text));
     std::vector<const xml::Node*> matches = NavigateDoc(*doc, ast.steps);
-    for (const xml::Node* match : matches) {
-      xml::SerializeAppend(*match, xml::SerializeOptions{}, depth, out);
+    if (out != nullptr) {  // history wants counts only, not bytes
+      for (const xml::Node* match : matches) {
+        xml::SerializeAppend(*match, xml::SerializeOptions{}, depth, out);
+      }
     }
     return matches.size();
   }
 
+  /// True when the per-version scans of an n-version workload may fan
+  /// across the pool: options allow it AND the backend's read primitives
+  /// are safe to call from several threads at once.
+  bool ParallelScanAllowed(size_t n) const {
+    return WantParallel(options_, n) && store_.concurrent_reads();
+  }
+
+  /// Parallel per-version scan: runs SnapshotInto for versions
+  /// from..from+n-1 into private buffers on the pool workers (`outputs`
+  /// may be null for count-only workloads). Results land at index
+  /// i = v - from. Only called when ParallelScanAllowed(n).
+  void ScanVersionsParallel(const Query& ast, Version from, size_t n,
+                            int depth, std::vector<std::string>* outputs,
+                            std::vector<StatusOr<size_t>>* counts) {
+    if (outputs != nullptr) outputs->assign(n, std::string());
+    counts->assign(n, StatusOr<size_t>(size_t{0}));
+    options_.pool->ParallelFor(n, [&](size_t i) {
+      (*counts)[i] =
+          SnapshotInto(ast, from + static_cast<Version>(i), depth,
+                       outputs != nullptr ? &(*outputs)[i] : nullptr);
+    });
+    result_.versions_scanned += n;
+  }
+
   Status RunSnapshot(const Query& ast) {
     std::string out;
+    ++result_.versions_scanned;
     XARCH_ASSIGN_OR_RETURN(size_t matches,
                            SnapshotInto(ast, ast.temporal.from, 0, &out));
     if (matches == 0) return NoMatchError(ast);
@@ -379,23 +482,56 @@ class StoreEvaluator {
     return EmitText(sink_, out, &result_);
   }
 
+  /// Emits one range version in the shared wrapper format.
+  Status EmitRangeVersion(Version v, size_t matches, const std::string& body) {
+    result_.matches += matches;
+    if (matches == 0) {
+      return EmitText(sink_, VersionEmptyTag(v), &result_);
+    }
+    XARCH_RETURN_NOT_OK(EmitText(sink_, VersionOpenTag(v), &result_));
+    XARCH_RETURN_NOT_OK(EmitText(sink_, body, &result_));
+    return EmitText(sink_, "</version>\n", &result_);
+  }
+
   Status RunRange(const Query& ast) {
     const Version from = ast.temporal.from, to = ast.temporal.to;
     if (from == 0 || to > store_.version_count()) {
       return RangeBoundsError(store_.version_count());
     }
+    const size_t n = static_cast<size_t>(to - from) + 1;
+    if (ParallelScanAllowed(n)) {
+      std::vector<std::string> bodies;
+      std::vector<StatusOr<size_t>> counts;
+      ScanVersionsParallel(ast, from, n, 1, &bodies, &counts);
+      // Deterministic merge: emit in version order; the first failed
+      // version reports its error exactly as the serial loop does.
+      for (size_t i = 0; i < n; ++i) {
+        XARCH_RETURN_NOT_OK(counts[i].status());
+        XARCH_RETURN_NOT_OK(EmitRangeVersion(from + static_cast<Version>(i),
+                                             *counts[i], bodies[i]));
+      }
+      return Status::OK();
+    }
     for (Version v = from; v <= to; ++v) {
       std::string body;
+      ++result_.versions_scanned;
       XARCH_ASSIGN_OR_RETURN(size_t matches, SnapshotInto(ast, v, 1, &body));
-      result_.matches += matches;
-      if (matches == 0) {
-        XARCH_RETURN_NOT_OK(EmitText(sink_, VersionEmptyTag(v), &result_));
-      } else {
-        XARCH_RETURN_NOT_OK(EmitText(sink_, VersionOpenTag(v), &result_));
-        XARCH_RETURN_NOT_OK(EmitText(sink_, body, &result_));
-        XARCH_RETURN_NOT_OK(EmitText(sink_, "</version>\n", &result_));
-      }
+      XARCH_RETURN_NOT_OK(EmitRangeVersion(v, matches, body));
     }
+    return Status::OK();
+  }
+
+  /// Folds one version's match count into the history, rejecting the
+  /// ambiguous fan-out case with the shared diagnostic.
+  Status NoteHistoryMatches(Version v, size_t matches, VersionSet* history) {
+    if (matches > 1) {
+      return Status::InvalidArgument(
+          "ambiguous history path (a bare step matches " +
+          std::to_string(matches) + " siblings at version " +
+          std::to_string(v) +
+          "); give the full key, or use [*] on an archive backend");
+    }
+    if (matches > 0) history->Add(v);
     return Status::OK();
   }
 
@@ -415,22 +551,28 @@ class StoreEvaluator {
       XARCH_ASSIGN_OR_RETURN(history, store_.History(path));
     } else {
       // Full scan: retrieve and navigate every archived version — the
-      // fallback cost a backend without temporal queries pays. Without a
-      // key specification a bare step matches by tag alone, so a fan-out
+      // fallback cost a backend without temporal queries pays (versions
+      // fan across the pool when reads allow). Without a key
+      // specification a bare step matches by tag alone, so a fan-out
       // means the path addresses keyed siblings ambiguously; fail loudly
       // rather than silently merging their histories.
-      for (Version v = 1; v <= store_.version_count(); ++v) {
-        std::string ignored;
-        XARCH_ASSIGN_OR_RETURN(size_t matches,
-                               SnapshotInto(ast, v, 0, &ignored));
-        if (matches > 1) {
-          return Status::InvalidArgument(
-              "ambiguous history path (a bare step matches " +
-              std::to_string(matches) +
-              " siblings at version " + std::to_string(v) +
-              "); give the full key, or use [*] on an archive backend");
+      const size_t n = static_cast<size_t>(store_.version_count());
+      if (ParallelScanAllowed(n)) {
+        std::vector<StatusOr<size_t>> counts;
+        ScanVersionsParallel(ast, 1, n, 0, /*outputs=*/nullptr, &counts);
+        for (size_t i = 0; i < n; ++i) {
+          XARCH_RETURN_NOT_OK(counts[i].status());
+          XARCH_RETURN_NOT_OK(
+              NoteHistoryMatches(static_cast<Version>(i + 1), *counts[i],
+                                 &history));
         }
-        if (matches > 0) history.Add(v);
+      } else {
+        for (Version v = 1; v <= store_.version_count(); ++v) {
+          ++result_.versions_scanned;
+          XARCH_ASSIGN_OR_RETURN(size_t matches,
+                                 SnapshotInto(ast, v, 0, nullptr));
+          XARCH_RETURN_NOT_OK(NoteHistoryMatches(v, matches, &history));
+        }
       }
       if (history.empty()) return NoMatchError(ast);
     }
@@ -452,26 +594,28 @@ class StoreEvaluator {
     return EmitFilteredChanges(changes, ast.steps, sink_, &result_);
   }
 
-  Store& store_;
+  StorePrimitives& store_;
   Sink& sink_;
   EvalResult& result_;
+  const EvalOptions& options_;
 };
 
 }  // namespace
 
 Status Evaluate(const Plan& plan, const core::Archive& archive,
                 const index::ArchiveIndex* index, Sink& sink,
-                EvalResult* result) {
+                EvalResult* result, const EvalOptions& options) {
   EvalResult local;
   ArchiveEvaluator evaluator(archive, index, sink,
-                             result != nullptr ? *result : local);
+                             result != nullptr ? *result : local, options);
   return evaluator.Run(plan);
 }
 
-Status EvaluateOverStore(const Plan& plan, Store& store, Sink& sink,
-                         EvalResult* result) {
+Status EvaluateOverStore(const Plan& plan, StorePrimitives& store, Sink& sink,
+                         EvalResult* result, const EvalOptions& options) {
   EvalResult local;
-  StoreEvaluator evaluator(store, sink, result != nullptr ? *result : local);
+  StoreEvaluator evaluator(store, sink, result != nullptr ? *result : local,
+                           options);
   return evaluator.Run(plan);
 }
 

@@ -7,6 +7,7 @@
 #include "index/archive_index.h"
 #include "query/planner.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 #include "xarch/sink.h"
 #include "xarch/store.h"
 
@@ -27,23 +28,44 @@ struct EvalResult {
   size_t versions_scanned = 0;
 };
 
+/// \brief Execution tuning for one evaluation.
+///
+/// With a pool, range workloads (`@ versions A..B`) and the generic
+/// history fallback's per-version full scan fan versions across the
+/// workers: each version is evaluated into a private buffer and the
+/// buffers are emitted into the sink in version order, so the output is
+/// byte-identical to the serial run and probe counters sum to the same
+/// totals. Callers hand out a pool only when the underlying data is safe
+/// to read from several threads (the archive under the store's shared
+/// lock; StorePrimitives::concurrent_reads() for generic plans).
+struct EvalOptions {
+  /// Worker pool for the parallel range executor; nullptr = serial.
+  util::ThreadPool* pool = nullptr;
+  /// Fan out only when at least this many versions are in the range —
+  /// below it, task bookkeeping costs more than the scans.
+  size_t min_parallel_versions = 4;
+};
+
 /// \brief Streaming evaluation over the merged hierarchy (the archive
 /// plans): walks the archive once, serializing straight into `sink` —
 /// no intermediate xml::Node tree is materialized. With `index` non-null
 /// keyed steps use the sorted-key binary search and snapshots are pruned
 /// by the timestamp trees; otherwise every step is a full child scan.
+/// The archive (and index) must not be mutated during the call — the
+/// Store layer guarantees that by holding the store's reader lock.
 Status Evaluate(const Plan& plan, const core::Archive& archive,
                 const index::ArchiveIndex* index, Sink& sink,
-                EvalResult* result);
+                EvalResult* result, const EvalOptions& options = {});
 
 /// \brief Interface-level evaluation through Store primitives (the
 /// kGeneric plan): snapshots via Retrieve() + parse + navigate, history
 /// via History() (or a per-version full scan when temporal queries are
 /// not advertised), diffs via DiffVersions(). Gives every backend XAQL
 /// queries at full-scan cost; output bytes match the archive plans on
-/// store-canonical documents.
-Status EvaluateOverStore(const Plan& plan, Store& store, Sink& sink,
-                         EvalResult* result);
+/// store-canonical documents. Takes the unlocked StorePrimitives view:
+/// it runs inside Store::Query, which already holds the store lock.
+Status EvaluateOverStore(const Plan& plan, StorePrimitives& store, Sink& sink,
+                         EvalResult* result, const EvalOptions& options = {});
 
 }  // namespace xarch::query
 

@@ -48,20 +48,20 @@ std::string FormatExplain(const Plan& plan, const EvalResult& result,
 
 Status ExplainArchive(const Plan& plan, const core::Archive& archive,
                       const index::ArchiveIndex* index, Sink& sink,
-                      EvalResult* result) {
+                      EvalResult* result, const EvalOptions& options) {
   EvalResult local;
   EvalResult& r = result != nullptr ? *result : local;
   CountingSink discard;
-  Status eval_status = Evaluate(plan, archive, index, discard, &r);
+  Status eval_status = Evaluate(plan, archive, index, discard, &r, options);
   return StreamReport(plan, r, eval_status, sink);
 }
 
-Status ExplainOverStore(const Plan& plan, Store& store, Sink& sink,
-                        EvalResult* result) {
+Status ExplainOverStore(const Plan& plan, StorePrimitives& store, Sink& sink,
+                        EvalResult* result, const EvalOptions& options) {
   EvalResult local;
   EvalResult& r = result != nullptr ? *result : local;
   CountingSink discard;
-  Status eval_status = EvaluateOverStore(plan, store, discard, &r);
+  Status eval_status = EvaluateOverStore(plan, store, discard, &r, options);
   return StreamReport(plan, r, eval_status, sink);
 }
 

@@ -14,11 +14,11 @@ namespace xarch::query {
 /// EXPLAIN over the archive plans.
 Status ExplainArchive(const Plan& plan, const core::Archive& archive,
                       const index::ArchiveIndex* index, Sink& sink,
-                      EvalResult* result);
+                      EvalResult* result, const EvalOptions& options = {});
 
 /// EXPLAIN over the generic store plan.
-Status ExplainOverStore(const Plan& plan, Store& store, Sink& sink,
-                        EvalResult* result);
+Status ExplainOverStore(const Plan& plan, StorePrimitives& store, Sink& sink,
+                        EvalResult* result, const EvalOptions& options = {});
 
 /// The report text itself (shared by both entry points; exposed for
 /// tests). `eval_status` is the outcome of the discarded evaluation run.

@@ -156,6 +156,12 @@ class Parser {
       temporal.kind = TemporalKind::kDiff;
       XARCH_ASSIGN_OR_RETURN(temporal.from, ExpectInt("a version number"));
       XARCH_ASSIGN_OR_RETURN(temporal.to, ExpectInt("a version number"));
+      // Same ordering rule as `@ versions A..B`: reversed bounds are a
+      // parse error, not a silently-empty (or backwards) diff. `diff A A`
+      // stays legal — it is the empty change set.
+      if (temporal.from > temporal.to) {
+        return Error("diff versions out of order (from > to)");
+      }
       return temporal;
     }
     return Error(

@@ -1,0 +1,129 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace xarch::util {
+
+ThreadPool::ThreadPool(size_t threads) {
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // Shared fork-join state. Helpers race the caller for indices through
+  // `next`; `done` counts finished indices so the caller knows when the
+  // join is complete even if helpers picked up most of the work.
+  struct ForState {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;  // first failure; guarded by error_mu
+    std::mutex error_mu;
+    std::mutex join_mu;
+    std::condition_variable join_cv;
+    size_t total = 0;
+  };
+  auto state = std::make_shared<ForState>();
+  state->total = n;
+
+  auto drain = [state, &body] {
+    for (;;) {
+      const size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= state->total) return;
+      if (!state->failed.load(std::memory_order_relaxed)) {
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(state->error_mu);
+          if (!state->failed.exchange(true)) {
+            state->error = std::current_exception();
+          }
+        }
+      }
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          state->total) {
+        std::lock_guard<std::mutex> lock(state->join_mu);
+        state->join_cv.notify_all();
+      }
+    }
+  };
+
+  // One helper per worker, capped by the work available beyond what the
+  // caller will do itself. Helpers capture `state` by value, so a helper
+  // scheduled after the caller returns (all indices already claimed)
+  // exits immediately without touching freed stack.
+  //
+  // NOTE: `body` is captured by reference in `drain` but helpers hold
+  // `state` keeping the join alive: the caller cannot return before
+  // done == total, and once done == total every helper has finished its
+  // last body() call, so the reference never dangles.
+  const size_t helpers = std::min(workers_.size(), n - 1);
+  for (size_t h = 0; h < helpers; ++h) Submit(drain);
+
+  drain();  // the caller works too
+
+  {
+    std::unique_lock<std::mutex> lock(state->join_mu);
+    state->join_cv.wait(lock, [&] {
+      return state->done.load(std::memory_order_acquire) == state->total;
+    });
+  }
+  if (state->failed.load(std::memory_order_acquire)) {
+    std::rethrow_exception(state->error);
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = [] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return new ThreadPool(hw > 1 ? hw - 1 : 0);
+  }();
+  return *pool;
+}
+
+}  // namespace xarch::util

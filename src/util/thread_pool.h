@@ -1,0 +1,68 @@
+#ifndef XARCH_UTIL_THREAD_POOL_H_
+#define XARCH_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xarch::util {
+
+/// \brief A small fixed-size worker pool for fan-out over read-only data
+/// (the XAQL parallel range executor, concurrent benches).
+///
+/// Design points:
+///  - `threads` is the number of *worker* threads; a pool of size 0 is
+///    valid and makes every ParallelFor run entirely on the caller, so
+///    callers never need a serial special case.
+///  - ParallelFor is a blocking fork-join: the caller participates in the
+///    work, indices are handed out through a shared atomic cursor (so
+///    uneven per-index cost load-balances), and the call returns only
+///    after every index is done. Exceptions from the body are rethrown on
+///    the caller thread (the first one wins).
+///  - The pool is reusable and safe to share between threads; concurrent
+///    ParallelFor calls interleave their tasks on the same workers.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 is valid: everything runs inline).
+  explicit ThreadPool(size_t threads);
+
+  /// Drains pending tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (callers typically fan out size() + 1 ways).
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues one task for a worker. With size() == 0 the task runs
+  /// inline, on the calling thread, before Submit returns.
+  void Submit(std::function<void()> task);
+
+  /// Runs body(i) for every i in [0, n), distributing indices across the
+  /// workers and the calling thread; returns when all n are done. The
+  /// first exception thrown by any body is rethrown here after the join.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+  /// A process-wide pool sized hardware_concurrency() - 1 (0 on a single
+  /// CPU — ParallelFor then degrades to the serial loop). Created on first
+  /// use; lives for the process.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace xarch::util
+
+#endif  // XARCH_UTIL_THREAD_POOL_H_

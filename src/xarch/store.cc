@@ -6,6 +6,7 @@
 #include <atomic>
 #include <cassert>
 #include <filesystem>
+#include <mutex>
 #include <utility>
 
 #include "compress/container.h"
@@ -17,6 +18,7 @@
 #include "query/explain.h"
 #include "query/parser.h"
 #include "query/planner.h"
+#include "util/thread_pool.h"
 #include "xarch/checkpoint.h"
 #include "xarch/store_registry.h"
 #include "xml/parser.h"
@@ -41,11 +43,119 @@ std::string CapabilitiesToString(Capabilities caps) {
   return out;
 }
 
-// ------------------------------------------------------- Store defaults
+// ------------------------------------------------------ StorePrimitives
+
+std::string StorePrimitives::name() const { return store_.name(); }
+
+bool StorePrimitives::Has(Capabilities mask) const {
+  return store_.Has(mask);
+}
+
+Version StorePrimitives::version_count() const {
+  return store_.VersionCountImpl();
+}
+
+StatusOr<std::string> StorePrimitives::Retrieve(Version v) {
+  return store_.RetrieveImpl(v);
+}
+
+StatusOr<VersionSet> StorePrimitives::History(
+    const std::vector<core::KeyStep>& path) {
+  return store_.HistoryImpl(path);
+}
+
+StatusOr<std::vector<core::Change>> StorePrimitives::DiffVersions(
+    Version from, Version to) {
+  return store_.DiffVersionsImpl(from, to);
+}
+
+bool StorePrimitives::concurrent_reads() const {
+  return store_.read_safety() == Store::ReadSafety::kConcurrent;
+}
+
+// ---------------------------------------------- Store public API (locked)
+
+Status Store::Append(std::string_view xml_text) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return AppendImpl(xml_text);
+}
+
+Status Store::AppendBatch(const std::vector<std::string_view>& xml_texts) {
+  if (!Has(kBatchIngest)) return UnimplementedCall("AppendBatch", kBatchIngest);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return AppendBatchImpl(xml_texts);
+}
+
+Status Store::Checkpoint() {
+  if (!Has(kCheckpoint)) return UnimplementedCall("Checkpoint", kCheckpoint);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return CheckpointImpl();
+}
+
+StatusOr<std::string> Store::Retrieve(Version v) {
+  ReadLock lock(*this);
+  return RetrieveImpl(v);
+}
+
+Status Store::RetrieveTo(Version v, Sink& sink) {
+  if (!Has(kStreamingRetrieve)) {
+    return UnimplementedCall("RetrieveTo", kStreamingRetrieve);
+  }
+  ReadLock lock(*this);
+  return RetrieveToImpl(v, sink);
+}
+
+StatusOr<VersionSet> Store::History(const std::vector<core::KeyStep>& path) {
+  if (!Has(kTemporalQueries)) {
+    return UnimplementedCall("History", kTemporalQueries);
+  }
+  ReadLock lock(*this);
+  return HistoryImpl(path);
+}
+
+StatusOr<std::vector<core::Change>> Store::DiffVersions(Version from,
+                                                        Version to) {
+  if (!Has(kTemporalQueries)) {
+    return UnimplementedCall("DiffVersions", kTemporalQueries);
+  }
+  ReadLock lock(*this);
+  return DiffVersionsImpl(from, to);
+}
+
+Status Store::Query(std::string_view query_text, Sink& sink) {
+  if (!Has(kQuery)) return UnimplementedCall("Query", kQuery);
+  ReadLock lock(*this);
+  return QueryImpl(query_text, sink);
+}
+
+Version Store::version_count() const {
+  ReadLock lock(*this);
+  return VersionCountImpl();
+}
+
+StoreStats Store::Stats() const {
+  ReadLock lock(*this);
+  StoreStats stats = BackendStats();
+  stats.queries += query_counters_.queries.load(std::memory_order_relaxed);
+  stats.query_tree_probes +=
+      query_counters_.tree_probes.load(std::memory_order_relaxed);
+  stats.query_naive_probes +=
+      query_counters_.naive_probes.load(std::memory_order_relaxed);
+  stats.query_comparisons +=
+      query_counters_.comparisons.load(std::memory_order_relaxed);
+  return stats;
+}
+
+std::string Store::StoredBytes() const {
+  ReadLock lock(*this);
+  return StoredBytesImpl();
+}
+
+// ------------------------------------------------- Store defaults (hooks)
 
 Status Store::AppendBatchByLoop(const std::vector<std::string_view>& texts) {
   for (std::string_view text : texts) {
-    XARCH_RETURN_NOT_OK(Append(text));
+    XARCH_RETURN_NOT_OK(AppendImpl(text));
   }
   return Status::OK();
 }
@@ -57,44 +167,54 @@ Status Store::UnimplementedCall(const char* call, Capability needed) const {
       "\" does not advertise");
 }
 
-Status Store::AppendBatch(const std::vector<std::string_view>& xml_texts) {
-  if (!Has(kBatchIngest)) return UnimplementedCall("AppendBatch", kBatchIngest);
+Status Store::AppendBatchImpl(const std::vector<std::string_view>& xml_texts) {
   return AppendBatchByLoop(xml_texts);
 }
 
-Status Store::RetrieveTo(Version, Sink&) {
+Status Store::RetrieveToImpl(Version, Sink&) {
   return UnimplementedCall("RetrieveTo", kStreamingRetrieve);
 }
 
-StatusOr<VersionSet> Store::History(const std::vector<core::KeyStep>&) {
+StatusOr<VersionSet> Store::HistoryImpl(const std::vector<core::KeyStep>&) {
   return UnimplementedCall("History", kTemporalQueries);
 }
 
-StatusOr<std::vector<core::Change>> Store::DiffVersions(Version, Version) {
+StatusOr<std::vector<core::Change>> Store::DiffVersionsImpl(Version, Version) {
   return UnimplementedCall("DiffVersions", kTemporalQueries);
 }
 
-Status Store::Checkpoint() {
+Status Store::CheckpointImpl() {
   return UnimplementedCall("Checkpoint", kCheckpoint);
 }
 
 void Store::CountQuery(const query::EvalResult& result) {
-  ++query_counters_.queries;
-  query_counters_.tree_probes += result.probes.tree_probes;
-  query_counters_.naive_probes += result.probes.naive_probes;
-  query_counters_.comparisons += result.probes.comparisons;
+  query_counters_.queries.fetch_add(1, std::memory_order_relaxed);
+  query_counters_.tree_probes.fetch_add(result.probes.tree_probes,
+                                        std::memory_order_relaxed);
+  query_counters_.naive_probes.fetch_add(result.probes.naive_probes,
+                                         std::memory_order_relaxed);
+  query_counters_.comparisons.fetch_add(result.probes.comparisons,
+                                        std::memory_order_relaxed);
 }
 
-Status Store::Query(std::string_view query_text, Sink& sink) {
-  if (!Has(kQuery)) return UnimplementedCall("Query", kQuery);
+Status Store::QueryImpl(std::string_view query_text, Sink& sink) {
   XARCH_ASSIGN_OR_RETURN(query::Query ast, query::Parse(query_text));
   const bool explain = ast.explain;
   query::Plan plan =
       query::MakePlan(std::move(ast), query::Access::kGeneric);
+  StorePrimitives primitives = Primitives();
+  query::EvalOptions eval_options;
+  // Range fan-out is safe only for backends whose reads are const: the
+  // public Query call above holds the shared lock, so pool workers may
+  // drive the read hooks in parallel. (EvaluateOverStore re-checks
+  // concurrent_reads() before fanning out.)
+  eval_options.pool = &util::ThreadPool::Shared();
   query::EvalResult result;
   Status status =
-      explain ? query::ExplainOverStore(plan, *this, sink, &result)
-              : query::EvaluateOverStore(plan, *this, sink, &result);
+      explain ? query::ExplainOverStore(plan, primitives, sink, &result,
+                                        eval_options)
+              : query::EvaluateOverStore(plan, primitives, sink, &result,
+                                         eval_options);
   CountQuery(result);
   return status;
 }
@@ -110,19 +230,27 @@ class ArchiveStore final : public Store {
                core::ArchiveOptions options, bool use_index)
       : name_(std::move(name)),
         archive_(std::move(spec), options),
-        use_index_(use_index) {}
+        use_index_(use_index) {
+    // The index over the empty archive, so readers never see a null index
+    // while use_index_ is set; every ingest republishes it.
+    PublishIndex();
+  }
 
   std::string name() const override { return name_; }
   Capabilities capabilities() const override {
     return kTemporalQueries | kStreamingRetrieve | kBatchIngest | kQuery;
   }
 
-  Status Append(std::string_view xml_text) override {
+ protected:
+  Status AppendImpl(std::string_view xml_text) override {
     XARCH_ASSIGN_OR_RETURN(xml::NodePtr doc, xml::Parse(xml_text));
-    return archive_.AddVersion(*doc);
+    XARCH_RETURN_NOT_OK(archive_.AddVersion(*doc));
+    PublishIndex();
+    return Status::OK();
   }
 
-  Status AppendBatch(const std::vector<std::string_view>& xml_texts) override {
+  Status AppendBatchImpl(
+      const std::vector<std::string_view>& xml_texts) override {
     std::vector<xml::NodePtr> docs;
     docs.reserve(xml_texts.size());
     std::vector<const xml::Node*> roots;
@@ -132,16 +260,18 @@ class ArchiveStore final : public Store {
       roots.push_back(doc.get());
       docs.push_back(std::move(doc));
     }
-    return archive_.AddVersions(roots);  // one multi-version merge pass
+    XARCH_RETURN_NOT_OK(archive_.AddVersions(roots));  // one merge pass
+    PublishIndex();
+    return Status::OK();
   }
 
-  StatusOr<std::string> Retrieve(Version v) override {
+  StatusOr<std::string> RetrieveImpl(Version v) override {
     StringSink sink;
-    XARCH_RETURN_NOT_OK(RetrieveTo(v, sink));
+    XARCH_RETURN_NOT_OK(RetrieveToImpl(v, sink));
     return std::move(sink).Take();
   }
 
-  Status RetrieveTo(Version v, Sink& sink) override {
+  Status RetrieveToImpl(Version v, Sink& sink) override {
     if (v == 0 || v > archive_.version_count()) {
       return Status::NotFound("version " + std::to_string(v) +
                               " is not archived (have 1-" +
@@ -161,49 +291,58 @@ class ArchiveStore final : public Store {
     return sink.Flush();
   }
 
-  StatusOr<VersionSet> History(
+  StatusOr<VersionSet> HistoryImpl(
       const std::vector<core::KeyStep>& path) override {
-    if (use_index_) return EnsureIndex()->History(path, nullptr);
+    if (index_ != nullptr) return index_->History(path, nullptr);
     return archive_.History(path);
   }
 
-  StatusOr<std::vector<core::Change>> DiffVersions(Version from,
-                                                   Version to) override {
+  StatusOr<std::vector<core::Change>> DiffVersionsImpl(Version from,
+                                                       Version to) override {
     return core::DescribeChanges(archive_, from, to);
   }
 
-  Status Query(std::string_view query_text, Sink& sink) override {
+  Status QueryImpl(std::string_view query_text, Sink& sink) override {
     XARCH_ASSIGN_OR_RETURN(query::Query ast, query::Parse(query_text));
     const bool explain = ast.explain;
-    // Diff queries run the change walk and never touch the index; don't
-    // pay an index (re)build for them.
-    const bool needs_index =
-        use_index_ && ast.temporal.kind != query::TemporalKind::kDiff;
-    const index::ArchiveIndex* index = needs_index ? EnsureIndex() : nullptr;
+    // Diff queries run the change walk and never touch the index. The
+    // index itself was published by the last ingest, under the writer
+    // lock — the read path only ever dereferences it (the Sec. 7 stale-
+    // index hazard is handled at ingest, where it belongs).
+    const index::ArchiveIndex* index =
+        ast.temporal.kind != query::TemporalKind::kDiff ? index_.get()
+                                                        : nullptr;
+    assert(index == nullptr ||
+           index->built_at_generation() == archive_.ingest_generation());
     query::Plan plan = query::MakePlan(
         std::move(ast), index != nullptr ? query::Access::kArchiveIndexed
                                          : query::Access::kArchiveScan);
+    query::EvalOptions eval_options;
+    eval_options.pool = &util::ThreadPool::Shared();
     query::EvalResult result;
     Status status =
-        explain
-            ? query::ExplainArchive(plan, archive_, index, sink, &result)
-            : query::Evaluate(plan, archive_, index, sink, &result);
+        explain ? query::ExplainArchive(plan, archive_, index, sink, &result,
+                                        eval_options)
+                : query::Evaluate(plan, archive_, index, sink, &result,
+                                  eval_options);
     CountQuery(result);
     return status;
   }
 
-  Version version_count() const override { return archive_.version_count(); }
+  Version VersionCountImpl() const override {
+    return archive_.version_count();
+  }
 
   StoreStats BackendStats() const override {
     StoreStats stats;
     stats.versions = archive_.version_count();
-    stats.stored_bytes = StoredBytes().size();
+    stats.stored_bytes = StoredBytesImpl().size();
     stats.node_count = archive_.CountNodes();
     stats.merge_passes = archive_.merge_pass_count();
     return stats;
   }
 
-  std::string StoredBytes() const override {
+  std::string StoredBytesImpl() const override {
     // Indentation-free form: the archive nests two levels deeper than a
     // version, so indentation would bias size comparisons against it.
     core::ArchiveSerializeOptions options;
@@ -212,23 +351,18 @@ class ArchiveStore final : public Store {
   }
 
  private:
-  /// Lazy index invalidation: the index is rebuilt on first use after any
-  /// ingest, detected through the archive's ingest generation — nothing
-  /// can serve stale answers after AddVersion/AddVersions.
-  const index::ArchiveIndex* EnsureIndex() {
-    const uint64_t generation = archive_.ingest_generation();
-    if (index_ == nullptr || index_generation_ != generation) {
-      index_ = std::make_unique<index::ArchiveIndex>(archive_);
-      index_generation_ = generation;
-    }
-    return index_.get();
+  /// The synchronized publish step: (re)builds the index from the ingest
+  /// path, under the exclusive lock every ingest already holds — readers
+  /// can never observe the swap, and the read path never mutates.
+  void PublishIndex() {
+    if (!use_index_) return;
+    index_ = std::make_unique<index::ArchiveIndex>(archive_);
   }
 
   std::string name_;
   core::Archive archive_;
   bool use_index_;
-  std::unique_ptr<index::ArchiveIndex> index_;  // lazily (re)built
-  uint64_t index_generation_ = 0;  // ingest generation index_ was built at
+  std::unique_ptr<index::ArchiveIndex> index_;  // published by ingest
 };
 
 // -------------------------------------------------- diff / copy baselines
@@ -244,16 +378,17 @@ class RepoStore : public Store {
     return kBatchIngest | kQuery;
   }
 
-  Status Append(std::string_view xml_text) override {
+ protected:
+  Status AppendImpl(std::string_view xml_text) override {
     repo_.AddVersion(std::string(xml_text));
     return Status::OK();
   }
 
-  StatusOr<std::string> Retrieve(Version v) override {
+  StatusOr<std::string> RetrieveImpl(Version v) override {
     return repo_.Retrieve(v);
   }
 
-  Version version_count() const override {
+  Version VersionCountImpl() const override {
     return static_cast<Version>(repo_.version_count());
   }
 
@@ -265,11 +400,10 @@ class RepoStore : public Store {
     return stats;
   }
 
-  std::string StoredBytes() const override {
+  std::string StoredBytesImpl() const override {
     return repo_.ConcatenatedBytes();
   }
 
- protected:
   virtual size_t MaxApplications() const { return 0; }
 
   Repo repo_;
@@ -306,9 +440,10 @@ class FullCopyStore final : public RepoStore<diff::FullCopyRepo> {
     return kBatchIngest | kStreamingRetrieve | kQuery;
   }
 
+ protected:
   /// Versions are stored verbatim, so streaming is a straight copy of the
   /// stored bytes — nothing is reconstructed.
-  Status RetrieveTo(Version v, Sink& sink) override {
+  Status RetrieveToImpl(Version v, Sink& sink) override {
     XARCH_ASSIGN_OR_RETURN(std::string text, repo_.Retrieve(v));
     XARCH_RETURN_NOT_OK(sink.Append(text));
     return sink.Flush();
@@ -338,18 +473,23 @@ class ExtmemStore final : public Store {
     return kBatchIngest | kQuery;
   }
 
-  Status Append(std::string_view xml_text) override {
+ protected:
+  /// Retrieval streams from disk and counts I/O into mutable state, so
+  /// every operation — including reads — takes the exclusive lock.
+  ReadSafety read_safety() const override { return ReadSafety::kExclusive; }
+
+  Status AppendImpl(std::string_view xml_text) override {
     XARCH_ASSIGN_OR_RETURN(xml::NodePtr doc, xml::Parse(xml_text));
     return ext_.AddVersion(*doc);
   }
 
-  StatusOr<std::string> Retrieve(Version v) override {
+  StatusOr<std::string> RetrieveImpl(Version v) override {
     XARCH_ASSIGN_OR_RETURN(xml::NodePtr doc, ext_.RetrieveVersion(v));
     if (doc == nullptr) return std::string();
     return xml::Serialize(*doc);
   }
 
-  Version version_count() const override { return ext_.version_count(); }
+  Version VersionCountImpl() const override { return ext_.version_count(); }
 
   StoreStats BackendStats() const override {
     StoreStats stats;
@@ -357,18 +497,19 @@ class ExtmemStore final : public Store {
     // Snapshot the counters first: StoredBytes() itself reads the whole
     // on-disk archive and would inflate the reported I/O.
     stats.io = ext_.stats();
-    stats.stored_bytes = StoredBytes().size();
+    stats.stored_bytes = StoredBytesImpl().size();
     return stats;
   }
 
-  std::string StoredBytes() const override {
+  std::string StoredBytesImpl() const override {
     auto xml = ext_.ToXml();
     return xml.ok() ? std::move(xml).value() : std::string();
   }
 
  private:
   // ToXml/RetrieveVersion stream from disk and count I/O, so they are
-  // non-const; introspection stays logically const.
+  // non-const; introspection stays logically const. The exclusive
+  // read_safety above is what makes this sound under concurrency.
   mutable extmem::ExternalArchiver ext_;
   std::string work_dir_;
   bool owns_work_dir_;
@@ -379,6 +520,10 @@ class ExtmemStore final : public Store {
 /// Wraps any inner store, reporting (and exposing) compressed bytes: the
 /// container compressor for XML-shaped storage, LZSS otherwise — the
 /// Sec. 5.4 "xmill(...)" / "gzip(...)" columns as a backend.
+///
+/// Every hook forwards to the INNER store's public API, which takes the
+/// inner store's own lock — so the wrapper's reads stay kConcurrent even
+/// around an exclusive-read inner backend (the inner lock serializes).
 class CompressedStore final : public Store {
  public:
   explicit CompressedStore(std::unique_ptr<Store> inner)
@@ -391,43 +536,50 @@ class CompressedStore final : public Store {
     return inner_->capabilities();
   }
 
-  Status Append(std::string_view xml_text) override {
+ protected:
+  Status AppendImpl(std::string_view xml_text) override {
     return inner_->Append(xml_text);
   }
-  Status AppendBatch(const std::vector<std::string_view>& texts) override {
+  Status AppendBatchImpl(
+      const std::vector<std::string_view>& texts) override {
     return inner_->AppendBatch(texts);
   }
-  StatusOr<std::string> Retrieve(Version v) override {
+  StatusOr<std::string> RetrieveImpl(Version v) override {
     return inner_->Retrieve(v);
   }
-  Status RetrieveTo(Version v, Sink& sink) override {
+  Status RetrieveToImpl(Version v, Sink& sink) override {
     return inner_->RetrieveTo(v, sink);
   }
-  StatusOr<VersionSet> History(
+  StatusOr<VersionSet> HistoryImpl(
       const std::vector<core::KeyStep>& path) override {
     return inner_->History(path);
   }
-  StatusOr<std::vector<core::Change>> DiffVersions(Version from,
-                                                   Version to) override {
+  StatusOr<std::vector<core::Change>> DiffVersionsImpl(Version from,
+                                                       Version to) override {
     return inner_->DiffVersions(from, to);
   }
-  Status Query(std::string_view query_text, Sink& sink) override {
+  Status QueryImpl(std::string_view query_text, Sink& sink) override {
     return inner_->Query(query_text, sink);
   }
-  Status Checkpoint() override { return inner_->Checkpoint(); }
-  Version version_count() const override { return inner_->version_count(); }
+  Status CheckpointImpl() override { return inner_->Checkpoint(); }
+  Version VersionCountImpl() const override {
+    return inner_->version_count();
+  }
 
   StoreStats BackendStats() const override {
     StoreStats stats = inner_->Stats();
-    stats.stored_bytes = StoredBytes().size();
+    stats.stored_bytes = StoredBytesImpl().size();
     return stats;
   }
 
-  std::string StoredBytes() const override {
+  std::string StoredBytesImpl() const override {
     std::string raw = inner_->StoredBytes();
     auto xml = compress::XmlContainerCompressor::CompressText(raw);
     if (xml.ok()) return std::move(xml).value();
-    return compress::LzssCompress(raw);
+    // Bounds-checked LZSS; inputs beyond its 2 GiB limit are reported
+    // uncompressed rather than risking the compressor's index width.
+    auto lzss = compress::LzssTryCompress(raw);
+    return lzss.ok() ? std::move(lzss).value() : raw;
   }
 
  private:
@@ -449,24 +601,25 @@ class CheckpointArchiveStore final : public Store {
     return kTemporalQueries | kBatchIngest | kCheckpoint | kQuery;
   }
 
-  Status Append(std::string_view xml_text) override {
+ protected:
+  Status AppendImpl(std::string_view xml_text) override {
     XARCH_ASSIGN_OR_RETURN(xml::NodePtr doc, xml::Parse(xml_text));
     return archive_.AddVersion(*doc);
   }
 
-  StatusOr<std::string> Retrieve(Version v) override {
+  StatusOr<std::string> RetrieveImpl(Version v) override {
     XARCH_ASSIGN_OR_RETURN(xml::NodePtr doc, archive_.RetrieveVersion(v));
     if (doc == nullptr) return std::string();
     return xml::Serialize(*doc);
   }
 
-  StatusOr<VersionSet> History(
+  StatusOr<VersionSet> HistoryImpl(
       const std::vector<core::KeyStep>& path) override {
     return archive_.History(path);
   }
 
-  StatusOr<std::vector<core::Change>> DiffVersions(Version from,
-                                                   Version to) override {
+  StatusOr<std::vector<core::Change>> DiffVersionsImpl(Version from,
+                                                       Version to) override {
     // Versions may live in different segment archives, so the diff runs
     // over a scratch two-version archive.
     XARCH_ASSIGN_OR_RETURN(xml::NodePtr doc_from,
@@ -487,12 +640,14 @@ class CheckpointArchiveStore final : public Store {
     return core::DescribeChanges(scratch, 1, 2);
   }
 
-  Status Checkpoint() override {
+  Status CheckpointImpl() override {
     archive_.StartNewSegment();
     return Status::OK();
   }
 
-  Version version_count() const override { return archive_.version_count(); }
+  Version VersionCountImpl() const override {
+    return archive_.version_count();
+  }
 
   StoreStats BackendStats() const override {
     StoreStats stats;
@@ -502,7 +657,9 @@ class CheckpointArchiveStore final : public Store {
     return stats;
   }
 
-  std::string StoredBytes() const override { return archive_.StoredBytes(); }
+  std::string StoredBytesImpl() const override {
+    return archive_.StoredBytes();
+  }
 
  private:
   CheckpointedArchive archive_;
@@ -519,21 +676,22 @@ class CheckpointDiffStore final : public Store {
     return kBatchIngest | kCheckpoint | kQuery;
   }
 
-  Status Append(std::string_view xml_text) override {
+ protected:
+  Status AppendImpl(std::string_view xml_text) override {
     repo_.AddVersion(std::string(xml_text));
     return Status::OK();
   }
 
-  StatusOr<std::string> Retrieve(Version v) override {
+  StatusOr<std::string> RetrieveImpl(Version v) override {
     return repo_.Retrieve(v);
   }
 
-  Status Checkpoint() override {
+  Status CheckpointImpl() override {
     repo_.StartNewSegment();
     return Status::OK();
   }
 
-  Version version_count() const override {
+  Version VersionCountImpl() const override {
     return static_cast<Version>(repo_.version_count());
   }
 
@@ -550,7 +708,7 @@ class CheckpointDiffStore final : public Store {
     return stats;
   }
 
-  std::string StoredBytes() const override { return repo_.StoredBytes(); }
+  std::string StoredBytesImpl() const override { return repo_.StoredBytes(); }
 
  private:
   CheckpointedDiffRepo repo_;

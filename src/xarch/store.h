@@ -1,8 +1,11 @@
 #ifndef XARCH_XARCH_STORE_H_
 #define XARCH_XARCH_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -104,8 +107,40 @@ struct StoreOptions {
   /// Backend wrapped by "compressed".
   std::string inner = "archive";
   /// Maintain an index::ArchiveIndex over the archive backend and answer
-  /// History() through it (rebuilt lazily after ingest).
+  /// History() through it. The index is rebuilt and published at ingest
+  /// time, under the writer lock — never on the read path (the paper's
+  /// "constructed each time a new version arrives"). Cost model: one full
+  /// index build per Append but only one per AppendBatch, so bulk-load
+  /// indexed stores through AppendBatch.
   bool use_index = false;
+};
+
+class Store;
+
+/// \brief Unlocked access to a Store's primitives, for query evaluators
+/// that run INSIDE a public Store call: the store lock is already held by
+/// that call, so re-entering the public API would re-acquire a
+/// non-recursive shared_mutex (deadlock under writer contention).
+/// Constructed only by Store; never outlives the public call that made it.
+class StorePrimitives {
+ public:
+  std::string name() const;
+  bool Has(Capabilities mask) const;
+  Version version_count() const;
+  StatusOr<std::string> Retrieve(Version v);
+  StatusOr<VersionSet> History(const std::vector<core::KeyStep>& path);
+  StatusOr<std::vector<core::Change>> DiffVersions(Version from, Version to);
+
+  /// True when the primitives may be called from several threads at once
+  /// (the backend's reads are const and the lock held by the enclosing
+  /// public call is shared). The parallel range executor fans out only
+  /// when this holds.
+  bool concurrent_reads() const;
+
+ private:
+  friend class Store;
+  explicit StorePrimitives(Store& store) : store_(store) {}
+  Store& store_;
 };
 
 /// \brief The uniform service interface over every versioned-storage
@@ -124,14 +159,34 @@ struct StoreOptions {
 ///   (*store)->RetrieveTo(2, sink);            // no intermediate tree
 ///   auto when = (*store)->History(path);      // Sec. 7.2
 ///   StoreStats stats = (*store)->Stats();
+///
+/// ## Thread safety (Store v2.1)
+///
+/// A Store is safe to share between threads. The public methods are
+/// non-virtual and take a per-store std::shared_mutex: ingest
+/// (Append/AppendBatch/Checkpoint) runs under the exclusive lock, reads
+/// (Retrieve/RetrieveTo/History/DiffVersions/Query/Stats/StoredBytes/
+/// version_count) under the shared lock, so any number of readers run in
+/// parallel and every read observes a fully-ingested archive — snapshot
+/// isolation at version granularity: a query holds the shared lock for its
+/// whole evaluation and can never see a half-merged version. Backends
+/// whose read path mutates internal state (extmem's I/O accounting)
+/// declare ReadSafety::kExclusive and serialize everything.
+///
+/// Backends implement the protected *Impl hooks, which are always invoked
+/// under the appropriate lock and must not call back into the public API
+/// of the SAME store (use the Impl hooks or a StorePrimitives view;
+/// calling a DIFFERENT store's public API — a wrapped inner store — is
+/// fine and locks that store).
 class Store {
  public:
   virtual ~Store() = default;
 
   /// Stable backend name (the registry key it was created under).
+  /// Immutable after construction; callable without the store lock.
   virtual std::string name() const = 0;
 
-  /// Advertised capability flags.
+  /// Advertised capability flags. Immutable after construction.
   virtual Capabilities capabilities() const = 0;
 
   /// True if every capability in `mask` is advertised.
@@ -140,35 +195,39 @@ class Store {
   }
 
   // ----------------------------------------------------------- ingest
+  // Writers: exclusive lock.
 
   /// Archives the next version, given as serialized XML.
-  virtual Status Append(std::string_view xml_text) = 0;
+  Status Append(std::string_view xml_text);
 
   /// Archives a batch of versions in one call (kBatchIngest). The archive
   /// backend merges the whole batch in a single traversal; other backends
   /// ingest sequentially. Atomic for the archive backend: a bad document
   /// leaves the store unchanged.
-  virtual Status AppendBatch(const std::vector<std::string_view>& xml_texts);
+  Status AppendBatch(const std::vector<std::string_view>& xml_texts);
+
+  /// Forces a checkpoint boundary (kCheckpoint): the next Append starts a
+  /// fresh segment.
+  Status Checkpoint();
 
   // -------------------------------------------------------- retrieval
+  // Readers: shared lock (exclusive for ReadSafety::kExclusive backends).
 
   /// Reconstructs version v as serialized XML.
-  virtual StatusOr<std::string> Retrieve(Version v) = 0;
+  StatusOr<std::string> Retrieve(Version v);
 
   /// Streams version v into `sink` (kStreamingRetrieve) without building
   /// an intermediate document tree.
-  virtual Status RetrieveTo(Version v, Sink& sink);
+  Status RetrieveTo(Version v, Sink& sink);
 
   // -------------------------------------------- temporal queries (Sec. 7)
 
   /// The set of versions in which the keyed element at `path` exists.
-  virtual StatusOr<VersionSet> History(
-      const std::vector<core::KeyStep>& path);
+  StatusOr<VersionSet> History(const std::vector<core::KeyStep>& path);
 
   /// Key-based change description between two archived versions (Sec. 1):
   /// which keyed elements appeared, disappeared, or changed content.
-  virtual StatusOr<std::vector<core::Change>> DiffVersions(Version from,
-                                                           Version to);
+  StatusOr<std::vector<core::Change>> DiffVersions(Version from, Version to);
 
   // ------------------------------------------------------ queries (XAQL)
 
@@ -184,39 +243,64 @@ class Store {
   /// The base implementation is the interface-level plan (Retrieve /
   /// History / DiffVersions), which any backend answers; archive backends
   /// override it with the streaming evaluator over the merged hierarchy,
-  /// pruned by the timestamp-tree index when enabled. Per-query probe
-  /// counters accumulate into Stats().
-  virtual Status Query(std::string_view query_text, Sink& sink);
-
-  // ------------------------------------------------------ maintenance
-
-  /// Forces a checkpoint boundary (kCheckpoint): the next Append starts a
-  /// fresh segment.
-  virtual Status Checkpoint();
+  /// pruned by the timestamp-tree index when enabled. Range workloads fan
+  /// versions across util::ThreadPool::Shared() and merge the per-version
+  /// output in version order, so the bytes are identical to a serial run.
+  /// Per-query probe counters accumulate into Stats(). Safe to call from
+  /// many threads at once.
+  Status Query(std::string_view query_text, Sink& sink);
 
   // ---------------------------------------------------- introspection
 
   /// Number of archived versions (numbered 1..version_count()).
-  virtual Version version_count() const = 0;
+  Version version_count() const;
 
   /// Uniform counters (see StoreStats): the backend's own counters with
-  /// the per-query probe counters folded in.
-  StoreStats Stats() const {
-    StoreStats stats = BackendStats();
-    stats.queries += query_counters_.queries;
-    stats.query_tree_probes += query_counters_.tree_probes;
-    stats.query_naive_probes += query_counters_.naive_probes;
-    stats.query_comparisons += query_counters_.comparisons;
-    return stats;
-  }
+  /// the per-query probe counters folded in. The query counters are
+  /// atomics, so totals are exact even while queries run concurrently.
+  StoreStats Stats() const;
 
   /// Raw stored bytes (what a byte compressor would be run over).
-  virtual std::string StoredBytes() const = 0;
+  std::string StoredBytes() const;
 
   /// Storage footprint in bytes (== Stats().stored_bytes).
   size_t ByteSize() const { return Stats().stored_bytes; }
 
  protected:
+  /// How the backend's read path may be driven.
+  enum class ReadSafety {
+    /// Read hooks are const-correct and thread-safe: readers share the
+    /// lock and run in parallel.
+    kConcurrent,
+    /// Read hooks mutate internal state (I/O counters, on-disk cursors):
+    /// every public call takes the exclusive lock.
+    kExclusive,
+  };
+
+  /// Declared once per backend; kConcurrent unless reads mutate state.
+  virtual ReadSafety read_safety() const { return ReadSafety::kConcurrent; }
+
+  // ------------------------------------------ implementation hooks
+  // Invoked under the store lock (exclusive for ingest and for
+  // kExclusive backends, shared otherwise). Must not re-enter this
+  // store's public API.
+
+  virtual Status AppendImpl(std::string_view xml_text) = 0;
+  virtual Status AppendBatchImpl(const std::vector<std::string_view>& texts);
+  virtual Status CheckpointImpl();
+  virtual StatusOr<std::string> RetrieveImpl(Version v) = 0;
+  virtual Status RetrieveToImpl(Version v, Sink& sink);
+  virtual StatusOr<VersionSet> HistoryImpl(
+      const std::vector<core::KeyStep>& path);
+  virtual StatusOr<std::vector<core::Change>> DiffVersionsImpl(Version from,
+                                                               Version to);
+  virtual Status QueryImpl(std::string_view query_text, Sink& sink);
+  virtual Version VersionCountImpl() const = 0;
+  virtual std::string StoredBytesImpl() const = 0;
+
+  /// The backend's own counters; Stats() folds the query counters in.
+  virtual StoreStats BackendStats() const = 0;
+
   /// Sequential fallback for backends whose AppendBatch has no batched
   /// fast path.
   Status AppendBatchByLoop(const std::vector<std::string_view>& xml_texts);
@@ -224,20 +308,43 @@ class Store {
   /// Status returned by every call whose capability is not advertised.
   Status UnimplementedCall(const char* call, Capability needed) const;
 
-  /// The backend's own counters; Stats() folds the query counters in.
-  virtual StoreStats BackendStats() const = 0;
-
   /// Accumulates one query evaluation into the counters Stats() reports.
-  /// Query() overrides call this after every evaluation.
+  /// QueryImpl overrides call this after every evaluation; the fields are
+  /// atomics, so concurrent queries never lose counts.
   void CountQuery(const query::EvalResult& result);
 
+  /// An unlocked view over this store's primitives for evaluators running
+  /// inside the current public call.
+  StorePrimitives Primitives() { return StorePrimitives(*this); }
+
  private:
-  struct QueryCounters {
-    uint64_t queries = 0;
-    uint64_t tree_probes = 0;
-    uint64_t naive_probes = 0;
-    uint64_t comparisons = 0;
+  friend class StorePrimitives;
+
+  /// RAII read lock: shared for kConcurrent backends, exclusive for
+  /// kExclusive ones. (Writes always use a plain unique_lock.)
+  class ReadLock {
+   public:
+    explicit ReadLock(const Store& store) {
+      if (store.read_safety() == ReadSafety::kConcurrent) {
+        shared_ = std::shared_lock<std::shared_mutex>(store.mu_);
+      } else {
+        exclusive_ = std::unique_lock<std::shared_mutex>(store.mu_);
+      }
+    }
+
+   private:
+    std::shared_lock<std::shared_mutex> shared_;
+    std::unique_lock<std::shared_mutex> exclusive_;
   };
+
+  struct QueryCounters {
+    std::atomic<uint64_t> queries{0};
+    std::atomic<uint64_t> tree_probes{0};
+    std::atomic<uint64_t> naive_probes{0};
+    std::atomic<uint64_t> comparisons{0};
+  };
+
+  mutable std::shared_mutex mu_;
   QueryCounters query_counters_;
 };
 

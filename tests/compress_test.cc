@@ -84,6 +84,50 @@ TEST(LzssTest, MatchesAcrossWindow) {
   EXPECT_EQ(*out, near);
 }
 
+TEST(LzssTest, TryCompressRejectsOversizedInputWithClearStatus) {
+  // The real bound is 2 GiB (int32 hash-chain positions); the injectable
+  // limit exercises the rejection path without allocating that much.
+  std::string data = "hello world hello world";
+  auto rejected = LzssTryCompress(data, data.size() - 1);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rejected.status().ToString().find("exceeds the supported"),
+            std::string::npos);
+
+  // At or under the limit it is exactly LzssCompress.
+  auto accepted = LzssTryCompress(data, data.size());
+  ASSERT_TRUE(accepted.ok());
+  EXPECT_EQ(*accepted, LzssCompress(data));
+
+  // The default bound admits ordinary inputs.
+  auto normal = LzssTryCompress(data);
+  ASSERT_TRUE(normal.ok());
+  EXPECT_EQ(*normal, LzssCompress(data));
+  static_assert(kLzssMaxInputBytes < (size_t{1} << 31),
+                "positions must fit int32_t");
+}
+
+TEST(LzssTest, OversizedLegacyPathStaysDecodable) {
+  // LzssCompress cannot return a Status; above the bound it must still
+  // produce a valid (all-literal) stream rather than overflow the tables.
+  // Simulated by calling the literal fallback through the public entry
+  // point with the bound crossed is impossible without 2 GiB, so pin the
+  // equivalence on a small input instead: an all-literal stream built by
+  // hand decodes to the input.
+  const std::string data = "abcdefghijklmnop";  // 16 bytes, two flag groups
+  std::string stream("LZS1", 4);
+  for (int i = 0; i < 8; ++i) {
+    stream.push_back(static_cast<char>(data.size() >> (8 * i)));
+  }
+  stream.push_back(0);
+  stream.append(data, 0, 8);
+  stream.push_back(0);
+  stream.append(data, 8, 8);
+  auto out = LzssDecompress(stream);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out, data);
+}
+
 TEST(LzssTest, DecompressRejectsGarbage) {
   EXPECT_FALSE(LzssDecompress("").ok());
   EXPECT_FALSE(LzssDecompress("nonsense data").ok());

@@ -137,6 +137,7 @@ TEST(XaqlParserTest, RejectsMalformedQueries) {
       "/db/entry[id=\"2] @ version 1",     // unterminated string
       "/db history trailing",              // trailing junk
       "/db diff 1",                        // missing second version
+      "/db diff 9 3",                      // reversed bounds (same as range)
       "/db $ version 1",                   // stray character
   };
   for (const std::string& q : bad) {
@@ -146,6 +147,36 @@ TEST(XaqlParserTest, RejectsMalformedQueries) {
       EXPECT_EQ(ast.status().code(), StatusCode::kParseError) << q;
     }
   }
+}
+
+TEST(XaqlParserTest, DiffAndRangeValidateBoundsConsistently) {
+  // Reversed bounds fail the same way for both temporal forms.
+  auto bad_range = query::Parse("/db @ versions 9..3");
+  auto bad_diff = query::Parse("/db diff 9 3");
+  ASSERT_FALSE(bad_range.ok());
+  ASSERT_FALSE(bad_diff.ok());
+  EXPECT_EQ(bad_range.status().code(), StatusCode::kParseError);
+  EXPECT_EQ(bad_diff.status().code(), StatusCode::kParseError);
+  EXPECT_NE(bad_diff.status().ToString().find("out of order"),
+            std::string::npos);
+
+  // Equal bounds are legal for both: a one-version range, an empty diff.
+  auto same_range = query::Parse("/db @ versions 3..3");
+  ASSERT_TRUE(same_range.ok()) << same_range.status().ToString();
+  auto same_diff = query::Parse("/db diff 3 3");
+  ASSERT_TRUE(same_diff.ok()) << same_diff.status().ToString();
+  EXPECT_EQ(same_diff->temporal.from, 3u);
+  EXPECT_EQ(same_diff->temporal.to, 3u);
+
+  // An ordinary ordered diff still parses.
+  EXPECT_TRUE(query::Parse("/db diff 3 9").ok());
+}
+
+TEST(XaqlParserTest, DiffOfAVersionWithItselfIsEmpty) {
+  auto store = MakeStore("archive");
+  auto out = RunQuery(*store, "/db diff 2 2");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out, "");
 }
 
 // -------------------------------------------------- snapshots (archive)
@@ -424,14 +455,14 @@ TEST(XaqlCapabilityTest, UnadvertisedQueryIsUnimplemented) {
    public:
     std::string name() const override { return "null"; }
     Capabilities capabilities() const override { return 0; }
-    Status Append(std::string_view) override { return Status::OK(); }
-    StatusOr<std::string> Retrieve(Version) override {
-      return Status::NotFound("empty");
-    }
-    Version version_count() const override { return 0; }
-    std::string StoredBytes() const override { return ""; }
 
    protected:
+    Status AppendImpl(std::string_view) override { return Status::OK(); }
+    StatusOr<std::string> RetrieveImpl(Version) override {
+      return Status::NotFound("empty");
+    }
+    Version VersionCountImpl() const override { return 0; }
+    std::string StoredBytesImpl() const override { return ""; }
     StoreStats BackendStats() const override { return StoreStats{}; }
   };
   NullStore store;
