@@ -1,0 +1,206 @@
+// E17 — durability: snapshot save/open throughput and ingest-log replay
+// latency as the archive grows.
+//
+// For each backend and archive size the bench measures
+//   save      — Store::SaveToFile wall time and the snapshot bytes/sec
+//   open      — StoreRegistry::OpenFromFile wall time (includes container
+//               CRC verification, LZSS decompression, archive reload and
+//               index rebuild-on-open)
+//   replay    — reopening a durable store whose WHOLE state lives in the
+//               ingest log (worst-case recovery: no snapshot to start from)
+//
+// `--smoke` shrinks the workload for CI; `--json out.json` records rows.
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "json_report.h"
+#include "synth/xmark.h"
+#include "xarch/durable.h"
+#include "xarch/store.h"
+#include "xarch/store_registry.h"
+#include "xml/serializer.h"
+
+namespace {
+
+using namespace xarch;
+
+struct Config {
+  bool smoke = false;
+  std::vector<int> version_counts = {8, 16, 32};
+  const char* json_path = "";
+};
+
+double Seconds(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+keys::KeySpecSet MustSpec() {
+  auto spec = keys::ParseKeySpecSet(synth::XMarkGenerator::KeySpecText());
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(spec).value();
+}
+
+std::vector<std::string> MakeVersions(int n, bool smoke) {
+  synth::XMarkGenerator::Options options;
+  options.items = smoke ? 8 : 16;
+  options.people = smoke ? 14 : 30;
+  options.open_auctions = smoke ? 8 : 16;
+  synth::XMarkGenerator gen(options);
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    out.push_back(xml::Serialize(*gen.Current()));
+    gen.MutateRandom(smoke ? 8.0 : 16.0);
+  }
+  return out;
+}
+
+struct ScratchDir {
+  std::string path;
+  explicit ScratchDir(const std::string& tag) {
+    path = (std::filesystem::temp_directory_path() /
+            ("xarch_bench_persist_" + tag + "_" +
+             std::to_string(::getpid())))
+               .string();
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+void Die(const Status& status, const char* what) {
+  if (status.ok()) return;
+  std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+  std::exit(1);
+}
+
+void RunBackend(const std::string& backend,
+                const std::vector<std::string>& all_versions,
+                const Config& config, bench::JsonReport* report) {
+  std::printf("%-14s %8s %12s %10s %10s %12s %12s\n", backend.c_str(),
+              "versions", "snapshot B", "save ms", "open ms", "save MB/s",
+              "replay ms");
+  for (int n : config.version_counts) {
+    StoreOptions options;
+    options.spec = MustSpec();
+    auto store = StoreRegistry::Create(backend, std::move(options));
+    Die(store.status(), "create");
+    std::vector<std::string_view> views(all_versions.begin(),
+                                        all_versions.begin() + n);
+    Die((*store)->AppendBatch(views), "ingest");
+
+    ScratchDir dir(backend + "_" + std::to_string(n));
+    const std::string path =
+        (std::filesystem::path(dir.path) / "store.xar").string();
+
+    auto t0 = std::chrono::steady_clock::now();
+    Die((*store)->SaveToFile(path), "save");
+    auto t1 = std::chrono::steady_clock::now();
+    auto reopened = StoreRegistry::Open(path);
+    Die(reopened.status(), "open");
+    auto t2 = std::chrono::steady_clock::now();
+    if ((*reopened)->version_count() != (*store)->version_count()) {
+      std::fprintf(stderr, "round-trip lost versions\n");
+      std::exit(1);
+    }
+
+    // Worst-case recovery: a durable store with every version in the log.
+    const std::string durable_dir =
+        (std::filesystem::path(dir.path) / "durable").string();
+    {
+      DurableOptions durable_options;
+      durable_options.backend = backend;
+      durable_options.store.spec = MustSpec();
+      durable_options.fsync = persist::FsyncPolicy::kNever;
+      auto durable = OpenDurable(durable_dir, std::move(durable_options));
+      Die(durable.status(), "durable create");
+      Die((*durable)->AppendBatch(views), "durable ingest");
+    }
+    auto t3 = std::chrono::steady_clock::now();
+    {
+      DurableOptions durable_options;
+      durable_options.backend = backend;
+      durable_options.store.spec = MustSpec();
+      durable_options.fsync = persist::FsyncPolicy::kNever;
+      auto recovered = OpenDurable(durable_dir, std::move(durable_options));
+      Die(recovered.status(), "durable replay");
+      if ((*recovered)->version_count() != static_cast<Version>(n)) {
+        std::fprintf(stderr, "log replay lost versions\n");
+        std::exit(1);
+      }
+    }
+    auto t4 = std::chrono::steady_clock::now();
+
+    const auto snapshot_bytes = std::filesystem::file_size(path);
+    const double save_s = Seconds(t0, t1);
+    const double open_s = Seconds(t1, t2);
+    const double replay_s = Seconds(t3, t4);
+    const double save_mbps =
+        save_s > 0 ? static_cast<double>(snapshot_bytes) / save_s / 1e6 : 0;
+    std::printf("%-14s %8d %12llu %10.2f %10.2f %12.1f %12.2f\n", "",
+                n, static_cast<unsigned long long>(snapshot_bytes),
+                save_s * 1e3, open_s * 1e3, save_mbps, replay_s * 1e3);
+    if (report != nullptr) {
+      report->BeginRow();
+      report->Add("backend", backend);
+      report->Add("versions", n);
+      report->Add("snapshot_bytes",
+                  static_cast<unsigned long long>(snapshot_bytes));
+      report->Add("save_ms", save_s * 1e3);
+      report->Add("open_ms", open_s * 1e3);
+      report->Add("save_mb_per_s", save_mbps);
+      report->Add("log_replay_ms", replay_s * 1e3);
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      config.smoke = true;
+      config.version_counts = {4, 8};
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      config.json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json out.json]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const int max_versions = config.version_counts.back();
+  std::vector<std::string> versions = MakeVersions(max_versions, config.smoke);
+
+  bench::JsonReport report("bench_persistence");
+  // The archive is the paper's subject; full-copy bounds snapshot size
+  // from above and extmem exercises the raw row-file snapshot path.
+  const std::vector<std::string> backends =
+      config.smoke
+          ? std::vector<std::string>{"archive", "full-copy"}
+          : std::vector<std::string>{"archive", "archive-weave", "incr-diff",
+                                     "full-copy", "compressed", "extmem"};
+  for (const std::string& backend : backends) {
+    RunBackend(backend, versions, config, &report);
+  }
+  if (!report.Write(config.json_path)) return 1;
+  return 0;
+}

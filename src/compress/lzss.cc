@@ -160,37 +160,62 @@ StatusOr<std::string> LzssTryCompress(std::string_view data,
 }
 
 StatusOr<std::string> LzssDecompress(std::string_view data) {
+  // Every validation failure below is kDataLoss: the input claims to be an
+  // LZSS stream but its bytes are torn, truncated, or flipped. Decoding is
+  // driven entirely by bounds-checked reads — corrupt input yields a clear
+  // Status, never an out-of-bounds access or an unbounded allocation.
   if (data.size() < 12 || std::memcmp(data.data(), kMagic, 4) != 0) {
-    return Status::Corruption("not an LZSS stream");
+    return Status::DataLoss("not an LZSS stream");
   }
   const uint8_t* p = reinterpret_cast<const uint8_t*>(data.data());
-  uint64_t orig_size = GetU64(p + 4);
-  std::string out;
-  out.reserve(orig_size);
-  size_t pos = 12;
+  const uint64_t orig_size = GetU64(p + 4);
   const size_t n = data.size();
+  // A token byte can produce at most kMaxMatch output bytes (a match token
+  // spends 3 bytes; a literal spends 1 for 1). A declared size beyond that
+  // bound cannot come from LzssCompress: reject it up front instead of
+  // letting a bit-flipped size field drive a multi-gigabyte allocation.
+  const uint64_t max_plausible =
+      static_cast<uint64_t>(n - 12) * kMaxMatch;
+  if (orig_size > max_plausible) {
+    return Status::DataLoss(
+        "LZSS header declares " + std::to_string(orig_size) +
+        " output bytes, impossible for a " + std::to_string(n) +
+        "-byte stream");
+  }
+  std::string out;
+  out.reserve(static_cast<size_t>(orig_size));
+  size_t pos = 12;
   while (out.size() < orig_size) {
-    if (pos >= n) return Status::Corruption("truncated LZSS stream");
+    if (pos >= n) return Status::DataLoss("truncated LZSS stream");
     uint8_t flags = p[pos++];
     for (int bit = 0; bit < 8 && out.size() < orig_size; ++bit) {
       if (flags & (1 << bit)) {
-        if (pos + 3 > n) return Status::Corruption("truncated match token");
+        if (pos + 3 > n) return Status::DataLoss("truncated match token");
         size_t dist = p[pos] | (static_cast<size_t>(p[pos + 1]) << 8);
         size_t len = static_cast<size_t>(p[pos + 2]) + kMinMatch;
         pos += 3;
         if (dist == 0 || dist > out.size()) {
-          return Status::Corruption("bad match distance");
+          return Status::DataLoss(
+              "match distance " + std::to_string(dist) +
+              " out of range (have " + std::to_string(out.size()) +
+              " decoded bytes)");
+        }
+        if (out.size() + len > orig_size) {
+          return Status::DataLoss(
+              "match length " + std::to_string(len) +
+              " runs past the declared output size");
         }
         size_t from = out.size() - dist;
         for (size_t i = 0; i < len; ++i) out.push_back(out[from + i]);
       } else {
-        if (pos >= n) return Status::Corruption("truncated literal");
+        if (pos >= n) return Status::DataLoss("truncated literal");
         out.push_back(static_cast<char>(p[pos++]));
       }
     }
   }
-  if (out.size() != orig_size) {
-    return Status::Corruption("LZSS size mismatch");
+  if (pos != n) {
+    return Status::DataLoss(std::to_string(n - pos) +
+                            " trailing bytes after LZSS stream");
   }
   return out;
 }

@@ -82,19 +82,21 @@ class Loader {
       : spec_(spec), options_(options) {}
 
   StatusOr<std::unique_ptr<ArchiveNode>> LoadKeyed(
-      const xml::Node& elem, std::optional<VersionSet> stamp) {
+      const xml::Node& elem, std::optional<VersionSet> stamp,
+      const VersionSet& parent_effective) {
     if (elem.is_text()) {
       return Status::Corruption("text where a keyed element was expected");
     }
     steps_.push_back(elem.tag());
-    auto result = LoadKeyedImpl(elem, std::move(stamp));
+    auto result = LoadKeyedImpl(elem, std::move(stamp), parent_effective);
     steps_.pop_back();
     return result;
   }
 
  private:
   StatusOr<std::unique_ptr<ArchiveNode>> LoadKeyedImpl(
-      const xml::Node& elem, std::optional<VersionSet> stamp) {
+      const xml::Node& elem, std::optional<VersionSet> stamp,
+      const VersionSet& parent_effective) {
     const keys::Key* key = spec_.Lookup(steps_);
     if (key == nullptr) {
       return Status::Corruption("archive element <" + elem.tag() +
@@ -106,6 +108,18 @@ class Loader {
     node->stamp = std::move(stamp);
     node->is_frontier = spec_.IsFrontier(steps_);
     node->attrs = elem.attrs();
+    // The paper's archive invariant (Sec. 2): a node's timestamp is a
+    // subset of every ancestor's. A document violating it is not an
+    // archive any consistent merge could have produced — reject it here
+    // with the offending path instead of letting retrieval misbehave.
+    const VersionSet& effective = node->EffectiveStamp(parent_effective);
+    if (node->stamp.has_value() &&
+        !parent_effective.IsSupersetOf(*node->stamp)) {
+      return Status::Corruption(
+          "timestamp [" + node->stamp->ToString() + "] of <" + PathText() +
+          "> is not a subset of its parent's [" +
+          parent_effective.ToString() + "]");
+    }
     if (node->is_frontier) {
       ArchiveNode::Bucket plain;
       for (const auto& child : elem.children()) {
@@ -116,6 +130,14 @@ class Loader {
           }
           ArchiveNode::Bucket bucket;
           XARCH_ASSIGN_OR_RETURN(bucket.stamp, ParseStamp(*child));
+          if (bucket.stamp.has_value() &&
+              !effective.IsSupersetOf(*bucket.stamp)) {
+            return Status::Corruption(
+                "bucket timestamp [" + bucket.stamp->ToString() +
+                "] under <" + PathText() +
+                "> is not a subset of the node's [" + effective.ToString() +
+                "]");
+          }
           for (const auto& inner : child->children()) {
             bucket.content.push_back(inner->Clone());
           }
@@ -128,12 +150,12 @@ class Loader {
         node->buckets.push_back(std::move(plain));
       }
     } else {
-      XARCH_RETURN_NOT_OK(LoadChildren(elem, &node->children));
+      XARCH_RETURN_NOT_OK(LoadChildren(elem, effective, &node->children));
     }
     return node;
   }
 
-  Status LoadChildren(const xml::Node& elem,
+  Status LoadChildren(const xml::Node& elem, const VersionSet& effective,
                       std::vector<std::unique_ptr<ArchiveNode>>* out) {
     for (const auto& child : elem.children()) {
       if (child->is_text()) {
@@ -144,17 +166,30 @@ class Loader {
         XARCH_ASSIGN_OR_RETURN(std::optional<VersionSet> stamp,
                                ParseStamp(*child));
         for (const auto& inner : child->children()) {
-          XARCH_ASSIGN_OR_RETURN(auto loaded, LoadKeyed(*inner, stamp));
+          XARCH_ASSIGN_OR_RETURN(auto loaded,
+                                 LoadKeyed(*inner, stamp, effective));
           out->push_back(std::move(loaded));
         }
       } else {
-        XARCH_ASSIGN_OR_RETURN(auto loaded, LoadKeyed(*child, std::nullopt));
+        XARCH_ASSIGN_OR_RETURN(
+            auto loaded, LoadKeyed(*child, std::nullopt, effective));
         out->push_back(std::move(loaded));
       }
     }
     std::sort(out->begin(), out->end(), [](const auto& a, const auto& b) {
       return a->label.OrderBefore(b->label);
     });
+    // Equal labels among siblings mean the same keyed element was stored
+    // twice — a key violation no merge produces. Detect it after the sort
+    // (duplicates are adjacent) rather than letting lookups silently pick
+    // one of the two.
+    for (size_t i = 1; i < out->size(); ++i) {
+      if ((*out)[i - 1]->label == (*out)[i]->label) {
+        return Status::Corruption("duplicate keyed sibling " +
+                                  (*out)[i]->label.ToString() + " under <" +
+                                  elem.tag() + ">");
+      }
+    }
     return Status::OK();
   }
 
@@ -164,7 +199,24 @@ class Loader {
       return Status::Corruption("timestamp element without t attribute");
     }
     XARCH_ASSIGN_OR_RETURN(VersionSet stamp, VersionSet::Parse(*attr));
+    if (stamp.empty()) {
+      return Status::Corruption("empty timestamp on <T> element");
+    }
+    if (stamp.Min() == 0) {
+      return Status::Corruption("timestamp '" + *attr +
+                                "' contains version 0 (versions are "
+                                "numbered from 1)");
+    }
     return std::optional<VersionSet>(std::move(stamp));
+  }
+
+  std::string PathText() const {
+    std::string out;
+    for (const auto& step : steps_) {
+      out += '/';
+      out += step;
+    }
+    return out;
   }
 
   friend class ::xarch::core::Archive;
@@ -174,8 +226,9 @@ class Loader {
 
  public:
   Status LoadRootChildren(const xml::Node& root_elem,
+                          const VersionSet& root_stamp,
                           std::vector<std::unique_ptr<ArchiveNode>>* out) {
-    return LoadChildren(root_elem, out);
+    return LoadChildren(root_elem, root_stamp, out);
   }
 };
 
@@ -193,6 +246,11 @@ StatusOr<Archive> Archive::FromXml(std::string_view xml_text,
     return Status::Corruption("archive root timestamp missing");
   }
   XARCH_ASSIGN_OR_RETURN(VersionSet root_stamp, VersionSet::Parse(*attr));
+  if (!root_stamp.empty() && root_stamp.Min() == 0) {
+    return Status::Corruption(
+        "archive root timestamp contains version 0 (versions are numbered "
+        "from 1)");
+  }
   if (doc->children().size() != 1 || !doc->children()[0]->is_element() ||
       doc->children()[0]->tag() != "root") {
     return Status::Corruption("archive must contain a single <root> element");
@@ -200,7 +258,7 @@ StatusOr<Archive> Archive::FromXml(std::string_view xml_text,
 
   Archive archive(std::move(spec), options);
   Loader loader(archive.spec_, archive.options_);
-  XARCH_RETURN_NOT_OK(loader.LoadRootChildren(*doc->children()[0],
+  XARCH_RETURN_NOT_OK(loader.LoadRootChildren(*doc->children()[0], root_stamp,
                                               &archive.root_->children));
   archive.count_ = root_stamp.empty() ? 0 : root_stamp.Max();
   archive.root_->stamp = std::move(root_stamp);

@@ -1,5 +1,8 @@
 #include "diff/repository.h"
 
+#include <algorithm>
+
+#include "persist/wire.h"
 #include "util/strings.h"
 
 namespace xarch::diff {
@@ -13,6 +16,45 @@ std::string JoinLines(const std::vector<std::string>& lines) {
     out += '\n';
   }
   return out;
+}
+
+/// Shared (count, V1, deltas) wire layout of the two diff repositories.
+void EncodeDiffState(size_t count, const std::string& first,
+                     const std::vector<std::string>& deltas,
+                     std::string* out) {
+  persist::PutU64(count, out);
+  persist::PutBytes(first, out);
+  persist::PutU32(static_cast<uint32_t>(deltas.size()), out);
+  for (const auto& d : deltas) persist::PutBytes(d, out);
+}
+
+Status DecodeDiffState(std::string_view data, size_t* count,
+                       std::string* first, std::vector<std::string>* deltas) {
+  persist::Cursor cursor(data);
+  uint64_t n = 0;
+  XARCH_RETURN_NOT_OK(cursor.ReadU64(&n));
+  std::string_view first_view;
+  XARCH_RETURN_NOT_OK(cursor.ReadBytes(&first_view));
+  uint32_t ndeltas = 0;
+  XARCH_RETURN_NOT_OK(cursor.ReadU32(&ndeltas));
+  // Both diff repositories store V1 whole and one delta per later version.
+  if (n == 0 ? ndeltas != 0 : ndeltas != n - 1) {
+    return Status::DataLoss("diff repository snapshot declares " +
+                            std::to_string(n) + " versions but " +
+                            std::to_string(ndeltas) + " deltas");
+  }
+  // Clamped reserve: ndeltas is untrusted until the reads below verify
+  // it, and an unclamped reserve would let a crafted count allocate GBs.
+  deltas->reserve(std::min<uint32_t>(ndeltas, 4096));
+  for (uint32_t i = 0; i < ndeltas; ++i) {
+    std::string_view d;
+    XARCH_RETURN_NOT_OK(cursor.ReadBytes(&d));
+    deltas->emplace_back(d);
+  }
+  XARCH_RETURN_NOT_OK(cursor.ExpectDone());
+  *count = static_cast<size_t>(n);
+  first->assign(first_view);
+  return Status::OK();
 }
 
 }  // namespace
@@ -106,6 +148,83 @@ std::string FullCopyRepo::ConcatenatedBytes() const {
   std::string out;
   for (const auto& v : versions_) out += v;
   return out;
+}
+
+// -------------------------------------------------- persistence snapshots
+
+void IncrementalDiffRepo::EncodeState(std::string* out) const {
+  EncodeDiffState(count_, first_version_, deltas_, out);
+}
+
+StatusOr<IncrementalDiffRepo> IncrementalDiffRepo::DecodeState(
+    std::string_view data) {
+  IncrementalDiffRepo repo;
+  XARCH_RETURN_NOT_OK(DecodeDiffState(data, &repo.count_,
+                                      &repo.first_version_, &repo.deltas_));
+  // Rebuild the lines cache the next AddVersion diffs against by replaying
+  // the delta chain; an undecodable or inapplicable delta means the
+  // snapshot bytes are bad.
+  if (repo.count_ > 0) {
+    std::vector<std::string> lines = SplitLines(repo.first_version_);
+    for (const std::string& d : repo.deltas_) {
+      auto script = EditScript::ParseEd(d);
+      if (!script.ok()) {
+        return Status::DataLoss("diff repository snapshot holds an "
+                                "undecodable delta: " +
+                                script.status().message());
+      }
+      auto applied = script->Apply(lines);
+      if (!applied.ok()) {
+        return Status::DataLoss("diff repository snapshot holds an "
+                                "inapplicable delta: " +
+                                applied.status().message());
+      }
+      lines = std::move(applied).value();
+    }
+    repo.latest_lines_ = std::move(lines);
+  }
+  return repo;
+}
+
+void CumulativeDiffRepo::EncodeState(std::string* out) const {
+  EncodeDiffState(count_, first_version_, deltas_, out);
+}
+
+StatusOr<CumulativeDiffRepo> CumulativeDiffRepo::DecodeState(
+    std::string_view data) {
+  CumulativeDiffRepo repo;
+  XARCH_RETURN_NOT_OK(DecodeDiffState(data, &repo.count_,
+                                      &repo.first_version_, &repo.deltas_));
+  if (repo.count_ > 0) repo.first_lines_ = SplitLines(repo.first_version_);
+  // Cumulative deltas all apply to V1 independently; validate each.
+  for (const std::string& d : repo.deltas_) {
+    auto script = EditScript::ParseEd(d);
+    if (!script.ok() || !script->Apply(repo.first_lines_).ok()) {
+      return Status::DataLoss(
+          "cumulative diff repository snapshot holds a bad delta");
+    }
+  }
+  return repo;
+}
+
+void FullCopyRepo::EncodeState(std::string* out) const {
+  persist::PutU32(static_cast<uint32_t>(versions_.size()), out);
+  for (const auto& v : versions_) persist::PutBytes(v, out);
+}
+
+StatusOr<FullCopyRepo> FullCopyRepo::DecodeState(std::string_view data) {
+  persist::Cursor cursor(data);
+  uint32_t count = 0;
+  XARCH_RETURN_NOT_OK(cursor.ReadU32(&count));
+  FullCopyRepo repo;
+  repo.versions_.reserve(std::min<uint32_t>(count, 4096));
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string_view v;
+    XARCH_RETURN_NOT_OK(cursor.ReadBytes(&v));
+    repo.versions_.emplace_back(v);
+  }
+  XARCH_RETURN_NOT_OK(cursor.ExpectDone());
+  return repo;
 }
 
 }  // namespace xarch::diff

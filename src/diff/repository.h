@@ -39,6 +39,13 @@ class IncrementalDiffRepo {
 
   const std::vector<std::string>& deltas() const { return deltas_; }
 
+  /// Appends the full repository state (count, V1, deltas) in the
+  /// persistence wire format. DecodeState rebuilds a byte-identical
+  /// repository, including the lines cache, and rejects inconsistent or
+  /// truncated input with kDataLoss.
+  void EncodeState(std::string* out) const;
+  static StatusOr<IncrementalDiffRepo> DecodeState(std::string_view data);
+
  private:
   size_t count_ = 0;
   std::string first_version_;
@@ -60,6 +67,10 @@ class CumulativeDiffRepo {
   size_t ByteSize() const;
   std::string ConcatenatedBytes() const;
 
+  /// Persistence wire-format state snapshot; see IncrementalDiffRepo.
+  void EncodeState(std::string* out) const;
+  static StatusOr<CumulativeDiffRepo> DecodeState(std::string_view data);
+
  private:
   size_t count_ = 0;
   std::string first_version_;
@@ -77,6 +88,10 @@ class FullCopyRepo {
   size_t ByteSize() const;
   /// All versions side by side (what XMill compresses in Fig. 12).
   std::string ConcatenatedBytes() const;
+
+  /// Persistence wire-format state snapshot; see IncrementalDiffRepo.
+  void EncodeState(std::string* out) const;
+  static StatusOr<FullCopyRepo> DecodeState(std::string_view data);
 
  private:
   std::vector<std::string> versions_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <queue>
 
 #include "core/archive.h"
@@ -385,6 +387,88 @@ StatusOr<xml::NodePtr> ExternalArchiver::RetrieveVersion(Version v) {
   XARCH_ASSIGN_OR_RETURN(core::Archive archive,
                          core::Archive::FromXml(xml, std::move(spec)));
   return archive.RetrieveVersion(v);
+}
+
+StatusOr<std::string> ExternalArchiver::ArchiveFileBytes() const {
+  if (!has_archive_) return std::string();
+  std::ifstream in(archive_path_, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open row archive " + archive_path_);
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) {
+    return Status::IoError("read failed on row archive " + archive_path_);
+  }
+  return bytes;
+}
+
+Status ExternalArchiver::RestoreSnapshot(std::string_view archive_bytes,
+                                         Version count) {
+  if (archive_bytes.empty() != (count == 0)) {
+    return Status::DataLoss(
+        "extmem snapshot is inconsistent: " + std::to_string(count) +
+        " versions with " + std::to_string(archive_bytes.size()) +
+        " row-archive bytes");
+  }
+  if (archive_bytes.empty()) {
+    std::error_code ec;
+    std::filesystem::remove(archive_path_, ec);
+    has_archive_ = false;
+    count_ = 0;
+    return Status::OK();
+  }
+  // Stage into a temp file and validate there FIRST: rejected bytes must
+  // never destroy an archive this archiver already holds.
+  const std::string staged = TempPath("restore");
+  {
+    std::ofstream out(staged, std::ios::binary | std::ios::trunc);
+    if (!out ||
+        !out.write(archive_bytes.data(),
+                   static_cast<std::streamsize>(archive_bytes.size()))) {
+      return Status::IoError("cannot write row archive " + staged);
+    }
+  }
+  auto reject = [&](Status status) {
+    std::error_code ec;
+    std::filesystem::remove(staged, ec);
+    return status;
+  };
+  // Every row must scan, and no stamp may mention a version past the
+  // declared count. Validation I/O is not archiving work, so it runs
+  // against scratch stats.
+  {
+    IoStats scratch;
+    RowReader reader(staged, &scratch);
+    Row row;
+    size_t rows = 0;
+    while (reader.Next(&row)) {
+      ++rows;
+      if (row.has_stamp && !row.stamp.empty() && row.stamp.Max() > count) {
+        return reject(Status::DataLoss(
+            "row stamp [" + row.stamp.ToString() +
+            "] exceeds the snapshot's declared version count " +
+            std::to_string(count)));
+      }
+    }
+    Status scan = reader.status();
+    if (!scan.ok()) {
+      return reject(
+          Status::DataLoss("row archive does not scan: " + scan.message()));
+    }
+    if (rows == 0) {
+      return reject(Status::DataLoss("row archive holds no rows"));
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(staged, archive_path_, ec);
+  if (ec) {
+    return reject(Status::IoError("cannot install row archive: " +
+                                  ec.message()));
+  }
+  has_archive_ = true;
+  count_ = count;
+  return Status::OK();
 }
 
 }  // namespace xarch::extmem

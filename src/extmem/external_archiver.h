@@ -63,6 +63,20 @@ class ExternalArchiver {
 
   const Options& options() const { return options_; }
 
+  /// The key specification this archiver annotates against.
+  const keys::KeySpecSet& spec() const { return spec_; }
+
+  /// Raw bytes of the on-disk sorted-row archive ("" before the first
+  /// version). Does not count into stats(): this is the persistence
+  /// snapshot path, not the archiving data path.
+  StatusOr<std::string> ArchiveFileBytes() const;
+
+  /// Resets the archiver to a snapshot: writes `archive_bytes` as the row
+  /// file (empty bytes = no archive yet) and sets the version counter.
+  /// The bytes must be a row stream this archiver's spec produced;
+  /// RestoreSnapshot validates that they scan as well-formed rows.
+  Status RestoreSnapshot(std::string_view archive_bytes, Version count);
+
  private:
   std::string TempPath(const std::string& name);
   Status BuildVersionRows(const xml::Node& version_root,

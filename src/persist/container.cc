@@ -1,0 +1,242 @@
+#include "persist/container.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "compress/lzss.h"
+#include "persist/crc32c.h"
+#include "persist/wire.h"
+
+namespace xarch::persist {
+
+namespace {
+
+constexpr char kMagic[4] = {'X', 'A', 'R', '1'};
+constexpr uint8_t kFlagLzss = 1u << 0;
+
+}  // namespace
+
+void SnapshotWriter::Add(std::string name, std::string payload) {
+  sections_.push_back({std::move(name), std::move(payload)});
+}
+
+std::string SnapshotWriter::Serialize() const {
+  std::string out;
+  out.append(kMagic, 4);
+  PutU32(kContainerFormatVersion, &out);
+  PutU32(static_cast<uint32_t>(sections_.size()), &out);
+  PutU32(MaskCrc(Crc32c(std::string_view(out.data(), out.size()))), &out);
+  for (const Section& section : sections_) {
+    std::string body;
+    PutU32(static_cast<uint32_t>(section.name.size()), &body);
+    body += section.name;
+    uint8_t flags = 0;
+    std::string_view stored = section.payload;
+    std::string compressed;
+    if (options_.compress &&
+        section.payload.size() >= options_.compress_min_bytes) {
+      auto lzss = compress::LzssTryCompress(section.payload);
+      if (lzss.ok() && lzss->size() < section.payload.size()) {
+        compressed = std::move(lzss).value();
+        stored = compressed;
+        flags |= kFlagLzss;
+      }
+    }
+    PutU8(flags, &body);
+    PutU64(section.payload.size(), &body);
+    PutU64(stored.size(), &body);
+    body.append(stored.data(), stored.size());
+    PutU32(MaskCrc(Crc32c(body)), &body);
+    out += body;
+  }
+  return out;
+}
+
+StatusOr<SnapshotReader> SnapshotReader::Parse(std::string_view bytes) {
+  Cursor cursor(bytes);
+  if (bytes.size() < 16 || std::memcmp(bytes.data(), kMagic, 4) != 0) {
+    return Status::DataLoss("not an xarch snapshot container (bad magic)");
+  }
+  uint32_t header_crc = UnmaskCrc(
+      static_cast<uint8_t>(bytes[12]) |
+      (static_cast<uint32_t>(static_cast<uint8_t>(bytes[13])) << 8) |
+      (static_cast<uint32_t>(static_cast<uint8_t>(bytes[14])) << 16) |
+      (static_cast<uint32_t>(static_cast<uint8_t>(bytes[15])) << 24));
+  if (Crc32c(bytes.substr(0, 12)) != header_crc) {
+    return Status::DataLoss("snapshot header checksum mismatch");
+  }
+  uint32_t magic_skip, version = 0, count = 0, crc_skip;
+  (void)cursor.ReadU32(&magic_skip);
+  (void)cursor.ReadU32(&version);
+  (void)cursor.ReadU32(&count);
+  (void)cursor.ReadU32(&crc_skip);
+  if (version != kContainerFormatVersion) {
+    return Status::DataLoss("unsupported snapshot format version " +
+                            std::to_string(version) + " (this build reads " +
+                            std::to_string(kContainerFormatVersion) + ")");
+  }
+
+  SnapshotReader reader;
+  for (uint32_t i = 0; i < count; ++i) {
+    const size_t section_start = cursor.position();
+    uint32_t name_len = 0;
+    XARCH_RETURN_NOT_OK(cursor.ReadU32(&name_len));
+    if (name_len > cursor.remaining()) {
+      return Status::DataLoss("snapshot section name length " +
+                              std::to_string(name_len) + " exceeds file");
+    }
+    std::string name(bytes.substr(cursor.position(), name_len));
+    XARCH_RETURN_NOT_OK(cursor.Skip(name_len));
+    uint8_t flags = 0;
+    uint64_t raw_len = 0, stored_len = 0;
+    XARCH_RETURN_NOT_OK(cursor.ReadU8(&flags));
+    XARCH_RETURN_NOT_OK(cursor.ReadU64(&raw_len));
+    XARCH_RETURN_NOT_OK(cursor.ReadU64(&stored_len));
+    if (stored_len > cursor.remaining()) {
+      return Status::DataLoss("snapshot section \"" + name +
+                              "\" payload length " +
+                              std::to_string(stored_len) + " exceeds file");
+    }
+    std::string_view stored = bytes.substr(cursor.position(),
+                                           static_cast<size_t>(stored_len));
+    XARCH_RETURN_NOT_OK(cursor.Skip(stored_len));
+    const size_t section_end = cursor.position();
+    uint32_t masked = 0;
+    XARCH_RETURN_NOT_OK(cursor.ReadU32(&masked));
+    uint32_t actual = Crc32c(
+        bytes.substr(section_start, section_end - section_start));
+    if (UnmaskCrc(masked) != actual) {
+      return Status::DataLoss("snapshot section \"" + name +
+                              "\" checksum mismatch");
+    }
+    std::string payload;
+    if (flags & kFlagLzss) {
+      XARCH_ASSIGN_OR_RETURN(payload, compress::LzssDecompress(stored));
+    } else {
+      payload.assign(stored.data(), stored.size());
+    }
+    if (payload.size() != raw_len) {
+      return Status::DataLoss("snapshot section \"" + name +
+                              "\" decoded to " +
+                              std::to_string(payload.size()) +
+                              " bytes, expected " + std::to_string(raw_len));
+    }
+    if (flags & ~kFlagLzss) {
+      return Status::DataLoss("snapshot section \"" + name +
+                              "\" has unknown flags");
+    }
+    auto [it, inserted] =
+        reader.sections_.emplace(std::move(name), std::move(payload));
+    if (!inserted) {
+      return Status::DataLoss("duplicate snapshot section \"" + it->first +
+                              "\"");
+    }
+    reader.names_.push_back(it->first);
+  }
+  XARCH_RETURN_NOT_OK(cursor.ExpectDone());
+  return reader;
+}
+
+StatusOr<std::string_view> SnapshotReader::Section(
+    const std::string& name) const {
+  const std::string* payload = FindSection(name);
+  if (payload == nullptr) {
+    return Status::DataLoss("snapshot is missing required section \"" + name +
+                            "\"");
+  }
+  return std::string_view(*payload);
+}
+
+const std::string* SnapshotReader::FindSection(const std::string& name) const {
+  auto it = sections_.find(name);
+  return it == sections_.end() ? nullptr : &it->second;
+}
+
+// --------------------------------------------------------------- file I/O
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      ::close(fd);
+      return Status::IoError("read failed on " + path + ": " +
+                             std::strerror(err));
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status WriteAllToFd(int fd, std::string_view bytes, const std::string& path) {
+  size_t written = 0;
+  while (written < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("write failed on " + path + ": " +
+                             std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Status FsyncDirOf(const std::string& path) {
+  std::filesystem::path p(path);
+  std::string dir = p.has_parent_path() ? p.parent_path().string() : ".";
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return Status::OK();  // not fatal: best-effort metadata sync
+  ::fsync(fd);
+  ::close(fd);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status AtomicWriteFile(const std::string& path, std::string_view bytes,
+                       bool sync) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot create " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  Status write_status = WriteAllToFd(fd, bytes, tmp);
+  if (write_status.ok() && sync && ::fsync(fd) != 0) {
+    write_status = Status::IoError("fsync failed on " + tmp + ": " +
+                                   std::strerror(errno));
+  }
+  ::close(fd);
+  if (!write_status.ok()) {
+    ::unlink(tmp.c_str());
+    return write_status;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    int err = errno;
+    ::unlink(tmp.c_str());
+    return Status::IoError("rename " + tmp + " -> " + path + " failed: " +
+                           std::strerror(err));
+  }
+  if (sync) XARCH_RETURN_NOT_OK(FsyncDirOf(path));
+  return Status::OK();
+}
+
+}  // namespace xarch::persist

@@ -1,0 +1,101 @@
+#ifndef XARCH_PERSIST_CONTAINER_H_
+#define XARCH_PERSIST_CONTAINER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace xarch::persist {
+
+/// Snapshot container format version. Bump on incompatible layout changes;
+/// readers reject versions they do not understand with kDataLoss.
+inline constexpr uint32_t kContainerFormatVersion = 1;
+
+/// \brief Writer for the versioned binary snapshot container.
+///
+/// Layout (all integers little-endian):
+///
+///   magic "XAR1" | u32 format version | u32 section count | u32 CRC32C
+///   of the 12 header bytes (masked), then per section:
+///
+///   u32 name length | name bytes | u8 flags (bit 0 = LZSS payload) |
+///   u64 raw payload length | u64 stored payload length | stored bytes |
+///   u32 CRC32C (masked) over everything from the name length through the
+///   stored bytes
+///
+/// Every section is independently checksummed over its STORED form, so a
+/// bit flip is detected before any decompression or decoding touches the
+/// payload. Payloads at least `compress_min_bytes` long are LZSS-compressed
+/// when that actually shrinks them; incompressible sections are stored raw.
+class SnapshotWriter {
+ public:
+  struct Options {
+    bool compress = true;
+    size_t compress_min_bytes = 128;
+  };
+
+  SnapshotWriter() = default;
+  explicit SnapshotWriter(Options options) : options_(options) {}
+
+  /// Adds one named section. Names must be unique per container.
+  void Add(std::string name, std::string payload);
+
+  /// Serializes the container.
+  std::string Serialize() const;
+
+ private:
+  struct Section {
+    std::string name;
+    std::string payload;
+  };
+
+  Options options_;
+  std::vector<Section> sections_;
+};
+
+/// \brief Reader for SnapshotWriter output. Parse() eagerly verifies the
+/// header, every section CRC, and decompresses compressed payloads, so any
+/// corruption surfaces as kDataLoss at open time — never as a crash or a
+/// half-decoded store later.
+class SnapshotReader {
+ public:
+  static StatusOr<SnapshotReader> Parse(std::string_view bytes);
+
+  /// The payload of a named section; kDataLoss when absent (a snapshot
+  /// missing a section its backend requires is a damaged snapshot).
+  StatusOr<std::string_view> Section(const std::string& name) const;
+
+  /// The payload of a named section, or nullptr when absent.
+  const std::string* FindSection(const std::string& name) const;
+
+  /// Section names in file order.
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::map<std::string, std::string> sections_;
+  std::vector<std::string> names_;
+};
+
+// ------------------------------------------------------------- file I/O
+
+/// Reads a whole file; kIoError when it cannot be opened or read.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// EINTR-retrying full write to an open descriptor (`path` is only for
+/// error messages). Shared by the snapshot and ingest-log writers.
+Status WriteAllToFd(int fd, std::string_view bytes, const std::string& path);
+
+/// Writes `bytes` atomically: to `path + ".tmp"`, then fsync (when `sync`),
+/// then rename over `path`, then fsync of the containing directory so the
+/// rename itself is durable. A crash mid-write never leaves a half-written
+/// file at `path`.
+Status AtomicWriteFile(const std::string& path, std::string_view bytes,
+                       bool sync);
+
+}  // namespace xarch::persist
+
+#endif  // XARCH_PERSIST_CONTAINER_H_

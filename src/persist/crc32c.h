@@ -1,0 +1,36 @@
+#ifndef XARCH_PERSIST_CRC32C_H_
+#define XARCH_PERSIST_CRC32C_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace xarch::persist {
+
+/// \brief CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78)
+/// — the checksum iSCSI, ext4, LevelDB and RocksDB use for on-disk page
+/// and record integrity. Software slice-by-8 table implementation; no
+/// hardware intrinsics so the build stays portable.
+///
+/// Every persisted artifact (snapshot container sections, ingest-log
+/// records) carries one of these, computed over the exact stored bytes, so
+/// bit flips and torn writes are detected before any payload is decoded.
+uint32_t Crc32c(std::string_view data);
+
+/// Extends a running CRC with more data (crc = Crc32cExtend(crc, chunk)).
+/// Crc32c(data) == Crc32cExtend(0, data).
+uint32_t Crc32cExtend(uint32_t crc, std::string_view data);
+
+/// \brief Masked CRC in the LevelDB style: storing the raw CRC of bytes
+/// that themselves embed CRCs makes accidental fixed points more likely,
+/// so stored checksums are rotated and offset.
+inline uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+inline uint32_t UnmaskCrc(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8u;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace xarch::persist
+
+#endif  // XARCH_PERSIST_CRC32C_H_

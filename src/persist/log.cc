@@ -1,0 +1,204 @@
+#include "persist/log.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "persist/container.h"
+#include "persist/crc32c.h"
+#include "persist/wire.h"
+
+namespace xarch::persist {
+
+namespace {
+
+constexpr char kLogMagic[4] = {'X', 'A', 'L', 'G'};
+constexpr uint32_t kLogFormatVersion = 1;
+constexpr size_t kLogHeaderBytes = 8;
+
+std::string LogHeader() {
+  std::string header(kLogMagic, 4);
+  PutU32(kLogFormatVersion, &header);
+  return header;
+}
+
+std::string EncodeBody(const LogRecord& record) {
+  std::string body;
+  PutU8(record.type, &body);
+  PutU32(record.first_version, &body);
+  PutU32(static_cast<uint32_t>(record.texts.size()), &body);
+  for (const std::string& text : record.texts) PutBytes(text, &body);
+  return body;
+}
+
+StatusOr<LogRecord> DecodeBody(std::string_view body) {
+  Cursor cursor(body);
+  LogRecord record;
+  XARCH_RETURN_NOT_OK(cursor.ReadU8(&record.type));
+  if (record.type != LogRecord::kAppend && record.type != LogRecord::kBatch &&
+      record.type != LogRecord::kCheckpoint) {
+    return Status::DataLoss("unknown ingest-log record type " +
+                            std::to_string(record.type));
+  }
+  XARCH_RETURN_NOT_OK(cursor.ReadU32(&record.first_version));
+  uint32_t count = 0;
+  XARCH_RETURN_NOT_OK(cursor.ReadU32(&count));
+  record.texts.reserve(std::min<uint32_t>(count, 1024));
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string_view text;
+    XARCH_RETURN_NOT_OK(cursor.ReadBytes(&text));
+    record.texts.emplace_back(text);
+  }
+  XARCH_RETURN_NOT_OK(cursor.ExpectDone());
+  return record;
+}
+
+}  // namespace
+
+IngestLogWriter::IngestLogWriter(IngestLogWriter&& other) noexcept
+    : fd_(other.fd_),
+      path_(std::move(other.path_)),
+      policy_(other.policy_),
+      appended_records_(other.appended_records_) {
+  other.fd_ = -1;
+}
+
+IngestLogWriter& IngestLogWriter::operator=(IngestLogWriter&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    policy_ = other.policy_;
+    appended_records_ = other.appended_records_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+IngestLogWriter::~IngestLogWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+StatusOr<IngestLogWriter> IngestLogWriter::Open(const std::string& path,
+                                                FsyncPolicy policy) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open ingest log " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError("fstat failed on " + path);
+  }
+  IngestLogWriter writer(fd, path, policy);
+  if (st.st_size == 0) {
+    Status header = WriteAllToFd(fd, LogHeader(), path);
+    if (!header.ok()) return header;
+    if (policy == FsyncPolicy::kEveryRecord && ::fsync(fd) != 0) {
+      return Status::IoError("fsync failed on " + path);
+    }
+  }
+  return writer;
+}
+
+Status IngestLogWriter::Append(const LogRecord& record) {
+  if (fd_ < 0) return Status::IoError("ingest log is not open");
+  std::string body = EncodeBody(record);
+  std::string framed;
+  framed.reserve(body.size() + 8);
+  PutU32(static_cast<uint32_t>(body.size()), &framed);
+  PutU32(MaskCrc(Crc32c(body)), &framed);
+  framed += body;
+  XARCH_RETURN_NOT_OK(WriteAllToFd(fd_, framed, path_));
+  if (policy_ == FsyncPolicy::kEveryRecord && ::fsync(fd_) != 0) {
+    return Status::IoError("fsync failed on " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  ++appended_records_;
+  return Status::OK();
+}
+
+Status IngestLogWriter::Reset() {
+  if (fd_ < 0) return Status::IoError("ingest log is not open");
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::IoError("truncate failed on " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  // O_APPEND writes follow the (now zero) end of file.
+  XARCH_RETURN_NOT_OK(WriteAllToFd(fd_, LogHeader(), path_));
+  if (policy_ == FsyncPolicy::kEveryRecord && ::fsync(fd_) != 0) {
+    return Status::IoError("fsync failed on " + path_);
+  }
+  appended_records_ = 0;
+  return Status::OK();
+}
+
+StatusOr<LogReplay> ReadIngestLog(const std::string& path) {
+  LogReplay replay;
+  if (!std::filesystem::exists(path)) return replay;
+  XARCH_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  if (bytes.empty()) return replay;  // created but header never landed
+  if (bytes.size() < kLogHeaderBytes) {
+    // Torn header: nothing recoverable, truncate the whole file.
+    replay.torn_tail = true;
+    replay.valid_bytes = 0;
+    return replay;
+  }
+  if (std::memcmp(bytes.data(), kLogMagic, 4) != 0) {
+    return Status::DataLoss(path + " is not an xarch ingest log (bad magic)");
+  }
+  Cursor header(std::string_view(bytes).substr(4, 4));
+  uint32_t version = 0;
+  (void)header.ReadU32(&version);
+  if (version != kLogFormatVersion) {
+    return Status::DataLoss("unsupported ingest-log format version " +
+                            std::to_string(version));
+  }
+
+  size_t pos = kLogHeaderBytes;
+  while (pos < bytes.size()) {
+    Cursor cursor(std::string_view(bytes).substr(pos));
+    uint32_t body_len = 0, masked = 0;
+    if (!cursor.ReadU32(&body_len).ok() || !cursor.ReadU32(&masked).ok() ||
+        body_len > cursor.remaining()) {
+      replay.torn_tail = true;  // incomplete frame: crash mid-write
+      break;
+    }
+    std::string_view body =
+        std::string_view(bytes).substr(pos + 8, body_len);
+    if (Crc32c(body) != UnmaskCrc(masked)) {
+      replay.torn_tail = true;  // checksum mismatch: torn or flipped tail
+      break;
+    }
+    auto record = DecodeBody(body);
+    if (!record.ok()) {
+      // The frame checksummed correctly but does not decode: a writer bug
+      // or deliberate tampering, not a torn write. Refuse the log.
+      return Status::DataLoss("ingest log record at offset " +
+                              std::to_string(pos) + " is undecodable: " +
+                              record.status().message());
+    }
+    replay.records.push_back(std::move(record).value());
+    pos += 8 + body_len;
+  }
+  replay.valid_bytes = pos;
+  return replay;
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return Status::IoError("truncate failed on " + path + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace xarch::persist

@@ -1,0 +1,101 @@
+#ifndef XARCH_PERSIST_LOG_H_
+#define XARCH_PERSIST_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+#include "util/version_set.h"
+
+namespace xarch::persist {
+
+/// When appended log records reach the disk.
+enum class FsyncPolicy {
+  /// Never fsync from the writer: the OS flushes when it likes. Fastest;
+  /// an OS crash can lose recent records (a process crash cannot — the
+  /// bytes are already in the page cache).
+  kNever,
+  /// fsync after every record: a record acknowledged is a record on disk.
+  kEveryRecord,
+};
+
+/// \brief One entry of the append-only ingest log.
+struct LogRecord {
+  enum Type : uint8_t {
+    kAppend = 1,      ///< one version; texts has exactly one element
+    kBatch = 2,       ///< AppendBatch; texts in ingest order
+    kCheckpoint = 3,  ///< forced checkpoint boundary; texts empty
+  };
+
+  uint8_t type = kAppend;
+  /// The first version number this record produces (for kCheckpoint: the
+  /// version the next ingest would produce). Replay uses it to skip
+  /// records already covered by the snapshot, which makes recovery
+  /// idempotent when a crash lands between snapshot write and log truncate.
+  Version first_version = 0;
+  std::vector<std::string> texts;
+};
+
+/// \brief Appender for the crash-safe ingest log.
+///
+/// File layout: 8-byte header (magic "XALG" + u32 format version), then
+/// records. Each record is
+///
+///   u32 body length | u32 CRC32C (masked) of the body | body
+///   body = u8 type | u32 first version | u32 count | count × (u64 length,
+///   bytes)
+///
+/// A torn final record (crash mid-write) fails its length or CRC check and
+/// is truncated away by Replay; every record before it is recovered intact.
+class IngestLogWriter {
+ public:
+  IngestLogWriter() = default;
+  IngestLogWriter(IngestLogWriter&& other) noexcept;
+  IngestLogWriter& operator=(IngestLogWriter&& other) noexcept;
+  ~IngestLogWriter();
+
+  /// Opens (creating or appending) the log at `path`. A fresh file gets
+  /// the header; an existing file must already carry it.
+  static StatusOr<IngestLogWriter> Open(const std::string& path,
+                                        FsyncPolicy policy);
+
+  /// Appends one record, fsyncing per policy.
+  Status Append(const LogRecord& record);
+
+  /// Empties the log back to a bare header (after a snapshot subsumed it).
+  Status Reset();
+
+  uint64_t appended_records() const { return appended_records_; }
+
+ private:
+  IngestLogWriter(int fd, std::string path, FsyncPolicy policy)
+      : fd_(fd), path_(std::move(path)), policy_(policy) {}
+
+  int fd_ = -1;
+  std::string path_;
+  FsyncPolicy policy_ = FsyncPolicy::kEveryRecord;
+  uint64_t appended_records_ = 0;
+};
+
+/// \brief Result of scanning an ingest log for recovery.
+struct LogReplay {
+  std::vector<LogRecord> records;  ///< every intact record, in order
+  uint64_t valid_bytes = 0;        ///< file offset after the last good record
+  bool torn_tail = false;          ///< trailing bytes failed validation
+};
+
+/// Scans the log at `path`. A missing file yields an empty replay. Trailing
+/// bytes that do not form a complete, checksummed record are reported as a
+/// torn tail (valid_bytes marks where to truncate); they never abort the
+/// records before them. A file that does not start with the log header is
+/// rejected with kDataLoss — that is not an ingest log at all.
+StatusOr<LogReplay> ReadIngestLog(const std::string& path);
+
+/// Truncates `path` to `size` bytes (used to drop a torn tail on recovery).
+Status TruncateFile(const std::string& path, uint64_t size);
+
+}  // namespace xarch::persist
+
+#endif  // XARCH_PERSIST_LOG_H_

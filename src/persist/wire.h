@@ -1,0 +1,120 @@
+#ifndef XARCH_PERSIST_WIRE_H_
+#define XARCH_PERSIST_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace xarch::persist {
+
+/// \brief Little-endian binary encoding helpers for the persistence layer.
+///
+/// Writers append fixed-width integers and length-prefixed byte strings to
+/// a std::string; readers go through a bounds-checked Cursor that returns
+/// kDataLoss instead of ever reading past the end — the decode side is
+/// driven by untrusted on-disk bytes, so every length is validated against
+/// the remaining input before it is used.
+
+inline void PutU8(uint8_t v, std::string* out) {
+  out->push_back(static_cast<char>(v));
+}
+
+inline void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+inline void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+/// u64 length prefix, then the raw bytes.
+inline void PutBytes(std::string_view s, std::string* out) {
+  PutU64(s.size(), out);
+  out->append(s.data(), s.size());
+}
+
+/// \brief Bounds-checked sequential reader over untrusted bytes.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ >= data_.size(); }
+
+  Status ReadU8(uint8_t* out) {
+    if (remaining() < 1) return Truncated("u8");
+    *out = static_cast<uint8_t>(data_[pos_++]);
+    return Status::OK();
+  }
+
+  Status ReadU32(uint32_t* out) {
+    if (remaining() < 4) return Truncated("u32");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    *out = v;
+    return Status::OK();
+  }
+
+  Status ReadU64(uint64_t* out) {
+    if (remaining() < 8) return Truncated("u64");
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    *out = v;
+    return Status::OK();
+  }
+
+  /// Advances past `n` bytes without decoding them.
+  Status Skip(uint64_t n) {
+    if (n > remaining()) return Truncated("skip");
+    pos_ += static_cast<size_t>(n);
+    return Status::OK();
+  }
+
+  /// Reads a PutBytes() string; the returned view borrows the input.
+  Status ReadBytes(std::string_view* out) {
+    uint64_t len = 0;
+    XARCH_RETURN_NOT_OK(ReadU64(&len));
+    if (len > remaining()) {
+      return Status::DataLoss(
+          "declared length " + std::to_string(len) + " exceeds the " +
+          std::to_string(remaining()) + " bytes remaining");
+    }
+    *out = data_.substr(pos_, static_cast<size_t>(len));
+    pos_ += static_cast<size_t>(len);
+    return Status::OK();
+  }
+
+  /// kDataLoss when trailing undecoded bytes remain — a decoder that
+  /// thinks it is done while input is left has mis-parsed something.
+  Status ExpectDone() const {
+    if (!done()) {
+      return Status::DataLoss(std::to_string(remaining()) +
+                              " trailing bytes after decoded payload");
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Truncated(const char* what) const {
+    return Status::DataLoss(std::string("truncated input reading ") + what +
+                            " at offset " + std::to_string(pos_));
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace xarch::persist
+
+#endif  // XARCH_PERSIST_WIRE_H_

@@ -19,6 +19,8 @@ const char* CodeName(StatusCode code) {
       return "IoError";
     case StatusCode::kCorruption:
       return "Corruption";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
   }

@@ -21,6 +21,11 @@ enum class StatusCode {
   kNotFound,
   kIoError,
   kCorruption,
+  /// Persisted bytes failed validation on the way back in: checksum
+  /// mismatch, truncated or bit-flipped stream, impossible declared sizes.
+  /// Distinct from kCorruption (in-memory structural invariants) so callers
+  /// can tell "your file rotted" from "your document is malformed".
+  kDataLoss,
   kUnimplemented,
 };
 
@@ -51,6 +56,9 @@ class Status {
   }
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));

@@ -1,6 +1,9 @@
 #include "xarch/checkpoint.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "persist/wire.h"
 
 namespace xarch {
 
@@ -53,6 +56,48 @@ std::string CheckpointedDiffRepo::StoredBytes() const {
   std::string out;
   for (const auto& segment : segments_) out += segment.ConcatenatedBytes();
   return out;
+}
+
+void CheckpointedDiffRepo::EncodeState(std::string* out) const {
+  persist::PutU64(k_, out);
+  persist::PutU8(pending_checkpoint_ ? 1 : 0, out);
+  persist::PutU32(static_cast<uint32_t>(segments_.size()), out);
+  for (const auto& segment : segments_) {
+    std::string bytes;
+    segment.EncodeState(&bytes);
+    persist::PutBytes(bytes, out);
+  }
+}
+
+StatusOr<CheckpointedDiffRepo> CheckpointedDiffRepo::DecodeState(
+    std::string_view data) {
+  persist::Cursor cursor(data);
+  uint64_t k = 0;
+  uint8_t pending = 0;
+  uint32_t nsegments = 0;
+  XARCH_RETURN_NOT_OK(cursor.ReadU64(&k));
+  XARCH_RETURN_NOT_OK(cursor.ReadU8(&pending));
+  XARCH_RETURN_NOT_OK(cursor.ReadU32(&nsegments));
+  if (k == 0) {
+    return Status::DataLoss("checkpointed repository snapshot declares k=0");
+  }
+  CheckpointedDiffRepo repo(static_cast<size_t>(k));
+  repo.pending_checkpoint_ = pending != 0;
+  for (uint32_t i = 0; i < nsegments; ++i) {
+    std::string_view bytes;
+    XARCH_RETURN_NOT_OK(cursor.ReadBytes(&bytes));
+    XARCH_ASSIGN_OR_RETURN(diff::IncrementalDiffRepo segment,
+                           diff::IncrementalDiffRepo::DecodeState(bytes));
+    if (segment.version_count() == 0) {
+      return Status::DataLoss("checkpoint segment " + std::to_string(i) +
+                              " is empty");
+    }
+    repo.segment_start_.push_back(static_cast<Version>(repo.count_ + 1));
+    repo.count_ += segment.version_count();
+    repo.segments_.push_back(std::move(segment));
+  }
+  XARCH_RETURN_NOT_OK(cursor.ExpectDone());
+  return repo;
 }
 
 CheckpointedArchive::CheckpointedArchive(keys::KeySpecSet spec,
@@ -124,6 +169,24 @@ std::string CheckpointedArchive::StoredBytes() const {
   options.indent_width = 0;
   std::string out;
   for (const auto& segment : segments_) out += segment.ToXml(options);
+  return out;
+}
+
+StatusOr<CheckpointedArchive> CheckpointedArchive::Restore(
+    keys::KeySpecSet spec, size_t checkpoint_every,
+    core::ArchiveOptions options, std::vector<core::Archive> segments,
+    bool pending_checkpoint) {
+  CheckpointedArchive out(std::move(spec), checkpoint_every, options);
+  out.pending_checkpoint_ = pending_checkpoint;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    if (segments[i].version_count() == 0) {
+      return Status::DataLoss("checkpoint segment " + std::to_string(i) +
+                              " is empty");
+    }
+    out.segment_start_.push_back(static_cast<Version>(out.count_ + 1));
+    out.count_ += segments[i].version_count();
+    out.segments_.push_back(std::move(segments[i]));
+  }
   return out;
 }
 

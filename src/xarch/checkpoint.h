@@ -49,6 +49,13 @@ class CheckpointedDiffRepo {
   size_t segment_count() const { return segments_.size(); }
   size_t checkpoint_every() const { return k_; }
 
+  /// Appends the full state (k, pending flag, per-segment repositories) in
+  /// the persistence wire format; DecodeState rebuilds it byte-identically
+  /// (segment starts are re-derived from segment sizes) and rejects
+  /// inconsistent input with kDataLoss.
+  void EncodeState(std::string* out) const;
+  static StatusOr<CheckpointedDiffRepo> DecodeState(std::string_view data);
+
  private:
   /// Index of the segment holding version v (v must be in 1..count_).
   size_t SegmentFor(Version v) const;
@@ -89,6 +96,19 @@ class CheckpointedArchive {
 
   size_t segment_count() const { return segments_.size(); }
   size_t checkpoint_every() const { return k_; }
+
+  /// The per-segment archives, oldest first (persistence reads them out).
+  const std::vector<core::Archive>& segments() const { return segments_; }
+  bool pending_checkpoint() const { return pending_checkpoint_; }
+  const core::ArchiveOptions& options() const { return options_; }
+
+  /// Rebuilds a checkpointed archive from restored segment archives.
+  /// Segment starts and the version count are re-derived from the segment
+  /// sizes; an empty segment anywhere is rejected (no ingest produces one).
+  static StatusOr<CheckpointedArchive> Restore(
+      keys::KeySpecSet spec, size_t checkpoint_every,
+      core::ArchiveOptions options, std::vector<core::Archive> segments,
+      bool pending_checkpoint);
 
  private:
   size_t SegmentFor(Version v) const;

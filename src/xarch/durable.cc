@@ -1,0 +1,251 @@
+#include "xarch/durable.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "persist/container.h"
+
+namespace xarch {
+
+namespace {
+
+constexpr const char* kSnapshotFile = "snapshot.xar";
+constexpr const char* kLogFile = "ingest.log";
+
+Status ApplyRecord(Store& store, const persist::LogRecord& record) {
+  switch (record.type) {
+    case persist::LogRecord::kAppend:
+      if (record.texts.size() != 1) {
+        return Status::DataLoss("append log record carries " +
+                                std::to_string(record.texts.size()) +
+                                " documents");
+      }
+      return store.Append(record.texts[0]);
+    case persist::LogRecord::kBatch: {
+      if (store.Has(kBatchIngest)) {
+        std::vector<std::string_view> views(record.texts.begin(),
+                                            record.texts.end());
+        return store.AppendBatch(views);
+      }
+      for (const std::string& text : record.texts) {
+        XARCH_RETURN_NOT_OK(store.Append(text));
+      }
+      return Status::OK();
+    }
+    case persist::LogRecord::kCheckpoint:
+      // Re-forcing a boundary that is already pending is a no-op, which
+      // is what makes checkpoint replay idempotent.
+      return store.Has(kCheckpoint) ? store.Checkpoint() : Status::OK();
+  }
+  return Status::DataLoss("unknown log record type");
+}
+
+}  // namespace
+
+DurableStore::DurableStore(std::unique_ptr<Store> inner, std::string backend,
+                           std::string snapshot_path,
+                           persist::IngestLogWriter log,
+                           uint64_t snapshot_every_records)
+    : inner_(std::move(inner)),
+      backend_(std::move(backend)),
+      snapshot_path_(std::move(snapshot_path)),
+      log_(std::move(log)),
+      snapshot_every_records_(snapshot_every_records) {}
+
+StatusOr<std::unique_ptr<DurableStore>> DurableStore::Open(
+    const std::string& dir, DurableOptions options) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create durable store directory " + dir +
+                           ": " + ec.message());
+  }
+  const std::string snapshot_path =
+      (std::filesystem::path(dir) / kSnapshotFile).string();
+  const std::string log_path = (std::filesystem::path(dir) / kLogFile).string();
+
+  // 1. The base store: the last snapshot when one exists, else fresh.
+  std::unique_ptr<Store> inner;
+  if (std::filesystem::exists(snapshot_path)) {
+    XARCH_ASSIGN_OR_RETURN(std::string bytes,
+                           persist::ReadFileToString(snapshot_path));
+    XARCH_ASSIGN_OR_RETURN(persist::SnapshotReader probe,
+                           persist::SnapshotReader::Parse(bytes));
+    XARCH_ASSIGN_OR_RETURN(std::string_view saved_backend,
+                           probe.Section("backend"));
+    if (saved_backend != options.backend) {
+      return Status::InvalidArgument(
+          "durable store at " + dir + " was created with backend \"" +
+          std::string(saved_backend) + "\", not \"" + options.backend + "\"");
+    }
+    XARCH_ASSIGN_OR_RETURN(
+        inner, StoreRegistry::Global().OpenFromBytes(
+                   bytes, std::move(options.store)));
+  } else {
+    XARCH_ASSIGN_OR_RETURN(
+        inner,
+        StoreRegistry::Create(options.backend, std::move(options.store)));
+  }
+
+  // 2. Replay the ingest log over it, dropping any torn tail.
+  XARCH_ASSIGN_OR_RETURN(persist::LogReplay replay,
+                         persist::ReadIngestLog(log_path));
+  for (const persist::LogRecord& record : replay.records) {
+    if (record.first_version <= inner->version_count()) {
+      // Already inside the snapshot (crash before log truncate). This
+      // covers checkpoint markers too: a marker at first_version <= count
+      // forced a boundary the snapshot has since captured — re-applying
+      // it would start a spurious segment.
+      continue;
+    }
+    if (record.first_version != inner->version_count() + 1) {
+      // A gap means a version was applied but never reached the log
+      // (e.g. a transient log-write failure): replaying the later
+      // records would silently renumber them. Refuse instead.
+      return Status::DataLoss(
+          "ingest log gap: next record is for version " +
+          std::to_string(record.first_version) + " but the store holds " +
+          std::to_string(inner->version_count()) + " versions");
+    }
+    Status applied = ApplyRecord(*inner, record);
+    if (!applied.ok()) {
+      return Status::DataLoss(
+          "ingest log record for version " +
+          std::to_string(record.first_version) +
+          " does not re-apply: " + applied.ToString());
+    }
+  }
+  if (replay.torn_tail) {
+    XARCH_RETURN_NOT_OK(persist::TruncateFile(log_path, replay.valid_bytes));
+  }
+
+  // 3. Reattach the log for new ingest.
+  XARCH_ASSIGN_OR_RETURN(persist::IngestLogWriter log,
+                         persist::IngestLogWriter::Open(log_path,
+                                                        options.fsync));
+  auto store = std::unique_ptr<DurableStore>(new DurableStore(
+      std::move(inner), options.backend, snapshot_path, std::move(log),
+      options.snapshot_every_records));
+  store->records_since_snapshot_.store(replay.records.size(),
+                                       std::memory_order_relaxed);
+  return store;
+}
+
+std::string DurableStore::name() const {
+  return "durable(" + inner_->name() + ")";
+}
+
+Capabilities DurableStore::capabilities() const {
+  // Checkpoint() is always meaningful here: it compacts the log into a
+  // fresh snapshot (and forwards when the inner backend checkpoints too).
+  return inner_->capabilities() | kCheckpoint;
+}
+
+uint64_t DurableStore::log_records() const {
+  return records_since_snapshot_.load(std::memory_order_relaxed);
+}
+
+Status DurableStore::WriteSnapshotLocked() {
+  XARCH_ASSIGN_OR_RETURN(std::string bytes, inner_->SaveToBytes());
+  XARCH_RETURN_NOT_OK(
+      persist::AtomicWriteFile(snapshot_path_, bytes, /*sync=*/true));
+  XARCH_RETURN_NOT_OK(log_.Reset());
+  records_since_snapshot_.store(0, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status DurableStore::LogAndMaybeSnapshotLocked(
+    const persist::LogRecord& record) {
+  XARCH_RETURN_NOT_OK(log_.Append(record));
+  records_since_snapshot_.fetch_add(1, std::memory_order_relaxed);
+  if (snapshot_every_records_ > 0 &&
+      records_since_snapshot_.load(std::memory_order_relaxed) >=
+          snapshot_every_records_) {
+    XARCH_RETURN_NOT_OK(WriteSnapshotLocked());
+  }
+  return Status::OK();
+}
+
+Status DurableStore::AppendImpl(std::string_view xml_text) {
+  // Apply first, log second: only ingests the backend accepted are made
+  // durable, so recovery replay cannot fail on an intact record.
+  XARCH_RETURN_NOT_OK(inner_->Append(xml_text));
+  persist::LogRecord record;
+  record.type = persist::LogRecord::kAppend;
+  record.first_version = inner_->version_count();
+  record.texts.emplace_back(xml_text);
+  return LogAndMaybeSnapshotLocked(record);
+}
+
+Status DurableStore::AppendBatchImpl(
+    const std::vector<std::string_view>& texts) {
+  if (texts.empty()) return Status::OK();
+  XARCH_RETURN_NOT_OK(inner_->AppendBatch(texts));
+  persist::LogRecord record;
+  record.type = persist::LogRecord::kBatch;
+  record.first_version =
+      inner_->version_count() - static_cast<Version>(texts.size()) + 1;
+  record.texts.assign(texts.begin(), texts.end());
+  return LogAndMaybeSnapshotLocked(record);
+}
+
+Status DurableStore::CheckpointImpl() {
+  if (inner_->Has(kCheckpoint)) {
+    XARCH_RETURN_NOT_OK(inner_->Checkpoint());
+    // Make the forced boundary durable even if the snapshot below fails.
+    persist::LogRecord record;
+    record.type = persist::LogRecord::kCheckpoint;
+    record.first_version = inner_->version_count() + 1;
+    XARCH_RETURN_NOT_OK(log_.Append(record));
+  }
+  return WriteSnapshotLocked();
+}
+
+Status DurableStore::CompactNow() { return Checkpoint(); }
+
+StatusOr<std::string> DurableStore::RetrieveImpl(Version v) {
+  return inner_->Retrieve(v);
+}
+
+Status DurableStore::RetrieveToImpl(Version v, Sink& sink) {
+  return inner_->RetrieveTo(v, sink);
+}
+
+StatusOr<VersionSet> DurableStore::HistoryImpl(
+    const std::vector<core::KeyStep>& path) {
+  return inner_->History(path);
+}
+
+StatusOr<std::vector<core::Change>> DurableStore::DiffVersionsImpl(
+    Version from, Version to) {
+  return inner_->DiffVersions(from, to);
+}
+
+Status DurableStore::QueryImpl(std::string_view query_text, Sink& sink) {
+  return inner_->Query(query_text, sink);
+}
+
+Version DurableStore::VersionCountImpl() const {
+  return inner_->version_count();
+}
+
+StoreStats DurableStore::BackendStats() const { return inner_->Stats(); }
+
+std::string DurableStore::StoredBytesImpl() const {
+  return inner_->StoredBytes();
+}
+
+StatusOr<std::string> DurableStore::SnapshotBytesImpl() const {
+  // A durable store's snapshot IS its inner store's: SaveToFile output
+  // reopens as a plain (non-durable) backend.
+  return inner_->SaveToBytes();
+}
+
+StatusOr<std::unique_ptr<Store>> OpenDurable(const std::string& dir,
+                                             DurableOptions options) {
+  XARCH_ASSIGN_OR_RETURN(std::unique_ptr<DurableStore> store,
+                         DurableStore::Open(dir, std::move(options)));
+  return std::unique_ptr<Store>(std::move(store));
+}
+
+}  // namespace xarch

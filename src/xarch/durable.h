@@ -1,0 +1,116 @@
+#ifndef XARCH_XARCH_DURABLE_H_
+#define XARCH_XARCH_DURABLE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "persist/log.h"
+#include "util/status.h"
+#include "xarch/store.h"
+#include "xarch/store_registry.h"
+
+namespace xarch {
+
+/// Options for OpenDurable.
+struct DurableOptions {
+  /// Backend to create when the directory has no snapshot yet, and whose
+  /// restorer reopens an existing one.
+  std::string backend = "archive";
+  /// Construction options for the fresh-create path; on reopen only the
+  /// tuning knobs (extmem work dir / budgets) are consulted.
+  StoreOptions store;
+  /// When appended log records reach the disk. kEveryRecord (default)
+  /// makes every acknowledged Append durable against OS crashes;
+  /// kNever still survives process crashes (the page cache persists).
+  persist::FsyncPolicy fsync = persist::FsyncPolicy::kEveryRecord;
+  /// Automatically write a snapshot and truncate the log after this many
+  /// logged records (0 = only on Checkpoint()/CompactNow()). Bounds
+  /// recovery replay time at the cost of periodic snapshot writes.
+  uint64_t snapshot_every_records = 0;
+};
+
+/// \brief A Store wrapper that makes any snapshot-capable backend durable:
+/// WAL-plus-snapshot in the ARIES tradition, scaled to the archiver.
+///
+/// The directory holds two files:
+///   snapshot.xar — the last full snapshot (Store::SaveToFile container)
+///   ingest.log   — checksummed records of every ingest since
+///
+/// Each Append/AppendBatch first applies to the wrapped in-memory store
+/// and then appends one record to the log (fsync per policy) — a record is
+/// logged only if it was applied, so replay cannot fail on intact records.
+/// Open() restores the snapshot (when present), replays the log over it,
+/// and truncates any torn tail record a crash left behind; records the
+/// snapshot already covers are skipped by version number, so a crash
+/// between snapshot write and log truncate never double-applies.
+///
+/// Checkpoint() (and CompactNow()) writes a fresh snapshot atomically and
+/// resets the log, then forwards to the inner backend when it checkpoints
+/// itself. SaveToFile() on a durable store snapshots the INNER backend:
+/// the file reopens as a plain (non-durable) store.
+class DurableStore final : public Store {
+ public:
+  /// Opens (creating on first use) a durable store rooted at `dir`.
+  static StatusOr<std::unique_ptr<DurableStore>> Open(const std::string& dir,
+                                                      DurableOptions options);
+
+  std::string name() const override;
+  Capabilities capabilities() const override;
+
+  /// Alias for Checkpoint(): writes a fresh snapshot and truncates the
+  /// ingest log (forwarding the boundary to checkpointing inner backends).
+  Status CompactNow();
+
+  /// Log records appended since the last snapshot (replay cost proxy).
+  uint64_t log_records() const;
+
+  /// The wrapped store's registry name.
+  const std::string& backend() const { return backend_; }
+
+ protected:
+  Status AppendImpl(std::string_view xml_text) override;
+  Status AppendBatchImpl(const std::vector<std::string_view>& texts) override;
+  Status CheckpointImpl() override;
+  StatusOr<std::string> RetrieveImpl(Version v) override;
+  Status RetrieveToImpl(Version v, Sink& sink) override;
+  StatusOr<VersionSet> HistoryImpl(
+      const std::vector<core::KeyStep>& path) override;
+  StatusOr<std::vector<core::Change>> DiffVersionsImpl(Version from,
+                                                       Version to) override;
+  Status QueryImpl(std::string_view query_text, Sink& sink) override;
+  Version VersionCountImpl() const override;
+  StoreStats BackendStats() const override;
+  std::string StoredBytesImpl() const override;
+  StatusOr<std::string> SnapshotBytesImpl() const override;
+
+ private:
+  DurableStore(std::unique_ptr<Store> inner, std::string backend,
+               std::string snapshot_path, persist::IngestLogWriter log,
+               uint64_t snapshot_every_records);
+
+  /// Snapshot + log reset; caller holds the exclusive lock (or is Open).
+  Status WriteSnapshotLocked();
+
+  /// Shared ingest tail: append the record, bump the counter, and write
+  /// an auto-snapshot when the policy threshold is reached.
+  Status LogAndMaybeSnapshotLocked(const persist::LogRecord& record);
+
+  std::unique_ptr<Store> inner_;
+  std::string backend_;
+  std::string snapshot_path_;
+  persist::IngestLogWriter log_;
+  uint64_t snapshot_every_records_;
+  /// Log records not yet folded into a snapshot (replay cost). Atomic so
+  /// log_records() may be read without the store lock.
+  std::atomic<uint64_t> records_since_snapshot_{0};
+};
+
+/// Opens a durable store rooted at directory `dir` (created when absent):
+/// `Store`-typed convenience over DurableStore::Open.
+StatusOr<std::unique_ptr<Store>> OpenDurable(const std::string& dir,
+                                             DurableOptions options = {});
+
+}  // namespace xarch
+
+#endif  // XARCH_XARCH_DURABLE_H_

@@ -12,6 +12,8 @@
 #include "compress/container.h"
 #include "compress/lzss.h"
 #include "core/scan.h"
+#include "persist/container.h"
+#include "persist/wire.h"
 #include "diff/repository.h"
 #include "index/archive_index.h"
 #include "query/evaluator.h"
@@ -33,6 +35,7 @@ std::string CapabilitiesToString(Capabilities caps) {
       {kBatchIngest, "batch-ingest"},
       {kCheckpoint, "checkpoint"},
       {kQuery, "query"},
+      {kPersistence, "persist"},
   };
   std::string out;
   for (const auto& [flag, name] : kNames) {
@@ -151,6 +154,28 @@ std::string Store::StoredBytes() const {
   return StoredBytesImpl();
 }
 
+Status Store::SaveToFile(const std::string& path) const {
+  if (!Has(kPersistence)) {
+    return UnimplementedCall("SaveToFile", kPersistence);
+  }
+  std::string bytes;
+  {
+    ReadLock lock(*this);
+    XARCH_ASSIGN_OR_RETURN(bytes, SnapshotBytesImpl());
+  }
+  // File I/O runs outside the lock: the snapshot string is already a
+  // consistent point-in-time image.
+  return persist::AtomicWriteFile(path, bytes, /*sync=*/true);
+}
+
+StatusOr<std::string> Store::SaveToBytes() const {
+  if (!Has(kPersistence)) {
+    return UnimplementedCall("SaveToBytes", kPersistence);
+  }
+  ReadLock lock(*this);
+  return SnapshotBytesImpl();
+}
+
 // ------------------------------------------------- Store defaults (hooks)
 
 Status Store::AppendBatchByLoop(const std::vector<std::string_view>& texts) {
@@ -187,6 +212,16 @@ Status Store::CheckpointImpl() {
   return UnimplementedCall("Checkpoint", kCheckpoint);
 }
 
+Status Store::SnapshotImpl(persist::SnapshotWriter&) const {
+  return UnimplementedCall("SaveToFile", kPersistence);
+}
+
+StatusOr<std::string> Store::SnapshotBytesImpl() const {
+  persist::SnapshotWriter writer;
+  XARCH_RETURN_NOT_OK(SnapshotImpl(writer));
+  return writer.Serialize();
+}
+
 void Store::CountQuery(const query::EvalResult& result) {
   query_counters_.queries.fetch_add(1, std::memory_order_relaxed);
   query_counters_.tree_probes.fetch_add(result.probes.tree_probes,
@@ -221,6 +256,78 @@ Status Store::QueryImpl(std::string_view query_text, Sink& sink) {
 
 namespace {
 
+// ------------------------------------------------------ snapshot helpers
+
+/// The key specification in the Appendix B text format, the same external
+/// metadata a live archive is configured with — snapshots embed it so a
+/// reopened store needs no side channel.
+std::string SpecToText(const keys::KeySpecSet& spec) {
+  std::string out;
+  for (const auto& key : spec.keys()) {
+    out += key.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+StatusOr<keys::KeySpecSet> SpecFromSnapshot(
+    const persist::SnapshotReader& snapshot) {
+  XARCH_ASSIGN_OR_RETURN(std::string_view text, snapshot.Section("spec"));
+  auto spec = keys::ParseKeySpecSet(text);
+  if (!spec.ok()) {
+    return Status::DataLoss("snapshot key specification does not parse: " +
+                            spec.status().message());
+  }
+  return spec;
+}
+
+void EncodeArchiveOptions(const core::ArchiveOptions& options,
+                          std::string* out) {
+  persist::PutU8(
+      options.frontier == core::FrontierStrategy::kWeave ? 1 : 0, out);
+  persist::PutU32(static_cast<uint32_t>(options.annotate.fingerprint_bits),
+                  out);
+  persist::PutU8(options.annotate.sort_children ? 1 : 0, out);
+}
+
+Status DecodeArchiveOptions(persist::Cursor& cursor,
+                            core::ArchiveOptions* options) {
+  uint8_t frontier = 0, sort_children = 0;
+  uint32_t fingerprint_bits = 0;
+  XARCH_RETURN_NOT_OK(cursor.ReadU8(&frontier));
+  XARCH_RETURN_NOT_OK(cursor.ReadU32(&fingerprint_bits));
+  XARCH_RETURN_NOT_OK(cursor.ReadU8(&sort_children));
+  if (frontier > 1 || fingerprint_bits == 0 || fingerprint_bits > 64) {
+    return Status::DataLoss("snapshot archive options are out of range");
+  }
+  options->frontier = frontier != 0 ? core::FrontierStrategy::kWeave
+                                    : core::FrontierStrategy::kBuckets;
+  options->annotate.fingerprint_bits = static_cast<int>(fingerprint_bits);
+  options->annotate.sort_children = sort_children != 0;
+  return Status::OK();
+}
+
+/// Compact serialization used for archive snapshot sections (whitespace
+/// would only cost container bytes; the LZSS pass runs either way).
+std::string ArchiveXmlCompact(const core::Archive& archive) {
+  core::ArchiveSerializeOptions options;
+  options.pretty = false;
+  options.indent_width = 0;
+  return archive.ToXml(options);
+}
+
+/// Loads one archive snapshot section, running the full structural Check
+/// so a snapshot that passed its CRCs but violates archive invariants is
+/// still rejected at open time.
+StatusOr<core::Archive> ArchiveFromSnapshotXml(std::string_view xml,
+                                               keys::KeySpecSet spec,
+                                               core::ArchiveOptions options) {
+  auto archive = core::Archive::FromXml(xml, std::move(spec), options);
+  if (!archive.ok()) return archive;
+  XARCH_RETURN_NOT_OK(archive->Check());
+  return archive;
+}
+
 // --------------------------------------------------------------- archive
 
 /// The paper's key-based archive (bucket or weave frontier) behind Store.
@@ -236,9 +343,21 @@ class ArchiveStore final : public Store {
     PublishIndex();
   }
 
+  /// Restore path: adopts an archive loaded from a snapshot. The index is
+  /// rebuilt from scratch here — indexes are derived state and are never
+  /// persisted (rebuild-on-open keeps the container format independent of
+  /// index layout).
+  ArchiveStore(std::string name, core::Archive archive, bool use_index)
+      : name_(std::move(name)),
+        archive_(std::move(archive)),
+        use_index_(use_index) {
+    PublishIndex();
+  }
+
   std::string name() const override { return name_; }
   Capabilities capabilities() const override {
-    return kTemporalQueries | kStreamingRetrieve | kBatchIngest | kQuery;
+    return kTemporalQueries | kStreamingRetrieve | kBatchIngest | kQuery |
+           kPersistence;
   }
 
  protected:
@@ -350,6 +469,42 @@ class ArchiveStore final : public Store {
     return archive_.ToXml(options);
   }
 
+  Status SnapshotImpl(persist::SnapshotWriter& writer) const override {
+    writer.Add("backend", name_);
+    writer.Add("spec", SpecToText(archive_.spec()));
+    std::string opts;
+    EncodeArchiveOptions(archive_.options(), &opts);
+    persist::PutU8(use_index_ ? 1 : 0, &opts);
+    writer.Add("opts", std::move(opts));
+    writer.Add("archive", ArchiveXmlCompact(archive_));
+    return Status::OK();
+  }
+
+ public:
+  static StatusOr<std::unique_ptr<Store>> Restore(
+      const persist::SnapshotReader& snapshot, const char* name,
+      core::FrontierStrategy expected_frontier) {
+    XARCH_ASSIGN_OR_RETURN(keys::KeySpecSet spec, SpecFromSnapshot(snapshot));
+    XARCH_ASSIGN_OR_RETURN(std::string_view opts, snapshot.Section("opts"));
+    persist::Cursor cursor(opts);
+    core::ArchiveOptions options;
+    uint8_t use_index = 0;
+    XARCH_RETURN_NOT_OK(DecodeArchiveOptions(cursor, &options));
+    XARCH_RETURN_NOT_OK(cursor.ReadU8(&use_index));
+    XARCH_RETURN_NOT_OK(cursor.ExpectDone());
+    if (options.frontier != expected_frontier) {
+      return Status::DataLoss(
+          std::string("snapshot frontier strategy does not match backend \"") +
+          name + "\"");
+    }
+    XARCH_ASSIGN_OR_RETURN(std::string_view xml, snapshot.Section("archive"));
+    XARCH_ASSIGN_OR_RETURN(
+        core::Archive archive,
+        ArchiveFromSnapshotXml(xml, std::move(spec), options));
+    return std::unique_ptr<Store>(std::make_unique<ArchiveStore>(
+        name, std::move(archive), use_index != 0));
+  }
+
  private:
   /// The synchronized publish step: (re)builds the index from the ingest
   /// path, under the exclusive lock every ingest already holds — readers
@@ -375,8 +530,11 @@ class RepoStore : public Store {
 
   std::string name() const override { return name_; }
   Capabilities capabilities() const override {
-    return kBatchIngest | kQuery;
+    return kBatchIngest | kQuery | kPersistence;
   }
+
+  /// Restore path: adopts a repository decoded from a snapshot.
+  void AdoptRepo(Repo repo) { repo_ = std::move(repo); }
 
  protected:
   Status AppendImpl(std::string_view xml_text) override {
@@ -402,6 +560,14 @@ class RepoStore : public Store {
 
   std::string StoredBytesImpl() const override {
     return repo_.ConcatenatedBytes();
+  }
+
+  Status SnapshotImpl(persist::SnapshotWriter& writer) const override {
+    writer.Add("backend", this->name());
+    std::string bytes;
+    repo_.EncodeState(&bytes);
+    writer.Add("repo", std::move(bytes));
+    return Status::OK();
   }
 
   virtual size_t MaxApplications() const { return 0; }
@@ -437,7 +603,7 @@ class FullCopyStore final : public RepoStore<diff::FullCopyRepo> {
   FullCopyStore() : RepoStore("full-copy") {}
 
   Capabilities capabilities() const override {
-    return kBatchIngest | kStreamingRetrieve | kQuery;
+    return kBatchIngest | kStreamingRetrieve | kQuery | kPersistence;
   }
 
  protected:
@@ -449,6 +615,17 @@ class FullCopyStore final : public RepoStore<diff::FullCopyRepo> {
     return sink.Flush();
   }
 };
+
+/// Shared restorer of the repository-backed baselines.
+template <typename StoreT, typename RepoT>
+StatusOr<std::unique_ptr<Store>> RestoreRepoBackend(
+    const persist::SnapshotReader& snapshot) {
+  XARCH_ASSIGN_OR_RETURN(std::string_view bytes, snapshot.Section("repo"));
+  XARCH_ASSIGN_OR_RETURN(RepoT repo, RepoT::DecodeState(bytes));
+  auto store = std::make_unique<StoreT>();
+  store->AdoptRepo(std::move(repo));
+  return std::unique_ptr<Store>(std::move(store));
+}
 
 // ---------------------------------------------------------------- extmem
 
@@ -470,7 +647,12 @@ class ExtmemStore final : public Store {
 
   std::string name() const override { return "extmem"; }
   Capabilities capabilities() const override {
-    return kBatchIngest | kQuery;
+    return kBatchIngest | kQuery | kPersistence;
+  }
+
+  /// Restore path: adopts snapshot row bytes into this (fresh) archiver.
+  Status AdoptSnapshot(std::string_view rows, Version count) {
+    return ext_.RestoreSnapshot(rows, count);
   }
 
  protected:
@@ -504,6 +686,21 @@ class ExtmemStore final : public Store {
   std::string StoredBytesImpl() const override {
     auto xml = ext_.ToXml();
     return xml.ok() ? std::move(xml).value() : std::string();
+  }
+
+  Status SnapshotImpl(persist::SnapshotWriter& writer) const override {
+    writer.Add("backend", "extmem");
+    writer.Add("spec", SpecToText(ext_.spec()));
+    std::string opts;
+    persist::PutU32(ext_.version_count(), &opts);
+    persist::PutU32(
+        static_cast<uint32_t>(ext_.options().annotate.fingerprint_bits),
+        &opts);
+    persist::PutU8(ext_.options().annotate.sort_children ? 1 : 0, &opts);
+    writer.Add("opts", std::move(opts));
+    XARCH_ASSIGN_OR_RETURN(std::string rows, ext_.ArchiveFileBytes());
+    writer.Add("rows", std::move(rows));
+    return Status::OK();
   }
 
  private:
@@ -566,6 +763,15 @@ class CompressedStore final : public Store {
     return inner_->version_count();
   }
 
+  /// The wrapper's snapshot is the inner store's container, nested whole
+  /// (it carries its own checksums) plus our backend marker.
+  Status SnapshotImpl(persist::SnapshotWriter& writer) const override {
+    writer.Add("backend", "compressed");
+    XARCH_ASSIGN_OR_RETURN(std::string inner_bytes, inner_->SaveToBytes());
+    writer.Add("inner", std::move(inner_bytes));
+    return Status::OK();
+  }
+
   StoreStats BackendStats() const override {
     StoreStats stats = inner_->Stats();
     stats.stored_bytes = StoredBytesImpl().size();
@@ -596,9 +802,15 @@ class CheckpointArchiveStore final : public Store {
       : archive_(std::move(spec), k, options),
         scratch_spec_(std::move(scratch_spec)) {}
 
+  /// Restore path: adopts a checkpointed archive rebuilt from a snapshot.
+  CheckpointArchiveStore(CheckpointedArchive archive,
+                         keys::KeySpecSet scratch_spec)
+      : archive_(std::move(archive)), scratch_spec_(std::move(scratch_spec)) {}
+
   std::string name() const override { return "checkpoint-archive"; }
   Capabilities capabilities() const override {
-    return kTemporalQueries | kBatchIngest | kCheckpoint | kQuery;
+    return kTemporalQueries | kBatchIngest | kCheckpoint | kQuery |
+           kPersistence;
   }
 
  protected:
@@ -661,6 +873,62 @@ class CheckpointArchiveStore final : public Store {
     return archive_.StoredBytes();
   }
 
+  Status SnapshotImpl(persist::SnapshotWriter& writer) const override {
+    writer.Add("backend", "checkpoint-archive");
+    writer.Add("spec", SpecToText(scratch_spec_));
+    std::string opts;
+    persist::PutU64(archive_.checkpoint_every(), &opts);
+    persist::PutU8(archive_.pending_checkpoint() ? 1 : 0, &opts);
+    persist::PutU32(static_cast<uint32_t>(archive_.segments().size()), &opts);
+    EncodeArchiveOptions(archive_.options(), &opts);
+    writer.Add("opts", std::move(opts));
+    for (size_t i = 0; i < archive_.segments().size(); ++i) {
+      writer.Add("seg" + std::to_string(i),
+                 ArchiveXmlCompact(archive_.segments()[i]));
+    }
+    return Status::OK();
+  }
+
+ public:
+  static StatusOr<std::unique_ptr<Store>> Restore(
+      const persist::SnapshotReader& snapshot) {
+    XARCH_ASSIGN_OR_RETURN(keys::KeySpecSet spec, SpecFromSnapshot(snapshot));
+    XARCH_ASSIGN_OR_RETURN(std::string_view opts, snapshot.Section("opts"));
+    persist::Cursor cursor(opts);
+    uint64_t k = 0;
+    uint8_t pending = 0;
+    uint32_t nsegments = 0;
+    core::ArchiveOptions options;
+    XARCH_RETURN_NOT_OK(cursor.ReadU64(&k));
+    XARCH_RETURN_NOT_OK(cursor.ReadU8(&pending));
+    XARCH_RETURN_NOT_OK(cursor.ReadU32(&nsegments));
+    XARCH_RETURN_NOT_OK(DecodeArchiveOptions(cursor, &options));
+    XARCH_RETURN_NOT_OK(cursor.ExpectDone());
+    if (k == 0) {
+      return Status::DataLoss("checkpoint-archive snapshot declares k=0");
+    }
+    std::vector<core::Archive> segments;
+    // nsegments is untrusted; the per-segment Section() reads bound it.
+    segments.reserve(std::min<uint32_t>(nsegments, 4096));
+    for (uint32_t i = 0; i < nsegments; ++i) {
+      XARCH_ASSIGN_OR_RETURN(std::string_view xml,
+                             snapshot.Section("seg" + std::to_string(i)));
+      XARCH_ASSIGN_OR_RETURN(keys::KeySpecSet segment_spec, spec.Clone());
+      XARCH_ASSIGN_OR_RETURN(
+          core::Archive segment,
+          ArchiveFromSnapshotXml(xml, std::move(segment_spec), options));
+      segments.push_back(std::move(segment));
+    }
+    XARCH_ASSIGN_OR_RETURN(keys::KeySpecSet scratch, spec.Clone());
+    XARCH_ASSIGN_OR_RETURN(
+        CheckpointedArchive archive,
+        CheckpointedArchive::Restore(std::move(spec), static_cast<size_t>(k),
+                                     options, std::move(segments),
+                                     pending != 0));
+    return std::unique_ptr<Store>(std::make_unique<CheckpointArchiveStore>(
+        std::move(archive), std::move(scratch)));
+  }
+
  private:
   CheckpointedArchive archive_;
   keys::KeySpecSet scratch_spec_;
@@ -671,9 +939,13 @@ class CheckpointDiffStore final : public Store {
  public:
   explicit CheckpointDiffStore(size_t k) : repo_(k) {}
 
+  /// Restore path: adopts a repository decoded from a snapshot.
+  explicit CheckpointDiffStore(CheckpointedDiffRepo repo)
+      : repo_(std::move(repo)) {}
+
   std::string name() const override { return "checkpoint-diff"; }
   Capabilities capabilities() const override {
-    return kBatchIngest | kCheckpoint | kQuery;
+    return kBatchIngest | kCheckpoint | kQuery | kPersistence;
   }
 
  protected:
@@ -710,6 +982,24 @@ class CheckpointDiffStore final : public Store {
 
   std::string StoredBytesImpl() const override { return repo_.StoredBytes(); }
 
+  Status SnapshotImpl(persist::SnapshotWriter& writer) const override {
+    writer.Add("backend", "checkpoint-diff");
+    std::string bytes;
+    repo_.EncodeState(&bytes);
+    writer.Add("repo", std::move(bytes));
+    return Status::OK();
+  }
+
+ public:
+  static StatusOr<std::unique_ptr<Store>> Restore(
+      const persist::SnapshotReader& snapshot) {
+    XARCH_ASSIGN_OR_RETURN(std::string_view bytes, snapshot.Section("repo"));
+    XARCH_ASSIGN_OR_RETURN(CheckpointedDiffRepo repo,
+                           CheckpointedDiffRepo::DecodeState(bytes));
+    return std::unique_ptr<Store>(
+        std::make_unique<CheckpointDiffStore>(std::move(repo)));
+  }
+
  private:
   CheckpointedDiffRepo repo_;
 };
@@ -737,6 +1027,48 @@ StatusOr<std::unique_ptr<Store>> MakeArchiveBackend(StoreOptions options,
                                      archive_options, options.use_index));
 }
 
+/// Fills in a fresh private working directory when the caller left the
+/// default; shared by the extmem factory and its snapshot restorer.
+bool ResolveExtmemWorkDir(extmem::ExternalArchiver::Options* options) {
+  if (options->work_dir != extmem::ExternalArchiver::Options{}.work_dir) {
+    return false;
+  }
+  static std::atomic<uint64_t> counter{0};
+  options->work_dir =
+      (std::filesystem::temp_directory_path() /
+       ("xarch_store_extmem_" + std::to_string(::getpid()) + "_" +
+        std::to_string(counter.fetch_add(1))))
+          .string();
+  return true;
+}
+
+StatusOr<std::unique_ptr<Store>> RestoreExtmemBackend(
+    const persist::SnapshotReader& snapshot, StoreOptions tuning) {
+  XARCH_ASSIGN_OR_RETURN(keys::KeySpecSet spec, SpecFromSnapshot(snapshot));
+  XARCH_ASSIGN_OR_RETURN(std::string_view opts, snapshot.Section("opts"));
+  persist::Cursor cursor(opts);
+  uint32_t count = 0, fingerprint_bits = 0;
+  uint8_t sort_children = 0;
+  XARCH_RETURN_NOT_OK(cursor.ReadU32(&count));
+  XARCH_RETURN_NOT_OK(cursor.ReadU32(&fingerprint_bits));
+  XARCH_RETURN_NOT_OK(cursor.ReadU8(&sort_children));
+  XARCH_RETURN_NOT_OK(cursor.ExpectDone());
+  if (fingerprint_bits == 0 || fingerprint_bits > 64) {
+    return Status::DataLoss("extmem snapshot fingerprint bits out of range");
+  }
+  // Tuning knobs (work dir, memory budget, fan-in) come from the caller;
+  // the correctness-bearing annotate options come from the snapshot.
+  extmem::ExternalArchiver::Options options = tuning.extmem;
+  options.annotate.fingerprint_bits = static_cast<int>(fingerprint_bits);
+  options.annotate.sort_children = sort_children != 0;
+  bool owns_work_dir = ResolveExtmemWorkDir(&options);
+  XARCH_ASSIGN_OR_RETURN(std::string_view rows, snapshot.Section("rows"));
+  auto store = std::make_unique<ExtmemStore>(std::move(spec), options,
+                                             owns_work_dir);
+  XARCH_RETURN_NOT_OK(store->AdoptSnapshot(rows, count));
+  return std::unique_ptr<Store>(std::move(store));
+}
+
 }  // namespace
 
 namespace detail {
@@ -749,71 +1081,84 @@ void RegisterBuiltinStores(StoreRegistry& registry) {
   must(registry.Register({
       "archive",
       "key-based archive, Nested Merge with bucket frontiers (the paper's)",
-      kTemporalQueries | kStreamingRetrieve | kBatchIngest | kQuery,
+      kTemporalQueries | kStreamingRetrieve | kBatchIngest | kQuery |
+          kPersistence,
       [](StoreOptions options) {
         return MakeArchiveBackend(std::move(options), "archive",
                                   core::FrontierStrategy::kBuckets);
+      },
+      [](const persist::SnapshotReader& snapshot, StoreOptions) {
+        return ArchiveStore::Restore(snapshot, "archive",
+                                     core::FrontierStrategy::kBuckets);
       },
   }));
   must(registry.Register({
       "archive-weave",
       "key-based archive with SCCS-weave frontiers (further compaction)",
-      kTemporalQueries | kStreamingRetrieve | kBatchIngest | kQuery,
+      kTemporalQueries | kStreamingRetrieve | kBatchIngest | kQuery |
+          kPersistence,
       [](StoreOptions options) {
         return MakeArchiveBackend(std::move(options), "archive-weave",
                                   core::FrontierStrategy::kWeave);
+      },
+      [](const persist::SnapshotReader& snapshot, StoreOptions) {
+        return ArchiveStore::Restore(snapshot, "archive-weave",
+                                     core::FrontierStrategy::kWeave);
       },
   }));
   must(registry.Register({
       "incr-diff",
       "V1 + incremental line diffs (Sec. 5 baseline)",
-      kBatchIngest | kQuery,
+      kBatchIngest | kQuery | kPersistence,
       [](StoreOptions) -> StatusOr<std::unique_ptr<Store>> {
         return std::unique_ptr<Store>(std::make_unique<IncrDiffStore>());
+      },
+      [](const persist::SnapshotReader& snapshot, StoreOptions) {
+        return RestoreRepoBackend<IncrDiffStore, diff::IncrementalDiffRepo>(
+            snapshot);
       },
   }));
   must(registry.Register({
       "cum-diff",
       "V1 + cumulative line diffs (Sec. 5 baseline)",
-      kBatchIngest | kQuery,
+      kBatchIngest | kQuery | kPersistence,
       [](StoreOptions) -> StatusOr<std::unique_ptr<Store>> {
         return std::unique_ptr<Store>(std::make_unique<CumDiffStore>());
+      },
+      [](const persist::SnapshotReader& snapshot, StoreOptions) {
+        return RestoreRepoBackend<CumDiffStore, diff::CumulativeDiffRepo>(
+            snapshot);
       },
   }));
   must(registry.Register({
       "full-copy",
       "every version stored verbatim",
-      kBatchIngest | kStreamingRetrieve | kQuery,
+      kBatchIngest | kStreamingRetrieve | kQuery | kPersistence,
       [](StoreOptions) -> StatusOr<std::unique_ptr<Store>> {
         return std::unique_ptr<Store>(std::make_unique<FullCopyStore>());
+      },
+      [](const persist::SnapshotReader& snapshot, StoreOptions) {
+        return RestoreRepoBackend<FullCopyStore, diff::FullCopyRepo>(snapshot);
       },
   }));
   must(registry.Register({
       "extmem",
       "external-memory archiver (Sec. 6), on-disk sorted rows",
-      kBatchIngest | kQuery,
+      kBatchIngest | kQuery | kPersistence,
       [](StoreOptions options) -> StatusOr<std::unique_ptr<Store>> {
         XARCH_RETURN_NOT_OK(RequireSpec(options, "extmem"));
-        bool owns_work_dir = false;
-        if (options.extmem.work_dir ==
-            extmem::ExternalArchiver::Options{}.work_dir) {
-          static std::atomic<uint64_t> counter{0};
-          options.extmem.work_dir =
-              (std::filesystem::temp_directory_path() /
-               ("xarch_store_extmem_" + std::to_string(::getpid()) + "_" +
-                std::to_string(counter.fetch_add(1))))
-                  .string();
-          owns_work_dir = true;
-        }
+        bool owns_work_dir = ResolveExtmemWorkDir(&options.extmem);
         return std::unique_ptr<Store>(std::make_unique<ExtmemStore>(
             std::move(options.spec), options.extmem, owns_work_dir));
       },
+      RestoreExtmemBackend,
   }));
   must(registry.Register({
       "compressed",
       "compression wrapper over StoreOptions::inner (capabilities follow "
       "the wrapped store)",
-      kTemporalQueries | kStreamingRetrieve | kBatchIngest | kQuery,
+      kTemporalQueries | kStreamingRetrieve | kBatchIngest | kQuery |
+          kPersistence,
       [](StoreOptions options) -> StatusOr<std::unique_ptr<Store>> {
         std::string inner_name = options.inner;
         if (inner_name == "compressed") {
@@ -826,11 +1171,21 @@ void RegisterBuiltinStores(StoreRegistry& registry) {
         return std::unique_ptr<Store>(
             std::make_unique<CompressedStore>(std::move(inner)));
       },
+      [](const persist::SnapshotReader& snapshot,
+         StoreOptions tuning) -> StatusOr<std::unique_ptr<Store>> {
+        XARCH_ASSIGN_OR_RETURN(std::string_view inner_bytes,
+                               snapshot.Section("inner"));
+        XARCH_ASSIGN_OR_RETURN(std::unique_ptr<Store> inner,
+                               StoreRegistry::Global().OpenFromBytes(
+                                   inner_bytes, std::move(tuning)));
+        return std::unique_ptr<Store>(
+            std::make_unique<CompressedStore>(std::move(inner)));
+      },
   }));
   must(registry.Register({
       "checkpoint-archive",
       "a fresh archive every k versions (Sec. 9 checkpointing)",
-      kTemporalQueries | kBatchIngest | kCheckpoint | kQuery,
+      kTemporalQueries | kBatchIngest | kCheckpoint | kQuery | kPersistence,
       [](StoreOptions options) -> StatusOr<std::unique_ptr<Store>> {
         XARCH_RETURN_NOT_OK(RequireSpec(options, "checkpoint-archive"));
         XARCH_ASSIGN_OR_RETURN(keys::KeySpecSet scratch,
@@ -839,14 +1194,20 @@ void RegisterBuiltinStores(StoreRegistry& registry) {
             std::move(options.spec), std::move(scratch),
             options.checkpoint_every, options.archive));
       },
+      [](const persist::SnapshotReader& snapshot, StoreOptions) {
+        return CheckpointArchiveStore::Restore(snapshot);
+      },
   }));
   must(registry.Register({
       "checkpoint-diff",
       "a full copy every k versions, deltas between (Sec. 9 checkpointing)",
-      kBatchIngest | kCheckpoint | kQuery,
+      kBatchIngest | kCheckpoint | kQuery | kPersistence,
       [](StoreOptions options) -> StatusOr<std::unique_ptr<Store>> {
         return std::unique_ptr<Store>(
             std::make_unique<CheckpointDiffStore>(options.checkpoint_every));
+      },
+      [](const persist::SnapshotReader& snapshot, StoreOptions) {
+        return CheckpointDiffStore::Restore(snapshot);
       },
   }));
 }

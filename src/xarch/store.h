@@ -21,6 +21,10 @@
 
 namespace xarch {
 
+namespace persist {
+class SnapshotWriter;
+}  // namespace persist
+
 namespace query {
 struct EvalResult;
 }  // namespace query
@@ -48,6 +52,11 @@ enum Capability : uint32_t {
   /// (timestamp-tree pruned when indexed); every other backend uses the
   /// interface-level fallback plan over Retrieve/History/DiffVersions.
   kQuery = 1u << 4,
+  /// SaveToFile()/SaveToBytes() snapshot the full store state into the
+  /// versioned binary container (src/persist), and the registry restores
+  /// it with StoreRegistry::OpenFromFile() — byte-identical retrieval
+  /// after the round trip. All built-in backends advertise this.
+  kPersistence = 1u << 5,
 };
 
 /// Bitmask of Capability values.
@@ -250,6 +259,20 @@ class Store {
   /// many threads at once.
   Status Query(std::string_view query_text, Sink& sink);
 
+  // ------------------------------------------------- persistence (durable)
+
+  /// Snapshots the whole store into the versioned binary container format
+  /// (kPersistence) and writes it atomically (temp file + fsync + rename)
+  /// to `path`. The snapshot embeds everything needed to reopen — key
+  /// specification, backend options, and backend state — so
+  /// StoreRegistry::OpenFromFile(path) returns an equivalent store whose
+  /// retrievals are byte-identical. Runs under the read lock: concurrent
+  /// queries keep running (exclusive-read backends serialize as usual).
+  Status SaveToFile(const std::string& path) const;
+
+  /// SaveToFile without the file: the serialized snapshot container.
+  StatusOr<std::string> SaveToBytes() const;
+
   // ---------------------------------------------------- introspection
 
   /// Number of archived versions (numbered 1..version_count()).
@@ -297,6 +320,16 @@ class Store {
   virtual Status QueryImpl(std::string_view query_text, Sink& sink);
   virtual Version VersionCountImpl() const = 0;
   virtual std::string StoredBytesImpl() const = 0;
+
+  /// Fills the snapshot container with this backend's sections, including
+  /// a "backend" section naming the registry key a restorer is registered
+  /// under. Backends that advertise kPersistence must override it.
+  virtual Status SnapshotImpl(persist::SnapshotWriter& writer) const;
+
+  /// Serializes the snapshot; wrapper backends whose snapshot IS another
+  /// store's container (DurableStore) override this instead of
+  /// SnapshotImpl.
+  virtual StatusOr<std::string> SnapshotBytesImpl() const;
 
   /// The backend's own counters; Stats() folds the query counters in.
   virtual StoreStats BackendStats() const = 0;

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "persist/container.h"
+
 namespace xarch {
 
 StoreRegistry& StoreRegistry::Global() {
@@ -47,6 +49,36 @@ StatusOr<std::unique_ptr<Store>> StoreRegistry::CreateStore(
 StatusOr<std::unique_ptr<Store>> StoreRegistry::Create(const std::string& name,
                                                        StoreOptions options) {
   return Global().CreateStore(name, std::move(options));
+}
+
+StatusOr<std::unique_ptr<Store>> StoreRegistry::OpenFromFile(
+    const std::string& path, StoreOptions tuning) const {
+  XARCH_ASSIGN_OR_RETURN(std::string bytes, persist::ReadFileToString(path));
+  return OpenFromBytes(bytes, std::move(tuning));
+}
+
+StatusOr<std::unique_ptr<Store>> StoreRegistry::OpenFromBytes(
+    std::string_view bytes, StoreOptions tuning) const {
+  XARCH_ASSIGN_OR_RETURN(persist::SnapshotReader snapshot,
+                         persist::SnapshotReader::Parse(bytes));
+  XARCH_ASSIGN_OR_RETURN(std::string_view backend,
+                         snapshot.Section("backend"));
+  auto it = entries_.find(std::string(backend));
+  if (it == entries_.end()) {
+    return Status::NotFound("snapshot was written by backend \"" +
+                            std::string(backend) +
+                            "\", which is not registered");
+  }
+  if (!it->second.restorer) {
+    return Status::Unimplemented("backend \"" + it->first +
+                                 "\" has no snapshot restorer");
+  }
+  return it->second.restorer(snapshot, std::move(tuning));
+}
+
+StatusOr<std::unique_ptr<Store>> StoreRegistry::Open(const std::string& path,
+                                                     StoreOptions tuning) {
+  return Global().OpenFromFile(path, std::move(tuning));
 }
 
 std::vector<const StoreRegistry::Entry*> StoreRegistry::List() const {

@@ -5,12 +5,17 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/status.h"
 #include "xarch/store.h"
 
 namespace xarch {
+
+namespace persist {
+class SnapshotReader;
+}  // namespace persist
 
 /// \brief String-keyed factory registry of Store backends.
 ///
@@ -33,11 +38,21 @@ namespace xarch {
 ///                        query
 ///   "checkpoint-diff"    batch-ingest | checkpoint | query
 ///
+/// Every built-in additionally advertises `persist`: SaveToFile snapshots
+/// round-trip through OpenFromFile with byte-identical retrieval.
+///
 /// Out-of-tree backends register through Global().Register().
 class StoreRegistry {
  public:
   using Factory =
       std::function<StatusOr<std::unique_ptr<Store>>(StoreOptions options)>;
+
+  /// Rebuilds a store from a parsed snapshot container (Store::SaveToFile
+  /// output). `tuning` supplies only the knobs a snapshot deliberately
+  /// does not pin — the extmem working directory and memory budget — and
+  /// is ignored by backends whose state is self-contained.
+  using Restorer = std::function<StatusOr<std::unique_ptr<Store>>(
+      const persist::SnapshotReader& snapshot, StoreOptions tuning)>;
 
   /// One registered backend.
   struct Entry {
@@ -47,6 +62,9 @@ class StoreRegistry {
     /// wrapped backend; this field then reflects the default inner).
     Capabilities capabilities = 0;
     Factory factory;
+    /// Optional: absent means snapshots of this backend cannot be opened
+    /// (OpenFromFile fails with kUnimplemented).
+    Restorer restorer;
   };
 
   /// The process-wide registry with all built-in backends registered.
@@ -62,6 +80,21 @@ class StoreRegistry {
   /// Convenience: Global().CreateStore(...).
   static StatusOr<std::unique_ptr<Store>> Create(const std::string& name,
                                                  StoreOptions options = {});
+
+  /// Reopens a Store::SaveToFile snapshot: reads the container, verifies
+  /// its checksums (corruption → kDataLoss), and dispatches to the
+  /// restorer registered under the snapshot's "backend" section. The
+  /// result retrieves byte-identically to the store that was saved.
+  StatusOr<std::unique_ptr<Store>> OpenFromFile(const std::string& path,
+                                                StoreOptions tuning = {}) const;
+
+  /// OpenFromFile over in-memory container bytes.
+  StatusOr<std::unique_ptr<Store>> OpenFromBytes(std::string_view bytes,
+                                                 StoreOptions tuning = {}) const;
+
+  /// Convenience: Global().OpenFromFile(...).
+  static StatusOr<std::unique_ptr<Store>> Open(const std::string& path,
+                                               StoreOptions tuning = {});
 
   /// Registered backend metadata, sorted by name.
   std::vector<const Entry*> List() const;

@@ -38,6 +38,10 @@
 #include "keys/infer.h"
 #include "keys/key_spec.h"
 #include "keys/label.h"
+#include "persist/container.h"
+#include "persist/crc32c.h"
+#include "persist/log.h"
+#include "persist/wire.h"
 #include "query/ast.h"
 #include "query/evaluator.h"
 #include "query/explain.h"
@@ -47,6 +51,7 @@
 #include "util/status.h"
 #include "util/version_set.h"
 #include "xarch/checkpoint.h"
+#include "xarch/durable.h"
 #include "xarch/sink.h"
 #include "xarch/store.h"
 #include "xarch/store_registry.h"

@@ -191,6 +191,13 @@ class Parser {
       ++pos_;
       SkipWs();
       XARCH_ASSIGN_OR_RETURN(std::string value, ParseAttrValue());
+      // XML well-formedness: attribute names are unique per element.
+      // Overwriting silently would also break round-trip stability, which
+      // the persistence layer depends on.
+      if (element->FindAttr(name) != nullptr) {
+        return Status::ParseError("duplicate attribute '" + name +
+                                  "' on <" + element->tag() + ">");
+      }
       element->SetAttr(name, value);
     }
     if (LookingAt("/>")) {

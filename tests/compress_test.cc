@@ -136,6 +136,104 @@ TEST(LzssTest, DecompressRejectsGarbage) {
   EXPECT_FALSE(LzssDecompress(truncated).ok());
 }
 
+// --------------------------------------------- corrupt-input hardening
+
+/// A valid stream with matches (the input repeats, so real back-references
+/// are emitted) used as the corpus for targeted corruption below.
+std::string ValidMatchStream() {
+  std::string data;
+  for (int i = 0; i < 40; ++i) data += "the quick brown fox #" +
+                                       std::to_string(i % 4) + " ";
+  return LzssCompress(data);
+}
+
+TEST(LzssHardeningTest, CorruptInputsReturnDataLoss) {
+  EXPECT_EQ(LzssDecompress("").status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(LzssDecompress("LZS1").status().code(), StatusCode::kDataLoss);
+  std::string valid = ValidMatchStream();
+  EXPECT_EQ(LzssDecompress(valid.substr(0, valid.size() - 2)).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(LzssHardeningTest, ImplausibleDeclaredSizeIsRejectedBeforeAllocation) {
+  // A 13-byte stream claiming 2^60 output bytes: must fail fast with
+  // kDataLoss, not attempt a reservation.
+  std::string stream = "LZS1";
+  uint64_t huge = uint64_t{1} << 60;
+  for (int i = 0; i < 8; ++i) stream.push_back(static_cast<char>(huge >> (8 * i)));
+  stream.push_back(0);
+  auto out = LzssDecompress(stream);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(LzssHardeningTest, OutOfRangeBackReferenceIsRejected) {
+  // Header for 8 output bytes, then a match token pointing 500 bytes back
+  // when nothing has been decoded yet.
+  std::string stream = "LZS1";
+  for (int i = 0; i < 8; ++i) stream.push_back(i == 0 ? 8 : 0);
+  stream.push_back(1);                               // flags: token 0 = match
+  stream.push_back(static_cast<char>(500 & 0xff));   // distance lo
+  stream.push_back(static_cast<char>(500 >> 8));     // distance hi
+  stream.push_back(4);                               // length
+  auto out = LzssDecompress(stream);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(out.status().message().find("distance"), std::string::npos);
+}
+
+TEST(LzssHardeningTest, MatchLengthPastDeclaredOutputIsRejected) {
+  // Declared size 6; 4 literals then a match of length >= 4 would overrun.
+  std::string stream = "LZS1";
+  for (int i = 0; i < 8; ++i) stream.push_back(i == 0 ? 6 : 0);
+  stream.push_back(0x10);  // flags: tokens 0-3 literal, token 4 match
+  stream += "abcd";
+  stream.push_back(2);   // distance 2
+  stream.push_back(0);
+  stream.push_back(50);  // length 54, way past the declared 6
+  auto out = LzssDecompress(stream);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(out.status().message().find("declared output"), std::string::npos);
+}
+
+TEST(LzssHardeningTest, EveryTruncationOfAValidStreamFailsCleanly) {
+  std::string valid = ValidMatchStream();
+  ASSERT_TRUE(LzssDecompress(valid).ok());
+  for (size_t cut = 0; cut < valid.size(); ++cut) {
+    auto out = LzssDecompress(valid.substr(0, cut));
+    EXPECT_FALSE(out.ok()) << "cut at " << cut;
+    EXPECT_EQ(out.status().code(), StatusCode::kDataLoss) << "cut at " << cut;
+  }
+}
+
+TEST(LzssHardeningTest, BitFlipFuzzNeverCrashesOrReadsOutOfBounds) {
+  // Flip every bit of a real stream: each variant must either decode (a
+  // flip in a literal merely changes bytes) or fail with kDataLoss. Under
+  // ASan this is also the no-OOB-read regression for the decoder.
+  std::string valid = ValidMatchStream();
+  size_t decoded = 0, rejected = 0;
+  for (size_t i = 0; i < valid.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string bad = valid;
+      bad[i] = static_cast<char>(bad[i] ^ (1 << bit));
+      auto out = LzssDecompress(bad);
+      if (out.ok()) {
+        ++decoded;
+      } else {
+        ++rejected;
+        EXPECT_EQ(out.status().code(), StatusCode::kDataLoss)
+            << "flip bit " << bit << " of byte " << i << ": "
+            << out.status().ToString();
+      }
+    }
+  }
+  // Flips in the checksummed-free LZSS format can survive (literal bytes),
+  // but structural damage must dominate in a match-heavy stream.
+  EXPECT_GT(rejected, 0u);
+  EXPECT_GT(decoded, 0u);
+}
+
 TEST(LzssTest, VersionedDataCompressesWell) {
   // Two near-identical versions side by side: the second compresses almost
   // entirely as matches against the first — the property the compression

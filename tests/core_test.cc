@@ -264,6 +264,92 @@ TEST(ArchiveXmlTest, FromXmlRejectsGarbage) {
   EXPECT_FALSE(Archive::FromXml("<T><root/></T>", CompanySpec()).ok());
 }
 
+// ---------------------------------------- loader corrupt-input hardening
+
+TEST(ArchiveXmlTest, FromXmlRejectsChildStampNotSubsetOfParent) {
+  // <dept> is stamped {1} but claims a child alive in versions 1-5: no
+  // consistent merge produces this, and retrieval would misbehave on it.
+  const char* bad = R"(<T t="1"><root>
+    <db><T t="1"><dept><name>finance</name>
+      <T t="1-5"><emp><fn>John</fn><ln>Doe</ln></emp></T>
+    </dept></T></db>
+  </root></T>)";
+  auto loaded = Archive::FromXml(bad, CompanySpec());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(loaded.status().message().find("subset"), std::string::npos);
+}
+
+TEST(ArchiveXmlTest, FromXmlRejectsBucketStampOutsideNode) {
+  // A frontier bucket stamped past its node's effective timestamp.
+  const char* bad = R"(<T t="1-2"><root>
+    <db><dept><name>finance</name>
+      <emp><fn>John</fn><ln>Doe</ln>
+        <sal><T t="1-9">95K</T></sal>
+      </emp>
+    </dept></db>
+  </root></T>)";
+  auto loaded = Archive::FromXml(bad, CompanySpec());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ArchiveXmlTest, FromXmlRejectsDuplicateKeyedSiblings) {
+  // The same keyed element stored twice under one parent.
+  const char* bad = R"(<T t="1"><root>
+    <db>
+      <dept><name>finance</name></dept>
+      <dept><name>finance</name></dept>
+    </db>
+  </root></T>)";
+  auto loaded = Archive::FromXml(bad, CompanySpec());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(loaded.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(ArchiveXmlTest, FromXmlRejectsMissingKeyAttributes) {
+  // <dept> without its <name> key path: the label cannot be computed.
+  const char* bad = R"(<T t="1"><root>
+    <db><dept><emp><fn>John</fn><ln>Doe</ln></emp></dept></db>
+  </root></T>)";
+  EXPECT_FALSE(Archive::FromXml(bad, CompanySpec()).ok());
+}
+
+TEST(ArchiveXmlTest, FromXmlRejectsBadStamps) {
+  auto spec = [] { return CompanySpec(); };
+  // Unparseable stamp text.
+  EXPECT_FALSE(
+      Archive::FromXml("<T t='pizza'><root/></T>", spec()).ok());
+  // Stamp with a backwards range.
+  EXPECT_FALSE(Archive::FromXml("<T t='9-2'><root/></T>", spec()).ok());
+  // Overflowing version number.
+  EXPECT_FALSE(
+      Archive::FromXml("<T t='99999999999'><root/></T>", spec()).ok());
+  // Version 0 (versions are numbered from 1).
+  EXPECT_FALSE(Archive::FromXml("<T t='0-3'><root/></T>", spec()).ok());
+  // Missing t attribute on an inner timestamp element.
+  const char* no_attr = R"(<T t="1"><root>
+    <db><T><dept><name>finance</name></dept></T></db>
+  </root></T>)";
+  auto loaded = Archive::FromXml(no_attr, spec());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  // Empty inner stamp.
+  const char* empty_stamp = R"(<T t="1"><root>
+    <db><T t=""><dept><name>finance</name></dept></T></db>
+  </root></T>)";
+  EXPECT_FALSE(Archive::FromXml(empty_stamp, spec()).ok());
+}
+
+TEST(ArchiveXmlTest, HardenedLoaderStillRoundTripsValidArchives) {
+  Archive archive = MakeCompanyArchive();
+  auto loaded = Archive::FromXml(archive.ToXml(), CompanySpec());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->Check().ok());
+  EXPECT_EQ(loaded->ToXml(), archive.ToXml());
+}
+
 TEST(ArchiveXmlTest, AblationSerializationsAreLarger) {
   Archive archive = MakeCompanyArchive();
   ArchiveSerializeOptions base;

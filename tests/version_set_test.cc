@@ -51,6 +51,27 @@ TEST(VersionSetTest, ParseRejectsMalformed) {
   EXPECT_TRUE(VersionSet::Parse("1,3").ok());
 }
 
+TEST(VersionSetTest, ParseOverflowAndEmptyRangeHandling) {
+  // The exact uint32 boundary is representable; one past it is not, and
+  // no digit string may wrap back into range (the check runs per digit).
+  EXPECT_TRUE(VersionSet::Parse("4294967295").ok());
+  EXPECT_FALSE(VersionSet::Parse("4294967296").ok());
+  EXPECT_FALSE(VersionSet::Parse("99999999999999999999").ok());   // > 2^64
+  EXPECT_FALSE(VersionSet::Parse("18446744073709551617").ok());   // 2^64+1
+  EXPECT_FALSE(VersionSet::Parse("1-4294967296").ok());
+  // Empty / half-open ranges.
+  EXPECT_FALSE(VersionSet::Parse("3-").ok());
+  EXPECT_FALSE(VersionSet::Parse("-3").ok());
+  EXPECT_FALSE(VersionSet::Parse("-").ok());
+  EXPECT_FALSE(VersionSet::Parse(",").ok());
+  EXPECT_FALSE(VersionSet::Parse("1,,3").ok());
+  // A single-point "range" is fine and canonicalizes.
+  auto point = VersionSet::Parse("7-7");
+  ASSERT_TRUE(point.ok());
+  EXPECT_EQ(point->ToString(), "7");
+  EXPECT_EQ(point->Count(), 1u);
+}
+
 TEST(VersionSetTest, AccretiveAddExtendsInterval) {
   VersionSet s;
   for (Version v = 1; v <= 100; ++v) s.Add(v);

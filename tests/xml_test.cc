@@ -360,5 +360,106 @@ TEST(PathTest, EvalNoMatch) {
   EXPECT_TRUE(EvalPath(*doc, *ParsePath("c/d")).empty());
 }
 
+// ------------------------------------------ canonical round-trip parity
+// Persistence makes these load-bearing: a serialized tree must re-parse
+// to the identical tree, or snapshots would drift on every save/open.
+
+/// serialize(parse(serialize(tree))) must equal serialize(tree), compact
+/// mode (pretty indentation around mixed content is presentation, not
+/// data).
+void ExpectStableRoundTrip(const Node& tree) {
+  SerializeOptions compact;
+  compact.pretty = false;
+  std::string first = Serialize(tree, compact);
+  auto reparsed = Parse(first);
+  ASSERT_TRUE(reparsed.ok()) << first << "\n"
+                             << reparsed.status().ToString();
+  EXPECT_EQ(Serialize(**reparsed, compact), first);
+}
+
+TEST(RoundTripTest, TextWithQuotesCdataCloserAndRawAngle) {
+  for (const char* text : {
+           "plain",
+           "a \"quoted\" phrase",
+           "it's got 'apostrophes'",
+           "a ]]> cdata closer",
+           "raw > and < and & characters",
+           ">>> ]]> <<<",
+           "&amp; pre-escaped-looking text",
+       }) {
+    NodePtr e = Node::Element("t");
+    e->AddText(text);
+    ExpectStableRoundTrip(*e);
+    // And the parsed text node carries the exact original bytes.
+    SerializeOptions compact;
+    compact.pretty = false;
+    auto back = Parse(Serialize(*e, compact));
+    ASSERT_TRUE(back.ok());
+    ASSERT_EQ((*back)->children().size(), 1u);
+    EXPECT_EQ((*back)->children()[0]->text(), text) << text;
+  }
+}
+
+TEST(RoundTripTest, AttributeValuesWithEveryDelicateCharacter) {
+  for (const char* value : {
+           "simple",
+           "double \" quote",
+           "single ' quote",
+           "both \" and '",
+           "angle <brackets> and &amp-ish",
+           "]]> in an attribute",
+           "trailing space ",
+       }) {
+    NodePtr e = Node::Element("t");
+    e->SetAttr("a", value);
+    ExpectStableRoundTrip(*e);
+    SerializeOptions compact;
+    compact.pretty = false;
+    auto back = Parse(Serialize(*e, compact));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*(*back)->FindAttr("a"), value) << value;
+  }
+}
+
+TEST(RoundTripTest, AttributeOrderIsStable) {
+  // Attributes live in name order whichever order they were set or parsed
+  // in, so serialize → parse → serialize is a fixed point.
+  NodePtr e = Node::Element("t");
+  e->SetAttr("zeta", "1");
+  e->SetAttr("alpha", "2");
+  e->SetAttr("mid", "3");
+  SerializeOptions compact;
+  compact.pretty = false;
+  std::string first = Serialize(*e, compact);
+  EXPECT_EQ(first, "<t alpha=\"2\" mid=\"3\" zeta=\"1\"/>");
+  auto back = Parse(first);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(Serialize(**back, compact), first);
+
+  // Parsing the attributes in the opposite order converges to the same
+  // bytes.
+  auto reversed = Parse("<t zeta=\"1\" mid=\"3\" alpha=\"2\"/>");
+  ASSERT_TRUE(reversed.ok());
+  EXPECT_EQ(Serialize(**reversed, compact), first);
+}
+
+TEST(RoundTripTest, MixedContentRoundTripsCompact) {
+  NodePtr e = Node::Element("p");
+  e->AddText("before ");
+  Node* b = e->AddElement("b");
+  b->AddText("bold \"stuff\"");
+  e->AddText(" after ]]>");
+  ExpectStableRoundTrip(*e);
+}
+
+TEST(ParserTest, DuplicateAttributesAreRejected) {
+  auto dup = Parse("<t a=\"1\" a=\"2\"/>");
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kParseError);
+  EXPECT_NE(dup.status().message().find("duplicate"), std::string::npos);
+  // Distinct names still parse.
+  EXPECT_TRUE(Parse("<t a=\"1\" b=\"2\"/>").ok());
+}
+
 }  // namespace
 }  // namespace xarch::xml
