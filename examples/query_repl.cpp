@@ -12,8 +12,16 @@
 //
 // Non-interactive use: pass queries as arguments
 // (`query_repl '/db diff 1 4'`) — handy for scripts and CI smoke runs.
+//
+// Network mode: `query_repl --connect host:port [queries...]` sends every
+// query to a running xarchd instead of the built-in company database; the
+// shell is otherwise identical, so anything that works locally works over
+// the wire.
 
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -69,45 +77,102 @@ std::vector<std::string> CompanyVersions() {
   };
 }
 
-bool RunOne(xarch::Store& store, const std::string& query) {
-  xarch::StringSink sink;
-  xarch::Status st = store.Query(query, sink);
+/// One query against whichever side is live; prints the result or error.
+using QueryRunner = std::function<bool(const std::string&)>;
+
+bool PrintResult(const xarch::Status& st, const std::string& data) {
   if (!st.ok()) {
     std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
     return false;
   }
-  std::fputs(sink.data().c_str(), stdout);
-  if (sink.data().empty() || sink.data().back() != '\n') std::printf("\n");
+  std::fputs(data.c_str(), stdout);
+  if (data.empty() || data.back() != '\n') std::printf("\n");
   return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  auto spec = xarch::keys::ParseKeySpecSet(kKeys);
-  if (!spec.ok()) Fail(spec.status());
-  xarch::StoreOptions options;
-  options.spec = std::move(*spec);
-  options.use_index = true;
-  auto store = xarch::StoreRegistry::Create("archive", std::move(options));
-  if (!store.ok()) Fail(store.status());
-  for (const std::string& text : CompanyVersions()) {
-    if (xarch::Status st = (*store)->Append(text); !st.ok()) Fail(st);
+  std::vector<std::string> args(argv + 1, argv + argc);
+
+  // --connect host:port switches every query to a remote xarchd.
+  std::unique_ptr<xarch::Client> remote;
+  for (size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] != "--connect") continue;
+    const std::string target = args[i + 1];
+    args.erase(args.begin() + i, args.begin() + i + 2);
+    const size_t colon = target.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "--connect wants host:port, got %s\n",
+                   target.c_str());
+      return 2;
+    }
+    auto client = xarch::Client::Connect(
+        target.substr(0, colon),
+        static_cast<uint16_t>(std::atoi(target.c_str() + colon + 1)));
+    if (!client.ok()) Fail(client.status());
+    remote = std::move(*client);
+    break;
   }
 
-  if (argc > 1) {
+  std::unique_ptr<xarch::Store> local;
+  if (remote == nullptr) {
+    auto spec = xarch::keys::ParseKeySpecSet(kKeys);
+    if (!spec.ok()) Fail(spec.status());
+    xarch::StoreOptions options;
+    options.spec = std::move(*spec);
+    options.use_index = true;
+    auto store = xarch::StoreRegistry::Create("archive", std::move(options));
+    if (!store.ok()) Fail(store.status());
+    for (const std::string& text : CompanyVersions()) {
+      if (xarch::Status st = (*store)->Append(text); !st.ok()) Fail(st);
+    }
+    local = std::move(*store);
+  }
+
+  QueryRunner run = [&](const std::string& query) {
+    xarch::StringSink sink;
+    xarch::Status st = remote != nullptr ? remote->Query(query, sink)
+                                         : local->Query(query, sink);
+    return PrintResult(st, sink.data());
+  };
+
+  if (!args.empty()) {
     // Script mode: any failed query fails the run (CI smoke relies on it).
     bool ok = true;
-    for (int i = 1; i < argc; ++i) {
-      std::printf("xaql> %s\n", argv[i]);
-      ok = RunOne(**store, argv[i]) && ok;
+    for (const std::string& query : args) {
+      std::printf("xaql> %s\n", query.c_str());
+      ok = run(query) && ok;
     }
     return ok ? 0 : 1;
   }
 
+  if (remote != nullptr) {
+    std::printf("XAQL shell — connected to %s (%s, protocol v%u).\n",
+                remote->server_name().c_str(), remote->backend().c_str(),
+                remote->protocol_version());
+    std::printf("Ctrl-D quits.\n");
+    char line[4096];
+    for (;;) {
+      std::printf("xaql> ");
+      std::fflush(stdout);
+      if (std::fgets(line, sizeof line, stdin) == nullptr) break;
+      std::string query(line);
+      while (!query.empty() &&
+             (query.back() == '\n' || query.back() == '\r')) {
+        query.pop_back();
+      }
+      if (query.empty()) continue;
+      if (query == "quit" || query == "exit") break;
+      run(query);
+    }
+    std::printf("\n");
+    return 0;
+  }
+
   std::printf("XAQL shell — %u versions of the company database archived "
               "(%zu archive nodes).\n",
-              (*store)->version_count(), (*store)->Stats().node_count);
+              local->version_count(), local->Stats().node_count);
   std::printf("Try: /db/dept[name=\"finance\"]/emp[*] @ version 4\n");
   std::printf("     /db/dept[name=\"research\"]/emp[fn=\"Anna\", "
               "ln=\"Smith\"] history\n");
@@ -125,7 +190,7 @@ int main(int argc, char** argv) {
     }
     if (query.empty()) continue;
     if (query == "quit" || query == "exit") break;
-    RunOne(**store, query);
+    run(query);
   }
   std::printf("\n");
   return 0;

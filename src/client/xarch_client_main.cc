@@ -1,0 +1,180 @@
+// xarch_client — command-line driver for the xarchd wire protocol.
+//
+//   xarch_client ping     --port P [--host H]
+//   xarch_client query    --port P '<xaql>'        (result bytes to stdout)
+//   xarch_client ingest   --port P file.xml...     (one INGEST batch)
+//   xarch_client stats    --port P                 (key=value lines)
+//   xarch_client shutdown --port P                 (drain + checkpoint + exit)
+//
+// Plus one offline subcommand for parity checking — the CI smoke ingests
+// the same documents through the daemon and locally, runs the same XAQL
+// both ways, and diffs the bytes:
+//
+//   xarch_client local-query --keys keys.txt [--backend B] '<xaql>' file.xml...
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "client/client.h"
+#include "xarch/store_registry.h"
+
+namespace {
+
+using namespace xarch;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: xarch_client <ping|query|ingest|stats|shutdown> --port P\n"
+      "                    [--host H] [args...]\n"
+      "       xarch_client local-query --keys keys.txt [--backend B]\n"
+      "                    '<xaql>' file.xml...\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "xarch_client: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return Status::IoError("cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Pulls "--flag value" out of args (erasing it); empty when absent.
+std::string TakeFlag(std::vector<std::string>* args, const std::string& flag) {
+  for (size_t i = 0; i + 1 < args->size(); ++i) {
+    if ((*args)[i] == flag) {
+      std::string value = (*args)[i + 1];
+      args->erase(args->begin() + i, args->begin() + i + 2);
+      return value;
+    }
+  }
+  return "";
+}
+
+int RunLocalQuery(std::vector<std::string> args) {
+  const std::string keys_path = TakeFlag(&args, "--keys");
+  std::string backend = TakeFlag(&args, "--backend");
+  if (backend.empty()) backend = "archive";
+  if (keys_path.empty() || args.empty()) return Usage();
+  const std::string query = args.front();
+  args.erase(args.begin());
+
+  auto keys_text = ReadFile(keys_path);
+  if (!keys_text.ok()) return Fail(keys_text.status());
+  auto spec = keys::ParseKeySpecSet(*keys_text);
+  if (!spec.ok()) return Fail(spec.status());
+  StoreOptions options;
+  options.spec = std::move(*spec);
+  auto store = StoreRegistry::Create(backend, std::move(options));
+  if (!store.ok()) return Fail(store.status());
+  for (const std::string& path : args) {
+    auto text = ReadFile(path);
+    if (!text.ok()) return Fail(text.status());
+    if (Status st = (*store)->Append(*text); !st.ok()) return Fail(st);
+  }
+  StringSink sink;
+  if (Status st = (*store)->Query(query, sink); !st.ok()) return Fail(st);
+  std::fwrite(sink.data().data(), 1, sink.data().size(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+
+  if (command == "local-query") return RunLocalQuery(std::move(args));
+
+  std::string host = TakeFlag(&args, "--host");
+  if (host.empty()) host = "127.0.0.1";
+  const std::string port_text = TakeFlag(&args, "--port");
+  const long port = port_text.empty() ? 0 : std::strtol(port_text.c_str(),
+                                                        nullptr, 10);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "xarch_client: --port is required (1-65535)\n");
+    return 2;
+  }
+
+  ClientOptions options;
+  options.client_name = "xarch_client";
+  auto client = Client::Connect(host, static_cast<uint16_t>(port), options);
+  if (!client.ok()) return Fail(client.status());
+
+  if (command == "ping") {
+    if (Status st = (*client)->Ping(); !st.ok()) return Fail(st);
+    std::printf("pong from %s (%s, protocol v%u)\n",
+                (*client)->server_name().c_str(), (*client)->backend().c_str(),
+                (*client)->protocol_version());
+    return 0;
+  }
+  if (command == "query") {
+    if (args.size() != 1) return Usage();
+    FileSink sink(stdout);
+    if (Status st = (*client)->Query(args[0], sink); !st.ok()) {
+      return Fail(st);
+    }
+    return 0;
+  }
+  if (command == "ingest") {
+    if (args.empty()) return Usage();
+    std::vector<std::string> documents;
+    for (const std::string& path : args) {
+      auto text = ReadFile(path);
+      if (!text.ok()) return Fail(text.status());
+      documents.push_back(std::move(*text));
+    }
+    std::vector<std::string_view> views(documents.begin(), documents.end());
+    auto count = (*client)->Ingest(views);
+    if (!count.ok()) return Fail(count.status());
+    std::printf("ingested %zu documents; server now holds %u versions\n",
+                documents.size(), *count);
+    return 0;
+  }
+  if (command == "stats") {
+    auto stats = (*client)->Stats();
+    if (!stats.ok()) return Fail(stats.status());
+    std::printf("sessions_opened=%llu\nsessions_active=%llu\n"
+                "queries=%llu\ningests=%llu\ndocuments_ingested=%llu\n"
+                "bytes_in=%llu\nbytes_out=%llu\nrejected_busy=%llu\n"
+                "protocol_errors=%llu\nquery_latency_p50_us=%llu\n"
+                "query_latency_p99_us=%llu\nstore_versions=%u\n"
+                "session_queries=%llu\nsession_ingests=%llu\n"
+                "session_bytes_in=%llu\nsession_bytes_out=%llu\n",
+                static_cast<unsigned long long>(stats->sessions_opened),
+                static_cast<unsigned long long>(stats->sessions_active),
+                static_cast<unsigned long long>(stats->queries),
+                static_cast<unsigned long long>(stats->ingests),
+                static_cast<unsigned long long>(stats->documents_ingested),
+                static_cast<unsigned long long>(stats->bytes_in),
+                static_cast<unsigned long long>(stats->bytes_out),
+                static_cast<unsigned long long>(stats->rejected_busy),
+                static_cast<unsigned long long>(stats->protocol_errors),
+                static_cast<unsigned long long>(stats->query_latency_p50_us),
+                static_cast<unsigned long long>(stats->query_latency_p99_us),
+                stats->store_versions,
+                static_cast<unsigned long long>(stats->session_queries),
+                static_cast<unsigned long long>(stats->session_ingests),
+                static_cast<unsigned long long>(stats->session_bytes_in),
+                static_cast<unsigned long long>(stats->session_bytes_out));
+    return 0;
+  }
+  if (command == "shutdown") {
+    if (Status st = (*client)->Shutdown(); !st.ok()) return Fail(st);
+    std::printf("shutdown acknowledged\n");
+    return 0;
+  }
+  return Usage();
+}

@@ -35,6 +35,13 @@ inline void PutBytes(std::string_view s, std::string* out) {
   out->append(s.data(), s.size());
 }
 
+/// Overwrites 4 bytes at `pos` with a little-endian u32. For headers whose
+/// fields (length, checksum) are only known after the body is serialized:
+/// reserve the header with PutU32(0, ...), append the body, then patch.
+inline void PatchU32(uint32_t v, size_t pos, std::string* out) {
+  for (int i = 0; i < 4; ++i) (*out)[pos + i] = static_cast<char>(v >> (8 * i));
+}
+
 /// \brief Bounds-checked sequential reader over untrusted bytes.
 class Cursor {
  public:

@@ -1,0 +1,198 @@
+#include "server/net_util.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <utility>
+
+namespace xarch::net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+StatusOr<sockaddr_in> ResolveV4(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (host.empty() || host == "0.0.0.0") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (host == "localhost") {
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  } else if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument(
+        "cannot parse \"" + host +
+        "\" as an IPv4 address (DNS resolution is out of scope)");
+  }
+  return addr;
+}
+
+}  // namespace
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Socket::~Socket() { Close(); }
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+StatusOr<Listener> Listener::Bind(const std::string& host, uint16_t port,
+                                  int backlog) {
+  XARCH_ASSIGN_OR_RETURN(sockaddr_in addr, ResolveV4(host, port));
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(socket.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(socket.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    return Errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(socket.fd(), backlog) != 0) return Errno("listen");
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    return Errno("getsockname");
+  }
+  return Listener(std::move(socket), ntohs(bound.sin_port));
+}
+
+StatusOr<Socket> Listener::Accept() {
+  for (;;) {
+    const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    return Errno("accept");
+  }
+}
+
+StatusOr<Socket> Connect(const std::string& host, uint16_t port) {
+  XARCH_ASSIGN_OR_RETURN(sockaddr_in addr, ResolveV4(host, port));
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) return Errno("socket");
+  for (;;) {
+    if (::connect(socket.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) == 0) {
+      const int one = 1;
+      ::setsockopt(socket.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return socket;
+    }
+    if (errno == EINTR) continue;
+    return Errno("connect " + host + ":" + std::to_string(port));
+  }
+}
+
+Status WriteAll(const Socket& socket, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(socket.fd(), data.data() + sent,
+                             data.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+StatusOr<bool> WaitReadable(const Socket& socket, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = socket.fd();
+  pfd.events = POLLIN;
+  for (;;) {
+    const int n = ::poll(&pfd, 1, timeout_ms);
+    if (n > 0) return true;
+    if (n == 0) return false;
+    if (errno == EINTR) continue;
+    return Errno("poll");
+  }
+}
+
+StatusOr<size_t> ReadSome(const Socket& socket, std::string* buffer) {
+  char chunk[16 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(socket.fd(), chunk, sizeof chunk, 0);
+    if (n > 0) {
+      buffer->append(chunk, static_cast<size_t>(n));
+      return static_cast<size_t>(n);
+    }
+    if (n == 0) return size_t{0};
+    if (errno == EINTR) continue;
+    return Errno("recv");
+  }
+}
+
+Status FrameReader::ReadFrame(Frame* out, int idle_timeout_ms,
+                              int stall_timeout_ms) {
+  bool mid_frame = !buffer_.empty();
+  for (;;) {
+    std::string detail;
+    switch (TryDecodeFrame(&buffer_, out, &detail)) {
+      case DecodeResult::kFrame:
+        return Status::OK();
+      case DecodeResult::kMalformed:
+        return Status::DataLoss(detail);
+      case DecodeResult::kNeedMore:
+        break;
+    }
+    XARCH_ASSIGN_OR_RETURN(
+        bool readable,
+        WaitReadable(socket_, mid_frame ? stall_timeout_ms : idle_timeout_ms));
+    if (!readable) {
+      if (mid_frame) {
+        return Status::IoError("peer stalled mid-frame for " +
+                               std::to_string(stall_timeout_ms) + " ms");
+      }
+      return Status::NotFound("idle: no frame within the timeout");
+    }
+    XARCH_ASSIGN_OR_RETURN(size_t n, ReadSome(socket_, &buffer_));
+    if (n == 0) {
+      if (buffer_.empty()) return Status::IoError("connection closed by peer");
+      return Status::IoError("connection closed mid-frame (" +
+                             std::to_string(buffer_.size()) +
+                             " buffered bytes)");
+    }
+    bytes_read_ += n;
+    mid_frame = true;
+  }
+}
+
+Status WriteFrame(const Socket& socket, MessageType type,
+                  std::string_view payload, uint64_t* bytes_written) {
+  XARCH_ASSIGN_OR_RETURN(std::string frame, EncodeFrame(type, payload));
+  XARCH_RETURN_NOT_OK(WriteAll(socket, frame));
+  if (bytes_written != nullptr) *bytes_written += frame.size();
+  return Status::OK();
+}
+
+}  // namespace xarch::net

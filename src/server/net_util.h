@@ -1,0 +1,118 @@
+#ifndef XARCH_SERVER_NET_UTIL_H_
+#define XARCH_SERVER_NET_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "server/protocol.h"
+#include "util/status.h"
+
+namespace xarch::net {
+
+/// \brief Thin RAII + Status wrappers over POSIX TCP sockets, shared by
+/// the server session loop and the blocking client. IPv4 only (the daemon
+/// binds loopback by default); every call handles EINTR and short
+/// reads/writes, and writes use MSG_NOSIGNAL so a peer that vanished
+/// surfaces as kIoError instead of SIGPIPE.
+
+/// Owns one file descriptor; closes it on destruction. Move-only.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  ~Socket();
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Closes the descriptor now (idempotent). A blocked peer sees EOF.
+  void Close();
+
+  /// Shuts down both directions without closing the descriptor — safe to
+  /// call from another thread to unblock a pending accept/read.
+  void ShutdownBoth();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening socket bound to `host:port`; port 0 binds an ephemeral
+/// port, reported by bound_port().
+class Listener {
+ public:
+  static StatusOr<Listener> Bind(const std::string& host, uint16_t port,
+                                 int backlog = 64);
+
+  Listener() = default;
+
+  bool valid() const { return socket_.valid(); }
+  uint16_t bound_port() const { return bound_port_; }
+
+  /// Blocks until a connection arrives or the listener is shut down
+  /// (ShutdownNow from another thread), which yields kIoError.
+  StatusOr<Socket> Accept();
+
+  /// Unblocks any pending Accept and makes future ones fail.
+  void ShutdownNow() { socket_.ShutdownBoth(); }
+
+ private:
+  Listener(Socket socket, uint16_t port)
+      : socket_(std::move(socket)), bound_port_(port) {}
+
+  Socket socket_;
+  uint16_t bound_port_ = 0;
+};
+
+/// Connects to `host:port` (blocking).
+StatusOr<Socket> Connect(const std::string& host, uint16_t port);
+
+/// Writes all of `data`, looping over short writes. kIoError on failure.
+Status WriteAll(const Socket& socket, std::string_view data);
+
+/// Waits up to `timeout_ms` for the socket to become readable.
+/// Returns true when readable, false on timeout. timeout_ms < 0 blocks.
+StatusOr<bool> WaitReadable(const Socket& socket, int timeout_ms);
+
+/// Reads whatever is available (up to a few KiB) and appends it to
+/// `buffer`. Returns the byte count: 0 means orderly EOF.
+StatusOr<size_t> ReadSome(const Socket& socket, std::string* buffer);
+
+/// \brief Frame-granular I/O over a socket: buffers partial reads between
+/// calls so one ReadFrame returns exactly one protocol frame.
+class FrameReader {
+ public:
+  explicit FrameReader(const Socket& socket) : socket_(socket) {}
+
+  /// Reads one frame. `idle_timeout_ms` bounds the wait for the FIRST
+  /// byte (< 0 = forever); once a frame has started, a peer that stalls
+  /// mid-frame for more than `stall_timeout_ms` is an error — a correct
+  /// peer never pauses inside a frame for long.
+  ///
+  /// Outcomes: OK — *out holds a frame. kNotFound — idle timeout, no
+  /// bytes consumed (caller may poll a stop flag and retry). kDataLoss —
+  /// malformed framing (detail in the message). kIoError — EOF or socket
+  /// failure.
+  Status ReadFrame(Frame* out, int idle_timeout_ms, int stall_timeout_ms);
+
+  /// Bytes consumed off the wire so far (frames + buffered prefix).
+  uint64_t bytes_read() const { return bytes_read_; }
+
+ private:
+  const Socket& socket_;
+  std::string buffer_;
+  uint64_t bytes_read_ = 0;
+};
+
+/// Encodes and writes one frame.
+Status WriteFrame(const Socket& socket, MessageType type,
+                  std::string_view payload, uint64_t* bytes_written = nullptr);
+
+}  // namespace xarch::net
+
+#endif  // XARCH_SERVER_NET_UTIL_H_

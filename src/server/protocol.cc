@@ -1,0 +1,226 @@
+#include "server/protocol.h"
+
+#include "persist/crc32c.h"
+#include "persist/wire.h"
+
+namespace xarch::net {
+
+namespace {
+
+constexpr size_t kFrameHeaderBytes = 8;  // u32 length + u32 masked CRC
+
+/// Reads a PutBytes string into an owned std::string.
+Status ReadOwnedBytes(persist::Cursor* cursor, std::string* out) {
+  std::string_view view;
+  XARCH_RETURN_NOT_OK(cursor->ReadBytes(&view));
+  out->assign(view);
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kUnknown: return "unknown";
+    case ErrorCode::kVersionMismatch: return "version-mismatch";
+    case ErrorCode::kMalformedFrame: return "malformed-frame";
+    case ErrorCode::kUnknownMessage: return "unknown-message";
+    case ErrorCode::kBadRequest: return "bad-request";
+    case ErrorCode::kBusy: return "busy";
+    case ErrorCode::kQueryFailed: return "query-failed";
+    case ErrorCode::kIngestFailed: return "ingest-failed";
+    case ErrorCode::kShuttingDown: return "shutting-down";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+StatusOr<std::string> EncodeFrame(MessageType type, std::string_view payload) {
+  const size_t body_len = 1 + payload.size();
+  if (body_len > kMaxFrameBytes) {
+    return Status::InvalidArgument(
+        "frame body of " + std::to_string(body_len) +
+        " bytes exceeds the protocol limit of " +
+        std::to_string(kMaxFrameBytes));
+  }
+  std::string out;
+  out.reserve(kFrameHeaderBytes + body_len);
+  persist::PutU32(0, &out);  // length, patched below
+  persist::PutU32(0, &out);  // masked CRC, patched below
+  persist::PutU8(static_cast<uint8_t>(type), &out);
+  out.append(payload.data(), payload.size());
+  const std::string_view body(out.data() + kFrameHeaderBytes, body_len);
+  persist::PatchU32(static_cast<uint32_t>(body_len), 0, &out);
+  persist::PatchU32(persist::MaskCrc(persist::Crc32c(body)), 4, &out);
+  return out;
+}
+
+DecodeResult TryDecodeFrame(std::string* buffer, Frame* out,
+                            std::string* detail) {
+  if (buffer->size() < kFrameHeaderBytes) return DecodeResult::kNeedMore;
+  persist::Cursor header(*buffer);
+  uint32_t body_len = 0;
+  uint32_t masked_crc = 0;
+  (void)header.ReadU32(&body_len);  // 8 bytes are present: cannot fail
+  (void)header.ReadU32(&masked_crc);
+  if (body_len == 0 || body_len > kMaxFrameBytes) {
+    if (detail != nullptr) {
+      *detail = "declared body length " + std::to_string(body_len) +
+                (body_len == 0 ? " (a frame carries at least its type octet)"
+                               : " exceeds the protocol limit");
+    }
+    return DecodeResult::kMalformed;
+  }
+  if (buffer->size() < kFrameHeaderBytes + body_len) {
+    return DecodeResult::kNeedMore;
+  }
+  const std::string_view body(buffer->data() + kFrameHeaderBytes, body_len);
+  const uint32_t actual = persist::Crc32c(body);
+  if (persist::UnmaskCrc(masked_crc) != actual) {
+    if (detail != nullptr) *detail = "frame body CRC mismatch";
+    return DecodeResult::kMalformed;
+  }
+  out->type = static_cast<MessageType>(static_cast<uint8_t>(body[0]));
+  out->payload.assign(body.substr(1));
+  buffer->erase(0, kFrameHeaderBytes + body_len);
+  return DecodeResult::kFrame;
+}
+
+// --------------------------------------------------------------- payloads
+
+std::string EncodeHelloRequest(const HelloRequest& hello) {
+  std::string out;
+  persist::PutU32(hello.magic, &out);
+  persist::PutU32(hello.min_version, &out);
+  persist::PutU32(hello.max_version, &out);
+  persist::PutBytes(hello.client_name, &out);
+  return out;
+}
+
+Status DecodeHelloRequest(std::string_view payload, HelloRequest* out) {
+  persist::Cursor cursor(payload);
+  XARCH_RETURN_NOT_OK(cursor.ReadU32(&out->magic));
+  XARCH_RETURN_NOT_OK(cursor.ReadU32(&out->min_version));
+  XARCH_RETURN_NOT_OK(cursor.ReadU32(&out->max_version));
+  XARCH_RETURN_NOT_OK(ReadOwnedBytes(&cursor, &out->client_name));
+  return cursor.ExpectDone();
+}
+
+std::string EncodeHelloReply(const HelloReply& reply) {
+  std::string out;
+  persist::PutU32(reply.version, &out);
+  persist::PutBytes(reply.server_name, &out);
+  persist::PutBytes(reply.backend, &out);
+  return out;
+}
+
+Status DecodeHelloReply(std::string_view payload, HelloReply* out) {
+  persist::Cursor cursor(payload);
+  XARCH_RETURN_NOT_OK(cursor.ReadU32(&out->version));
+  XARCH_RETURN_NOT_OK(ReadOwnedBytes(&cursor, &out->server_name));
+  XARCH_RETURN_NOT_OK(ReadOwnedBytes(&cursor, &out->backend));
+  return cursor.ExpectDone();
+}
+
+std::string EncodeErrorReply(const ErrorReply& error) {
+  std::string out;
+  persist::PutU32(static_cast<uint32_t>(error.code), &out);
+  persist::PutBytes(error.message, &out);
+  return out;
+}
+
+Status DecodeErrorReply(std::string_view payload, ErrorReply* out) {
+  persist::Cursor cursor(payload);
+  uint32_t code = 0;
+  XARCH_RETURN_NOT_OK(cursor.ReadU32(&code));
+  out->code = static_cast<ErrorCode>(code);
+  XARCH_RETURN_NOT_OK(ReadOwnedBytes(&cursor, &out->message));
+  return cursor.ExpectDone();
+}
+
+std::string EncodeIngestRequest(const IngestRequest& request) {
+  std::string out;
+  persist::PutU32(static_cast<uint32_t>(request.documents.size()), &out);
+  for (const std::string& doc : request.documents) {
+    persist::PutBytes(doc, &out);
+  }
+  return out;
+}
+
+Status DecodeIngestRequest(std::string_view payload, IngestRequest* out) {
+  persist::Cursor cursor(payload);
+  uint32_t count = 0;
+  XARCH_RETURN_NOT_OK(cursor.ReadU32(&count));
+  // Each document costs at least its u64 length prefix, so an impossible
+  // count is rejected before any reservation.
+  if (count > cursor.remaining() / 8) {
+    return Status::DataLoss("ingest batch declares " + std::to_string(count) +
+                            " documents but only " +
+                            std::to_string(cursor.remaining()) +
+                            " payload bytes remain");
+  }
+  out->documents.clear();
+  out->documents.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string doc;
+    XARCH_RETURN_NOT_OK(ReadOwnedBytes(&cursor, &doc));
+    out->documents.push_back(std::move(doc));
+  }
+  return cursor.ExpectDone();
+}
+
+std::string EncodeIngestReply(const IngestReply& reply) {
+  std::string out;
+  persist::PutU32(reply.version_count, &out);
+  return out;
+}
+
+Status DecodeIngestReply(std::string_view payload, IngestReply* out) {
+  persist::Cursor cursor(payload);
+  XARCH_RETURN_NOT_OK(cursor.ReadU32(&out->version_count));
+  return cursor.ExpectDone();
+}
+
+std::string EncodeStatsReply(const StatsReply& stats) {
+  std::string out;
+  persist::PutU64(stats.sessions_opened, &out);
+  persist::PutU64(stats.sessions_active, &out);
+  persist::PutU64(stats.queries, &out);
+  persist::PutU64(stats.ingests, &out);
+  persist::PutU64(stats.documents_ingested, &out);
+  persist::PutU64(stats.bytes_in, &out);
+  persist::PutU64(stats.bytes_out, &out);
+  persist::PutU64(stats.rejected_busy, &out);
+  persist::PutU64(stats.protocol_errors, &out);
+  persist::PutU64(stats.query_latency_p50_us, &out);
+  persist::PutU64(stats.query_latency_p99_us, &out);
+  persist::PutU32(stats.store_versions, &out);
+  persist::PutU64(stats.session_queries, &out);
+  persist::PutU64(stats.session_ingests, &out);
+  persist::PutU64(stats.session_bytes_in, &out);
+  persist::PutU64(stats.session_bytes_out, &out);
+  return out;
+}
+
+Status DecodeStatsReply(std::string_view payload, StatsReply* out) {
+  persist::Cursor cursor(payload);
+  XARCH_RETURN_NOT_OK(cursor.ReadU64(&out->sessions_opened));
+  XARCH_RETURN_NOT_OK(cursor.ReadU64(&out->sessions_active));
+  XARCH_RETURN_NOT_OK(cursor.ReadU64(&out->queries));
+  XARCH_RETURN_NOT_OK(cursor.ReadU64(&out->ingests));
+  XARCH_RETURN_NOT_OK(cursor.ReadU64(&out->documents_ingested));
+  XARCH_RETURN_NOT_OK(cursor.ReadU64(&out->bytes_in));
+  XARCH_RETURN_NOT_OK(cursor.ReadU64(&out->bytes_out));
+  XARCH_RETURN_NOT_OK(cursor.ReadU64(&out->rejected_busy));
+  XARCH_RETURN_NOT_OK(cursor.ReadU64(&out->protocol_errors));
+  XARCH_RETURN_NOT_OK(cursor.ReadU64(&out->query_latency_p50_us));
+  XARCH_RETURN_NOT_OK(cursor.ReadU64(&out->query_latency_p99_us));
+  XARCH_RETURN_NOT_OK(cursor.ReadU32(&out->store_versions));
+  XARCH_RETURN_NOT_OK(cursor.ReadU64(&out->session_queries));
+  XARCH_RETURN_NOT_OK(cursor.ReadU64(&out->session_ingests));
+  XARCH_RETURN_NOT_OK(cursor.ReadU64(&out->session_bytes_in));
+  XARCH_RETURN_NOT_OK(cursor.ReadU64(&out->session_bytes_out));
+  return cursor.ExpectDone();
+}
+
+}  // namespace xarch::net

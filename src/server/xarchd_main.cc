@@ -1,0 +1,162 @@
+// xarchd — the xarch archive daemon: opens a DurableStore and serves
+// XAQL queries and ingest over the length-prefixed binary protocol
+// (docs/PROTOCOL.md).
+//
+//   xarchd --dir /var/lib/xarch [--keys keys.txt] [--backend archive]
+//          [--host 127.0.0.1] [--port 0] [--port-file path]
+//          [--threads 8] [--max-inflight 4] [--snapshot-every N]
+//          [--fsync every|never]
+//
+// --keys is required the first time a directory is created with an
+// archive-family backend (the Appendix-B key specification text); a
+// reopened directory carries its spec inside the snapshot. --port 0
+// binds an ephemeral port; --port-file writes the bound port so scripts
+// (CI smoke, tests) can find the daemon without racing its stdout.
+//
+// Shutdown is graceful on SIGINT/SIGTERM or a client SHUTDOWN frame:
+// stop accepting, drain in-flight sessions, checkpoint the WAL into a
+// fresh snapshot (CheckpointIfDirty), exit 0. A clean stop therefore
+// never relies on crash recovery; kill -9 still recovers via the WAL.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "server/server.h"
+#include "xarch/durable.h"
+
+namespace {
+
+using namespace xarch;
+
+std::sig_atomic_t g_signal = 0;
+
+void OnSignal(int sig) { g_signal = sig; }
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: xarchd --dir <path> [--keys keys.txt] [--backend archive]\n"
+      "              [--host 127.0.0.1] [--port 0] [--port-file path]\n"
+      "              [--threads 8] [--max-inflight 4]\n"
+      "              [--snapshot-every N] [--fsync every|never]\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "xarchd: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+std::string TakeFlag(std::vector<std::string>* args, const std::string& flag) {
+  for (size_t i = 0; i + 1 < args->size(); ++i) {
+    if ((*args)[i] == flag) {
+      std::string value = (*args)[i + 1];
+      args->erase(args->begin() + i, args->begin() + i + 2);
+      return value;
+    }
+  }
+  return "";
+}
+
+long NumberOr(const std::string& text, long fallback) {
+  return text.empty() ? fallback : std::strtol(text.c_str(), nullptr, 10);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  const std::string dir = TakeFlag(&args, "--dir");
+  const std::string keys_path = TakeFlag(&args, "--keys");
+  std::string backend = TakeFlag(&args, "--backend");
+  if (backend.empty()) backend = "archive";
+  const std::string host_flag = TakeFlag(&args, "--host");
+  const long port = NumberOr(TakeFlag(&args, "--port"), 0);
+  const std::string port_file = TakeFlag(&args, "--port-file");
+  const long threads = NumberOr(TakeFlag(&args, "--threads"), 8);
+  const long max_inflight = NumberOr(TakeFlag(&args, "--max-inflight"), 4);
+  const long snapshot_every = NumberOr(TakeFlag(&args, "--snapshot-every"), 0);
+  const std::string fsync = TakeFlag(&args, "--fsync");
+  if (dir.empty() || !args.empty() || port < 0 || port > 65535 ||
+      threads < 1 || max_inflight < 1 || snapshot_every < 0 ||
+      (!fsync.empty() && fsync != "every" && fsync != "never")) {
+    return Usage();
+  }
+
+  DurableOptions durable;
+  durable.backend = backend;
+  durable.snapshot_every_records = static_cast<uint64_t>(snapshot_every);
+  if (fsync == "never") durable.fsync = persist::FsyncPolicy::kNever;
+  if (!keys_path.empty()) {
+    std::ifstream in(keys_path, std::ios::binary);
+    if (!in.good()) {
+      return Fail(Status::IoError("cannot read key spec " + keys_path));
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto spec = keys::ParseKeySpecSet(buffer.str());
+    if (!spec.ok()) return Fail(spec.status());
+    durable.store.spec = std::move(*spec);
+    durable.store.use_index = true;
+  }
+
+  auto store = DurableStore::Open(dir, std::move(durable));
+  if (!store.ok()) return Fail(store.status());
+
+  server::ServerOptions options;
+  if (!host_flag.empty()) options.host = host_flag;
+  options.port = static_cast<uint16_t>(port);
+  options.session_threads = static_cast<size_t>(threads);
+  options.max_inflight_queries = static_cast<size_t>(max_inflight);
+  auto served = server::Server::Start(**store, options);
+  if (!served.ok()) return Fail(served.status());
+
+  if (!port_file.empty()) {
+    // Written atomically-enough for scripts: tmp + rename, so a reader
+    // never sees a half-written port number.
+    const std::string tmp = port_file + ".tmp";
+    std::ofstream out(tmp, std::ios::trunc);
+    out << (*served)->port() << "\n";
+    out.close();
+    if (!out.good() || std::rename(tmp.c_str(), port_file.c_str()) != 0) {
+      return Fail(Status::IoError("cannot write port file " + port_file));
+    }
+  }
+  std::printf("xarchd: serving %s (%u versions) on %s:%u\n",
+              (*store)->name().c_str(), (*store)->version_count(),
+              options.host.c_str(), (*served)->port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // Wait for a stop: a signal (polled — a handler cannot safely touch the
+  // server) or a client SHUTDOWN frame (observed via stop_requested()).
+  while (g_signal == 0 && !(*served)->stop_requested()) {
+    timespec nap{0, 50 * 1000 * 1000};  // 50 ms
+    nanosleep(&nap, nullptr);
+  }
+  if (g_signal != 0) {
+    std::printf("xarchd: signal %d, draining\n", static_cast<int>(g_signal));
+  } else {
+    std::printf("xarchd: shutdown requested by client, draining\n");
+  }
+  std::fflush(stdout);
+
+  (*served)->Join();  // stop accepting + drain in-flight sessions
+  if (Status st = (*store)->CheckpointIfDirty(); !st.ok()) {
+    // The data is still safe (WAL replay covers it); exit nonzero so the
+    // operator knows the clean-stop checkpoint did not land.
+    return Fail(st);
+  }
+  std::printf("xarchd: clean shutdown (snapshot current, log empty)\n");
+  return 0;
+}

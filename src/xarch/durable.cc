@@ -203,6 +203,14 @@ Status DurableStore::CheckpointImpl() {
 
 Status DurableStore::CompactNow() { return Checkpoint(); }
 
+Status DurableStore::CheckpointIfDirty() {
+  // Racing ingests may land between the check and the checkpoint; the
+  // checkpoint itself runs under the exclusive lock, so the worst case is
+  // a snapshot that was not strictly necessary — never a lost record.
+  if (log_records() == 0) return Status::OK();
+  return Checkpoint();
+}
+
 StatusOr<std::string> DurableStore::RetrieveImpl(Version v) {
   return inner_->Retrieve(v);
 }

@@ -62,6 +62,14 @@ class DurableStore final : public Store {
   /// ingest log (forwarding the boundary to checkpointing inner backends).
   Status CompactNow();
 
+  /// The clean-shutdown hook: Checkpoint(), but only when the log holds
+  /// records a snapshot has not absorbed — a store that is already
+  /// compact is left untouched (no pointless snapshot rewrite). After an
+  /// OK return the directory reopens without any WAL replay: xarchd calls
+  /// this between draining its sessions and exiting 0, so a clean stop
+  /// never leans on crash recovery.
+  Status CheckpointIfDirty();
+
   /// Log records appended since the last snapshot (replay cost proxy).
   uint64_t log_records() const;
 

@@ -21,6 +21,7 @@
 ///   std::string xml = archive.ToXml();              // archive is XML too
 /// \endcode
 
+#include "client/client.h"
 #include "compress/container.h"
 #include "compress/lzss.h"
 #include "core/archive.h"
@@ -48,6 +49,9 @@
 #include "query/lexer.h"
 #include "query/parser.h"
 #include "query/planner.h"
+#include "server/net_util.h"
+#include "server/protocol.h"
+#include "server/server.h"
 #include "util/status.h"
 #include "util/version_set.h"
 #include "xarch/checkpoint.h"
