@@ -6,8 +6,16 @@
 //   open      — StoreRegistry::OpenFromFile wall time (includes container
 //               CRC verification, LZSS decompression, archive reload and
 //               index rebuild-on-open)
+//   open(buf) / open(mmap)
+//             — the same open against a REAL on-disk file, once through
+//               buffered posix reads and once zero-copy out of an mmap
+//               mapping, so the two open paths stay comparable
 //   replay    — reopening a durable store whose WHOLE state lives in the
 //               ingest log (worst-case recovery: no snapshot to start from)
+//
+// Save, the in-memory open, and the WAL replay all run on MemVfs, so the
+// numbers measure the persistence stack, not the machine's disk. Only the
+// buffered-vs-mmap comparison touches a real temp file (it has to).
 //
 // `--smoke` shrinks the workload for CI; `--json out.json` records rows.
 
@@ -23,6 +31,8 @@
 
 #include "json_report.h"
 #include "synth/xmark.h"
+#include "vfs/mem_vfs.h"
+#include "vfs/vfs.h"
 #include "xarch/durable.h"
 #include "xarch/store.h"
 #include "xarch/store_registry.h"
@@ -92,9 +102,9 @@ void Die(const Status& status, const char* what) {
 void RunBackend(const std::string& backend,
                 const std::vector<std::string>& all_versions,
                 const Config& config, bench::JsonReport* report) {
-  std::printf("%-14s %8s %12s %10s %10s %12s %12s\n", backend.c_str(),
-              "versions", "snapshot B", "save ms", "open ms", "save MB/s",
-              "replay ms");
+  std::printf("%-14s %8s %12s %10s %10s %10s %10s %12s %12s\n",
+              backend.c_str(), "versions", "snapshot B", "save ms", "open ms",
+              "buf ms", "mmap ms", "save MB/s", "replay ms");
   for (int n : config.version_counts) {
     StoreOptions options;
     options.spec = MustSpec();
@@ -104,14 +114,13 @@ void RunBackend(const std::string& backend,
                                         all_versions.begin() + n);
     Die((*store)->AppendBatch(views), "ingest");
 
-    ScratchDir dir(backend + "_" + std::to_string(n));
-    const std::string path =
-        (std::filesystem::path(dir.path) / "store.xar").string();
-
+    // Save + open on the in-memory VFS: pure persistence-stack time.
+    vfs::MemVfs mem;
+    const std::string mem_path = "store.xar";
     auto t0 = std::chrono::steady_clock::now();
-    Die((*store)->SaveToFile(path), "save");
+    Die((*store)->SaveToFile(mem_path, &mem), "save");
     auto t1 = std::chrono::steady_clock::now();
-    auto reopened = StoreRegistry::Open(path);
+    auto reopened = StoreRegistry::Open(mem_path, {}, &mem);
     Die(reopened.status(), "open");
     auto t2 = std::chrono::steady_clock::now();
     if ((*reopened)->version_count() != (*store)->version_count()) {
@@ -119,14 +128,33 @@ void RunBackend(const std::string& backend,
       std::exit(1);
     }
 
-    // Worst-case recovery: a durable store with every version in the log.
-    const std::string durable_dir =
-        (std::filesystem::path(dir.path) / "durable").string();
+    // The same snapshot on a real file: buffered posix open vs zero-copy
+    // mmap open.
+    ScratchDir dir(backend + "_" + std::to_string(n));
+    const std::string disk_path =
+        (std::filesystem::path(dir.path) / "store.xar").string();
+    Die((*store)->SaveToFile(disk_path), "save to disk");
+    auto tb0 = std::chrono::steady_clock::now();
+    auto buffered = StoreRegistry::Open(disk_path, {}, vfs::Vfs::Posix());
+    Die(buffered.status(), "open buffered");
+    auto tb1 = std::chrono::steady_clock::now();
+    auto mapped = StoreRegistry::Open(disk_path, {}, vfs::Vfs::Mmap());
+    Die(mapped.status(), "open mmap");
+    auto tb2 = std::chrono::steady_clock::now();
+    if ((*buffered)->version_count() != (*mapped)->version_count()) {
+      std::fprintf(stderr, "buffered and mmap opens disagree\n");
+      std::exit(1);
+    }
+
+    // Worst-case recovery: a durable store with every version in the log,
+    // also on MemVfs.
+    const std::string durable_dir = "durable";
     {
       DurableOptions durable_options;
       durable_options.backend = backend;
       durable_options.store.spec = MustSpec();
       durable_options.fsync = persist::FsyncPolicy::kNever;
+      durable_options.vfs = &mem;
       auto durable = OpenDurable(durable_dir, std::move(durable_options));
       Die(durable.status(), "durable create");
       Die((*durable)->AppendBatch(views), "durable ingest");
@@ -137,6 +165,7 @@ void RunBackend(const std::string& backend,
       durable_options.backend = backend;
       durable_options.store.spec = MustSpec();
       durable_options.fsync = persist::FsyncPolicy::kNever;
+      durable_options.vfs = &mem;
       auto recovered = OpenDurable(durable_dir, std::move(durable_options));
       Die(recovered.status(), "durable replay");
       if ((*recovered)->version_count() != static_cast<Version>(n)) {
@@ -146,15 +175,18 @@ void RunBackend(const std::string& backend,
     }
     auto t4 = std::chrono::steady_clock::now();
 
-    const auto snapshot_bytes = std::filesystem::file_size(path);
+    const uint64_t snapshot_bytes = *mem.FileSize(mem_path);
     const double save_s = Seconds(t0, t1);
     const double open_s = Seconds(t1, t2);
+    const double open_buf_s = Seconds(tb0, tb1);
+    const double open_mmap_s = Seconds(tb1, tb2);
     const double replay_s = Seconds(t3, t4);
     const double save_mbps =
         save_s > 0 ? static_cast<double>(snapshot_bytes) / save_s / 1e6 : 0;
-    std::printf("%-14s %8d %12llu %10.2f %10.2f %12.1f %12.2f\n", "",
-                n, static_cast<unsigned long long>(snapshot_bytes),
-                save_s * 1e3, open_s * 1e3, save_mbps, replay_s * 1e3);
+    std::printf("%-14s %8d %12llu %10.2f %10.2f %10.2f %10.2f %12.1f %12.2f\n",
+                "", n, static_cast<unsigned long long>(snapshot_bytes),
+                save_s * 1e3, open_s * 1e3, open_buf_s * 1e3,
+                open_mmap_s * 1e3, save_mbps, replay_s * 1e3);
     if (report != nullptr) {
       report->BeginRow();
       report->Add("backend", backend);
@@ -163,6 +195,8 @@ void RunBackend(const std::string& backend,
                   static_cast<unsigned long long>(snapshot_bytes));
       report->Add("save_ms", save_s * 1e3);
       report->Add("open_ms", open_s * 1e3);
+      report->Add("open_buffered_ms", open_buf_s * 1e3);
+      report->Add("open_mmap_ms", open_mmap_s * 1e3);
       report->Add("save_mb_per_s", save_mbps);
       report->Add("log_replay_ms", replay_s * 1e3);
     }

@@ -15,12 +15,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "client/client.h"
+#include "vfs/vfs.h"
 #include "xarch/store_registry.h"
 
 namespace {
@@ -43,11 +42,7 @@ int Fail(const Status& status) {
 }
 
 StatusOr<std::string> ReadFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.good()) return Status::IoError("cannot read " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
+  return vfs::Vfs::Posix()->ReadFile(path);
 }
 
 /// Pulls "--flag value" out of args (erasing it); empty when absent.

@@ -1,9 +1,6 @@
 #include "extmem/external_archiver.h"
 
 #include <algorithm>
-#include <filesystem>
-#include <fstream>
-#include <iterator>
 #include <queue>
 
 #include "core/archive.h"
@@ -41,9 +38,11 @@ std::string CompactContent(const xml::Node& element) {
 }  // namespace
 
 ExternalArchiver::ExternalArchiver(keys::KeySpecSet spec, Options options)
-    : spec_(std::move(spec)), options_(std::move(options)) {
-  std::filesystem::create_directories(options_.work_dir);
-  archive_path_ = options_.work_dir + "/archive.rows";
+    : spec_(std::move(spec)),
+      options_(std::move(options)),
+      vfs_(options_.vfs != nullptr ? options_.vfs : vfs::Vfs::Posix()) {
+  (void)vfs_->CreateDirs(options_.work_dir);
+  archive_path_ = vfs::Join(options_.work_dir, "archive.rows");
 }
 
 std::string ExternalArchiver::TempPath(const std::string& name) {
@@ -56,7 +55,7 @@ Status ExternalArchiver::BuildVersionRows(const xml::Node& version_root,
   XARCH_ASSIGN_OR_RETURN(
       keys::KeyedNode keyed,
       keys::AnnotateKeys(version_root, spec_, options_.annotate));
-  RowWriter writer(out_path, &stats_);
+  RowWriter writer(vfs_, out_path, &stats_);
   // Virtual root row.
   Row root;
   root.sort_key = "";
@@ -99,7 +98,7 @@ Status ExternalArchiver::ExternalSort(const std::string& in_path,
   // Phase 1: bounded-memory sorted runs.
   std::vector<std::string> runs;
   {
-    RowReader reader(in_path, &stats_);
+    RowReader reader(vfs_, in_path, &stats_);
     std::vector<Row> buffer;
     Row row;
     bool more = reader.Next(&row);
@@ -113,7 +112,7 @@ Status ExternalArchiver::ExternalSort(const std::string& in_path,
       std::sort(buffer.begin(), buffer.end(),
                 [](const Row& a, const Row& b) { return a.sort_key < b.sort_key; });
       std::string run_path = TempPath("run");
-      RowWriter writer(run_path, &stats_);
+      RowWriter writer(vfs_, run_path, &stats_);
       for (const Row& r : buffer) XARCH_RETURN_NOT_OK(writer.Write(r));
       XARCH_RETURN_NOT_OK(writer.Close());
       runs.push_back(run_path);
@@ -123,7 +122,7 @@ Status ExternalArchiver::ExternalSort(const std::string& in_path,
   }
   if (runs.empty()) {
     // Empty input: emit an empty file.
-    RowWriter writer(out_path, &stats_);
+    RowWriter writer(vfs_, out_path, &stats_);
     return writer.Close();
   }
   // Phase 2: fan-in-way merge passes.
@@ -138,13 +137,13 @@ Status ExternalArchiver::ExternalSort(const std::string& in_path,
               ? out_path
               : TempPath("merge");
       XARCH_RETURN_NOT_OK(MergeRuns(batch, merged_path));
-      for (const auto& p : batch) std::filesystem::remove(p);
+      for (const auto& p : batch) (void)vfs_->Remove(p);
       next.push_back(merged_path);
     }
     runs = std::move(next);
   }
   if (runs[0] != out_path) {
-    std::filesystem::rename(runs[0], out_path);
+    XARCH_RETURN_NOT_OK(vfs_->Rename(runs[0], out_path));
   }
   return Status::OK();
 }
@@ -158,7 +157,7 @@ Status ExternalArchiver::MergeRuns(const std::vector<std::string>& runs,
   };
   std::vector<Source> sources(runs.size());
   for (size_t i = 0; i < runs.size(); ++i) {
-    sources[i].reader = std::make_unique<RowReader>(runs[i], &stats_);
+    sources[i].reader = std::make_unique<RowReader>(vfs_, runs[i], &stats_);
     sources[i].valid = sources[i].reader->Next(&sources[i].row);
     XARCH_RETURN_NOT_OK(sources[i].reader->status());
   }
@@ -169,7 +168,7 @@ Status ExternalArchiver::MergeRuns(const std::vector<std::string>& runs,
   for (size_t i = 0; i < sources.size(); ++i) {
     if (sources[i].valid) heap.push(i);
   }
-  RowWriter writer(out_path, &stats_);
+  RowWriter writer(vfs_, out_path, &stats_);
   while (!heap.empty()) {
     size_t i = heap.top();
     heap.pop();
@@ -184,12 +183,12 @@ Status ExternalArchiver::MergeRuns(const std::vector<std::string>& runs,
 Status ExternalArchiver::MergeWithArchive(const std::string& version_path,
                                           Version v) {
   std::string new_archive = TempPath("newarchive");
-  RowWriter out(new_archive, &stats_);
+  RowWriter out(vfs_, new_archive, &stats_);
 
   if (!has_archive_) {
     // Bootstrap: the sorted version rows become the archive; the root row
     // carries the timestamp {1}, everything else inherits.
-    RowReader reader(version_path, &stats_);
+    RowReader reader(vfs_, version_path, &stats_);
     Row row;
     bool first = true;
     while (reader.Next(&row)) {
@@ -202,13 +201,13 @@ Status ExternalArchiver::MergeWithArchive(const std::string& version_path,
     }
     XARCH_RETURN_NOT_OK(reader.status());
     XARCH_RETURN_NOT_OK(out.Close());
-    std::filesystem::rename(new_archive, archive_path_);
+    XARCH_RETURN_NOT_OK(vfs_->Rename(new_archive, archive_path_));
     has_archive_ = true;
     return Status::OK();
   }
 
-  RowReader a(archive_path_, &stats_);
-  RowReader b(version_path, &stats_);
+  RowReader a(vfs_, archive_path_, &stats_);
+  RowReader b(vfs_, version_path, &stats_);
   Row ra, rb;
   bool has_a = a.Next(&ra);
   bool has_b = b.Next(&rb);
@@ -316,7 +315,7 @@ Status ExternalArchiver::MergeWithArchive(const std::string& version_path,
   XARCH_RETURN_NOT_OK(a.status());
   XARCH_RETURN_NOT_OK(b.status());
   XARCH_RETURN_NOT_OK(out.Close());
-  std::filesystem::rename(new_archive, archive_path_);
+  XARCH_RETURN_NOT_OK(vfs_->Rename(new_archive, archive_path_));
   return Status::OK();
 }
 
@@ -326,9 +325,9 @@ Status ExternalArchiver::AddVersion(const xml::Node& version_root) {
   XARCH_RETURN_NOT_OK(BuildVersionRows(version_root, raw_path));
   std::string sorted_path = TempPath("sorted");
   XARCH_RETURN_NOT_OK(ExternalSort(raw_path, sorted_path));
-  std::filesystem::remove(raw_path);
+  (void)vfs_->Remove(raw_path);
   XARCH_RETURN_NOT_OK(MergeWithArchive(sorted_path, v));
-  std::filesystem::remove(sorted_path);
+  (void)vfs_->Remove(sorted_path);
   count_ = v;
   return Status::OK();
 }
@@ -337,7 +336,7 @@ StatusOr<std::string> ExternalArchiver::ToXml() {
   if (!has_archive_) {
     return Status::NotFound("archive is empty");
   }
-  RowReader reader(archive_path_, &stats_);
+  RowReader reader(vfs_, archive_path_, &stats_);
   std::string out;
   struct Open {
     uint32_t depth;
@@ -391,16 +390,7 @@ StatusOr<xml::NodePtr> ExternalArchiver::RetrieveVersion(Version v) {
 
 StatusOr<std::string> ExternalArchiver::ArchiveFileBytes() const {
   if (!has_archive_) return std::string();
-  std::ifstream in(archive_path_, std::ios::binary);
-  if (!in) {
-    return Status::IoError("cannot open row archive " + archive_path_);
-  }
-  std::string bytes((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
-  if (!in.good() && !in.eof()) {
-    return Status::IoError("read failed on row archive " + archive_path_);
-  }
-  return bytes;
+  return vfs_->ReadFile(archive_path_);
 }
 
 Status ExternalArchiver::RestoreSnapshot(std::string_view archive_bytes,
@@ -412,8 +402,7 @@ Status ExternalArchiver::RestoreSnapshot(std::string_view archive_bytes,
         " row-archive bytes");
   }
   if (archive_bytes.empty()) {
-    std::error_code ec;
-    std::filesystem::remove(archive_path_, ec);
+    (void)vfs_->Remove(archive_path_);
     has_archive_ = false;
     count_ = 0;
     return Status::OK();
@@ -422,16 +411,18 @@ Status ExternalArchiver::RestoreSnapshot(std::string_view archive_bytes,
   // never destroy an archive this archiver already holds.
   const std::string staged = TempPath("restore");
   {
-    std::ofstream out(staged, std::ios::binary | std::ios::trunc);
-    if (!out ||
-        !out.write(archive_bytes.data(),
-                   static_cast<std::streamsize>(archive_bytes.size()))) {
-      return Status::IoError("cannot write row archive " + staged);
+    auto out = vfs_->OpenWritable(staged, vfs::WriteMode::kTruncate);
+    if (!out.ok()) return out.status();
+    Status written = (*out)->Append(archive_bytes);
+    Status closed = (*out)->Close();
+    if (written.ok()) written = closed;
+    if (!written.ok()) {
+      (void)vfs_->Remove(staged);
+      return written;
     }
   }
   auto reject = [&](Status status) {
-    std::error_code ec;
-    std::filesystem::remove(staged, ec);
+    (void)vfs_->Remove(staged);
     return status;
   };
   // Every row must scan, and no stamp may mention a version past the
@@ -439,7 +430,7 @@ Status ExternalArchiver::RestoreSnapshot(std::string_view archive_bytes,
   // against scratch stats.
   {
     IoStats scratch;
-    RowReader reader(staged, &scratch);
+    RowReader reader(vfs_, staged, &scratch);
     Row row;
     size_t rows = 0;
     while (reader.Next(&row)) {
@@ -460,11 +451,10 @@ Status ExternalArchiver::RestoreSnapshot(std::string_view archive_bytes,
       return reject(Status::DataLoss("row archive holds no rows"));
     }
   }
-  std::error_code ec;
-  std::filesystem::rename(staged, archive_path_, ec);
-  if (ec) {
+  Status installed = vfs_->Rename(staged, archive_path_);
+  if (!installed.ok()) {
     return reject(Status::IoError("cannot install row archive: " +
-                                  ec.message()));
+                                  installed.message()));
   }
   has_archive_ = true;
   count_ = count;

@@ -8,6 +8,7 @@
 #include "keys/key_spec.h"
 #include "util/status.h"
 #include "util/version_set.h"
+#include "vfs/vfs.h"
 #include "xml/node.h"
 
 namespace xarch::extmem {
@@ -35,6 +36,10 @@ class ExternalArchiver {
   struct Options {
     /// Directory for the archive and temporary run files.
     std::string work_dir = "/tmp/xarch_extmem";
+    /// File system the rows live on; nullptr = the real disk
+    /// (vfs::Vfs::Posix()). Benches and tests can point the whole
+    /// external-sort pipeline at an in-memory backend.
+    vfs::Vfs* vfs = nullptr;
     /// Memory budget M, counted in rows held during run generation.
     size_t memory_budget_rows = 1024;
     /// Fan-in of each run-merge pass ((M/B) - 1 in the analysis).
@@ -63,6 +68,9 @@ class ExternalArchiver {
 
   const Options& options() const { return options_; }
 
+  /// The resolved file system the rows live on (never nullptr).
+  vfs::Vfs* vfs() const { return vfs_; }
+
   /// The key specification this archiver annotates against.
   const keys::KeySpecSet& spec() const { return spec_; }
 
@@ -88,6 +96,7 @@ class ExternalArchiver {
 
   keys::KeySpecSet spec_;
   Options options_;
+  vfs::Vfs* vfs_;
   IoStats stats_;
   Version count_ = 0;
   std::string archive_path_;

@@ -1,8 +1,13 @@
 #include "extmem/row.h"
 
+#include <utility>
+
 namespace xarch::extmem {
 
 namespace {
+
+/// Flush/refill granularity for row files.
+constexpr size_t kRowBufferBytes = 1u << 16;
 
 void PutVarint(uint64_t v, std::string* out) {
   while (v >= 0x80) {
@@ -117,46 +122,101 @@ void Row::EncodeTo(std::string* out) const {
   }
 }
 
-RowWriter::RowWriter(const std::string& path, IoStats* stats)
-    : out_(path, std::ios::binary | std::ios::trunc),
-      path_(path),
-      stats_(stats) {}
+RowWriter::RowWriter(vfs::Vfs* vfs, const std::string& path, IoStats* stats)
+    : path_(path), stats_(stats) {
+  auto file = vfs->OpenWritable(path, vfs::WriteMode::kTruncate);
+  if (!file.ok()) {
+    status_ = file.status();
+    return;
+  }
+  out_ = std::move(file).value();
+  buffer_.reserve(kRowBufferBytes);
+}
+
+Status RowWriter::FlushBuffer() {
+  if (buffer_.empty()) return Status::OK();
+  Status written = out_->Append(buffer_);
+  buffer_.clear();
+  return written;
+}
 
 Status RowWriter::Write(const Row& row) {
-  if (!out_.is_open() || !out_.good()) {
+  if (!status_.ok()) return status_;
+  if (out_ == nullptr) {
     return Status::IoError("cannot write rows to " + path_);
   }
   std::string payload;
   row.EncodeTo(&payload);
-  std::string framed;
-  PutVarint(payload.size(), &framed);
-  framed += payload;
-  out_.write(framed.data(), static_cast<std::streamsize>(framed.size()));
-  stats_->bytes_written += framed.size();
-  return Status::OK();
+  const size_t before = buffer_.size();
+  PutVarint(payload.size(), &buffer_);
+  buffer_ += payload;
+  stats_->bytes_written += buffer_.size() - before;  // one framed row
+  if (buffer_.size() >= kRowBufferBytes) {
+    status_ = FlushBuffer();
+  }
+  return status_;
 }
 
 Status RowWriter::Close() {
-  out_.close();
-  if (out_.fail()) return Status::IoError("error closing " + path_);
-  return Status::OK();
+  if (out_ == nullptr) return status_;
+  Status flushed = FlushBuffer();
+  Status closed = out_->Close();
+  out_.reset();
+  if (!status_.ok()) return status_;
+  if (!flushed.ok()) return flushed;
+  return closed;
 }
 
-RowReader::RowReader(const std::string& path, IoStats* stats)
-    : in_(path, std::ios::binary), stats_(stats) {
-  if (!in_.is_open()) {
-    status_ = Status::IoError("cannot open rows file " + path);
+RowReader::RowReader(vfs::Vfs* vfs, const std::string& path, IoStats* stats)
+    : stats_(stats) {
+  auto file = vfs->OpenReadable(path);
+  if (!file.ok()) {
+    status_ = Status::IoError("cannot open rows file " + path + ": " +
+                              file.status().message());
+    return;
   }
+  in_ = std::move(file).value();
+  buffer_.resize(kRowBufferBytes);
+  buffer_pos_ = buffer_.size();  // force a fill on first read
+}
+
+int RowReader::GetByte() {
+  if (buffer_pos_ >= buffer_.size()) {
+    if (eof_ || in_ == nullptr) return -1;
+    buffer_.resize(kRowBufferBytes);
+    auto got = in_->Read(buffer_.data(), buffer_.size());
+    if (!got.ok()) {
+      status_ = got.status();
+      return -1;
+    }
+    buffer_.resize(*got);
+    buffer_pos_ = 0;
+    if (buffer_.empty()) {
+      eof_ = true;
+      return -1;
+    }
+  }
+  return static_cast<unsigned char>(buffer_[buffer_pos_++]);
+}
+
+bool RowReader::ReadExact(char* out, size_t n) {
+  while (n > 0) {
+    const int c = GetByte();
+    if (c < 0) return false;
+    *out++ = static_cast<char>(c);
+    --n;
+  }
+  return true;
 }
 
 bool RowReader::Next(Row* row) {
-  if (!status_.ok() || !in_.good()) return false;
+  if (!status_.ok()) return false;
   // Read the varint length byte by byte.
   uint64_t len = 0;
   int shift = 0;
   for (;;) {
-    int c = in_.get();
-    if (c == EOF) return false;  // clean EOF only at a frame boundary
+    int c = GetByte();
+    if (c < 0) return false;  // clean EOF only at a frame boundary
     stats_->bytes_read += 1;
     len |= static_cast<uint64_t>(c & 0x7f) << shift;
     if ((c & 0x80) == 0) break;
@@ -167,9 +227,8 @@ bool RowReader::Next(Row* row) {
     }
   }
   std::string payload(len, '\0');
-  in_.read(payload.data(), static_cast<std::streamsize>(len));
-  if (static_cast<uint64_t>(in_.gcount()) != len) {
-    status_ = Status::Corruption("truncated row frame");
+  if (!ReadExact(payload.data(), len)) {
+    if (status_.ok()) status_ = Status::Corruption("truncated row frame");
     return false;
   }
   stats_->bytes_read += len;

@@ -1,13 +1,14 @@
 #ifndef XARCH_EXTMEM_ROW_H_
 #define XARCH_EXTMEM_ROW_H_
 
-#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "extmem/io_stats.h"
 #include "util/status.h"
 #include "util/version_set.h"
+#include "vfs/vfs.h"
 
 namespace xarch::extmem {
 
@@ -45,29 +46,46 @@ struct Row {
   void EncodeTo(std::string* out) const;
 };
 
-/// Buffered writer of length-prefixed rows with I/O accounting.
+/// Buffered writer of length-prefixed rows with I/O accounting. Rows land
+/// on the Vfs handed in, so the whole external-sort pipeline runs on disk,
+/// in memory, or under injected faults alike. Accounting stays LOGICAL:
+/// bytes_written counts framed row bytes, independent of how the buffer
+/// flushes batch them.
 class RowWriter {
  public:
-  RowWriter(const std::string& path, IoStats* stats);
+  RowWriter(vfs::Vfs* vfs, const std::string& path, IoStats* stats);
   Status Write(const Row& row);
   Status Close();
 
  private:
-  std::ofstream out_;
+  Status FlushBuffer();
+
+  std::unique_ptr<vfs::WritableFile> out_;
+  std::string buffer_;
   std::string path_;
   IoStats* stats_;
+  Status status_;
 };
 
-/// Buffered reader of length-prefixed rows with I/O accounting.
+/// Buffered reader of length-prefixed rows with I/O accounting (logical
+/// bytes consumed, matching what RowWriter charged).
 class RowReader {
  public:
-  RowReader(const std::string& path, IoStats* stats);
+  RowReader(vfs::Vfs* vfs, const std::string& path, IoStats* stats);
   /// Reads the next row; returns false at EOF. `status()` reports errors.
   bool Next(Row* row);
   const Status& status() const { return status_; }
 
  private:
-  std::ifstream in_;
+  /// Next logical byte, or EOF (-1). Refills the buffer as needed.
+  int GetByte();
+  /// Reads exactly `n` logical bytes into `out`; false on short read.
+  bool ReadExact(char* out, size_t n);
+
+  std::unique_ptr<vfs::ReadableFile> in_;
+  std::string buffer_;
+  size_t buffer_pos_ = 0;
+  bool eof_ = false;
   IoStats* stats_;
   Status status_;
 };

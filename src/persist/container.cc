@@ -1,11 +1,6 @@
 #include "persist/container.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <cstring>
-#include <filesystem>
 #include <utility>
 
 #include "compress/lzss.h"
@@ -155,88 +150,6 @@ StatusOr<std::string_view> SnapshotReader::Section(
 const std::string* SnapshotReader::FindSection(const std::string& name) const {
   auto it = sections_.find(name);
   return it == sections_.end() ? nullptr : &it->second;
-}
-
-// --------------------------------------------------------------- file I/O
-
-StatusOr<std::string> ReadFileToString(const std::string& path) {
-  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
-  if (fd < 0) {
-    return Status::IoError("cannot open " + path + ": " +
-                           std::strerror(errno));
-  }
-  std::string out;
-  char buf[1 << 16];
-  for (;;) {
-    ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      int err = errno;
-      ::close(fd);
-      return Status::IoError("read failed on " + path + ": " +
-                             std::strerror(err));
-    }
-    if (n == 0) break;
-    out.append(buf, static_cast<size_t>(n));
-  }
-  ::close(fd);
-  return out;
-}
-
-Status WriteAllToFd(int fd, std::string_view bytes, const std::string& path) {
-  size_t written = 0;
-  while (written < bytes.size()) {
-    ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IoError("write failed on " + path + ": " +
-                             std::strerror(errno));
-    }
-    written += static_cast<size_t>(n);
-  }
-  return Status::OK();
-}
-
-namespace {
-
-Status FsyncDirOf(const std::string& path) {
-  std::filesystem::path p(path);
-  std::string dir = p.has_parent_path() ? p.parent_path().string() : ".";
-  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-  if (fd < 0) return Status::OK();  // not fatal: best-effort metadata sync
-  ::fsync(fd);
-  ::close(fd);
-  return Status::OK();
-}
-
-}  // namespace
-
-Status AtomicWriteFile(const std::string& path, std::string_view bytes,
-                       bool sync) {
-  const std::string tmp = path + ".tmp";
-  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
-  if (fd < 0) {
-    return Status::IoError("cannot create " + tmp + ": " +
-                           std::strerror(errno));
-  }
-  Status write_status = WriteAllToFd(fd, bytes, tmp);
-  if (write_status.ok() && sync && ::fsync(fd) != 0) {
-    write_status = Status::IoError("fsync failed on " + tmp + ": " +
-                                   std::strerror(errno));
-  }
-  ::close(fd);
-  if (!write_status.ok()) {
-    ::unlink(tmp.c_str());
-    return write_status;
-  }
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    int err = errno;
-    ::unlink(tmp.c_str());
-    return Status::IoError("rename " + tmp + " -> " + path + " failed: " +
-                           std::strerror(err));
-  }
-  if (sync) XARCH_RETURN_NOT_OK(FsyncDirOf(path));
-  return Status::OK();
 }
 
 }  // namespace xarch::persist

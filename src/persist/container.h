@@ -80,21 +80,10 @@ class SnapshotReader {
   std::vector<std::string> names_;
 };
 
-// ------------------------------------------------------------- file I/O
-
-/// Reads a whole file; kIoError when it cannot be opened or read.
-StatusOr<std::string> ReadFileToString(const std::string& path);
-
-/// EINTR-retrying full write to an open descriptor (`path` is only for
-/// error messages). Shared by the snapshot and ingest-log writers.
-Status WriteAllToFd(int fd, std::string_view bytes, const std::string& path);
-
-/// Writes `bytes` atomically: to `path + ".tmp"`, then fsync (when `sync`),
-/// then rename over `path`, then fsync of the containing directory so the
-/// rename itself is durable. A crash mid-write never leaves a half-written
-/// file at `path`.
-Status AtomicWriteFile(const std::string& path, std::string_view bytes,
-                       bool sync);
+// File I/O lives behind the pluggable backend in vfs/vfs.h now: whole-file
+// reads are Vfs::ReadFile / Vfs::Map, atomic replacement is
+// vfs::AtomicWriteFile, and the EINTR/short-write loops are
+// util/posix_io.h. The container layer itself is pure bytes-in/bytes-out.
 
 }  // namespace xarch::persist
 

@@ -1,6 +1,23 @@
 #include "persist/crc32c.h"
 
 #include <array>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define XARCH_CRC32C_X86 1
+#include <immintrin.h>
+#endif
+
+#if defined(__aarch64__) && defined(__ARM_FEATURE_CRC32)
+#define XARCH_CRC32C_ARM 1
+#include <arm_acle.h>
+#if defined(__linux__)
+#include <sys/auxv.h>
+#ifndef HWCAP_CRC32
+#define HWCAP_CRC32 (1 << 7)
+#endif
+#endif
+#endif
 
 namespace xarch::persist {
 
@@ -34,9 +51,96 @@ const Crc32cTables& Tables() {
   return tables;
 }
 
+#if defined(XARCH_CRC32C_X86)
+/// The SSE4.2 CRC32 instruction path. Compiled with a per-function target
+/// so the translation unit stays baseline; only entered after
+/// __builtin_cpu_supports said the instruction exists.
+__attribute__((target("sse4.2"))) uint32_t Sse42Extend(uint32_t crc,
+                                                       std::string_view data) {
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data.data());
+  size_t n = data.size();
+  crc = ~crc;
+#if defined(__x86_64__)
+  uint64_t crc64 = crc;
+  while (n >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    crc64 = _mm_crc32_u64(crc64, chunk);
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<uint32_t>(crc64);
+#endif
+  while (n >= 4) {
+    uint32_t chunk;
+    std::memcpy(&chunk, p, 4);
+    crc = _mm_crc32_u32(crc, chunk);
+    p += 4;
+    n -= 4;
+  }
+  while (n-- > 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+  }
+  return ~crc;
+}
+#endif  // XARCH_CRC32C_X86
+
+#if defined(XARCH_CRC32C_ARM)
+uint32_t Armv8Extend(uint32_t crc, std::string_view data) {
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data.data());
+  size_t n = data.size();
+  crc = ~crc;
+  while (n >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    crc = __crc32cd(crc, chunk);
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = __crc32cb(crc, *p++);
+  }
+  return ~crc;
+}
+#endif  // XARCH_CRC32C_ARM
+
+using ExtendFn = uint32_t (*)(uint32_t, std::string_view);
+
+struct Impl {
+  ExtendFn fn;
+  const char* name;
+};
+
+/// Runtime dispatch, resolved once. A function-local static keeps the
+/// choice safe against static-init ordering and data races.
+const Impl& Dispatch() {
+  static const Impl impl = [] {
+#if defined(XARCH_CRC32C_X86)
+    if (__builtin_cpu_supports("sse4.2")) {
+      return Impl{&Sse42Extend, "hw-sse4.2"};
+    }
+#endif
+#if defined(XARCH_CRC32C_ARM)
+#if defined(__linux__)
+    if ((getauxval(AT_HWCAP) & HWCAP_CRC32) != 0) {
+      return Impl{&Armv8Extend, "hw-armv8"};
+    }
+#else
+    // __ARM_FEATURE_CRC32 implies the compiler already targets a CPU with
+    // the extension; trust it where there is no auxv to ask.
+    return Impl{&Armv8Extend, "hw-armv8"};
+#endif
+#endif
+    return Impl{&internal::Crc32cSoftwareExtend, "sw-slice8"};
+  }();
+  return impl;
+}
+
 }  // namespace
 
-uint32_t Crc32cExtend(uint32_t crc, std::string_view data) {
+namespace internal {
+
+uint32_t Crc32cSoftwareExtend(uint32_t crc, std::string_view data) {
   const auto& t = Tables().t;
   const unsigned char* p = reinterpret_cast<const unsigned char*>(data.data());
   size_t n = data.size();
@@ -57,6 +161,14 @@ uint32_t Crc32cExtend(uint32_t crc, std::string_view data) {
   return ~crc;
 }
 
+}  // namespace internal
+
+uint32_t Crc32cExtend(uint32_t crc, std::string_view data) {
+  return Dispatch().fn(crc, data);
+}
+
 uint32_t Crc32c(std::string_view data) { return Crc32cExtend(0, data); }
+
+const char* Crc32cImplementation() { return Dispatch().name; }
 
 }  // namespace xarch::persist

@@ -8,8 +8,13 @@ namespace xarch::persist {
 
 /// \brief CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78)
 /// — the checksum iSCSI, ext4, LevelDB and RocksDB use for on-disk page
-/// and record integrity. Software slice-by-8 table implementation; no
-/// hardware intrinsics so the build stays portable.
+/// and record integrity.
+///
+/// Dispatches at first use to the CRC32 instruction when the CPU has one
+/// (SSE4.2 on x86-64, the ARMv8 CRC extension) and otherwise to the
+/// portable slice-by-8 tables. Both paths are bit-identical — the hardware
+/// path is pinned against the software one in tests — so archives written
+/// on one machine verify on any other.
 ///
 /// Every persisted artifact (snapshot container sections, ingest-log
 /// records) carries one of these, computed over the exact stored bytes, so
@@ -19,6 +24,16 @@ uint32_t Crc32c(std::string_view data);
 /// Extends a running CRC with more data (crc = Crc32cExtend(crc, chunk)).
 /// Crc32c(data) == Crc32cExtend(0, data).
 uint32_t Crc32cExtend(uint32_t crc, std::string_view data);
+
+/// Name of the implementation the dispatcher selected for this process:
+/// "hw-sse4.2", "hw-armv8", or "sw-slice8". Diagnostics and bench metadata.
+const char* Crc32cImplementation();
+
+namespace internal {
+/// The portable slice-by-8 path, reachable directly so tests can pin the
+/// hardware path against it on machines where both exist.
+uint32_t Crc32cSoftwareExtend(uint32_t crc, std::string_view data);
+}  // namespace internal
 
 /// \brief Masked CRC in the LevelDB style: storing the raw CRC of bytes
 /// that themselves embed CRCs makes accidental fixed points more likely,

@@ -1,16 +1,9 @@
 #include "persist/log.h"
 
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <cerrno>
 #include <cstring>
-#include <filesystem>
 #include <utility>
 
-#include "persist/container.h"
 #include "persist/crc32c.h"
 #include "persist/wire.h"
 
@@ -61,90 +54,54 @@ StatusOr<LogRecord> DecodeBody(std::string_view body) {
 
 }  // namespace
 
-IngestLogWriter::IngestLogWriter(IngestLogWriter&& other) noexcept
-    : fd_(other.fd_),
-      path_(std::move(other.path_)),
-      policy_(other.policy_),
-      appended_records_(other.appended_records_) {
-  other.fd_ = -1;
-}
-
-IngestLogWriter& IngestLogWriter::operator=(IngestLogWriter&& other) noexcept {
-  if (this != &other) {
-    if (fd_ >= 0) ::close(fd_);
-    fd_ = other.fd_;
-    path_ = std::move(other.path_);
-    policy_ = other.policy_;
-    appended_records_ = other.appended_records_;
-    other.fd_ = -1;
-  }
-  return *this;
-}
-
-IngestLogWriter::~IngestLogWriter() {
-  if (fd_ >= 0) ::close(fd_);
-}
-
-StatusOr<IngestLogWriter> IngestLogWriter::Open(const std::string& path,
+StatusOr<IngestLogWriter> IngestLogWriter::Open(vfs::Vfs* vfs,
+                                                const std::string& path,
                                                 FsyncPolicy policy) {
-  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
-                  0644);
-  if (fd < 0) {
-    return Status::IoError("cannot open ingest log " + path + ": " +
-                           std::strerror(errno));
-  }
-  struct stat st;
-  if (::fstat(fd, &st) != 0) {
-    ::close(fd);
-    return Status::IoError("fstat failed on " + path);
-  }
-  IngestLogWriter writer(fd, path, policy);
-  if (st.st_size == 0) {
-    Status header = WriteAllToFd(fd, LogHeader(), path);
-    if (!header.ok()) return header;
-    if (policy == FsyncPolicy::kEveryRecord && ::fsync(fd) != 0) {
-      return Status::IoError("fsync failed on " + path);
+  XARCH_ASSIGN_OR_RETURN(std::unique_ptr<vfs::WritableFile> file,
+                         vfs->OpenWritable(path, vfs::WriteMode::kAppend));
+  XARCH_ASSIGN_OR_RETURN(uint64_t size, vfs->FileSize(path));
+  IngestLogWriter writer(std::move(file), path, policy);
+  if (size == 0) {
+    XARCH_RETURN_NOT_OK(writer.file_->Append(LogHeader()));
+    if (policy == FsyncPolicy::kEveryRecord) {
+      XARCH_RETURN_NOT_OK(writer.file_->Sync());
     }
   }
   return writer;
 }
 
 Status IngestLogWriter::Append(const LogRecord& record) {
-  if (fd_ < 0) return Status::IoError("ingest log is not open");
+  if (file_ == nullptr) return Status::IoError("ingest log is not open");
   std::string body = EncodeBody(record);
   std::string framed;
   framed.reserve(body.size() + 8);
   PutU32(static_cast<uint32_t>(body.size()), &framed);
   PutU32(MaskCrc(Crc32c(body)), &framed);
   framed += body;
-  XARCH_RETURN_NOT_OK(WriteAllToFd(fd_, framed, path_));
-  if (policy_ == FsyncPolicy::kEveryRecord && ::fsync(fd_) != 0) {
-    return Status::IoError("fsync failed on " + path_ + ": " +
-                           std::strerror(errno));
+  XARCH_RETURN_NOT_OK(file_->Append(framed));
+  if (policy_ == FsyncPolicy::kEveryRecord) {
+    XARCH_RETURN_NOT_OK(file_->Sync());
   }
   ++appended_records_;
   return Status::OK();
 }
 
 Status IngestLogWriter::Reset() {
-  if (fd_ < 0) return Status::IoError("ingest log is not open");
-  if (::ftruncate(fd_, 0) != 0) {
-    return Status::IoError("truncate failed on " + path_ + ": " +
-                           std::strerror(errno));
-  }
-  // O_APPEND writes follow the (now zero) end of file.
-  XARCH_RETURN_NOT_OK(WriteAllToFd(fd_, LogHeader(), path_));
-  if (policy_ == FsyncPolicy::kEveryRecord && ::fsync(fd_) != 0) {
-    return Status::IoError("fsync failed on " + path_);
+  if (file_ == nullptr) return Status::IoError("ingest log is not open");
+  XARCH_RETURN_NOT_OK(file_->Truncate(0));
+  XARCH_RETURN_NOT_OK(file_->Append(LogHeader()));
+  if (policy_ == FsyncPolicy::kEveryRecord) {
+    XARCH_RETURN_NOT_OK(file_->Sync());
   }
   appended_records_ = 0;
   return Status::OK();
 }
 
-StatusOr<LogReplay> ReadIngestLog(const std::string& path) {
+StatusOr<LogReplay> ReadIngestLog(vfs::Vfs* vfs, const std::string& path) {
   LogReplay replay;
-  if (!std::filesystem::exists(path)) return replay;
-  XARCH_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  XARCH_ASSIGN_OR_RETURN(bool exists, vfs->Exists(path));
+  if (!exists) return replay;
+  XARCH_ASSIGN_OR_RETURN(std::string bytes, vfs->ReadFile(path));
   if (bytes.empty()) return replay;  // created but header never landed
   if (bytes.size() < kLogHeaderBytes) {
     // Torn header: nothing recoverable, truncate the whole file.
@@ -191,14 +148,6 @@ StatusOr<LogReplay> ReadIngestLog(const std::string& path) {
   }
   replay.valid_bytes = pos;
   return replay;
-}
-
-Status TruncateFile(const std::string& path, uint64_t size) {
-  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
-    return Status::IoError("truncate failed on " + path + ": " +
-                           std::strerror(errno));
-  }
-  return Status::OK();
 }
 
 }  // namespace xarch::persist

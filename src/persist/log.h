@@ -2,12 +2,14 @@
 #define XARCH_PERSIST_LOG_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "util/status.h"
 #include "util/version_set.h"
+#include "vfs/vfs.h"
 
 namespace xarch::persist {
 
@@ -38,7 +40,9 @@ struct LogRecord {
   std::vector<std::string> texts;
 };
 
-/// \brief Appender for the crash-safe ingest log.
+/// \brief Appender for the crash-safe ingest log. All file traffic goes
+/// through the Vfs handed to Open, so the fault-injecting backend can kill
+/// any append or fsync and recovery can be exercised deterministically.
 ///
 /// File layout: 8-byte header (magic "XALG" + u32 format version), then
 /// records. Each record is
@@ -52,13 +56,12 @@ struct LogRecord {
 class IngestLogWriter {
  public:
   IngestLogWriter() = default;
-  IngestLogWriter(IngestLogWriter&& other) noexcept;
-  IngestLogWriter& operator=(IngestLogWriter&& other) noexcept;
-  ~IngestLogWriter();
+  IngestLogWriter(IngestLogWriter&&) noexcept = default;
+  IngestLogWriter& operator=(IngestLogWriter&&) noexcept = default;
 
-  /// Opens (creating or appending) the log at `path`. A fresh file gets
-  /// the header; an existing file must already carry it.
-  static StatusOr<IngestLogWriter> Open(const std::string& path,
+  /// Opens (creating or appending) the log at `path` on `vfs`. A fresh
+  /// file gets the header; an existing file must already carry it.
+  static StatusOr<IngestLogWriter> Open(vfs::Vfs* vfs, const std::string& path,
                                         FsyncPolicy policy);
 
   /// Appends one record, fsyncing per policy.
@@ -70,10 +73,11 @@ class IngestLogWriter {
   uint64_t appended_records() const { return appended_records_; }
 
  private:
-  IngestLogWriter(int fd, std::string path, FsyncPolicy policy)
-      : fd_(fd), path_(std::move(path)), policy_(policy) {}
+  IngestLogWriter(std::unique_ptr<vfs::WritableFile> file, std::string path,
+                  FsyncPolicy policy)
+      : file_(std::move(file)), path_(std::move(path)), policy_(policy) {}
 
-  int fd_ = -1;
+  std::unique_ptr<vfs::WritableFile> file_;
   std::string path_;
   FsyncPolicy policy_ = FsyncPolicy::kEveryRecord;
   uint64_t appended_records_ = 0;
@@ -86,15 +90,12 @@ struct LogReplay {
   bool torn_tail = false;          ///< trailing bytes failed validation
 };
 
-/// Scans the log at `path`. A missing file yields an empty replay. Trailing
-/// bytes that do not form a complete, checksummed record are reported as a
-/// torn tail (valid_bytes marks where to truncate); they never abort the
-/// records before them. A file that does not start with the log header is
-/// rejected with kDataLoss — that is not an ingest log at all.
-StatusOr<LogReplay> ReadIngestLog(const std::string& path);
-
-/// Truncates `path` to `size` bytes (used to drop a torn tail on recovery).
-Status TruncateFile(const std::string& path, uint64_t size);
+/// Scans the log at `path` on `vfs`. A missing file yields an empty replay.
+/// Trailing bytes that do not form a complete, checksummed record are
+/// reported as a torn tail (valid_bytes marks where to truncate); they never
+/// abort the records before them. A file that does not start with the log
+/// header is rejected with kDataLoss — that is not an ingest log at all.
+StatusOr<LogReplay> ReadIngestLog(vfs::Vfs* vfs, const std::string& path);
 
 }  // namespace xarch::persist
 

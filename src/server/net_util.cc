@@ -10,6 +10,8 @@
 #include <unistd.h>
 #include <utility>
 
+#include "util/posix_io.h"
+
 namespace xarch::net {
 
 namespace {
@@ -111,18 +113,15 @@ StatusOr<Socket> Connect(const std::string& host, uint16_t port) {
 }
 
 Status WriteAll(const Socket& socket, std::string_view data) {
-  size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = ::send(socket.fd(), data.data() + sent,
-                             data.size() - sent, MSG_NOSIGNAL);
-    if (n > 0) {
-      sent += static_cast<size_t>(n);
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    return Errno("send");
-  }
-  return Status::OK();
+  // The shared EINTR/short-write loop, driving send() instead of write():
+  // sockets and files retry identically, so they share the one audited
+  // implementation in util/posix_io.h.
+  return util::WriteFull(
+      data,
+      [&](const char* p, size_t n) {
+        return ::send(socket.fd(), p, n, MSG_NOSIGNAL);
+      },
+      "socket");
 }
 
 StatusOr<bool> WaitReadable(const Socket& socket, int timeout_ms) {

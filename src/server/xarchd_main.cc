@@ -23,12 +23,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "server/server.h"
+#include "vfs/vfs.h"
 #include "xarch/durable.h"
 
 namespace {
@@ -95,13 +94,12 @@ int main(int argc, char** argv) {
   durable.snapshot_every_records = static_cast<uint64_t>(snapshot_every);
   if (fsync == "never") durable.fsync = persist::FsyncPolicy::kNever;
   if (!keys_path.empty()) {
-    std::ifstream in(keys_path, std::ios::binary);
-    if (!in.good()) {
-      return Fail(Status::IoError("cannot read key spec " + keys_path));
+    auto spec_text = vfs::Vfs::Posix()->ReadFile(keys_path);
+    if (!spec_text.ok()) {
+      return Fail(Status::IoError("cannot read key spec " + keys_path + ": " +
+                                  spec_text.status().message()));
     }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    auto spec = keys::ParseKeySpecSet(buffer.str());
+    auto spec = keys::ParseKeySpecSet(*spec_text);
     if (!spec.ok()) return Fail(spec.status());
     durable.store.spec = std::move(*spec);
     durable.store.use_index = true;
@@ -119,14 +117,14 @@ int main(int argc, char** argv) {
   if (!served.ok()) return Fail(served.status());
 
   if (!port_file.empty()) {
-    // Written atomically-enough for scripts: tmp + rename, so a reader
-    // never sees a half-written port number.
-    const std::string tmp = port_file + ".tmp";
-    std::ofstream out(tmp, std::ios::trunc);
-    out << (*served)->port() << "\n";
-    out.close();
-    if (!out.good() || std::rename(tmp.c_str(), port_file.c_str()) != 0) {
-      return Fail(Status::IoError("cannot write port file " + port_file));
+    // tmp + rename, so a reader never sees a half-written port number; no
+    // fsync — the port file is scratch coordination, not durable state.
+    Status wrote = vfs::AtomicWriteFile(
+        *vfs::Vfs::Posix(), port_file,
+        std::to_string((*served)->port()) + "\n", /*sync=*/false);
+    if (!wrote.ok()) {
+      return Fail(Status::IoError("cannot write port file " + port_file +
+                                  ": " + wrote.message()));
     }
   }
   std::printf("xarchd: serving %s (%u versions) on %s:%u\n",

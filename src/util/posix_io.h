@@ -1,0 +1,57 @@
+#ifndef XARCH_UTIL_POSIX_IO_H_
+#define XARCH_UTIL_POSIX_IO_H_
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace xarch::util {
+
+/// \brief The one audited EINTR/short-write retry implementation, shared by
+/// the posix VFS backend (file descriptors) and the network layer
+/// (sockets). Scattered ad-hoc copies of these loops are exactly the kind
+/// of code that is right four times and torn-write-prone the fifth, so
+/// every descriptor write in the tree funnels through here.
+
+/// Retries `op()` (a syscall returning a signed count, -1 + errno on
+/// failure) while it fails with EINTR; returns the final result with errno
+/// intact. Usage: `ssize_t n = RetryEintr([&] { return ::read(fd, ...); });`
+template <typename Op>
+auto RetryEintr(Op&& op) -> decltype(op()) {
+  for (;;) {
+    auto result = op();
+    if (result >= 0 || errno != EINTR) return result;
+  }
+}
+
+/// Writes ALL of `data` through `write_some(ptr, len) -> ssize_t`, retrying
+/// both EINTR and short writes. `write_some` is called with the unwritten
+/// suffix until it is empty; `what` names the destination in error
+/// messages. A zero return from `write_some` is treated as an error (the
+/// descriptor accepts no more bytes) rather than a spin.
+template <typename WriteSome>
+Status WriteFull(std::string_view data, WriteSome&& write_some,
+                 const std::string& what) {
+  size_t written = 0;
+  while (written < data.size()) {
+    const auto n = write_some(data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("write failed on " + what + ": " +
+                             std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::IoError("write stalled on " + what +
+                             " (descriptor accepts no bytes)");
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace xarch::util
+
+#endif  // XARCH_UTIL_POSIX_IO_H_

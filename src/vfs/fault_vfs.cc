@@ -1,0 +1,116 @@
+#include "vfs/fault_vfs.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace xarch::vfs {
+
+namespace {
+
+Status InjectedFault(const char* what) {
+  return Status::IoError(std::string("injected fault: ") + what);
+}
+
+}  // namespace
+
+/// Wraps a base WritableFile, consulting the FaultVfs before every mutating
+/// call. A fired write fault may first push a torn prefix into the base file.
+class FaultWritableFile final : public WritableFile {
+ public:
+  FaultWritableFile(FaultVfs* vfs, std::unique_ptr<WritableFile> base)
+      : vfs_(vfs), base_(std::move(base)) {}
+
+  Status Append(std::string_view data) override {
+    size_t prefix = 0;
+    if (vfs_->ShouldFail(FaultVfs::Op::kWrite, &prefix)) {
+      if (prefix > 0) {
+        (void)base_->Append(data.substr(0, std::min(prefix, data.size())));
+      }
+      return InjectedFault("write");
+    }
+    return base_->Append(data);
+  }
+
+  Status Sync() override {
+    size_t unused;
+    if (vfs_->ShouldFail(FaultVfs::Op::kSync, &unused)) {
+      return InjectedFault("fsync");
+    }
+    return base_->Sync();
+  }
+
+  Status Truncate(uint64_t size) override {
+    size_t unused;
+    if (vfs_->ShouldFail(FaultVfs::Op::kTruncate, &unused)) {
+      return InjectedFault("truncate");
+    }
+    return base_->Truncate(size);
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultVfs* const vfs_;
+  const std::unique_ptr<WritableFile> base_;
+};
+
+void FaultVfs::FailNth(Op op, uint64_t n, size_t persist_prefix) {
+  const int i = static_cast<int>(op);
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_[i] = true;
+  fail_at_[i] = counts_[i] + n;
+  prefix_[i] = persist_prefix;
+}
+
+void FaultVfs::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(armed_, armed_ + kOpCount, false);
+}
+
+uint64_t FaultVfs::Count(Op op) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_[static_cast<int>(op)];
+}
+
+void FaultVfs::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(counts_, counts_ + kOpCount, 0);
+}
+
+uint64_t FaultVfs::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_injected_;
+}
+
+bool FaultVfs::ShouldFail(Op op, size_t* persist_prefix) {
+  const int i = static_cast<int>(op);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_[i];
+  if (!armed_[i] || counts_[i] != fail_at_[i]) return false;
+  armed_[i] = false;
+  *persist_prefix = prefix_[i];
+  ++faults_injected_;
+  return true;
+}
+
+StatusOr<std::unique_ptr<WritableFile>> FaultVfs::OpenWritable(
+    const std::string& path, WriteMode mode) {
+  XARCH_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                         base_->OpenWritable(path, mode));
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultWritableFile>(this, std::move(base)));
+}
+
+Status FaultVfs::Rename(const std::string& from, const std::string& to) {
+  size_t unused;
+  if (ShouldFail(Op::kRename, &unused)) return InjectedFault("rename");
+  return base_->Rename(from, to);
+}
+
+Status FaultVfs::Truncate(const std::string& path, uint64_t size) {
+  size_t unused;
+  if (ShouldFail(Op::kTruncate, &unused)) return InjectedFault("truncate");
+  return base_->Truncate(path, size);
+}
+
+}  // namespace xarch::vfs

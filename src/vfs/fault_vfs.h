@@ -1,0 +1,115 @@
+#ifndef XARCH_VFS_FAULT_VFS_H_
+#define XARCH_VFS_FAULT_VFS_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "vfs/vfs.h"
+
+namespace xarch::vfs {
+
+/// \brief A Vfs decorator that fails the Nth mutating operation on demand —
+/// the deterministic stand-in for a disk that dies mid-checkpoint.
+///
+/// Reads always pass through untouched; only the four mutating ops are
+/// interceptable. A schedule is armed with FailNth(op, n): the nth op of
+/// that kind (1-based, counted from arming) returns kIoError instead of
+/// reaching the base backend, then the trap disarms itself, so recovery code
+/// runs against a healthy backend — exactly the crash-then-reboot shape.
+///
+/// For kWrite faults, `persist_prefix` simulates a torn write: that many
+/// bytes of the failing Append reach the base file before the error, which
+/// is how the tests plant torn WAL tails at every byte boundary.
+///
+/// Counters run independently of traps: run a scenario once fault-free,
+/// read `Count(op)`, and you know the exact sweep range for "fail every
+/// possible Nth op" loops.
+class FaultVfs final : public Vfs {
+ public:
+  enum class Op : int { kWrite = 0, kSync = 1, kRename = 2, kTruncate = 3 };
+  static constexpr int kOpCount = 4;
+
+  explicit FaultVfs(Vfs* base) : base_(base) {}
+  FaultVfs(const FaultVfs&) = delete;
+  FaultVfs& operator=(const FaultVfs&) = delete;
+
+  /// Arms a one-shot trap: the nth `op` from now (1-based) fails with
+  /// kIoError and disarms the trap. For kWrite, `persist_prefix` bytes of
+  /// the failing Append still reach the base file (torn write); it is
+  /// ignored for other ops. Re-arming an op replaces its pending trap.
+  void FailNth(Op op, uint64_t n, size_t persist_prefix = 0);
+
+  /// Disarms every pending trap (counters keep running).
+  void Clear();
+
+  /// Ops of this kind observed since construction or ResetCounters().
+  uint64_t Count(Op op) const;
+
+  /// Zeroes all counters (traps, if armed, still count from their arming).
+  void ResetCounters();
+
+  /// Total faults injected since construction (sanity checks in tests).
+  uint64_t faults_injected() const;
+
+  std::string name() const override { return "fault(" + base_->name() + ")"; }
+
+  StatusOr<std::unique_ptr<ReadableFile>> OpenReadable(
+      const std::string& path) override {
+    return base_->OpenReadable(path);
+  }
+  StatusOr<std::unique_ptr<RandomAccessFile>> OpenRandomAccess(
+      const std::string& path) override {
+    return base_->OpenRandomAccess(path);
+  }
+  StatusOr<std::unique_ptr<WritableFile>> OpenWritable(
+      const std::string& path, WriteMode mode) override;
+  StatusOr<std::unique_ptr<MappedFile>> Map(const std::string& path) override {
+    return base_->Map(path);
+  }
+  StatusOr<std::string> ReadFile(const std::string& path) override {
+    return base_->ReadFile(path);
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override { return base_->Remove(path); }
+  StatusOr<bool> Exists(const std::string& path) override {
+    return base_->Exists(path);
+  }
+  StatusOr<uint64_t> FileSize(const std::string& path) override {
+    return base_->FileSize(path);
+  }
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Status CreateDirs(const std::string& path) override {
+    return base_->CreateDirs(path);
+  }
+  Status RemoveTree(const std::string& path) override {
+    return base_->RemoveTree(path);
+  }
+  StatusOr<std::vector<std::string>> List(const std::string& dir) override {
+    return base_->List(dir);
+  }
+  Status SyncDir(const std::string& path) override {
+    return base_->SyncDir(path);
+  }
+
+ private:
+  friend class FaultWritableFile;
+
+  /// Counts one `op`; returns true (and the torn-write prefix) when the
+  /// armed trap for it fires. Firing disarms the trap.
+  bool ShouldFail(Op op, size_t* persist_prefix);
+
+  Vfs* const base_;
+  mutable std::mutex mu_;
+  uint64_t counts_[kOpCount] = {};
+  bool armed_[kOpCount] = {};
+  uint64_t fail_at_[kOpCount] = {};
+  size_t prefix_[kOpCount] = {};
+  uint64_t faults_injected_ = 0;
+};
+
+}  // namespace xarch::vfs
+
+#endif  // XARCH_VFS_FAULT_VFS_H_

@@ -1,0 +1,275 @@
+#include "vfs/mem_vfs.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+namespace xarch::vfs {
+
+namespace {
+
+/// Reads from a snapshot of the bytes taken at open time; later writes to
+/// the file are not seen (matching a buffered read of a posix file that was
+/// fully read before the write).
+class MemReadableFile final : public ReadableFile {
+ public:
+  explicit MemReadableFile(std::string snapshot)
+      : snapshot_(std::move(snapshot)) {}
+
+  StatusOr<size_t> Read(char* scratch, size_t n) override {
+    const size_t left = snapshot_.size() - pos_;
+    const size_t take = std::min(n, left);
+    std::copy_n(snapshot_.data() + pos_, take, scratch);
+    pos_ += take;
+    return take;
+  }
+
+ private:
+  const std::string snapshot_;
+  size_t pos_ = 0;
+};
+
+class MemRandomAccessFile final : public RandomAccessFile {
+ public:
+  explicit MemRandomAccessFile(std::string snapshot)
+      : snapshot_(std::move(snapshot)) {}
+
+  StatusOr<std::string_view> ReadAt(uint64_t offset, size_t n,
+                                    char* /*scratch*/) const override {
+    const std::string_view all = snapshot_;
+    if (offset >= all.size()) return std::string_view();
+    return all.substr(static_cast<size_t>(offset), n);
+  }
+
+  uint64_t size() const override { return snapshot_.size(); }
+
+ private:
+  const std::string snapshot_;
+};
+
+}  // namespace
+
+class MemWritableFile final : public WritableFile {
+ public:
+  MemWritableFile(MemVfs* vfs, std::shared_ptr<std::string> bytes)
+      : vfs_(vfs), bytes_(std::move(bytes)) {}
+
+  Status Append(std::string_view data) override {
+    if (bytes_ == nullptr) return Status::IoError("mem file is closed");
+    std::lock_guard<std::mutex> lock(vfs_->mu_);
+    bytes_->append(data.data(), data.size());
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (bytes_ == nullptr) return Status::IoError("mem file is closed");
+    return Status::OK();
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (bytes_ == nullptr) return Status::IoError("mem file is closed");
+    std::lock_guard<std::mutex> lock(vfs_->mu_);
+    if (size < bytes_->size()) {
+      bytes_->resize(static_cast<size_t>(size));
+    } else {
+      bytes_->resize(static_cast<size_t>(size), '\0');
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    bytes_.reset();
+    return Status::OK();
+  }
+
+ private:
+  MemVfs* const vfs_;
+  std::shared_ptr<std::string> bytes_;
+};
+
+std::string MemNormalize(const std::string& path) {
+  std::string out = std::filesystem::path(path).lexically_normal().string();
+  while (out.size() > 1 && out.back() == '/') out.pop_back();
+  return out;
+}
+
+std::shared_ptr<std::string> MemVfs::FindLocked(const std::string& path) const {
+  auto it = files_.find(path);
+  return it == files_.end() ? nullptr : it->second;
+}
+
+StatusOr<std::unique_ptr<ReadableFile>> MemVfs::OpenReadable(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto bytes = FindLocked(MemNormalize(path));
+  if (bytes == nullptr) return Status::NotFound("mem open " + path);
+  return std::unique_ptr<ReadableFile>(
+      std::make_unique<MemReadableFile>(*bytes));
+}
+
+StatusOr<std::unique_ptr<RandomAccessFile>> MemVfs::OpenRandomAccess(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto bytes = FindLocked(MemNormalize(path));
+  if (bytes == nullptr) return Status::NotFound("mem open " + path);
+  return std::unique_ptr<RandomAccessFile>(
+      std::make_unique<MemRandomAccessFile>(*bytes));
+}
+
+StatusOr<std::unique_ptr<WritableFile>> MemVfs::OpenWritable(
+    const std::string& path, WriteMode mode) {
+  const std::string key = MemNormalize(path);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(key);
+  std::shared_ptr<std::string> bytes;
+  if (it == files_.end()) {
+    bytes = std::make_shared<std::string>();
+    files_.emplace(key, bytes);
+  } else if (mode == WriteMode::kTruncate) {
+    // A fresh string, not clear(): readers opened earlier keep their
+    // snapshot and any stale writer keeps mutating the orphaned bytes.
+    bytes = std::make_shared<std::string>();
+    it->second = bytes;
+  } else {
+    bytes = it->second;
+  }
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<MemWritableFile>(this, std::move(bytes)));
+}
+
+Status MemVfs::Rename(const std::string& from, const std::string& to) {
+  const std::string src = MemNormalize(from);
+  const std::string dst = MemNormalize(to);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(src);
+  if (it != files_.end()) {
+    files_[dst] = it->second;
+    files_.erase(it);
+    return Status::OK();
+  }
+  if (dirs_.count(src) != 0) {
+    // Directory rename: rewrite the dir entry and every path under it.
+    const std::string prefix = src + "/";
+    std::map<std::string, std::shared_ptr<std::string>> moved;
+    for (auto file = files_.begin(); file != files_.end();) {
+      if (file->first.compare(0, prefix.size(), prefix) == 0) {
+        moved[dst + "/" + file->first.substr(prefix.size())] = file->second;
+        file = files_.erase(file);
+      } else {
+        ++file;
+      }
+    }
+    files_.insert(moved.begin(), moved.end());
+    std::set<std::string> kept_dirs;
+    for (const std::string& dir : dirs_) {
+      if (dir == src) {
+        kept_dirs.insert(dst);
+      } else if (dir.compare(0, prefix.size(), prefix) == 0) {
+        kept_dirs.insert(dst + "/" + dir.substr(prefix.size()));
+      } else {
+        kept_dirs.insert(dir);
+      }
+    }
+    dirs_ = std::move(kept_dirs);
+    return Status::OK();
+  }
+  return Status::NotFound("mem rename " + from);
+}
+
+Status MemVfs::Remove(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.erase(MemNormalize(path)) == 0) {
+    return Status::NotFound("mem remove " + path);
+  }
+  return Status::OK();
+}
+
+StatusOr<bool> MemVfs::Exists(const std::string& path) {
+  const std::string key = MemNormalize(path);
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(key) != 0 || dirs_.count(key) != 0;
+}
+
+StatusOr<uint64_t> MemVfs::FileSize(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto bytes = FindLocked(MemNormalize(path));
+  if (bytes == nullptr) return Status::NotFound("mem stat " + path);
+  return static_cast<uint64_t>(bytes->size());
+}
+
+Status MemVfs::Truncate(const std::string& path, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto bytes = FindLocked(MemNormalize(path));
+  if (bytes == nullptr) return Status::NotFound("mem truncate " + path);
+  if (size < bytes->size()) {
+    bytes->resize(static_cast<size_t>(size));
+  } else {
+    bytes->resize(static_cast<size_t>(size), '\0');
+  }
+  return Status::OK();
+}
+
+Status MemVfs::CreateDirs(const std::string& path) {
+  std::string key = MemNormalize(path);
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!key.empty() && key != "/" && key != ".") {
+    dirs_.insert(key);
+    const size_t slash = key.find_last_of('/');
+    if (slash == std::string::npos) break;
+    key = slash == 0 ? "/" : key.substr(0, slash);
+  }
+  return Status::OK();
+}
+
+Status MemVfs::RemoveTree(const std::string& path) {
+  const std::string key = MemNormalize(path);
+  const std::string prefix = key + "/";
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.erase(key);
+  for (auto it = files_.begin(); it != files_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) == 0) {
+      it = files_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = dirs_.begin(); it != dirs_.end();) {
+    if (*it == key || it->compare(0, prefix.size(), prefix) == 0) {
+      it = dirs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::string>> MemVfs::List(const std::string& dir) {
+  const std::string key = MemNormalize(dir);
+  const std::string prefix = key == "/" ? "/" : key + "/";
+  std::lock_guard<std::mutex> lock(mu_);
+  std::set<std::string> names;
+  auto collect = [&](const std::string& entry) {
+    if (entry.compare(0, prefix.size(), prefix) != 0) return;
+    const std::string rest = entry.substr(prefix.size());
+    const size_t slash = rest.find('/');
+    const std::string name =
+        slash == std::string::npos ? rest : rest.substr(0, slash);
+    if (!name.empty()) names.insert(name);
+  };
+  for (const auto& [path, bytes] : files_) collect(path);
+  for (const std::string& sub : dirs_) collect(sub);
+  if (names.empty() && dirs_.count(key) == 0) {
+    return Status::NotFound("mem list " + dir);
+  }
+  return std::vector<std::string>(names.begin(), names.end());
+}
+
+Status MemVfs::SyncDir(const std::string& /*path*/) { return Status::OK(); }
+
+size_t MemVfs::file_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.size();
+}
+
+}  // namespace xarch::vfs

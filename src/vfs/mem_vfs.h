@@ -1,0 +1,69 @@
+#ifndef XARCH_VFS_MEM_VFS_H_
+#define XARCH_VFS_MEM_VFS_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "vfs/vfs.h"
+
+namespace xarch::vfs {
+
+/// \brief An entirely in-memory Vfs: files are strings in a map, directories
+/// a set of names. Tests and benches run the full save/open/recover stack on
+/// it with no temp-dir churn, and it is the usual base under FaultVfs —
+/// "crash" is simply dropping the writer and reopening.
+///
+/// Semantics mirror POSIX where the persistence stack cares: Rename
+/// atomically replaces the target, Truncate(0)+Append restarts a file,
+/// writers opened before a rename keep mutating the same bytes (fd
+/// semantics). Sync/SyncDir are no-ops — every OK Append is already
+/// "durable" here.
+class MemVfs final : public Vfs {
+ public:
+  MemVfs() = default;
+  MemVfs(const MemVfs&) = delete;
+  MemVfs& operator=(const MemVfs&) = delete;
+
+  std::string name() const override { return "mem"; }
+
+  StatusOr<std::unique_ptr<ReadableFile>> OpenReadable(
+      const std::string& path) override;
+  StatusOr<std::unique_ptr<RandomAccessFile>> OpenRandomAccess(
+      const std::string& path) override;
+  StatusOr<std::unique_ptr<WritableFile>> OpenWritable(
+      const std::string& path, WriteMode mode) override;
+
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  StatusOr<bool> Exists(const std::string& path) override;
+  StatusOr<uint64_t> FileSize(const std::string& path) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Status CreateDirs(const std::string& path) override;
+  Status RemoveTree(const std::string& path) override;
+  StatusOr<std::vector<std::string>> List(const std::string& dir) override;
+  Status SyncDir(const std::string& path) override;
+
+  /// Number of files currently stored (diagnostics in tests).
+  size_t file_count() const;
+
+ private:
+  friend class MemWritableFile;
+
+  /// Returns the file's bytes, or null when absent. Caller holds mu_.
+  std::shared_ptr<std::string> FindLocked(const std::string& path) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<std::string>> files_;
+  std::set<std::string> dirs_;
+};
+
+/// Normalizes a path the way MemVfs keys its map ("a//b/../c" -> "a/c").
+/// Exposed so tests can assert on stored names.
+std::string MemNormalize(const std::string& path);
+
+}  // namespace xarch::vfs
+
+#endif  // XARCH_VFS_MEM_VFS_H_

@@ -1,0 +1,307 @@
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "util/posix_io.h"
+#include "vfs/vfs.h"
+
+namespace xarch::vfs {
+
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  const int err = errno;
+  if (err == ENOENT) {
+    return Status::NotFound(what + " " + path + ": " + std::strerror(err));
+  }
+  return Status::IoError(what + " " + path + ": " + std::strerror(err));
+}
+
+// ------------------------------------------------------------------ files
+
+class PosixReadableFile final : public ReadableFile {
+ public:
+  PosixReadableFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  ~PosixReadableFile() override { ::close(fd_); }
+
+  StatusOr<size_t> Read(char* scratch, size_t n) override {
+    const ssize_t got = util::RetryEintr([&] { return ::read(fd_, scratch, n); });
+    if (got < 0) return Errno("read", path_);
+    return static_cast<size_t>(got);
+  }
+
+ private:
+  const int fd_;
+  const std::string path_;
+};
+
+class PosixRandomAccessFile final : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(int fd, uint64_t size, std::string path)
+      : fd_(fd), size_(size), path_(std::move(path)) {}
+  ~PosixRandomAccessFile() override { ::close(fd_); }
+
+  StatusOr<std::string_view> ReadAt(uint64_t offset, size_t n,
+                                    char* scratch) const override {
+    const ssize_t got = util::RetryEintr(
+        [&] { return ::pread(fd_, scratch, n, static_cast<off_t>(offset)); });
+    if (got < 0) return Errno("pread", path_);
+    return std::string_view(scratch, static_cast<size_t>(got));
+  }
+
+  uint64_t size() const override { return size_; }
+
+ private:
+  const int fd_;
+  const uint64_t size_;
+  const std::string path_;
+};
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) return Status::IoError(path_ + " is closed");
+    return util::WriteFull(
+        data,
+        [&](const char* p, size_t n) { return ::write(fd_, p, n); }, path_);
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::IoError(path_ + " is closed");
+    if (::fsync(fd_) != 0) return Errno("fsync", path_);
+    return Status::OK();
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (fd_ < 0) return Status::IoError(path_ + " is closed");
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return Errno("truncate", path_);
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return Errno("close", path_);
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  const std::string path_;
+};
+
+// ------------------------------------------------------------------- mmap
+
+class MmapMapping final : public MappedFile {
+ public:
+  MmapMapping(void* base, size_t length) : base_(base), length_(length) {}
+  ~MmapMapping() override {
+    if (base_ != nullptr) ::munmap(base_, length_);
+  }
+  std::string_view data() const override {
+    return std::string_view(static_cast<const char*>(base_), length_);
+  }
+
+ private:
+  void* const base_;
+  const size_t length_;
+};
+
+class EmptyMapping final : public MappedFile {
+ public:
+  std::string_view data() const override { return {}; }
+};
+
+/// A RandomAccessFile over an mmap: ReadAt returns views straight into the
+/// mapping — no copy, no scratch use.
+class MmapRandomAccessFile final : public RandomAccessFile {
+ public:
+  explicit MmapRandomAccessFile(std::unique_ptr<MappedFile> mapping)
+      : mapping_(std::move(mapping)) {}
+
+  StatusOr<std::string_view> ReadAt(uint64_t offset, size_t n,
+                                    char* /*scratch*/) const override {
+    const std::string_view all = mapping_->data();
+    if (offset >= all.size()) return std::string_view();
+    return all.substr(static_cast<size_t>(offset), n);
+  }
+
+  uint64_t size() const override { return mapping_->data().size(); }
+
+ private:
+  const std::unique_ptr<MappedFile> mapping_;
+};
+
+// -------------------------------------------------------------- PosixVfs
+
+class PosixVfs : public Vfs {
+ public:
+  std::string name() const override { return "posix"; }
+
+  StatusOr<std::unique_ptr<ReadableFile>> OpenReadable(
+      const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return Errno("open", path);
+    return std::unique_ptr<ReadableFile>(
+        std::make_unique<PosixReadableFile>(fd, path));
+  }
+
+  StatusOr<std::unique_ptr<RandomAccessFile>> OpenRandomAccess(
+      const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return Errno("open", path);
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      Status status = Errno("fstat", path);
+      ::close(fd);
+      return status;
+    }
+    return std::unique_ptr<RandomAccessFile>(
+        std::make_unique<PosixRandomAccessFile>(
+            fd, static_cast<uint64_t>(st.st_size), path));
+  }
+
+  StatusOr<std::unique_ptr<WritableFile>> OpenWritable(
+      const std::string& path, WriteMode mode) override {
+    const int flags = O_WRONLY | O_CREAT | O_CLOEXEC |
+                      (mode == WriteMode::kTruncate ? O_TRUNC : O_APPEND);
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return Errno("open", path);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(fd, path));
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Errno("rename", from + " -> " + to);
+    }
+    return Status::OK();
+  }
+
+  Status Remove(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) return Errno("remove", path);
+    return Status::OK();
+  }
+
+  StatusOr<bool> Exists(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) == 0) return true;
+    if (errno == ENOENT || errno == ENOTDIR) return false;
+    return Errno("stat", path);
+  }
+
+  StatusOr<uint64_t> FileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) return Errno("stat", path);
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status Truncate(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return Errno("truncate", path);
+    }
+    return Status::OK();
+  }
+
+  Status CreateDirs(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::create_directories(path, ec);
+    if (ec) {
+      return Status::IoError("mkdir " + path + ": " + ec.message());
+    }
+    return Status::OK();
+  }
+
+  Status RemoveTree(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+    if (ec) {
+      return Status::IoError("remove tree " + path + ": " + ec.message());
+    }
+    return Status::OK();
+  }
+
+  StatusOr<std::vector<std::string>> List(const std::string& dir) override {
+    std::error_code ec;
+    std::vector<std::string> names;
+    for (std::filesystem::directory_iterator it(dir, ec), end;
+         !ec && it != end; it.increment(ec)) {
+      names.push_back(it->path().filename().string());
+    }
+    if (ec) return Status::IoError("list " + dir + ": " + ec.message());
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  Status SyncDir(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) return Status::OK();  // best-effort metadata sync
+    ::fsync(fd);
+    ::close(fd);
+    return Status::OK();
+  }
+};
+
+// --------------------------------------------------------------- MmapVfs
+
+class MmapVfs final : public PosixVfs {
+ public:
+  std::string name() const override { return "mmap"; }
+
+  StatusOr<std::unique_ptr<MappedFile>> Map(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return Errno("open", path);
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      Status status = Errno("fstat", path);
+      ::close(fd);
+      return status;
+    }
+    const size_t length = static_cast<size_t>(st.st_size);
+    if (length == 0) {
+      ::close(fd);
+      return std::unique_ptr<MappedFile>(std::make_unique<EmptyMapping>());
+    }
+    void* base = ::mmap(nullptr, length, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);  // the mapping keeps the pages alive
+    if (base == MAP_FAILED) return Errno("mmap", path);
+    return std::unique_ptr<MappedFile>(
+        std::make_unique<MmapMapping>(base, length));
+  }
+
+  StatusOr<std::unique_ptr<RandomAccessFile>> OpenRandomAccess(
+      const std::string& path) override {
+    XARCH_ASSIGN_OR_RETURN(std::unique_ptr<MappedFile> mapping, Map(path));
+    return std::unique_ptr<RandomAccessFile>(
+        std::make_unique<MmapRandomAccessFile>(std::move(mapping)));
+  }
+};
+
+}  // namespace
+
+Vfs* Vfs::Posix() {
+  static PosixVfs* const vfs = new PosixVfs();
+  return vfs;
+}
+
+Vfs* Vfs::Mmap() {
+  static MmapVfs* const vfs = new MmapVfs();
+  return vfs;
+}
+
+}  // namespace xarch::vfs

@@ -1,0 +1,174 @@
+#ifndef XARCH_VFS_VFS_H_
+#define XARCH_VFS_VFS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace xarch::vfs {
+
+/// \brief The pluggable file-system seam every durability layer sits on
+/// (LevelDB-Env-style, scaled to the archiver).
+///
+/// All file traffic of the persistence stack — snapshot containers, the
+/// ingest WAL, durable-store directories, extmem row files, the daemon's
+/// key-spec and port files — goes through one of these instead of raw
+/// `open`/`fstream` calls. That buys three things at once:
+///
+///   * recovery paths become testable: the fault-injecting backend fails
+///     the Nth write/fsync/rename deterministically, so "crash during
+///     checkpoint" is a unit test, not a hope;
+///   * tests and benches run on the in-memory backend with no temp-dir
+///     churn;
+///   * zero-copy open has a seam: the mmap backend maps snapshots instead
+///     of buffering them, and future container formats can be navigated
+///     in place.
+///
+/// Backends: `Vfs::Posix()` (buffered, EINTR-safe), `Vfs::Mmap()` (posix
+/// writes + mmap'd reads), `MemVfs` (mem_vfs.h), `FaultVfs` (fault_vfs.h).
+/// Implementations must be safe for concurrent use from many threads;
+/// distinct files never synchronize against each other.
+
+/// Sequential reader (one pass, explicit buffer).
+class ReadableFile {
+ public:
+  virtual ~ReadableFile() = default;
+
+  /// Reads up to `n` bytes into `scratch`; returns the count actually
+  /// read. 0 means end of file — never a transient empty read.
+  virtual StatusOr<size_t> Read(char* scratch, size_t n) = 0;
+};
+
+/// Positional reader (pread or an mmap view behind it).
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  /// Reads up to `n` bytes at `offset`. The returned view points into
+  /// `scratch` OR into backend-owned memory (the mmap backend returns the
+  /// mapping itself — zero copies); it stays valid until the next ReadAt
+  /// on this file or the file's destruction, whichever is first. Reads
+  /// past EOF return a shortened (possibly empty) view.
+  virtual StatusOr<std::string_view> ReadAt(uint64_t offset, size_t n,
+                                            char* scratch) const = 0;
+
+  /// File size at open time.
+  virtual uint64_t size() const = 0;
+};
+
+/// A whole file mapped (or loaded) read-only. The view is stable for the
+/// mapping's lifetime.
+class MappedFile {
+ public:
+  virtual ~MappedFile() = default;
+  virtual std::string_view data() const = 0;
+};
+
+/// Appending writer. Created by Vfs::OpenWritable; byte traffic is
+/// unbuffered at this layer (callers batch), so after an OK Append the
+/// bytes have reached the backend (page cache for posix — Sync() makes
+/// them crash-durable).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(std::string_view data) = 0;
+
+  /// fsync (posix) — after OK, appended bytes survive an OS crash.
+  virtual Status Sync() = 0;
+
+  /// Truncates the file to `size` bytes; subsequent Appends continue from
+  /// the new end (the WAL uses Truncate(0) to reset to a bare header).
+  virtual Status Truncate(uint64_t size) = 0;
+
+  /// Flushes and releases the descriptor, reporting errors (the
+  /// destructor closes silently). Idempotent.
+  virtual Status Close() = 0;
+};
+
+enum class WriteMode {
+  kTruncate,  ///< create or wipe, write from the start
+  kAppend,    ///< create if absent, write at the end
+};
+
+class Vfs {
+ public:
+  virtual ~Vfs() = default;
+
+  /// Stable backend name ("posix", "mmap", "mem", "fault(<base>)").
+  virtual std::string name() const = 0;
+
+  // ------------------------------------------------------------ file open
+  virtual StatusOr<std::unique_ptr<ReadableFile>> OpenReadable(
+      const std::string& path) = 0;
+  virtual StatusOr<std::unique_ptr<RandomAccessFile>> OpenRandomAccess(
+      const std::string& path) = 0;
+  virtual StatusOr<std::unique_ptr<WritableFile>> OpenWritable(
+      const std::string& path, WriteMode mode) = 0;
+
+  /// Maps a whole file read-only. The base implementation buffers the file
+  /// into memory (correct everywhere); the mmap backend overrides it with
+  /// a real mapping, which is what makes snapshot open zero-copy there.
+  virtual StatusOr<std::unique_ptr<MappedFile>> Map(const std::string& path);
+
+  /// Reads a whole file into a string; kIoError / kNotFound on failure.
+  virtual StatusOr<std::string> ReadFile(const std::string& path);
+
+  // -------------------------------------------------------- namespace ops
+  /// Atomically replaces `to` with `from` (POSIX rename semantics).
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  /// Removes one file; kNotFound when absent.
+  virtual Status Remove(const std::string& path) = 0;
+
+  /// True when a file or directory exists at `path`.
+  virtual StatusOr<bool> Exists(const std::string& path) = 0;
+
+  virtual StatusOr<uint64_t> FileSize(const std::string& path) = 0;
+
+  /// Truncates the file at `path` to `size` bytes.
+  virtual Status Truncate(const std::string& path, uint64_t size) = 0;
+
+  /// Creates a directory and any missing parents (ok if already present).
+  virtual Status CreateDirs(const std::string& path) = 0;
+
+  /// Recursively removes a directory tree (ok if already absent).
+  virtual Status RemoveTree(const std::string& path) = 0;
+
+  /// Names (not paths) of the entries in `dir`, sorted.
+  virtual StatusOr<std::vector<std::string>> List(const std::string& dir) = 0;
+
+  /// Best-effort fsync of a directory, making renames inside it durable.
+  /// Backends without directory metadata return OK.
+  virtual Status SyncDir(const std::string& path) = 0;
+
+  // -------------------------------------------------------- singletons
+  /// The buffered POSIX backend (EINTR-safe reads and writes). Process-
+  /// wide; never destroyed.
+  static Vfs* Posix();
+
+  /// POSIX writes + mmap'd Map()/OpenRandomAccess(). The on-ramp for
+  /// zero-copy snapshot open.
+  static Vfs* Mmap();
+};
+
+/// Writes `bytes` atomically through any backend: to `path + ".tmp"`, then
+/// Sync (when `sync`), then Rename over `path`, then SyncDir so the rename
+/// itself is durable. A crash (or injected fault) mid-write never leaves a
+/// half-written file at `path`; on failure the temp file is removed.
+Status AtomicWriteFile(Vfs& vfs, const std::string& path,
+                       std::string_view bytes, bool sync);
+
+/// The directory part of `path` ("." when there is none).
+std::string DirOf(const std::string& path);
+
+/// Joins a directory and a name with exactly one separator.
+std::string Join(const std::string& dir, const std::string& name);
+
+}  // namespace xarch::vfs
+
+#endif  // XARCH_VFS_VFS_H_

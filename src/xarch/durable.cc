@@ -1,9 +1,9 @@
 #include "xarch/durable.h"
 
-#include <filesystem>
 #include <utility>
 
 #include "persist/container.h"
+#include "vfs/vfs.h"
 
 namespace xarch {
 
@@ -43,32 +43,28 @@ Status ApplyRecord(Store& store, const persist::LogRecord& record) {
 }  // namespace
 
 DurableStore::DurableStore(std::unique_ptr<Store> inner, std::string backend,
-                           std::string snapshot_path,
+                           vfs::Vfs* vfs, std::string snapshot_path,
                            persist::IngestLogWriter log,
                            uint64_t snapshot_every_records)
     : inner_(std::move(inner)),
       backend_(std::move(backend)),
+      vfs_(vfs),
       snapshot_path_(std::move(snapshot_path)),
       log_(std::move(log)),
       snapshot_every_records_(snapshot_every_records) {}
 
 StatusOr<std::unique_ptr<DurableStore>> DurableStore::Open(
     const std::string& dir, DurableOptions options) {
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  if (ec) {
-    return Status::IoError("cannot create durable store directory " + dir +
-                           ": " + ec.message());
-  }
-  const std::string snapshot_path =
-      (std::filesystem::path(dir) / kSnapshotFile).string();
-  const std::string log_path = (std::filesystem::path(dir) / kLogFile).string();
+  vfs::Vfs* vfs = options.vfs != nullptr ? options.vfs : vfs::Vfs::Posix();
+  XARCH_RETURN_NOT_OK(vfs->CreateDirs(dir));
+  const std::string snapshot_path = vfs::Join(dir, kSnapshotFile);
+  const std::string log_path = vfs::Join(dir, kLogFile);
 
   // 1. The base store: the last snapshot when one exists, else fresh.
   std::unique_ptr<Store> inner;
-  if (std::filesystem::exists(snapshot_path)) {
-    XARCH_ASSIGN_OR_RETURN(std::string bytes,
-                           persist::ReadFileToString(snapshot_path));
+  XARCH_ASSIGN_OR_RETURN(bool have_snapshot, vfs->Exists(snapshot_path));
+  if (have_snapshot) {
+    XARCH_ASSIGN_OR_RETURN(std::string bytes, vfs->ReadFile(snapshot_path));
     XARCH_ASSIGN_OR_RETURN(persist::SnapshotReader probe,
                            persist::SnapshotReader::Parse(bytes));
     XARCH_ASSIGN_OR_RETURN(std::string_view saved_backend,
@@ -89,7 +85,7 @@ StatusOr<std::unique_ptr<DurableStore>> DurableStore::Open(
 
   // 2. Replay the ingest log over it, dropping any torn tail.
   XARCH_ASSIGN_OR_RETURN(persist::LogReplay replay,
-                         persist::ReadIngestLog(log_path));
+                         persist::ReadIngestLog(vfs, log_path));
   for (const persist::LogRecord& record : replay.records) {
     if (record.first_version <= inner->version_count()) {
       // Already inside the snapshot (crash before log truncate). This
@@ -116,15 +112,15 @@ StatusOr<std::unique_ptr<DurableStore>> DurableStore::Open(
     }
   }
   if (replay.torn_tail) {
-    XARCH_RETURN_NOT_OK(persist::TruncateFile(log_path, replay.valid_bytes));
+    XARCH_RETURN_NOT_OK(vfs->Truncate(log_path, replay.valid_bytes));
   }
 
   // 3. Reattach the log for new ingest.
   XARCH_ASSIGN_OR_RETURN(persist::IngestLogWriter log,
-                         persist::IngestLogWriter::Open(log_path,
+                         persist::IngestLogWriter::Open(vfs, log_path,
                                                         options.fsync));
   auto store = std::unique_ptr<DurableStore>(new DurableStore(
-      std::move(inner), options.backend, snapshot_path, std::move(log),
+      std::move(inner), options.backend, vfs, snapshot_path, std::move(log),
       options.snapshot_every_records));
   store->records_since_snapshot_.store(replay.records.size(),
                                        std::memory_order_relaxed);
@@ -148,7 +144,7 @@ uint64_t DurableStore::log_records() const {
 Status DurableStore::WriteSnapshotLocked() {
   XARCH_ASSIGN_OR_RETURN(std::string bytes, inner_->SaveToBytes());
   XARCH_RETURN_NOT_OK(
-      persist::AtomicWriteFile(snapshot_path_, bytes, /*sync=*/true));
+      vfs::AtomicWriteFile(*vfs_, snapshot_path_, bytes, /*sync=*/true));
   XARCH_RETURN_NOT_OK(log_.Reset());
   records_since_snapshot_.store(0, std::memory_order_relaxed);
   return Status::OK();

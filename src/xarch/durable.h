@@ -17,6 +17,10 @@ struct DurableOptions {
   /// Backend to create when the directory has no snapshot yet, and whose
   /// restorer reopens an existing one.
   std::string backend = "archive";
+  /// File system the snapshot and log live on; nullptr means the real disk
+  /// (vfs::Vfs::Posix()). Tests point this at MemVfs or FaultVfs to run
+  /// the whole recovery path in memory or under injected faults.
+  vfs::Vfs* vfs = nullptr;
   /// Construction options for the fresh-create path; on reopen only the
   /// tuning knobs (extmem work dir / budgets) are consulted.
   StoreOptions store;
@@ -94,7 +98,8 @@ class DurableStore final : public Store {
 
  private:
   DurableStore(std::unique_ptr<Store> inner, std::string backend,
-               std::string snapshot_path, persist::IngestLogWriter log,
+               vfs::Vfs* vfs, std::string snapshot_path,
+               persist::IngestLogWriter log,
                uint64_t snapshot_every_records);
 
   /// Snapshot + log reset; caller holds the exclusive lock (or is Open).
@@ -106,6 +111,7 @@ class DurableStore final : public Store {
 
   std::unique_ptr<Store> inner_;
   std::string backend_;
+  vfs::Vfs* vfs_;
   std::string snapshot_path_;
   persist::IngestLogWriter log_;
   uint64_t snapshot_every_records_;

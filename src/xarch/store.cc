@@ -21,6 +21,7 @@
 #include "query/parser.h"
 #include "query/planner.h"
 #include "util/thread_pool.h"
+#include "vfs/vfs.h"
 #include "xarch/checkpoint.h"
 #include "xarch/store_registry.h"
 #include "xml/parser.h"
@@ -154,7 +155,7 @@ std::string Store::StoredBytes() const {
   return StoredBytesImpl();
 }
 
-Status Store::SaveToFile(const std::string& path) const {
+Status Store::SaveToFile(const std::string& path, vfs::Vfs* vfs) const {
   if (!Has(kPersistence)) {
     return UnimplementedCall("SaveToFile", kPersistence);
   }
@@ -165,7 +166,8 @@ Status Store::SaveToFile(const std::string& path) const {
   }
   // File I/O runs outside the lock: the snapshot string is already a
   // consistent point-in-time image.
-  return persist::AtomicWriteFile(path, bytes, /*sync=*/true);
+  if (vfs == nullptr) vfs = vfs::Vfs::Posix();
+  return vfs::AtomicWriteFile(*vfs, path, bytes, /*sync=*/true);
 }
 
 StatusOr<std::string> Store::SaveToBytes() const {
@@ -640,8 +642,7 @@ class ExtmemStore final : public Store {
 
   ~ExtmemStore() override {
     if (owns_work_dir_) {
-      std::error_code ec;
-      std::filesystem::remove_all(work_dir_, ec);
+      (void)ext_.vfs()->RemoveTree(work_dir_);
     }
   }
 

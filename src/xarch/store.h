@@ -21,6 +21,10 @@
 
 namespace xarch {
 
+namespace vfs {
+class Vfs;
+}  // namespace vfs
+
 namespace persist {
 class SnapshotWriter;
 }  // namespace persist
@@ -268,7 +272,9 @@ class Store {
   /// StoreRegistry::OpenFromFile(path) returns an equivalent store whose
   /// retrievals are byte-identical. Runs under the read lock: concurrent
   /// queries keep running (exclusive-read backends serialize as usual).
-  Status SaveToFile(const std::string& path) const;
+  /// `vfs` selects the file system the snapshot lands on; nullptr means
+  /// the real disk (vfs::Vfs::Posix()).
+  Status SaveToFile(const std::string& path, vfs::Vfs* vfs = nullptr) const;
 
   /// SaveToFile without the file: the serialized snapshot container.
   StatusOr<std::string> SaveToBytes() const;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "persist/container.h"
+#include "vfs/vfs.h"
 
 namespace xarch {
 
@@ -52,9 +53,13 @@ StatusOr<std::unique_ptr<Store>> StoreRegistry::Create(const std::string& name,
 }
 
 StatusOr<std::unique_ptr<Store>> StoreRegistry::OpenFromFile(
-    const std::string& path, StoreOptions tuning) const {
-  XARCH_ASSIGN_OR_RETURN(std::string bytes, persist::ReadFileToString(path));
-  return OpenFromBytes(bytes, std::move(tuning));
+    const std::string& path, StoreOptions tuning, vfs::Vfs* vfs) const {
+  if (vfs == nullptr) vfs = vfs::Vfs::Posix();
+  // Map() is the zero-copy seam: on the mmap backend the container is
+  // parsed straight out of the page cache; elsewhere it buffers.
+  XARCH_ASSIGN_OR_RETURN(std::unique_ptr<vfs::MappedFile> mapping,
+                         vfs->Map(path));
+  return OpenFromBytes(mapping->data(), std::move(tuning));
 }
 
 StatusOr<std::unique_ptr<Store>> StoreRegistry::OpenFromBytes(
@@ -77,8 +82,9 @@ StatusOr<std::unique_ptr<Store>> StoreRegistry::OpenFromBytes(
 }
 
 StatusOr<std::unique_ptr<Store>> StoreRegistry::Open(const std::string& path,
-                                                     StoreOptions tuning) {
-  return Global().OpenFromFile(path, std::move(tuning));
+                                                     StoreOptions tuning,
+                                                     vfs::Vfs* vfs) {
+  return Global().OpenFromFile(path, std::move(tuning), vfs);
 }
 
 std::vector<const StoreRegistry::Entry*> StoreRegistry::List() const {

@@ -85,8 +85,12 @@ class StoreRegistry {
   /// its checksums (corruption → kDataLoss), and dispatches to the
   /// restorer registered under the snapshot's "backend" section. The
   /// result retrieves byte-identically to the store that was saved.
+  /// `vfs` selects the file system the snapshot is read from — nullptr
+  /// means the real disk; Vfs::Mmap() parses straight out of a mapping
+  /// (zero-copy open for large snapshots).
   StatusOr<std::unique_ptr<Store>> OpenFromFile(const std::string& path,
-                                                StoreOptions tuning = {}) const;
+                                                StoreOptions tuning = {},
+                                                vfs::Vfs* vfs = nullptr) const;
 
   /// OpenFromFile over in-memory container bytes.
   StatusOr<std::unique_ptr<Store>> OpenFromBytes(std::string_view bytes,
@@ -94,7 +98,8 @@ class StoreRegistry {
 
   /// Convenience: Global().OpenFromFile(...).
   static StatusOr<std::unique_ptr<Store>> Open(const std::string& path,
-                                               StoreOptions tuning = {});
+                                               StoreOptions tuning = {},
+                                               vfs::Vfs* vfs = nullptr);
 
   /// Registered backend metadata, sorted by name.
   std::vector<const Entry*> List() const;

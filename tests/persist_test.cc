@@ -1,8 +1,10 @@
 // Durable on-disk archives: the snapshot container (magic + version +
 // per-section CRC32C + optional LZSS), Store::SaveToFile /
-// StoreRegistry::OpenFromFile round-trips over all nine backends, the
-// append-only ingest log with torn-tail recovery, and the corrupt-input
-// behavior of every decode path.
+// StoreRegistry::OpenFromFile round-trips over all nine backends (through
+// the posix, mmap, and in-memory VFS backends), the append-only ingest log
+// with torn-tail recovery, and the corrupt-input behavior of every decode
+// path. Log and durable-store tests run entirely on MemVfs — no temp-dir
+// churn, and "crash" is just dropping the writer.
 
 #include <gtest/gtest.h>
 #include <unistd.h>
@@ -11,8 +13,8 @@
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "persist/container.h"
@@ -21,6 +23,8 @@
 #include "persist/wire.h"
 #include "synth/words.h"
 #include "util/random.h"
+#include "vfs/mem_vfs.h"
+#include "vfs/vfs.h"
 #include "xarch/durable.h"
 #include "xarch/store.h"
 #include "xarch/store_registry.h"
@@ -118,17 +122,19 @@ class ScratchDir {
   std::string path_;
 };
 
-std::string ReadAll(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  EXPECT_TRUE(in.good()) << path;
-  return std::string((std::istreambuf_iterator<char>(in)),
-                     std::istreambuf_iterator<char>());
+std::string ReadAll(const std::string& path,
+                    vfs::Vfs* vfs = vfs::Vfs::Posix()) {
+  auto bytes = vfs->ReadFile(path);
+  EXPECT_TRUE(bytes.ok()) << path << ": " << bytes.status().ToString();
+  return bytes.ok() ? std::move(bytes).value() : std::string();
 }
 
-void WriteAll(const std::string& path, const std::string& bytes) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  ASSERT_TRUE(out.good()) << path;
+void WriteAll(const std::string& path, const std::string& bytes,
+              vfs::Vfs* vfs = vfs::Vfs::Posix()) {
+  auto file = vfs->OpenWritable(path, vfs::WriteMode::kTruncate);
+  ASSERT_TRUE(file.ok()) << path << ": " << file.status().ToString();
+  ASSERT_TRUE((*file)->Append(bytes).ok()) << path;
+  ASSERT_TRUE((*file)->Close().ok()) << path;
 }
 
 // ----------------------------------------------------------------- crc32c
@@ -153,6 +159,37 @@ TEST(Crc32cTest, ExtendMatchesOneShot) {
 TEST(Crc32cTest, MaskRoundTrips) {
   for (uint32_t v : {0u, 1u, 0xDEADBEEFu, 0xFFFFFFFFu}) {
     EXPECT_EQ(persist::UnmaskCrc(persist::MaskCrc(v)), v);
+  }
+}
+
+TEST(Crc32cTest, HardwareDispatchMatchesSliceBy8) {
+  // Crc32c() routes through runtime dispatch (SSE4.2 / ARMv8 CRC when the
+  // CPU has it); the slice-by-8 table implementation is the pinned
+  // reference. Random lengths 0..600 cover every alignment of the wide
+  // (8-byte) and narrow (1-byte) hardware paths, including lengths below
+  // one word.
+  SCOPED_TRACE(std::string("impl=") + persist::Crc32cImplementation());
+  Rng rng(0x32c);
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::string data(rng.Uniform(0, 600), '\0');
+    for (char& c : data) c = static_cast<char>(rng.Uniform(0, 255));
+    EXPECT_EQ(persist::Crc32c(data),
+              persist::internal::Crc32cSoftwareExtend(0, data))
+        << "trial " << trial << " len " << data.size();
+  }
+}
+
+TEST(Crc32cTest, HardwareDispatchMatchesSliceBy8SeededExtend) {
+  // Seeded extension (mid-stream CRC state) must agree too — the ingest
+  // log and container checksums both extend across fragments.
+  Rng rng(0xc32);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string data(rng.Uniform(1, 300), '\0');
+    for (char& c : data) c = static_cast<char>(rng.Uniform(0, 255));
+    const uint32_t seed = static_cast<uint32_t>(rng.Uniform(0, 0xFFFFFFFFu));
+    EXPECT_EQ(persist::Crc32cExtend(seed, data),
+              persist::internal::Crc32cSoftwareExtend(seed, data))
+        << "trial " << trial;
   }
 }
 
@@ -265,11 +302,25 @@ TEST(ContainerTest, UnsupportedVersionIsRejected) {
 TEST(ContainerTest, AtomicWriteReplacesAndNeverTears) {
   ScratchDir dir("atomic");
   std::string path = dir.File("file.bin");
-  ASSERT_TRUE(persist::AtomicWriteFile(path, "first", true).ok());
+  vfs::Vfs& posix = *vfs::Vfs::Posix();
+  ASSERT_TRUE(vfs::AtomicWriteFile(posix, path, "first", true).ok());
   EXPECT_EQ(ReadAll(path), "first");
-  ASSERT_TRUE(persist::AtomicWriteFile(path, "second", false).ok());
+  ASSERT_TRUE(vfs::AtomicWriteFile(posix, path, "second", false).ok());
   EXPECT_EQ(ReadAll(path), "second");
-  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_EQ(*posix.Exists(path + ".tmp"), false);
+}
+
+TEST(ContainerTest, AtomicWriteOnMemVfsLeavesNoTempFile) {
+  // The same staged-rename protocol runs unchanged on the in-memory VFS:
+  // one file after the dust settles, no .tmp stragglers.
+  vfs::MemVfs mem;
+  ASSERT_TRUE(vfs::AtomicWriteFile(mem, "dir/file.bin", "payload", true).ok());
+  EXPECT_EQ(ReadAll("dir/file.bin", &mem), "payload");
+  EXPECT_EQ(*mem.Exists("dir/file.bin.tmp"), false);
+  EXPECT_EQ(mem.file_count(), 1u);
+  ASSERT_TRUE(vfs::AtomicWriteFile(mem, "dir/file.bin", "v2", false).ok());
+  EXPECT_EQ(ReadAll("dir/file.bin", &mem), "v2");
+  EXPECT_EQ(mem.file_count(), 1u);
 }
 
 // ------------------------------------------------- store snapshot parity
@@ -280,10 +331,15 @@ const std::string kNineBackends[] = {
     "compressed", "checkpoint-archive", "checkpoint-diff",
 };
 
-class SnapshotRoundTripTest : public ::testing::TestWithParam<std::string> {};
+// (backend, vfs kind): every backend's snapshot must round-trip through
+// every VFS — buffered posix reads, a zero-copy mmap open, and the pure
+// in-memory file system.
+class SnapshotRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {};
 
 TEST_P(SnapshotRoundTripTest, SaveOpenParity) {
-  const std::string& backend = GetParam();
+  const std::string& backend = std::get<0>(GetParam());
+  const std::string& vfs_kind = std::get<1>(GetParam());
   auto live_or = StoreRegistry::Create(backend, OptionsWithSpec());
   ASSERT_TRUE(live_or.ok()) << live_or.status().ToString();
   Store& live = **live_or;
@@ -298,10 +354,20 @@ TEST_P(SnapshotRoundTripTest, SaveOpenParity) {
   ASSERT_TRUE(live.Has(kPersistence)) << backend;
 
   ScratchDir dir("roundtrip");
-  const std::string path = dir.File("store.xar");
-  ASSERT_TRUE(live.SaveToFile(path).ok()) << backend;
+  vfs::MemVfs mem;
+  vfs::Vfs* save_vfs = vfs::Vfs::Posix();
+  vfs::Vfs* open_vfs = vfs::Vfs::Posix();
+  std::string path = dir.File("store.xar");
+  if (vfs_kind == "mem") {
+    save_vfs = open_vfs = &mem;
+    path = "snapshots/store.xar";
+    ASSERT_TRUE(mem.CreateDirs("snapshots").ok());
+  } else if (vfs_kind == "mmap") {
+    open_vfs = vfs::Vfs::Mmap();  // parse straight out of the mapping
+  }
+  ASSERT_TRUE(live.SaveToFile(path, save_vfs).ok()) << backend;
 
-  auto reopened_or = StoreRegistry::Open(path);
+  auto reopened_or = StoreRegistry::Open(path, {}, open_vfs);
   ASSERT_TRUE(reopened_or.ok()) << backend << ": "
                                 << reopened_or.status().ToString();
   Store& reopened = **reopened_or;
@@ -364,13 +430,16 @@ TEST_P(SnapshotRoundTripTest, SaveOpenParity) {
   EXPECT_TRUE(reopened.Retrieve(reopened.version_count()).ok()) << backend;
 }
 
-INSTANTIATE_TEST_SUITE_P(AllBackends, SnapshotRoundTripTest,
-                         ::testing::ValuesIn(kNineBackends),
-                         [](const auto& info) {
-                           std::string name = info.param;
-                           std::replace(name.begin(), name.end(), '-', '_');
-                           return name;
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, SnapshotRoundTripTest,
+    ::testing::Combine(::testing::ValuesIn(kNineBackends),
+                       ::testing::Values("posix", "mmap", "mem")),
+    [](const auto& info) {
+      std::string name =
+          std::get<0>(info.param) + "_" + std::get<1>(info.param);
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
 
 TEST(SnapshotTest, PendingForcedCheckpointSurvivesTheRoundTrip) {
   auto live_or = StoreRegistry::Create("checkpoint-diff", OptionsWithSpec());
@@ -439,8 +508,10 @@ TEST(SnapshotTest, CorruptSnapshotFilesNeverOpen) {
 }
 
 TEST(SnapshotTest, MissingFileAndUnknownBackendFailCleanly) {
+  // The VFS distinguishes a missing file (kNotFound) from a failing disk
+  // (kIoError); pre-VFS this surfaced as a generic I/O error.
   EXPECT_EQ(StoreRegistry::Open("/nonexistent/path/s.xar").status().code(),
-            StatusCode::kIoError);
+            StatusCode::kNotFound);
   persist::SnapshotWriter writer;
   writer.Add("backend", "no-such-backend");
   auto opened = StoreRegistry::Global().OpenFromBytes(writer.Serialize());
@@ -450,11 +521,11 @@ TEST(SnapshotTest, MissingFileAndUnknownBackendFailCleanly) {
 // ------------------------------------------------------------ ingest log
 
 TEST(IngestLogTest, AppendReadRoundTrip) {
-  ScratchDir dir("log");
-  const std::string path = dir.File("ingest.log");
+  vfs::MemVfs mem;
+  const std::string path = "ingest.log";
   {
-    auto writer =
-        persist::IngestLogWriter::Open(path, persist::FsyncPolicy::kNever);
+    auto writer = persist::IngestLogWriter::Open(&mem, path,
+                                                 persist::FsyncPolicy::kNever);
     ASSERT_TRUE(writer.ok());
     persist::LogRecord a{persist::LogRecord::kAppend, 1, {"<db/>"}};
     persist::LogRecord b{
@@ -464,7 +535,7 @@ TEST(IngestLogTest, AppendReadRoundTrip) {
     ASSERT_TRUE(writer->Append(b).ok());
     ASSERT_TRUE(writer->Append(c).ok());
   }
-  auto replay = persist::ReadIngestLog(path);
+  auto replay = persist::ReadIngestLog(&mem, path);
   ASSERT_TRUE(replay.ok()) << replay.status().ToString();
   EXPECT_FALSE(replay->torn_tail);
   ASSERT_EQ(replay->records.size(), 3u);
@@ -472,42 +543,41 @@ TEST(IngestLogTest, AppendReadRoundTrip) {
   EXPECT_EQ(replay->records[1].texts.size(), 2u);
   EXPECT_EQ(replay->records[1].first_version, 2u);
   EXPECT_EQ(replay->records[2].type, persist::LogRecord::kCheckpoint);
-  EXPECT_EQ(replay->valid_bytes, std::filesystem::file_size(path));
+  EXPECT_EQ(replay->valid_bytes, *mem.FileSize(path));
 }
 
 TEST(IngestLogTest, MissingLogIsEmptyAndForeignFileIsRejected) {
-  ScratchDir dir("log2");
-  auto replay = persist::ReadIngestLog(dir.File("absent.log"));
+  vfs::MemVfs mem;
+  auto replay = persist::ReadIngestLog(&mem, "absent.log");
   ASSERT_TRUE(replay.ok());
   EXPECT_TRUE(replay->records.empty());
 
-  WriteAll(dir.File("foreign.log"), "this is not a log file at all");
-  auto foreign = persist::ReadIngestLog(dir.File("foreign.log"));
+  WriteAll("foreign.log", "this is not a log file at all", &mem);
+  auto foreign = persist::ReadIngestLog(&mem, "foreign.log");
   ASSERT_FALSE(foreign.ok());
   EXPECT_EQ(foreign.status().code(), StatusCode::kDataLoss);
 }
 
 TEST(IngestLogTest, TornTailAtEveryByteKeepsIntactRecords) {
-  ScratchDir dir("log3");
-  const std::string path = dir.File("ingest.log");
+  vfs::MemVfs mem;
+  const std::string path = "ingest.log";
   size_t size_before_last = 0;
   {
-    auto writer =
-        persist::IngestLogWriter::Open(path, persist::FsyncPolicy::kNever);
+    auto writer = persist::IngestLogWriter::Open(&mem, path,
+                                                 persist::FsyncPolicy::kNever);
     ASSERT_TRUE(writer.ok());
     for (int i = 1; i <= 3; ++i) {
       persist::LogRecord rec{persist::LogRecord::kAppend,
                              static_cast<Version>(i),
                              {"<db>version " + std::to_string(i) + "</db>"}};
       ASSERT_TRUE(writer->Append(rec).ok());
-      if (i == 2) size_before_last = 0;  // placeholder, measured below
     }
   }
-  const std::string full = ReadAll(path);
+  const std::string full = ReadAll(path, &mem);
   // Recompute the offset where the final record begins: re-write the first
   // two records into a scratch log and measure.
   {
-    auto writer = persist::IngestLogWriter::Open(dir.File("probe.log"),
+    auto writer = persist::IngestLogWriter::Open(&mem, "probe.log",
                                                  persist::FsyncPolicy::kNever);
     ASSERT_TRUE(writer.ok());
     for (int i = 1; i <= 2; ++i) {
@@ -516,7 +586,7 @@ TEST(IngestLogTest, TornTailAtEveryByteKeepsIntactRecords) {
                              {"<db>version " + std::to_string(i) + "</db>"}};
       ASSERT_TRUE(writer->Append(rec).ok());
     }
-    size_before_last = std::filesystem::file_size(dir.File("probe.log"));
+    size_before_last = *mem.FileSize("probe.log");
   }
   ASSERT_LT(size_before_last, full.size());
 
@@ -525,26 +595,26 @@ TEST(IngestLogTest, TornTailAtEveryByteKeepsIntactRecords) {
   // (A cut exactly at the record boundary is a clean two-record log, not
   // a torn one.)
   for (size_t cut = size_before_last; cut < full.size(); ++cut) {
-    WriteAll(path, full.substr(0, cut));
-    auto replay = persist::ReadIngestLog(path);
+    WriteAll(path, full.substr(0, cut), &mem);
+    auto replay = persist::ReadIngestLog(&mem, path);
     ASSERT_TRUE(replay.ok()) << "cut at " << cut;
     EXPECT_EQ(replay->records.size(), 2u) << "cut at " << cut;
     EXPECT_EQ(replay->torn_tail, cut != size_before_last) << "cut at " << cut;
     EXPECT_EQ(replay->valid_bytes, size_before_last) << "cut at " << cut;
   }
-  WriteAll(path, full);
-  auto intact = persist::ReadIngestLog(path);
+  WriteAll(path, full, &mem);
+  auto intact = persist::ReadIngestLog(&mem, path);
   ASSERT_TRUE(intact.ok());
   EXPECT_EQ(intact->records.size(), 3u);
   EXPECT_FALSE(intact->torn_tail);
 }
 
 TEST(IngestLogTest, MidLogBitFlipIsRefusedNotTruncated) {
-  ScratchDir dir("log4");
-  const std::string path = dir.File("ingest.log");
+  vfs::MemVfs mem;
+  const std::string path = "ingest.log";
   {
-    auto writer =
-        persist::IngestLogWriter::Open(path, persist::FsyncPolicy::kNever);
+    auto writer = persist::IngestLogWriter::Open(&mem, path,
+                                                 persist::FsyncPolicy::kNever);
     ASSERT_TRUE(writer.ok());
     for (int i = 1; i <= 3; ++i) {
       persist::LogRecord rec{persist::LogRecord::kAppend,
@@ -553,11 +623,11 @@ TEST(IngestLogTest, MidLogBitFlipIsRefusedNotTruncated) {
       ASSERT_TRUE(writer->Append(rec).ok());
     }
   }
-  std::string bytes = ReadAll(path);
+  std::string bytes = ReadAll(path, &mem);
   // Flip a payload byte of the FIRST record (well before the tail).
   bytes[20] = static_cast<char>(bytes[20] ^ 0x01);
-  WriteAll(path, bytes);
-  auto replay = persist::ReadIngestLog(path);
+  WriteAll(path, bytes, &mem);
+  auto replay = persist::ReadIngestLog(&mem, path);
   // The flip lands in record 1: it reads as a torn tail at record 1 — no
   // intact record is ever dropped silently, and nothing after the bad
   // record is replayed out of order.
@@ -568,26 +638,31 @@ TEST(IngestLogTest, MidLogBitFlipIsRefusedNotTruncated) {
 
 // --------------------------------------------------------- durable stores
 
-DurableOptions DurableOpts(const std::string& backend = "archive") {
+/// Every durable-store test runs on a MemVfs: `options.vfs` points the
+/// whole snapshot + WAL stack at it, "crash" is dropping the writer, and
+/// reopening the same directory name replays whatever "survived".
+DurableOptions DurableOpts(vfs::Vfs* vfs,
+                           const std::string& backend = "archive") {
   DurableOptions options;
   options.backend = backend;
   options.store = OptionsWithSpec();
   options.fsync = persist::FsyncPolicy::kNever;  // tests: speed over crash-
                                                  // durability of the OS cache
+  options.vfs = vfs;
   return options;
 }
 
 TEST(DurableStoreTest, SurvivesReopenWithoutSnapshot) {
-  ScratchDir dir("durable1");
+  vfs::MemVfs mem;
   const auto texts = Versions(/*seed=*/3, 5);
   {
-    auto store = OpenDurable(dir.path(), DurableOpts());
+    auto store = OpenDurable("durable1", DurableOpts(&mem));
     ASSERT_TRUE(store.ok()) << store.status().ToString();
     EXPECT_EQ((*store)->name(), "durable(archive)");
     for (const auto& text : texts) ASSERT_TRUE((*store)->Append(text).ok());
     EXPECT_EQ((*store)->version_count(), texts.size());
   }  // process "exit": only the log file persists the data
-  auto reopened = OpenDurable(dir.path(), DurableOpts());
+  auto reopened = OpenDurable("durable1", DurableOpts(&mem));
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
   ASSERT_EQ((*reopened)->version_count(), texts.size());
   for (Version v = 1; v <= texts.size(); ++v) {
@@ -596,11 +671,11 @@ TEST(DurableStoreTest, SurvivesReopenWithoutSnapshot) {
 }
 
 TEST(DurableStoreTest, SnapshotPlusLogRecovery) {
-  ScratchDir dir("durable2");
+  vfs::MemVfs mem;
   const auto texts = Versions(/*seed=*/4, 6);
   std::vector<std::string> expected;
   {
-    auto store_or = DurableStore::Open(dir.path(), DurableOpts());
+    auto store_or = DurableStore::Open("durable2", DurableOpts(&mem));
     ASSERT_TRUE(store_or.ok());
     DurableStore& store = **store_or;
     for (int i = 0; i < 4; ++i) ASSERT_TRUE(store.Append(texts[i]).ok());
@@ -612,9 +687,8 @@ TEST(DurableStoreTest, SnapshotPlusLogRecovery) {
       expected.push_back(store.Retrieve(v).value());
     }
   }
-  ASSERT_TRUE(
-      std::filesystem::exists(dir.File("snapshot.xar")));
-  auto reopened = OpenDurable(dir.path(), DurableOpts());
+  ASSERT_TRUE(*mem.Exists("durable2/snapshot.xar"));
+  auto reopened = OpenDurable("durable2", DurableOpts(&mem));
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
   ASSERT_EQ((*reopened)->version_count(), 6u);
   for (Version v = 1; v <= 6; ++v) {
@@ -623,16 +697,16 @@ TEST(DurableStoreTest, SnapshotPlusLogRecovery) {
 }
 
 TEST(DurableStoreTest, TornFinalRecordRecoversEveryLoggedVersion) {
-  ScratchDir dir("durable3");
+  vfs::MemVfs mem;
   const auto texts = Versions(/*seed=*/8, 4);
   {
-    auto store = OpenDurable(dir.path(), DurableOpts());
+    auto store = OpenDurable("durable3", DurableOpts(&mem));
     ASSERT_TRUE(store.ok());
     for (const auto& text : texts) ASSERT_TRUE((*store)->Append(text).ok());
   }
-  const std::string log_path = dir.File("ingest.log");
-  const std::string full = ReadAll(log_path);
-  auto replay = persist::ReadIngestLog(log_path);
+  const std::string log_path = "durable3/ingest.log";
+  const std::string full = ReadAll(log_path, &mem);
+  auto replay = persist::ReadIngestLog(&mem, log_path);
   ASSERT_TRUE(replay.ok());
   ASSERT_EQ(replay->records.size(), 4u);
   // Offset where the final record starts = file minus its frame.
@@ -650,14 +724,13 @@ TEST(DurableStoreTest, TornFinalRecordRecoversEveryLoggedVersion) {
   const size_t last_start = full.size() - last_frame;
 
   // Simulated torn write at EVERY byte boundary of the final record: the
-  // durable store reopens with versions 1..3 intact, none rejected.
+  // durable store reopens with versions 1..3 intact, none rejected. The
+  // directory holds only the log here (no compaction ran), so a "crashed
+  // copy" per cut is a fresh directory with the truncated log alone.
   for (size_t cut = last_start; cut < full.size(); ++cut) {
-    ScratchDir copy("durable3_cut");
-    std::filesystem::copy(dir.path(), copy.path(),
-                          std::filesystem::copy_options::recursive |
-                              std::filesystem::copy_options::overwrite_existing);
-    WriteAll(copy.File("ingest.log"), full.substr(0, cut));
-    auto reopened = OpenDurable(copy.path(), DurableOpts());
+    const std::string copy = "durable3_cut" + std::to_string(cut);
+    WriteAll(copy + "/ingest.log", full.substr(0, cut), &mem);
+    auto reopened = OpenDurable(copy, DurableOpts(&mem));
     ASSERT_TRUE(reopened.ok()) << "cut at " << cut << ": "
                                << reopened.status().ToString();
     ASSERT_EQ((*reopened)->version_count(), 3u) << "cut at " << cut;
@@ -667,30 +740,30 @@ TEST(DurableStoreTest, TornFinalRecordRecoversEveryLoggedVersion) {
       EXPECT_FALSE(got->empty());
     }
     // The torn tail was truncated away: a subsequent reopen is clean.
-    auto again = OpenDurable(copy.path(), DurableOpts());
+    auto again = OpenDurable(copy, DurableOpts(&mem));
     ASSERT_TRUE(again.ok());
     EXPECT_EQ((*again)->version_count(), 3u);
   }
 }
 
 TEST(DurableStoreTest, CrashBetweenSnapshotAndTruncateNeverDoubleApplies) {
-  ScratchDir dir("durable4");
+  vfs::MemVfs mem;
   const auto texts = Versions(/*seed=*/12, 3);
   std::string pre_compact_log;
   {
-    auto store = OpenDurable(dir.path(), DurableOpts());
+    auto store = OpenDurable("durable4", DurableOpts(&mem));
     ASSERT_TRUE(store.ok());
     for (const auto& text : texts) ASSERT_TRUE((*store)->Append(text).ok());
-    pre_compact_log = ReadAll(dir.File("ingest.log"));
+    pre_compact_log = ReadAll("durable4/ingest.log", &mem);
   }
   {
-    auto store_or = DurableStore::Open(dir.path(), DurableOpts());
+    auto store_or = DurableStore::Open("durable4", DurableOpts(&mem));
     ASSERT_TRUE(store_or.ok());
     ASSERT_TRUE((*store_or)->CompactNow().ok());
   }
   // Simulate the crash: snapshot written, log truncation lost.
-  WriteAll(dir.File("ingest.log"), pre_compact_log);
-  auto reopened = OpenDurable(dir.path(), DurableOpts());
+  WriteAll("durable4/ingest.log", pre_compact_log, &mem);
+  auto reopened = OpenDurable("durable4", DurableOpts(&mem));
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
   EXPECT_EQ((*reopened)->version_count(), texts.size());  // not 2x
 }
@@ -699,77 +772,77 @@ TEST(DurableStoreTest, LogGapIsRefusedNotRenumbered) {
   // A log whose records jump from version 1 to version 3 means an ingest
   // was applied but never logged; replaying would silently renumber the
   // later versions, so recovery must refuse with kDataLoss instead.
-  ScratchDir dir("durable_gap");
+  vfs::MemVfs mem;
   const auto texts = Versions(/*seed=*/61, 3);
   {
     auto writer = persist::IngestLogWriter::Open(
-        (std::filesystem::path(dir.path()) / "ingest.log").string(),
-        persist::FsyncPolicy::kNever);
+        &mem, "durable_gap/ingest.log", persist::FsyncPolicy::kNever);
     ASSERT_TRUE(writer.ok());
     persist::LogRecord first{persist::LogRecord::kAppend, 1, {texts[0]}};
     persist::LogRecord third{persist::LogRecord::kAppend, 3, {texts[2]}};
     ASSERT_TRUE(writer->Append(first).ok());
     ASSERT_TRUE(writer->Append(third).ok());
   }
-  auto reopened = OpenDurable(dir.path(), DurableOpts());
+  auto reopened = OpenDurable("durable_gap", DurableOpts(&mem));
   ASSERT_FALSE(reopened.ok());
   EXPECT_EQ(reopened.status().code(), StatusCode::kDataLoss);
   EXPECT_NE(reopened.status().message().find("gap"), std::string::npos);
 }
 
 TEST(DurableStoreTest, AutoSnapshotEveryNRecords) {
-  ScratchDir dir("durable5");
-  DurableOptions options = DurableOpts();
+  vfs::MemVfs mem;
+  DurableOptions options = DurableOpts(&mem);
   options.snapshot_every_records = 2;
-  auto store_or = DurableStore::Open(dir.path(), std::move(options));
+  auto store_or = DurableStore::Open("durable5", std::move(options));
   ASSERT_TRUE(store_or.ok());
   DurableStore& store = **store_or;
   const auto texts = Versions(/*seed=*/21, 5);
   for (const auto& text : texts) ASSERT_TRUE(store.Append(text).ok());
   // 5 appends with a snapshot every 2: the log holds at most 1 record.
   EXPECT_LE(store.log_records(), 1u);
-  EXPECT_TRUE(std::filesystem::exists(dir.File("snapshot.xar")));
+  EXPECT_TRUE(*mem.Exists("durable5/snapshot.xar"));
 }
 
 TEST(DurableStoreTest, BatchIngestIsLoggedAtomically) {
-  ScratchDir dir("durable6");
+  vfs::MemVfs mem;
   const auto texts = Versions(/*seed=*/31, 4);
   {
-    auto store = OpenDurable(dir.path(), DurableOpts());
+    auto store = OpenDurable("durable6", DurableOpts(&mem));
     ASSERT_TRUE(store.ok());
     std::vector<std::string_view> views(texts.begin(), texts.end());
     ASSERT_TRUE((*store)->AppendBatch(views).ok());
   }
-  auto reopened = OpenDurable(dir.path(), DurableOpts());
+  auto reopened = OpenDurable("durable6", DurableOpts(&mem));
   ASSERT_TRUE(reopened.ok());
   EXPECT_EQ((*reopened)->version_count(), texts.size());
 }
 
 TEST(DurableStoreTest, BackendMismatchIsRejected) {
-  ScratchDir dir("durable7");
+  vfs::MemVfs mem;
   {
-    auto store_or = DurableStore::Open(dir.path(), DurableOpts());
+    auto store_or = DurableStore::Open("durable7", DurableOpts(&mem));
     ASSERT_TRUE(store_or.ok());
     ASSERT_TRUE((*store_or)->Append(Versions(2, 1)[0]).ok());
     ASSERT_TRUE((*store_or)->CompactNow().ok());
   }
-  auto wrong = OpenDurable(dir.path(), DurableOpts("full-copy"));
+  auto wrong = OpenDurable("durable7", DurableOpts(&mem, "full-copy"));
   ASSERT_FALSE(wrong.ok());
   EXPECT_EQ(wrong.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(DurableStoreTest, WrapsNonArchiveBackends) {
-  ScratchDir dir("durable8");
+  vfs::MemVfs mem;
   const auto texts = Versions(/*seed=*/51, 4);
   {
-    auto store = OpenDurable(dir.path(), DurableOpts("checkpoint-diff"));
+    auto store = OpenDurable("durable8", DurableOpts(&mem, "checkpoint-diff"));
     ASSERT_TRUE(store.ok()) << store.status().ToString();
     ASSERT_TRUE((*store)->Append(texts[0]).ok());
     ASSERT_TRUE((*store)->Append(texts[1]).ok());
     ASSERT_TRUE((*store)->Checkpoint().ok());  // compacts + inner boundary
     ASSERT_TRUE((*store)->Append(texts[2]).ok());
   }
-  auto reopened = OpenDurable(dir.path(), DurableOpts("checkpoint-diff"));
+  auto reopened =
+      OpenDurable("durable8", DurableOpts(&mem, "checkpoint-diff"));
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
   EXPECT_EQ((*reopened)->version_count(), 3u);
   EXPECT_GE((*reopened)->Stats().checkpoint_segments, 2u);
