@@ -15,6 +15,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -25,6 +26,7 @@
 
 #include "client/client.h"
 #include "json_report.h"
+#include "obs/metrics.h"
 #include "server/server.h"
 #include "synth/xmark.h"
 #include "xarch/durable.h"
@@ -147,6 +149,16 @@ RunResult MeasureLocalReads(Store& store,
   return out;
 }
 
+/// `--flag N` integer argument, or `fallback` when absent.
+long NumberFlag(int argc, char** argv, const char* flag, long fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == flag) {
+      return std::strtol(argv[i + 1], nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -201,6 +213,10 @@ int main(int argc, char** argv) {
   server::ServerOptions server_options;
   server_options.session_threads = 16;  // sessions must not be the cap
   server_options.max_inflight_queries = 8;
+  // `--slow-query-us 0` makes the server build and log a span tree for
+  // every query — the CI ASan smoke runs that way so the tracing path
+  // itself gets sanitizer coverage under concurrent load.
+  server_options.slow_query_us = NumberFlag(argc, argv, "--slow-query-us", -1);
   auto server = server::Server::Start(**store, server_options);
   if (!server.ok()) Die(server.status());
   const uint16_t port = (*server)->port();
@@ -318,6 +334,22 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.rejected_busy),
               static_cast<unsigned long long>(stats.bytes_out),
               static_cast<unsigned long long>(stats.query_latency_p99_us));
+
+  // ---- registry snapshot: the process-wide registry (engine, WAL, VFS)
+  // plus the server's own session/frame instruments, flattened into rows
+  // so the JSON carries the same telemetry a METRICS scrape would.
+  auto snapshot = [&](const obs::Registry& registry) {
+    for (const obs::Registry::Sample& s : registry.Samples()) {
+      if (s.value == 0) continue;
+      report.BeginRow();
+      report.Add("metric", s.name);
+      report.Add("labels", s.labels);
+      report.Add("value", s.value);
+    }
+  };
+  snapshot(obs::Registry::Default());
+  snapshot((*server)->registry());
+
   (*server)->Join();
   std::error_code ec;
   std::filesystem::remove_all(dir, ec);

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""CI gate for the METRICS scrape: parse the Prometheus text exposition a
+live xarchd returned and assert the instrument families that prove each
+seam is wired — query engine, ingest, WAL, VFS, and the server itself.
+
+Usage: check_metrics.py metrics.txt
+Exits nonzero (with a reason on stderr) on a parse error or a missing
+family; prints a one-line summary on success.
+
+Stdlib only, and deliberately strict about the exposition grammar we
+emit: `name{labels} value` or `name value`, with `# HELP`/`# TYPE`
+comments. A scrape line that does not fit means the encoder regressed.
+"""
+
+import re
+import sys
+
+# One representative per instrumented seam. Each must appear as a sample
+# (not merely a comment) in the scrape.
+REQUIRED = [
+    "xarch_queries_total",           # query engine (per plan kind)
+    "xarch_query_duration_us",       # query latency histogram
+    "xarch_ingest_batches_total",    # ingest path
+    "xarch_wal_appends_total",       # WAL appends
+    "xarch_wal_fsyncs_total",        # WAL durability
+    "xarch_vfs_ops_total",           # VFS wrapper (StatsVfs)
+    "xarch_vfs_bytes_total",         # VFS byte accounting
+    "xarch_server_sessions_opened_total",  # server sessions
+    "xarch_server_frames_total",     # server frame handling
+    "xarch_server_query_latency_us", # server-side latency histogram
+]
+
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"      # metric name
+    r"(\{[^{}]*\})?"                     # optional {labels}
+    r" (-?[0-9]+(?:\.[0-9]+)?|[+-]Inf|NaN)$"  # value
+)
+LABELS_RE = re.compile(r'^\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+                       r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\}$')
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print("usage: check_metrics.py metrics.txt", file=sys.stderr)
+        return 2
+    with open(sys.argv[1], encoding="utf-8") as f:
+        lines = f.read().splitlines()
+
+    if not lines:
+        print("check_metrics: scrape is empty", file=sys.stderr)
+        return 1
+
+    seen = set()
+    samples = 0
+    for n, line in enumerate(lines, 1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            if not (line.startswith("# HELP ") or line.startswith("# TYPE ")):
+                print(f"check_metrics: line {n}: unknown comment form: "
+                      f"{line!r}", file=sys.stderr)
+                return 1
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            print(f"check_metrics: line {n}: not a sample line: {line!r}",
+                  file=sys.stderr)
+            return 1
+        name, labels = m.group(1), m.group(2)
+        if labels and not LABELS_RE.match(labels):
+            print(f"check_metrics: line {n}: malformed labels: {labels!r}",
+                  file=sys.stderr)
+            return 1
+        samples += 1
+        seen.add(name)
+        # Histogram series count toward their family name.
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix):
+                seen.add(name[: -len(suffix)])
+
+    missing = [r for r in REQUIRED if r not in seen]
+    if missing:
+        print(f"check_metrics: missing required metrics: {missing}",
+              file=sys.stderr)
+        return 1
+
+    print(f"check_metrics: OK — {samples} samples, {len(seen)} series names, "
+          f"all {len(REQUIRED)} required families present")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

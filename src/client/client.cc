@@ -100,22 +100,42 @@ StatusOr<net::Frame> Client::RoundTrip(net::MessageType type,
   return frame;
 }
 
-Status Client::Query(std::string_view query_text, Sink& sink) {
+Status Client::Query(std::string_view query_text, Sink& sink,
+                     std::string* trace_out) {
   if (!socket_.valid()) return Status::IoError("connection is closed");
+  if (trace_out != nullptr && hello_.version < 2) {
+    return Status::Unimplemented(
+        "server only speaks protocol v" + std::to_string(hello_.version) +
+        "; query tracing needs v2");
+  }
   last_error_code_ = net::ErrorCode::kUnknown;
-  if (Status st = net::WriteFrame(socket_, net::MessageType::kQuery,
-                                  query_text);
+  // At protocol v2 the QUERY payload leads with a flags octet; a v1
+  // session sends raw text (old servers never see the flag byte).
+  std::string payload;
+  std::string_view wire = query_text;
+  if (hello_.version >= 2) {
+    payload.reserve(query_text.size() + 1);
+    payload += static_cast<char>(trace_out != nullptr ? net::kQueryFlagTrace
+                                                      : 0);
+    payload += query_text;
+    wire = payload;
+  }
+  if (Status st = net::WriteFrame(socket_, net::MessageType::kQuery, wire);
       !st.ok()) {
     socket_.Close();
     return st;
   }
-  // CHUNK* then DONE; or ERROR at any point (including mid-stream, after
-  // chunks were already delivered — the sink contents are then void).
+  // CHUNK* then (TRACE?) DONE; or ERROR at any point (including
+  // mid-stream, after chunks were already delivered — the sink contents
+  // are then void).
   for (;;) {
     XARCH_ASSIGN_OR_RETURN(net::Frame frame, ReadResponse());
     switch (frame.type) {
       case net::MessageType::kChunk:
         XARCH_RETURN_NOT_OK(sink.Append(frame.payload));
+        continue;
+      case net::MessageType::kTrace:
+        if (trace_out != nullptr) *trace_out = std::move(frame.payload);
         continue;
       case net::MessageType::kDone:
         return sink.Flush();
@@ -131,10 +151,23 @@ Status Client::Query(std::string_view query_text, Sink& sink) {
   }
 }
 
-StatusOr<std::string> Client::QueryToString(std::string_view query_text) {
+StatusOr<std::string> Client::QueryToString(std::string_view query_text,
+                                            std::string* trace_out) {
   StringSink sink;
-  XARCH_RETURN_NOT_OK(Query(query_text, sink));
+  XARCH_RETURN_NOT_OK(Query(query_text, sink, trace_out));
   return std::move(sink).Take();
+}
+
+StatusOr<std::string> Client::Metrics() {
+  if (hello_.version < 2) {
+    return Status::Unimplemented(
+        "server only speaks protocol v" + std::to_string(hello_.version) +
+        "; METRICS needs v2");
+  }
+  XARCH_ASSIGN_OR_RETURN(net::Frame frame,
+                         RoundTrip(net::MessageType::kMetrics, "",
+                                   net::MessageType::kMetricsOk));
+  return std::move(frame.payload);
 }
 
 StatusOr<Version> Client::Ingest(

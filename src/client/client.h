@@ -67,10 +67,20 @@ class Client {
   /// arrive. A server-side failure mid-stream yields a non-OK Status;
   /// whatever chunks reached the sink before it must be discarded (the
   /// stream was not closed by DONE and is not a result).
-  Status Query(std::string_view query_text, Sink& sink);
+  ///
+  /// When `trace_out` is non-null the query is sent with the trace flag
+  /// and the server's rendered span tree lands in *trace_out (needs
+  /// negotiated protocol >= 2; kUnimplemented otherwise).
+  Status Query(std::string_view query_text, Sink& sink,
+               std::string* trace_out = nullptr);
 
   /// Query into a string (convenience for small results).
-  StatusOr<std::string> QueryToString(std::string_view query_text);
+  StatusOr<std::string> QueryToString(std::string_view query_text,
+                                      std::string* trace_out = nullptr);
+
+  /// Scrapes the server's telemetry registry: Prometheus text exposition
+  /// (needs negotiated protocol >= 2; kUnimplemented otherwise).
+  StatusOr<std::string> Metrics();
 
   /// Appends a batch of XML documents; returns the server's version count
   /// after the batch landed.

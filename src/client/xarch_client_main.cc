@@ -1,9 +1,11 @@
 // xarch_client — command-line driver for the xarchd wire protocol.
 //
 //   xarch_client ping     --port P [--host H]
-//   xarch_client query    --port P '<xaql>'        (result bytes to stdout)
+//   xarch_client query    --port P [--trace] '<xaql>'  (result to stdout;
+//                                  --trace prints the span tree to stderr)
 //   xarch_client ingest   --port P file.xml...     (one INGEST batch)
 //   xarch_client stats    --port P                 (key=value lines)
+//   xarch_client metrics  --port P                 (Prometheus text)
 //   xarch_client shutdown --port P                 (drain + checkpoint + exit)
 //
 // Plus one offline subcommand for parity checking — the CI smoke ingests
@@ -29,8 +31,8 @@ using namespace xarch;
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: xarch_client <ping|query|ingest|stats|shutdown> --port P\n"
-      "                    [--host H] [args...]\n"
+      "usage: xarch_client <ping|query|ingest|stats|metrics|shutdown>\n"
+      "                    --port P [--host H] [--trace] [args...]\n"
       "       xarch_client local-query --keys keys.txt [--backend B]\n"
       "                    '<xaql>' file.xml...\n");
   return 2;
@@ -43,6 +45,17 @@ int Fail(const Status& status) {
 
 StatusOr<std::string> ReadFile(const std::string& path) {
   return vfs::Vfs::Posix()->ReadFile(path);
+}
+
+/// Pulls a bare "--flag" out of args (erasing it); true when present.
+bool TakeBoolFlag(std::vector<std::string>* args, const std::string& flag) {
+  for (size_t i = 0; i < args->size(); ++i) {
+    if ((*args)[i] == flag) {
+      args->erase(args->begin() + i);
+      return true;
+    }
+  }
+  return false;
 }
 
 /// Pulls "--flag value" out of args (erasing it); empty when absent.
@@ -116,10 +129,18 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (command == "query") {
+    const bool want_trace = TakeBoolFlag(&args, "--trace");
     if (args.size() != 1) return Usage();
     FileSink sink(stdout);
-    if (Status st = (*client)->Query(args[0], sink); !st.ok()) {
+    std::string trace;
+    if (Status st = (*client)->Query(args[0], sink,
+                                     want_trace ? &trace : nullptr);
+        !st.ok()) {
       return Fail(st);
+    }
+    if (want_trace) {
+      // stderr, so piped query output stays clean.
+      std::fwrite(trace.data(), 1, trace.size(), stderr);
     }
     return 0;
   }
@@ -164,6 +185,12 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats->session_ingests),
                 static_cast<unsigned long long>(stats->session_bytes_in),
                 static_cast<unsigned long long>(stats->session_bytes_out));
+    return 0;
+  }
+  if (command == "metrics") {
+    auto text = (*client)->Metrics();
+    if (!text.ok()) return Fail(text.status());
+    std::fwrite(text->data(), 1, text->size(), stdout);
     return 0;
   }
   if (command == "shutdown") {

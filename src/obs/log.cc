@@ -1,0 +1,87 @@
+#include "obs/log.h"
+
+#include <chrono>
+#include <ctime>
+
+#include "obs/metrics.h"
+
+namespace xarch::obs {
+
+namespace {
+
+std::string WallTimestamp() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm_utc{};
+  gmtime_r(&secs, &tm_utc);
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec,
+                static_cast<int>(ms));
+  return buf;
+}
+
+bool NeedsQuoting(std::string_view value) {
+  if (value.empty()) return true;
+  for (char c : value) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\n' || c == '\t') {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AppendValue(std::string_view value, std::string* out) {
+  if (!NeedsQuoting(value)) {
+    out->append(value);
+    return;
+  }
+  out->push_back('"');
+  for (char c : value) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\t': out->append("\\t"); break;
+      default: out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string Logger::Format(std::string_view event,
+                           const std::vector<LogField>& fields) {
+  std::string line = "ts=" + WallTimestamp();
+  line += " mono_us=" + std::to_string(MonotonicMicros());
+  line += " event=";
+  AppendValue(event, &line);
+  for (const LogField& field : fields) {
+    line += ' ';
+    line += field.key;
+    line += '=';
+    AppendValue(field.value, &line);
+  }
+  return line;
+}
+
+void Logger::Log(std::string_view event, const std::vector<LogField>& fields) {
+  std::string line = Format(event, fields);
+  line += '\n';
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fwrite(line.data(), 1, line.size(), out_);
+  std::fflush(out_);
+}
+
+Logger& Logger::Default() {
+  static Logger* logger = new Logger(stderr);  // leaked: outlives all users
+  return *logger;
+}
+
+}  // namespace xarch::obs

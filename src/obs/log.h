@@ -1,0 +1,65 @@
+#ifndef XARCH_OBS_LOG_H_
+#define XARCH_OBS_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xarch::obs {
+
+/// One field of a structured log line. Construct from a string or any
+/// integer; values render key=value, quoted when they contain spaces,
+/// quotes, or '=' (so lines stay machine-splittable on spaces).
+struct LogField {
+  LogField(std::string_view k, std::string_view v)
+      : key(k), value(v) {}
+  LogField(std::string_view k, const char* v)
+      : key(k), value(v) {}
+  LogField(std::string_view k, uint64_t v)
+      : key(k), value(std::to_string(v)) {}
+  LogField(std::string_view k, int64_t v)
+      : key(k), value(std::to_string(v)) {}
+  LogField(std::string_view k, int v)
+      : key(k), value(std::to_string(v)) {}
+  LogField(std::string_view k, unsigned v)
+      : key(k), value(std::to_string(v)) {}
+
+  std::string key;
+  std::string value;
+};
+
+/// \brief Single-line key=value logger for the daemon: every line carries
+/// a wall-clock timestamp (UTC, millisecond ISO-8601) and the monotonic
+/// microsecond clock, then `event=<name>` and the caller's fields —
+/// machine-parseable where the old ad-hoc fprintf prose was not.
+///
+///   ts=2026-08-08T12:00:00.123Z mono_us=4711 event=serving backend=...
+///
+/// Thread-safe: one mutex per logger, one write(2)-sized fwrite per line.
+class Logger {
+ public:
+  /// Logs to `out` (not owned). Defaults to stderr — stdout stays clean
+  /// for command output (xarch_client pipes results through it).
+  explicit Logger(std::FILE* out = stderr) : out_(out) {}
+
+  void Log(std::string_view event, const std::vector<LogField>& fields = {});
+
+  /// Formats the line without writing it (tests; the METRICS dump reuses
+  /// it). No trailing newline.
+  static std::string Format(std::string_view event,
+                            const std::vector<LogField>& fields);
+
+  /// The process-wide logger (stderr).
+  static Logger& Default();
+
+ private:
+  std::mutex mu_;
+  std::FILE* out_;
+};
+
+}  // namespace xarch::obs
+
+#endif  // XARCH_OBS_LOG_H_

@@ -1,0 +1,307 @@
+#include "obs/metrics.h"
+
+#include <chrono>
+#include <utility>
+
+namespace xarch::obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+}  // namespace
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+uint64_t MonotonicMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void Counter::Add(uint64_t n) {
+  if (!MetricsEnabled()) return;
+  value_.fetch_add(n, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------- histogram
+
+size_t Histogram::BucketIndex(uint64_t v) {
+  if (v < kSubBuckets) return static_cast<size_t>(v);
+  // 2^(b-1) <= v < 2^b; keep the top 5 bits so every octave splits into
+  // kSubBuckets buckets, continuous with the exact small-value buckets.
+  const int b = 64 - __builtin_clzll(v);
+  const int shift = b - 5;
+  const uint64_t top5 = v >> shift;  // in [16, 32)
+  return static_cast<size_t>(shift) * kSubBuckets +
+         static_cast<size_t>(top5);
+}
+
+uint64_t Histogram::BucketLowerBound(size_t bucket) {
+  if (bucket < 2 * kSubBuckets) return bucket;  // exact buckets 0..31
+  const size_t shift = (bucket - kSubBuckets) / kSubBuckets;
+  const uint64_t top5 = kSubBuckets + (bucket - kSubBuckets) % kSubBuckets;
+  return top5 << shift;
+}
+
+uint64_t Histogram::BucketUpperBound(size_t bucket) {
+  if (bucket < 2 * kSubBuckets) return bucket;
+  const size_t shift = (bucket - kSubBuckets) / kSubBuckets;
+  const uint64_t top5 = kSubBuckets + (bucket - kSubBuckets) % kSubBuckets;
+  // Unsigned wrap is intended for the last bucket: (32 << 59) - 1 is
+  // exactly UINT64_MAX.
+  return ((top5 + 1) << shift) - 1;
+}
+
+Histogram::Histogram()
+    : buckets_(std::make_unique<std::atomic<uint64_t>[]>(kBucketCount)) {
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Record(uint64_t v) {
+  if (!MetricsEnabled()) return;
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Loads the bucket the q-quantile rank falls in, using the loaded bucket
+/// counts themselves as the total so the answer is internally consistent
+/// even while writers race. Returns false when the histogram is empty.
+bool QuantileBucket(const std::atomic<uint64_t>* buckets, double q,
+                    size_t* out) {
+  uint64_t counts[Histogram::kBucketCount];
+  uint64_t total = 0;
+  for (size_t i = 0; i < Histogram::kBucketCount; ++i) {
+    counts[i] = buckets[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return false;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Same rank rounding the server's old sample ring used (nth_element at
+  // q*(n-1) rounded half up), so p50/p99 stay comparable.
+  const uint64_t rank = static_cast<uint64_t>(
+      q * static_cast<double>(total - 1) + 0.5);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < Histogram::kBucketCount; ++i) {
+    seen += counts[i];
+    if (seen > rank) {
+      *out = i;
+      return true;
+    }
+  }
+  *out = Histogram::kBucketCount - 1;
+  return true;
+}
+
+}  // namespace
+
+uint64_t Histogram::QuantileUpperBound(double q) const {
+  size_t bucket = 0;
+  if (!QuantileBucket(buckets_.get(), q, &bucket)) return 0;
+  return BucketUpperBound(bucket);
+}
+
+uint64_t Histogram::QuantileLowerBound(double q) const {
+  size_t bucket = 0;
+  if (!QuantileBucket(buckets_.get(), q, &bucket)) return 0;
+  return BucketLowerBound(bucket);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    const uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+}
+
+std::vector<Histogram::BucketSnapshot> Histogram::NonEmptyBuckets() const {
+  std::vector<BucketSnapshot> out;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    const uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) out.push_back({i, n});
+  }
+  return out;
+}
+
+// -------------------------------------------------------------- registry
+
+Registry::Metric* Registry::FindOrCreate(const std::string& name,
+                                         const std::string& labels,
+                                         const std::string& help, Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& metric : metrics_) {
+    if (metric->kind == kind && metric->name == name &&
+        metric->labels == labels) {
+      return metric.get();
+    }
+  }
+  auto metric = std::make_unique<Metric>();
+  metric->name = name;
+  metric->labels = labels;
+  metric->kind = kind;
+  switch (kind) {
+    case Kind::kCounter: metric->counter = std::make_unique<Counter>(); break;
+    case Kind::kGauge: metric->gauge = std::make_unique<Gauge>(); break;
+    case Kind::kHistogram:
+      metric->histogram = std::make_unique<Histogram>();
+      break;
+  }
+  if (!help.empty()) {
+    bool have = false;
+    for (const auto& [family, _] : help_) {
+      if (family == name) { have = true; break; }
+    }
+    if (!have) help_.emplace_back(name, help);
+  }
+  metrics_.push_back(std::move(metric));
+  return metrics_.back().get();
+}
+
+Counter* Registry::GetCounter(const std::string& name,
+                              const std::string& labels,
+                              const std::string& help) {
+  return FindOrCreate(name, labels, help, Kind::kCounter)->counter.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name, const std::string& labels,
+                          const std::string& help) {
+  return FindOrCreate(name, labels, help, Kind::kGauge)->gauge.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  const std::string& labels,
+                                  const std::string& help) {
+  return FindOrCreate(name, labels, help, Kind::kHistogram)->histogram.get();
+}
+
+std::vector<Registry::Sample> Registry::Samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Sample> out;
+  for (const auto& metric : metrics_) {
+    switch (metric->kind) {
+      case Kind::kCounter:
+        out.push_back({metric->name, metric->labels,
+                       metric->counter->value()});
+        break;
+      case Kind::kGauge:
+        out.push_back({metric->name, metric->labels,
+                       static_cast<uint64_t>(metric->gauge->value())});
+        break;
+      case Kind::kHistogram:
+        out.push_back({metric->name + "_count", metric->labels,
+                       metric->histogram->count()});
+        out.push_back({metric->name + "_sum", metric->labels,
+                       metric->histogram->sum()});
+        break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string Series(const std::string& name, const std::string& labels) {
+  if (labels.empty()) return name;
+  return name + "{" + labels + "}";
+}
+
+std::string SeriesWithLe(const std::string& name, const std::string& labels,
+                         const std::string& le) {
+  std::string all = labels.empty() ? "" : labels + ",";
+  all += "le=\"" + le + "\"";
+  return name + "{" + all + "}";
+}
+
+}  // namespace
+
+std::string Registry::EncodeText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Families in first-registration order, each family's series together
+  // (the exposition format requires a family's samples be consecutive).
+  std::vector<std::string> families;
+  for (const auto& metric : metrics_) {
+    bool seen = false;
+    for (const std::string& f : families) {
+      if (f == metric->name) { seen = true; break; }
+    }
+    if (!seen) families.push_back(metric->name);
+  }
+  std::string out;
+  for (const std::string& family : families) {
+    const char* type = nullptr;
+    for (const auto& [name, help] : help_) {
+      if (name == family) {
+        out += "# HELP " + family + " " + help + "\n";
+        break;
+      }
+    }
+    for (const auto& metric : metrics_) {
+      if (metric->name != family) continue;
+      if (type == nullptr) {
+        switch (metric->kind) {
+          case Kind::kCounter: type = "counter"; break;
+          case Kind::kGauge: type = "gauge"; break;
+          case Kind::kHistogram: type = "histogram"; break;
+        }
+        out += "# TYPE " + family + " " + std::string(type) + "\n";
+      }
+      switch (metric->kind) {
+        case Kind::kCounter:
+          out += Series(family, metric->labels) + " " +
+                 std::to_string(metric->counter->value()) + "\n";
+          break;
+        case Kind::kGauge:
+          out += Series(family, metric->labels) + " " +
+                 std::to_string(metric->gauge->value()) + "\n";
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *metric->histogram;
+          // One snapshot drives the buckets, +Inf, and _count together so
+          // the exposition is internally consistent while writers race.
+          const auto buckets = h.NonEmptyBuckets();
+          uint64_t cumulative = 0;
+          for (const auto& bucket : buckets) {
+            cumulative += bucket.count;
+            const uint64_t upper = Histogram::BucketUpperBound(bucket.index);
+            if (upper == UINT64_MAX) continue;  // folded into +Inf below
+            out += SeriesWithLe(family + "_bucket", metric->labels,
+                                std::to_string(upper)) +
+                   " " + std::to_string(cumulative) + "\n";
+          }
+          out += SeriesWithLe(family + "_bucket", metric->labels, "+Inf") +
+                 " " + std::to_string(cumulative) + "\n";
+          out += Series(family + "_sum", metric->labels) + " " +
+                 std::to_string(h.sum()) + "\n";
+          out += Series(family + "_count", metric->labels) + " " +
+                 std::to_string(cumulative) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Registry& Registry::Default() {
+  static Registry* registry = new Registry();  // leaked: outlives all users
+  return *registry;
+}
+
+}  // namespace xarch::obs

@@ -1,0 +1,172 @@
+#ifndef XARCH_OBS_METRICS_H_
+#define XARCH_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xarch::obs {
+
+/// \brief Lock-cheap process metrics: named counters, gauges, and
+/// log-scale-bucket histograms, registered once and bumped with relaxed
+/// atomics on the hot paths, exposed in the Prometheus text format
+/// (docs/OBSERVABILITY.md catalogs every metric the engine registers).
+///
+/// Design points:
+///   * Registration (Registry::GetCounter etc.) takes a mutex and returns
+///     a stable pointer; instrumented code registers once (static local or
+///     member) and then only touches atomics — no locks, no allocation.
+///   * Histograms are log-linear (HdrHistogram-style): 16 sub-buckets per
+///     power of two, so any recorded value's bucket bounds are within
+///     1/16 ≈ 6.25% of the value. Quantiles are reported as the exact
+///     *bounds* of the bucket holding the requested rank — a guarantee,
+///     not a sampled estimate, and windowless: no ring to bias p99 toward
+///     recent bursts.
+///   * Per-bucket counts are independent atomics, so histograms merge by
+///     bucketwise addition (exactly associative) and concurrent Record()
+///     calls never lose counts.
+///   * SetMetricsEnabled(false) turns Counter::Add / Histogram::Record
+///     into single-relaxed-load no-ops; benches use it to measure the
+///     instrumentation's own overhead.
+
+/// Process-wide kill switch for the hot-path mutators.
+void SetMetricsEnabled(bool enabled);
+bool MetricsEnabled();
+
+/// Monotonic clock in microseconds (steady, not wall).
+uint64_t MonotonicMicros();
+
+/// A monotonically increasing counter.
+class Counter {
+ public:
+  void Add(uint64_t n);
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A settable point-in-time value (sessions active, versions held).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Log-linear histogram of non-negative integer samples (latencies in
+/// microseconds, sizes in bytes). See the header comment for the scheme.
+class Histogram {
+ public:
+  /// Values 0..15 get exact buckets; above that, 16 buckets per power of
+  /// two. 64-bit values land in at most kBucketCount buckets.
+  static constexpr size_t kSubBuckets = 16;
+  static constexpr size_t kBucketCount = (64 - 4) * kSubBuckets + 16;
+
+  /// The bucket index holding `v` (total order, 0-based).
+  static size_t BucketIndex(uint64_t v);
+  /// Smallest value the bucket holds.
+  static uint64_t BucketLowerBound(size_t bucket);
+  /// Largest value the bucket holds (UINT64_MAX for the last).
+  static uint64_t BucketUpperBound(size_t bucket);
+
+  Histogram();
+
+  void Record(uint64_t v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Upper/lower bound of the bucket containing the q-quantile sample
+  /// (q in [0, 1]; rank rounds half up like the old ring did). Both are 0
+  /// on an empty histogram. The true sample s at that rank satisfies
+  /// QuantileLowerBound(q) <= s <= QuantileUpperBound(q).
+  uint64_t QuantileUpperBound(double q) const;
+  uint64_t QuantileLowerBound(double q) const;
+
+  /// Adds `other`'s buckets into this one (bucketwise, exactly
+  /// associative and commutative).
+  void Merge(const Histogram& other);
+
+  /// Point-in-time copy of the non-empty buckets, for encoders and tests.
+  struct BucketSnapshot {
+    size_t index;
+    uint64_t count;
+  };
+  std::vector<BucketSnapshot> NonEmptyBuckets() const;
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+};
+
+/// One named metric family member: the family name plus optional
+/// pre-rendered Prometheus labels (`plan="archive_indexed"` — no braces).
+/// Registered metrics live as long as the Registry.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Gets or creates the metric. `help` is recorded on first registration
+  /// of the family (later calls may pass ""). The returned pointer is
+  /// stable for the Registry's lifetime.
+  Counter* GetCounter(const std::string& name, const std::string& labels = "",
+                      const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const std::string& labels = "",
+                  const std::string& help = "");
+  Histogram* GetHistogram(const std::string& name,
+                          const std::string& labels = "",
+                          const std::string& help = "");
+
+  /// One flattened value for JSON reports: counters and gauges as-is,
+  /// histograms expanded to _count and _sum.
+  struct Sample {
+    std::string name;    ///< family name (+ expansion suffix)
+    std::string labels;  ///< pre-rendered labels, may be empty
+    uint64_t value;
+  };
+  std::vector<Sample> Samples() const;
+
+  /// Renders every registered metric in the Prometheus text exposition
+  /// format (# HELP / # TYPE once per family; histograms as cumulative
+  /// `_bucket{le="..."}` series over the non-empty buckets plus +Inf,
+  /// `_sum`, and `_count`).
+  std::string EncodeText() const;
+
+  /// The process-wide registry the engine's seams record into.
+  static Registry& Default();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Metric {
+    std::string name;
+    std::string labels;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Metric* FindOrCreate(const std::string& name, const std::string& labels,
+                       const std::string& help, Kind kind);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Metric>> metrics_;   // registration order
+  std::vector<std::pair<std::string, std::string>> help_;  // family -> help
+};
+
+}  // namespace xarch::obs
+
+#endif  // XARCH_OBS_METRICS_H_

@@ -1,0 +1,83 @@
+#include "obs/trace.h"
+
+#include "obs/metrics.h"
+
+namespace xarch::obs {
+
+Trace::SpanId Trace::Begin(std::string name, SpanId parent) {
+  const uint64_t now = MonotonicMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  Span span;
+  span.name = std::move(name);
+  span.parent = parent < spans_.size() ? parent : kNoSpan;
+  span.start_us = now;
+  spans_.push_back(std::move(span));
+  return spans_.size() - 1;
+}
+
+void Trace::End(SpanId id) {
+  const uint64_t now = MonotonicMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= spans_.size()) return;
+  spans_[id].end_us = now;
+  spans_[id].ended = true;
+}
+
+Trace::SpanId Trace::AddCompleted(std::string name, SpanId parent,
+                                  uint64_t start_us, uint64_t end_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Span span;
+  span.name = std::move(name);
+  span.parent = parent < spans_.size() ? parent : kNoSpan;
+  span.start_us = start_us;
+  span.end_us = end_us;
+  span.ended = true;
+  spans_.push_back(std::move(span));
+  return spans_.size() - 1;
+}
+
+void Trace::Note(SpanId id, std::string_view key, uint64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= spans_.size()) return;
+  spans_[id].notes.emplace_back(std::string(key), value);
+}
+
+size_t Trace::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::string Trace::Render() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Depth by chasing parents: the arena is append-only and parents always
+  // precede children, so one forward pass renders the tree in creation
+  // order with correct indentation.
+  std::vector<size_t> depth(spans_.size(), 0);
+  std::string out = "trace:\n";
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const Span& span = spans_[i];
+    if (span.parent != kNoSpan) depth[i] = depth[span.parent] + 1;
+    std::string line(2 + 2 * depth[i], ' ');
+    line += span.name;
+    const size_t pad = line.size() < 32 ? 32 - line.size() : 1;
+    line.append(pad, ' ');
+    const uint64_t dur =
+        span.ended && span.end_us >= span.start_us
+            ? span.end_us - span.start_us
+            : 0;
+    line += std::to_string(dur) + " us";
+    if (!span.notes.empty()) {
+      line += "  [";
+      for (size_t k = 0; k < span.notes.size(); ++k) {
+        if (k > 0) line += ' ';
+        line += span.notes[k].first + "=" +
+                std::to_string(span.notes[k].second);
+      }
+      line += ']';
+    }
+    out += line + "\n";
+  }
+  return out;
+}
+
+}  // namespace xarch::obs

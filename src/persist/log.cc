@@ -4,12 +4,49 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "persist/crc32c.h"
 #include "persist/wire.h"
 
 namespace xarch::persist {
 
 namespace {
+
+// ---------------------------------------------------------- WAL metrics
+
+/// Process-wide WAL instruments, resolved once (all IngestLogWriter
+/// instances share them; the per-append cost is atomic adds).
+struct WalMetrics {
+  obs::Counter* appends;
+  obs::Counter* append_bytes;
+  obs::Histogram* append_us;
+  obs::Counter* fsyncs;
+  obs::Histogram* fsync_us;
+  obs::Counter* resets;
+};
+
+const WalMetrics& Wal() {
+  static WalMetrics m = [] {
+    obs::Registry& reg = obs::Registry::Default();
+    WalMetrics w;
+    w.appends = reg.GetCounter("xarch_wal_appends_total", "",
+                               "Ingest-log records appended");
+    w.append_bytes = reg.GetCounter("xarch_wal_append_bytes_total", "",
+                                    "Framed bytes appended to the ingest log");
+    w.append_us =
+        reg.GetHistogram("xarch_wal_append_duration_us", "",
+                         "Ingest-log append latency, fsync included "
+                         "(microseconds)");
+    w.fsyncs =
+        reg.GetCounter("xarch_wal_fsyncs_total", "", "Ingest-log fsyncs");
+    w.fsync_us = reg.GetHistogram("xarch_wal_fsync_duration_us", "",
+                                  "Ingest-log fsync latency (microseconds)");
+    w.resets = reg.GetCounter("xarch_wal_resets_total", "",
+                              "Ingest-log truncations (checkpoints)");
+    return w;
+  }();
+  return m;
+}
 
 constexpr char kLogMagic[4] = {'X', 'A', 'L', 'G'};
 constexpr uint32_t kLogFormatVersion = 1;
@@ -72,6 +109,7 @@ StatusOr<IngestLogWriter> IngestLogWriter::Open(vfs::Vfs* vfs,
 
 Status IngestLogWriter::Append(const LogRecord& record) {
   if (file_ == nullptr) return Status::IoError("ingest log is not open");
+  const uint64_t start_us = obs::MonotonicMicros();
   std::string body = EncodeBody(record);
   std::string framed;
   framed.reserve(body.size() + 8);
@@ -80,9 +118,15 @@ Status IngestLogWriter::Append(const LogRecord& record) {
   framed += body;
   XARCH_RETURN_NOT_OK(file_->Append(framed));
   if (policy_ == FsyncPolicy::kEveryRecord) {
+    const uint64_t fsync_start_us = obs::MonotonicMicros();
     XARCH_RETURN_NOT_OK(file_->Sync());
+    Wal().fsyncs->Increment();
+    Wal().fsync_us->Record(obs::MonotonicMicros() - fsync_start_us);
   }
   ++appended_records_;
+  Wal().appends->Increment();
+  Wal().append_bytes->Add(framed.size());
+  Wal().append_us->Record(obs::MonotonicMicros() - start_us);
   return Status::OK();
 }
 
@@ -91,9 +135,13 @@ Status IngestLogWriter::Reset() {
   XARCH_RETURN_NOT_OK(file_->Truncate(0));
   XARCH_RETURN_NOT_OK(file_->Append(LogHeader()));
   if (policy_ == FsyncPolicy::kEveryRecord) {
+    const uint64_t fsync_start_us = obs::MonotonicMicros();
     XARCH_RETURN_NOT_OK(file_->Sync());
+    Wal().fsyncs->Increment();
+    Wal().fsync_us->Record(obs::MonotonicMicros() - fsync_start_us);
   }
   appended_records_ = 0;
+  Wal().resets->Increment();
   return Status::OK();
 }
 

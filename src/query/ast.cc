@@ -82,7 +82,7 @@ std::string Temporal::ToString() const {
 
 std::string Query::ToString() const {
   std::string out;
-  if (explain) out += "explain ";
+  if (explain) out += analyze ? "explain analyze " : "explain ";
   for (const Step& step : steps) {
     out += '/';
     out += step.ToString();
@@ -105,8 +105,8 @@ bool operator==(const Temporal& a, const Temporal& b) {
 }
 
 bool operator==(const Query& a, const Query& b) {
-  return a.explain == b.explain && a.steps == b.steps &&
-         a.temporal == b.temporal;
+  return a.explain == b.explain && a.analyze == b.analyze &&
+         a.steps == b.steps && a.temporal == b.temporal;
 }
 
 }  // namespace xarch::query

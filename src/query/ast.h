@@ -59,9 +59,10 @@ struct Temporal {
 };
 
 /// A parsed XAQL query: a path expression plus a temporal qualifier,
-/// optionally under `explain`.
+/// optionally under `explain` or `explain analyze`.
 struct Query {
   bool explain = false;
+  bool analyze = false;  ///< `explain analyze` — run traced, report spans
   std::vector<Step> steps;
   Temporal temporal;
 

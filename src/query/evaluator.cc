@@ -6,6 +6,7 @@
 
 #include "core/changes.h"
 #include "core/scan.h"
+#include "obs/metrics.h"
 #include "util/strings.h"
 #include "xml/parser.h"
 #include "xml/path.h"
@@ -63,10 +64,78 @@ Status RangeBoundsError(Version count) {
                                  std::to_string(count));
 }
 
-/// True when `options` allow fanning `versions` across pool workers.
+/// Builds "scan v<N>" only when a trace is attached — untraced hot loops
+/// must not pay a per-version string allocation.
+std::string ScanSpanName(const obs::Trace* trace, Version v) {
+  if (trace == nullptr) return std::string();
+  return "scan v" + std::to_string(v);
+}
+
+/// True when `options` allow fanning `versions` across pool workers. A
+/// traced evaluation always runs serially: the span tree's order must be
+/// deterministic, and the serial path produces identical totals.
 bool WantParallel(const EvalOptions& options, size_t versions) {
-  return options.pool != nullptr && options.pool->size() > 0 &&
+  return options.trace == nullptr && options.pool != nullptr &&
+         options.pool->size() > 0 &&
          versions >= options.min_parallel_versions && versions > 1;
+}
+
+// ------------------------------------------------------- query metrics
+
+/// Per-plan-kind instruments, resolved once per process (registry lookups
+/// are mutexed; the per-query cost after the first is atomic adds only).
+struct QueryMetrics {
+  obs::Counter* queries;
+  obs::Histogram* duration_us;
+  obs::Counter* tree_probes;
+  obs::Counter* naive_probes;
+  obs::Counter* key_comparisons;
+  obs::Counter* bytes_streamed;
+};
+
+QueryMetrics MakeQueryMetrics(const char* plan) {
+  obs::Registry& reg = obs::Registry::Default();
+  const std::string labels = "plan=\"" + std::string(plan) + "\"";
+  QueryMetrics m;
+  m.queries = reg.GetCounter("xarch_queries_total", labels,
+                             "Query evaluations by plan kind");
+  m.duration_us = reg.GetHistogram("xarch_query_duration_us", labels,
+                                   "Query evaluation latency (microseconds)");
+  m.tree_probes =
+      reg.GetCounter("xarch_query_probes_total", labels + ",kind=\"tree\"",
+                     "Evaluation probes by plan kind and probe kind");
+  m.naive_probes = reg.GetCounter("xarch_query_probes_total",
+                                  labels + ",kind=\"naive\"", "");
+  m.key_comparisons = reg.GetCounter("xarch_query_probes_total",
+                                     labels + ",kind=\"key_comparison\"", "");
+  m.bytes_streamed =
+      reg.GetCounter("xarch_query_bytes_streamed_total", labels,
+                     "Bytes streamed into query sinks by plan kind");
+  return m;
+}
+
+const QueryMetrics& MetricsFor(Access access) {
+  static QueryMetrics indexed = MakeQueryMetrics("archive-indexed");
+  static QueryMetrics scan = MakeQueryMetrics("archive-scan");
+  static QueryMetrics generic = MakeQueryMetrics("store-generic");
+  switch (access) {
+    case Access::kArchiveIndexed: return indexed;
+    case Access::kArchiveScan: return scan;
+    case Access::kGeneric: return generic;
+  }
+  return generic;
+}
+
+void RecordQueryMetrics(Access access, const EvalResult& result,
+                        uint64_t duration_us) {
+  if (!obs::MetricsEnabled()) return;
+  const QueryMetrics& m = MetricsFor(access);
+  m.queries->Increment();
+  m.duration_us->Record(duration_us);
+  m.tree_probes->Add(result.probes.tree_probes);
+  m.naive_probes->Add(result.probes.naive_probes);
+  m.key_comparisons->Add(result.probes.comparisons);
+  m.bytes_streamed->Add(result.bytes_streamed);
 }
 
 /// Runs the shared diff pipeline: describe → filter to the query path →
@@ -105,16 +174,20 @@ class ArchiveEvaluator {
 
   Status Run(const Plan& plan) {
     const Query& ast = plan.ast;
+    obs::ScopedSpan eval(options_.trace, "eval", options_.trace_parent);
+    eval_span_ = eval.id();
     if (ast.temporal.kind == TemporalKind::kDiff) {
       // Diff needs no navigation: the change walk visits the whole
       // hierarchy once and the query path filters its output, so absent
       // paths yield an empty change list, exactly as on generic plans.
+      obs::ScopedSpan span(options_.trace, "diff", eval_span_);
       XARCH_ASSIGN_OR_RETURN(
           std::vector<core::Change> changes,
           core::DescribeChanges(archive_, ast.temporal.from,
                                 ast.temporal.to));
       XARCH_RETURN_NOT_OK(
           EmitFilteredChanges(changes, ast.steps, sink_, &result_));
+      span.Note("changes", result_.matches);
       return sink_.Flush();
     }
     // A range query over a path that never existed streams empty
@@ -125,9 +198,16 @@ class ArchiveEvaluator {
     const bool missing_path_is_error =
         ast.temporal.kind != TemporalKind::kRange;
     const bool bare_is_exact = ast.temporal.kind == TemporalKind::kHistory;
-    XARCH_ASSIGN_OR_RETURN(
-        std::vector<NodeMatch> matches,
-        Navigate(ast.steps, missing_path_is_error, bare_is_exact));
+    StatusOr<std::vector<NodeMatch>> navigated = [&] {
+      obs::ScopedSpan span(options_.trace, "navigate", eval_span_);
+      auto got = Navigate(ast.steps, missing_path_is_error, bare_is_exact);
+      span.Note("tree_probes", result_.probes.tree_probes);
+      span.Note("naive_probes", result_.probes.naive_probes);
+      if (got.ok()) span.Note("matches", got->size());
+      return got;
+    }();
+    XARCH_ASSIGN_OR_RETURN(std::vector<NodeMatch> matches,
+                           std::move(navigated));
     result_.matches = matches.size();
     switch (ast.temporal.kind) {
       case TemporalKind::kVersion:
@@ -242,6 +322,8 @@ class ArchiveEvaluator {
                               " is not archived (have 1-" +
                               std::to_string(archive_.version_count()) + ")");
     }
+    obs::ScopedSpan span(options_.trace, ScanSpanName(options_.trace, v),
+                         eval_span_);
     core::ScanCursor cursor = MakeCursor();
     core::ScanStats stats;
     cursor.set_stats(&stats);
@@ -252,6 +334,9 @@ class ArchiveEvaluator {
       XARCH_RETURN_NOT_OK(cursor.Scan(*match.node, v, 0));
     }
     XARCH_RETURN_NOT_OK(FinishCursor(cursor, stats));
+    span.Note("tree_probes", stats.tree_probes);
+    span.Note("naive_probes", stats.naive_probes);
+    span.Note("bytes", result_.bytes_streamed);
     if (active == 0) return NoMatchError(ast);
     return Status::OK();
   }
@@ -304,7 +389,14 @@ class ArchiveEvaluator {
     core::ScanStats stats;
     cursor.set_stats(&stats);
     for (Version v = from; v <= to; ++v) {
+      obs::ScopedSpan span(options_.trace, ScanSpanName(options_.trace, v),
+                           eval_span_);
+      const size_t tree = stats.tree_probes, naive = stats.naive_probes;
+      const size_t bytes = result_.bytes_streamed;
       XARCH_RETURN_NOT_OK(ScanRangeVersion(cursor, matches, v));
+      span.Note("tree_probes", stats.tree_probes - tree);
+      span.Note("naive_probes", stats.naive_probes - naive);
+      span.Note("bytes", result_.bytes_streamed - bytes);
     }
     return FinishCursor(cursor, stats);
   }
@@ -335,6 +427,8 @@ class ArchiveEvaluator {
   }
 
   Status RunHistory(const std::vector<NodeMatch>& matches) {
+    obs::ScopedSpan span(options_.trace, "history", eval_span_);
+    span.Note("matches", matches.size());
     std::string out;
     for (const NodeMatch& match : matches) {
       out += match.path;
@@ -350,6 +444,7 @@ class ArchiveEvaluator {
   Sink& sink_;
   EvalResult& result_;
   const EvalOptions& options_;
+  obs::Trace::SpanId eval_span_ = obs::Trace::kNoSpan;
 };
 
 // ------------------------------------------------- generic-plan support
@@ -410,6 +505,8 @@ class StoreEvaluator {
 
   Status Run(const Plan& plan) {
     const Query& ast = plan.ast;
+    obs::ScopedSpan eval(options_.trace, "eval", options_.trace_parent);
+    eval_span_ = eval.id();
     switch (ast.temporal.kind) {
       case TemporalKind::kVersion:
         XARCH_RETURN_NOT_OK(RunSnapshot(ast));
@@ -473,10 +570,15 @@ class StoreEvaluator {
   }
 
   Status RunSnapshot(const Query& ast) {
+    obs::ScopedSpan span(
+        options_.trace, ScanSpanName(options_.trace, ast.temporal.from),
+        eval_span_);
     std::string out;
     ++result_.versions_scanned;
     XARCH_ASSIGN_OR_RETURN(size_t matches,
                            SnapshotInto(ast, ast.temporal.from, 0, &out));
+    span.Note("matches", matches);
+    span.Note("bytes", out.size());
     if (matches == 0) return NoMatchError(ast);
     result_.matches = matches;
     return EmitText(sink_, out, &result_);
@@ -513,9 +615,13 @@ class StoreEvaluator {
       return Status::OK();
     }
     for (Version v = from; v <= to; ++v) {
+      obs::ScopedSpan span(options_.trace, ScanSpanName(options_.trace, v),
+                           eval_span_);
       std::string body;
       ++result_.versions_scanned;
       XARCH_ASSIGN_OR_RETURN(size_t matches, SnapshotInto(ast, v, 1, &body));
+      span.Note("matches", matches);
+      span.Note("bytes", body.size());
       XARCH_RETURN_NOT_OK(EmitRangeVersion(v, matches, body));
     }
     return Status::OK();
@@ -544,6 +650,7 @@ class StoreEvaluator {
       }
     }
     VersionSet history;
+    obs::ScopedSpan span(options_.trace, "history", eval_span_);
     if (store_.Has(kTemporalQueries)) {
       std::vector<core::KeyStep> path;
       path.reserve(ast.steps.size());
@@ -568,9 +675,12 @@ class StoreEvaluator {
         }
       } else {
         for (Version v = 1; v <= store_.version_count(); ++v) {
+          obs::ScopedSpan scan(options_.trace,
+                               ScanSpanName(options_.trace, v), span.id());
           ++result_.versions_scanned;
           XARCH_ASSIGN_OR_RETURN(size_t matches,
                                  SnapshotInto(ast, v, 0, nullptr));
+          scan.Note("matches", matches);
           XARCH_RETURN_NOT_OK(NoteHistoryMatches(v, matches, &history));
         }
       }
@@ -588,16 +698,21 @@ class StoreEvaluator {
           "diff queries need key-based change tracking; store \"" +
           store_.name() + "\" does not advertise temporal-queries");
     }
+    obs::ScopedSpan span(options_.trace, "diff", eval_span_);
     XARCH_ASSIGN_OR_RETURN(
         std::vector<core::Change> changes,
         store_.DiffVersions(ast.temporal.from, ast.temporal.to));
-    return EmitFilteredChanges(changes, ast.steps, sink_, &result_);
+    XARCH_RETURN_NOT_OK(
+        EmitFilteredChanges(changes, ast.steps, sink_, &result_));
+    span.Note("changes", result_.matches);
+    return Status::OK();
   }
 
   StorePrimitives& store_;
   Sink& sink_;
   EvalResult& result_;
   const EvalOptions& options_;
+  obs::Trace::SpanId eval_span_ = obs::Trace::kNoSpan;
 };
 
 }  // namespace
@@ -606,17 +721,23 @@ Status Evaluate(const Plan& plan, const core::Archive& archive,
                 const index::ArchiveIndex* index, Sink& sink,
                 EvalResult* result, const EvalOptions& options) {
   EvalResult local;
-  ArchiveEvaluator evaluator(archive, index, sink,
-                             result != nullptr ? *result : local, options);
-  return evaluator.Run(plan);
+  EvalResult& r = result != nullptr ? *result : local;
+  ArchiveEvaluator evaluator(archive, index, sink, r, options);
+  const uint64_t start_us = obs::MonotonicMicros();
+  Status status = evaluator.Run(plan);
+  RecordQueryMetrics(plan.access, r, obs::MonotonicMicros() - start_us);
+  return status;
 }
 
 Status EvaluateOverStore(const Plan& plan, StorePrimitives& store, Sink& sink,
                          EvalResult* result, const EvalOptions& options) {
   EvalResult local;
-  StoreEvaluator evaluator(store, sink, result != nullptr ? *result : local,
-                           options);
-  return evaluator.Run(plan);
+  EvalResult& r = result != nullptr ? *result : local;
+  StoreEvaluator evaluator(store, sink, r, options);
+  const uint64_t start_us = obs::MonotonicMicros();
+  Status status = evaluator.Run(plan);
+  RecordQueryMetrics(plan.access, r, obs::MonotonicMicros() - start_us);
+  return status;
 }
 
 }  // namespace xarch::query

@@ -5,6 +5,7 @@
 
 #include "core/archive.h"
 #include "index/archive_index.h"
+#include "obs/trace.h"
 #include "query/planner.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -44,6 +45,13 @@ struct EvalOptions {
   /// Fan out only when at least this many versions are in the range —
   /// below it, task bookkeeping costs more than the scans.
   size_t min_parallel_versions = 4;
+  /// When non-null, the evaluation records nested spans (eval → navigate /
+  /// per-version scans, annotated with probe and byte counts) under
+  /// `trace_parent`. A traced evaluation runs serially — the parallel
+  /// range executor is bypassed so span order is deterministic; totals
+  /// are identical either way.
+  obs::Trace* trace = nullptr;
+  obs::Trace::SpanId trace_parent = obs::Trace::kNoSpan;
 };
 
 /// \brief Streaming evaluation over the merged hierarchy (the archive

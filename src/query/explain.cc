@@ -5,17 +5,20 @@ namespace xarch::query {
 namespace {
 
 Status StreamReport(const Plan& plan, const EvalResult& result,
-                    const Status& eval_status, Sink& sink) {
-  XARCH_RETURN_NOT_OK(sink.Append(FormatExplain(plan, result, eval_status)));
+                    const Status& eval_status, const obs::Trace* trace,
+                    Sink& sink) {
+  XARCH_RETURN_NOT_OK(
+      sink.Append(FormatExplain(plan, result, eval_status, trace)));
   return sink.Flush();
 }
 
 }  // namespace
 
 std::string FormatExplain(const Plan& plan, const EvalResult& result,
-                          const Status& eval_status) {
+                          const Status& eval_status, const obs::Trace* trace) {
   Query canonical = plan.ast;
   canonical.explain = false;
+  canonical.analyze = false;
   std::string out = "XAQL EXPLAIN\n";
   out += "query:  " + canonical.ToString() + "\n";
   out += "access: " + std::string(AccessName(plan.access)) + "\n";
@@ -43,6 +46,9 @@ std::string FormatExplain(const Plan& plan, const EvalResult& result,
   if (!eval_status.ok()) {
     out += "result: " + eval_status.ToString() + "\n";
   }
+  if (trace != nullptr && trace->span_count() > 0) {
+    out += trace->Render();
+  }
   return out;
 }
 
@@ -53,7 +59,7 @@ Status ExplainArchive(const Plan& plan, const core::Archive& archive,
   EvalResult& r = result != nullptr ? *result : local;
   CountingSink discard;
   Status eval_status = Evaluate(plan, archive, index, discard, &r, options);
-  return StreamReport(plan, r, eval_status, sink);
+  return StreamReport(plan, r, eval_status, options.trace, sink);
 }
 
 Status ExplainOverStore(const Plan& plan, StorePrimitives& store, Sink& sink,
@@ -62,7 +68,7 @@ Status ExplainOverStore(const Plan& plan, StorePrimitives& store, Sink& sink,
   EvalResult& r = result != nullptr ? *result : local;
   CountingSink discard;
   Status eval_status = EvaluateOverStore(plan, store, discard, &r, options);
-  return StreamReport(plan, r, eval_status, sink);
+  return StreamReport(plan, r, eval_status, options.trace, sink);
 }
 
 }  // namespace xarch::query

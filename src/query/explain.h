@@ -22,8 +22,11 @@ Status ExplainOverStore(const Plan& plan, StorePrimitives& store, Sink& sink,
 
 /// The report text itself (shared by both entry points; exposed for
 /// tests). `eval_status` is the outcome of the discarded evaluation run.
+/// With a non-null `trace` (EXPLAIN ANALYZE: the trace the evaluation ran
+/// under), the rendered span tree follows the stats block.
 std::string FormatExplain(const Plan& plan, const EvalResult& result,
-                          const Status& eval_status);
+                          const Status& eval_status,
+                          const obs::Trace* trace = nullptr);
 
 }  // namespace xarch::query
 

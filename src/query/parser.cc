@@ -17,6 +17,10 @@ class Parser {
     if (At(TokenKind::kName) && Peek().text == "explain") {
       query.explain = true;
       Advance();
+      if (At(TokenKind::kName) && Peek().text == "analyze") {
+        query.analyze = true;
+        Advance();
+      }
     }
     if (!At(TokenKind::kSlash)) {
       return Error("expected a path expression starting with '/'");

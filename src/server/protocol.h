@@ -35,9 +35,14 @@ namespace xarch::net {
 /// "XNP1"-style magic guarding against a non-xarch peer (first HELLO field).
 inline constexpr uint32_t kProtocolMagic = 0x50524158u;  // "XARP" LE
 
-/// Protocol versions this build can speak.
+/// Protocol versions this build can speak. Version 2 adds a flags octet in
+/// front of the QUERY payload (bit 0 asks for a TRACE frame before DONE)
+/// and the METRICS request; v1 sessions still send raw XAQL text.
 inline constexpr uint32_t kProtocolVersionMin = 1;
-inline constexpr uint32_t kProtocolVersionMax = 1;
+inline constexpr uint32_t kProtocolVersionMax = 2;
+
+/// QUERY flags octet (protocol version >= 2 only).
+inline constexpr uint8_t kQueryFlagTrace = 0x01;  ///< send TRACE before DONE
 
 /// Hard ceiling on one frame's body. Bounds server memory per session and
 /// rejects absurd declared lengths before any allocation. Large query
@@ -56,6 +61,7 @@ enum class MessageType : uint8_t {
   kStats = 0x04,     ///< server + session counters
   kPing = 0x05,      ///< liveness probe
   kShutdown = 0x06,  ///< ask the daemon to stop (drain + checkpoint)
+  kMetrics = 0x07,   ///< scrape the telemetry registry (v2+)
 
   // ---- responses (server -> client)
   kHelloOk = 0x81,     ///< negotiated version, server name, backend
@@ -66,6 +72,8 @@ enum class MessageType : uint8_t {
   kStatsOk = 0x86,     ///< encoded StatsReply
   kPong = 0x87,        ///< PING answer
   kShutdownOk = 0x88,  ///< shutdown acknowledged; server begins draining
+  kTrace = 0x89,       ///< rendered span tree for a traced query (v2+)
+  kMetricsOk = 0x8A,   ///< Prometheus text exposition of the registry (v2+)
 };
 
 /// Wire error codes carried by kError frames. Stable numbers: clients

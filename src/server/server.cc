@@ -1,18 +1,33 @@
 #include "server/server.h"
 
 #include <algorithm>
-#include <chrono>
 #include <utility>
 
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "xarch/sink.h"
 
 namespace xarch::server {
 
 namespace {
 
-/// Recent-query window for the latency percentiles: big enough for stable
-/// p99, small enough that STATS stays O(window).
-constexpr size_t kLatencyWindow = 4096;
+/// Collapses a rendered span tree to one logger field value: the logger
+/// emits single lines, so newlines become " | " separators.
+std::string OneLineTrace(const std::string& rendered) {
+  std::string out;
+  out.reserve(rendered.size());
+  for (char c : rendered) {
+    if (c == '\n') {
+      if (!out.empty() && out.back() != ' ') out += " | ";
+    } else {
+      out += c;
+    }
+  }
+  while (!out.empty() && (out.back() == ' ' || out.back() == '|')) {
+    out.pop_back();
+  }
+  return out;
+}
 
 /// Streams query output to the session socket as CHUNK frames of roughly
 /// net::kChunkBytes each, so a result larger than memory never buffers
@@ -76,7 +91,21 @@ Server::Server(Store& store, ServerOptions options, net::Listener listener)
       listener_(std::move(listener)),
       sessions_pool_(
           std::make_unique<util::ThreadPool>(options_.session_threads)) {
-  latencies_us_.reserve(kLatencyWindow);
+  query_latency_us_ = registry_.GetHistogram(
+      "xarch_server_query_latency_us", "",
+      "End-to-end QUERY latency as the server saw it (microseconds)");
+  sessions_opened_metric_ = registry_.GetCounter(
+      "xarch_server_sessions_opened_total", "", "Sessions accepted");
+  frames_total_ = registry_.GetCounter("xarch_server_frames_total", "",
+                                       "Request frames handled");
+  rejected_busy_metric_ =
+      registry_.GetCounter("xarch_server_rejected_busy_total", "",
+                           "Queries bounced by admission control");
+  protocol_errors_metric_ = registry_.GetCounter(
+      "xarch_server_protocol_errors_total", "", "Protocol errors seen");
+  slow_queries_metric_ =
+      registry_.GetCounter("xarch_server_slow_queries_total", "",
+                           "Queries at or over --slow-query-us");
 }
 
 Server::~Server() { Join(); }
@@ -130,6 +159,7 @@ void Server::Join() {
 
 void Server::RunSession(std::shared_ptr<net::Socket> socket) {
   counters_.sessions_opened.fetch_add(1, std::memory_order_relaxed);
+  sessions_opened_metric_->Increment();
   counters_.sessions_active.fetch_add(1, std::memory_order_acq_rel);
   SessionState session;
   net::FrameReader reader(*socket);
@@ -149,7 +179,7 @@ void Server::RunSession(std::shared_ptr<net::Socket> socket) {
       if (status.code() == StatusCode::kDataLoss) {
         // Broken framing: answer structurally while we still can, then
         // drop — past a bad length or CRC the stream cannot be re-synced.
-        counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        CountProtocolError();
         SendError(*socket, net::ErrorCode::kMalformedFrame, status.message(),
                   &session);
       }
@@ -174,9 +204,10 @@ void Server::RunSession(std::shared_ptr<net::Socket> socket) {
 bool Server::HandleFrame(const net::Socket& socket, const net::Frame& frame,
                          const net::FrameReader& reader,
                          SessionState* session) {
+  frames_total_->Increment();
   if (!session->hello_done) {
     if (frame.type != net::MessageType::kHello) {
-      counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      CountProtocolError();
       SendError(socket, net::ErrorCode::kBadRequest,
                 "the first frame on a connection must be HELLO", session);
       return false;
@@ -185,7 +216,7 @@ bool Server::HandleFrame(const net::Socket& socket, const net::Frame& frame,
   }
   switch (frame.type) {
     case net::MessageType::kHello:
-      counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      CountProtocolError();
       return SendError(socket, net::ErrorCode::kBadRequest,
                        "HELLO already negotiated on this connection", session);
     case net::MessageType::kQuery:
@@ -194,6 +225,15 @@ bool Server::HandleFrame(const net::Socket& socket, const net::Frame& frame,
       return HandleIngest(socket, frame, session);
     case net::MessageType::kStats:
       return HandleStats(socket, reader, session);
+    case net::MessageType::kMetrics:
+      if (session->version < 2) {
+        // v1 never negotiated METRICS; answer exactly as an unknown type
+        // so old clients see consistent behavior.
+        CountProtocolError();
+        return SendError(socket, net::ErrorCode::kUnknownMessage,
+                         "METRICS requires protocol version >= 2", session);
+      }
+      return HandleMetrics(socket, session);
     case net::MessageType::kPing:
       return net::WriteFrame(socket, net::MessageType::kPong, "",
                              &session->bytes_out)
@@ -209,7 +249,7 @@ bool Server::HandleFrame(const net::Socket& socket, const net::Frame& frame,
       // A checksummed frame of a type this version does not know: report
       // it and keep the session — framing is intact, so later requests
       // are still trustworthy (forward compatibility).
-      counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      CountProtocolError();
       return SendError(socket, net::ErrorCode::kUnknownMessage,
                        "unknown message type " +
                            std::to_string(static_cast<unsigned>(frame.type)),
@@ -221,13 +261,13 @@ bool Server::HandleHello(const net::Socket& socket, const net::Frame& frame,
                          SessionState* session) {
   net::HelloRequest hello;
   if (Status st = net::DecodeHelloRequest(frame.payload, &hello); !st.ok()) {
-    counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    CountProtocolError();
     SendError(socket, net::ErrorCode::kBadRequest,
               "HELLO does not decode: " + st.message(), session);
     return false;
   }
   if (hello.magic != net::kProtocolMagic) {
-    counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    CountProtocolError();
     SendError(socket, net::ErrorCode::kBadRequest,
               "bad protocol magic: this is not an xarch client", session);
     return false;
@@ -249,6 +289,7 @@ bool Server::HandleHello(const net::Socket& socket, const net::Frame& frame,
   reply.server_name = options_.server_name;
   reply.backend = store_.name();
   session->hello_done = true;
+  session->version = reply.version;
   return net::WriteFrame(socket, net::MessageType::kHelloOk,
                          net::EncodeHelloReply(reply), &session->bytes_out)
       .ok();
@@ -267,15 +308,35 @@ bool Server::HandleQuery(const net::Socket& socket, const net::Frame& frame,
   if (inflight > options_.max_inflight_queries) {
     counters_.inflight_queries.fetch_sub(1, std::memory_order_acq_rel);
     counters_.rejected_busy.fetch_add(1, std::memory_order_relaxed);
+    rejected_busy_metric_->Increment();
     return SendError(socket, net::ErrorCode::kBusy,
                      std::to_string(options_.max_inflight_queries) +
                          " queries already in flight",
                      session);
   }
   if (options_.query_gate_hook) options_.query_gate_hook();
-  const auto t0 = std::chrono::steady_clock::now();
+  // At protocol v2 the payload leads with a flags octet; v1 sessions still
+  // send raw XAQL text.
+  std::string_view query_text = frame.payload;
+  bool wire_trace = false;
+  if (session->version >= 2) {
+    if (query_text.empty()) {
+      counters_.inflight_queries.fetch_sub(1, std::memory_order_acq_rel);
+      CountProtocolError();
+      return SendError(socket, net::ErrorCode::kBadRequest,
+                       "v2 QUERY payload is missing its flags octet",
+                       session);
+    }
+    wire_trace = (static_cast<uint8_t>(query_text[0]) &
+                  net::kQueryFlagTrace) != 0;
+    query_text.remove_prefix(1);
+  }
+  const bool slow_log = options_.slow_query_us >= 0;
+  obs::Trace trace;
+  obs::Trace* trace_ptr = (wire_trace || slow_log) ? &trace : nullptr;
+  const uint64_t t0_us = obs::MonotonicMicros();
   ChunkSink sink(socket, &session->bytes_out);
-  Status status = store_.Query(frame.payload, sink);
+  Status status = store_.Query(query_text, sink, trace_ptr);
   if (status.ok()) status = sink.FlushRemainder();
   counters_.inflight_queries.fetch_sub(1, std::memory_order_acq_rel);
   if (!status.ok()) {
@@ -284,14 +345,30 @@ bool Server::HandleQuery(const net::Socket& socket, const net::Frame& frame,
     return SendError(socket, net::ErrorCode::kQueryFailed, status.ToString(),
                      session);
   }
+  if (wire_trace &&
+      !net::WriteFrame(socket, net::MessageType::kTrace, trace.Render(),
+                       &session->bytes_out)
+           .ok()) {
+    return false;
+  }
   if (!net::WriteFrame(socket, net::MessageType::kDone, "",
                        &session->bytes_out)
            .ok()) {
     return false;
   }
-  const auto t1 = std::chrono::steady_clock::now();
-  RecordQueryLatency(static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count()));
+  const uint64_t duration_us = obs::MonotonicMicros() - t0_us;
+  query_latency_us_->Record(duration_us);
+  if (slow_log && duration_us >= static_cast<uint64_t>(
+                                     options_.slow_query_us)) {
+    slow_queries_metric_->Increment();
+    obs::Logger::Default().Log(
+        "slow_query",
+        {{"duration_us", duration_us},
+         {"threshold_us", options_.slow_query_us},
+         {"query_bytes", static_cast<uint64_t>(query_text.size())},
+         {"spans", static_cast<uint64_t>(trace.span_count())},
+         {"trace", OneLineTrace(trace.Render())}});
+  }
   counters_.queries.fetch_add(1, std::memory_order_relaxed);
   session->queries++;
   return true;
@@ -306,7 +383,7 @@ bool Server::HandleIngest(const net::Socket& socket, const net::Frame& frame,
   net::IngestRequest request;
   if (Status st = net::DecodeIngestRequest(frame.payload, &request);
       !st.ok()) {
-    counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    CountProtocolError();
     SendError(socket, net::ErrorCode::kBadRequest,
               "INGEST does not decode: " + st.message(), session);
     return false;
@@ -377,24 +454,16 @@ bool Server::SendError(const net::Socket& socket, net::ErrorCode code,
       .ok();
 }
 
-void Server::RecordQueryLatency(uint64_t micros) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (latencies_us_.size() < kLatencyWindow) {
-    latencies_us_.push_back(micros);
-  } else {
-    latencies_us_[latency_next_] = micros;
-    latency_next_ = (latency_next_ + 1) % kLatencyWindow;
-  }
+bool Server::HandleMetrics(const net::Socket& socket, SessionState* session) {
+  return net::WriteFrame(socket, net::MessageType::kMetricsOk, MetricsText(),
+                         &session->bytes_out)
+      .ok();
 }
 
-uint64_t Server::LatencyPercentile(double q) const {
-  // Caller holds mu_.
-  if (latencies_us_.empty()) return 0;
-  std::vector<uint64_t> copy = latencies_us_;
-  const size_t rank = std::min(
-      copy.size() - 1, static_cast<size_t>(q * (copy.size() - 1) + 0.5));
-  std::nth_element(copy.begin(), copy.begin() + rank, copy.end());
-  return copy[rank];
+std::string Server::MetricsText() const {
+  // Process-wide instruments first (query engine, ingest, WAL, VFS), then
+  // this server's own families — two registries, one scrape.
+  return obs::Registry::Default().EncodeText() + registry_.EncodeText();
 }
 
 ServerStats Server::StatsSnapshot() const {
@@ -412,11 +481,10 @@ ServerStats Server::StatsSnapshot() const {
   out.rejected_busy = counters_.rejected_busy.load(std::memory_order_relaxed);
   out.protocol_errors =
       counters_.protocol_errors.load(std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    out.query_latency_p50_us = LatencyPercentile(0.50);
-    out.query_latency_p99_us = LatencyPercentile(0.99);
-  }
+  // Histogram quantile *upper bounds*: within 6.25% of the true sample,
+  // and windowless — every query since start contributes.
+  out.query_latency_p50_us = query_latency_us_->QuantileUpperBound(0.50);
+  out.query_latency_p99_us = query_latency_us_->QuantileUpperBound(0.99);
   return out;
 }
 

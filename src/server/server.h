@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "server/net_util.h"
 #include "server/protocol.h"
 #include "util/thread_pool.h"
@@ -40,6 +41,10 @@ struct ServerOptions {
   int stall_timeout_ms = 5000;
   /// Banner returned in HELLO_OK.
   std::string server_name = "xarchd";
+  /// Log a structured span tree (obs::Logger) for any query at least this
+  /// slow, in microseconds. 0 logs every query (CI smoke runs use that);
+  /// negative (default) disables slow-query logging entirely.
+  int64_t slow_query_us = -1;
   /// Test-only: runs after a query passes admission control and before it
   /// evaluates. Lets tests park queries deterministically to fill the
   /// admission gate or exercise drain; never set in production.
@@ -58,7 +63,7 @@ struct ServerStats {
   uint64_t bytes_out = 0;      ///< wire bytes written across all sessions
   uint64_t rejected_busy = 0;  ///< queries bounced by admission control
   uint64_t protocol_errors = 0;
-  uint64_t query_latency_p50_us = 0;  ///< over a recent-queries window
+  uint64_t query_latency_p50_us = 0;  ///< histogram upper bound (<=6.25% off)
   uint64_t query_latency_p99_us = 0;
 };
 
@@ -112,6 +117,15 @@ class Server {
   /// Point-in-time copy of the server-wide counters.
   ServerStats StatsSnapshot() const;
 
+  /// Prometheus text exposition: the process-wide registry (engine, WAL,
+  /// VFS instruments) followed by this server's own registry. This is the
+  /// METRICS response body.
+  std::string MetricsText() const;
+
+  /// The server's own instrument registry (session/frame/latency series).
+  /// Benches snapshot it alongside the process-wide default registry.
+  const obs::Registry& registry() const { return registry_; }
+
  private:
   Server(Store& store, ServerOptions options, net::Listener listener);
 
@@ -124,6 +138,7 @@ class Server {
     uint64_t ingests = 0;
     uint64_t bytes_out = 0;
     bool hello_done = false;
+    uint32_t version = 1;  ///< negotiated protocol version
   };
 
   /// Handles one decoded request frame. Returns false when the session
@@ -139,13 +154,17 @@ class Server {
                     SessionState* session);
   bool HandleStats(const net::Socket& socket, const net::FrameReader& reader,
                    SessionState* session);
+  bool HandleMetrics(const net::Socket& socket, SessionState* session);
 
   /// Best-effort structured error; returns false when the write failed.
   bool SendError(const net::Socket& socket, net::ErrorCode code,
                  const std::string& message, SessionState* session);
 
-  void RecordQueryLatency(uint64_t micros);
-  uint64_t LatencyPercentile(double q) const;
+  /// Bumps both views of the protocol-error count (STATS and METRICS).
+  void CountProtocolError() {
+    counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    protocol_errors_metric_->Increment();
+  }
 
   Store& store_;
   const ServerOptions options_;
@@ -156,11 +175,21 @@ class Server {
   std::thread accept_thread_;
   bool joined_ = false;
 
-  mutable std::mutex mu_;               // guards cv waits and latencies_
+  mutable std::mutex mu_;               // guards cv waits
   std::condition_variable stop_cv_;     // signaled by RequestStop
   std::condition_variable drained_cv_;  // signaled as sessions end
-  std::vector<uint64_t> latencies_us_;  // ring of recent query latencies
-  size_t latency_next_ = 0;
+
+  /// Per-server instruments. Each Server owns its registry (tests run
+  /// several servers in one process; sharing the process-wide registry
+  /// would fold their counts together), so METRICS concatenates the
+  /// default registry with this one.
+  obs::Registry registry_;
+  obs::Histogram* query_latency_us_;  // owned by registry_
+  obs::Counter* sessions_opened_metric_;
+  obs::Counter* frames_total_;
+  obs::Counter* rejected_busy_metric_;
+  obs::Counter* protocol_errors_metric_;
+  obs::Counter* slow_queries_metric_;
 
   struct Counters {
     std::atomic<uint64_t> sessions_opened{0};

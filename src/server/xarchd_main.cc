@@ -5,7 +5,13 @@
 //   xarchd --dir /var/lib/xarch [--keys keys.txt] [--backend archive]
 //          [--host 127.0.0.1] [--port 0] [--port-file path]
 //          [--threads 8] [--max-inflight 4] [--snapshot-every N]
-//          [--fsync every|never]
+//          [--fsync every|never] [--slow-query-us N]
+//          [--metrics-dump-every N]
+//
+// --slow-query-us N logs a structured span tree for any query at least
+// N microseconds slow (0 = every query); --metrics-dump-every N writes
+// the Prometheus metrics text to stderr every N seconds. All daemon
+// status goes to stderr as single-line key=value records (obs::Logger).
 //
 // --keys is required the first time a directory is created with an
 // archive-family backend (the Appendix-B key specification text); a
@@ -26,7 +32,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/log.h"
 #include "server/server.h"
+#include "vfs/stats_vfs.h"
 #include "vfs/vfs.h"
 #include "xarch/durable.h"
 
@@ -44,12 +52,13 @@ int Usage() {
       "usage: xarchd --dir <path> [--keys keys.txt] [--backend archive]\n"
       "              [--host 127.0.0.1] [--port 0] [--port-file path]\n"
       "              [--threads 8] [--max-inflight 4]\n"
-      "              [--snapshot-every N] [--fsync every|never]\n");
+      "              [--snapshot-every N] [--fsync every|never]\n"
+      "              [--slow-query-us N] [--metrics-dump-every N]\n");
   return 2;
 }
 
 int Fail(const Status& status) {
-  std::fprintf(stderr, "xarchd: %s\n", status.ToString().c_str());
+  obs::Logger::Default().Log("fatal", {{"error", status.ToString()}});
   return 1;
 }
 
@@ -83,14 +92,23 @@ int main(int argc, char** argv) {
   const long max_inflight = NumberOr(TakeFlag(&args, "--max-inflight"), 4);
   const long snapshot_every = NumberOr(TakeFlag(&args, "--snapshot-every"), 0);
   const std::string fsync = TakeFlag(&args, "--fsync");
+  const long slow_query_us = NumberOr(TakeFlag(&args, "--slow-query-us"), -1);
+  const long metrics_dump_every =
+      NumberOr(TakeFlag(&args, "--metrics-dump-every"), 0);
   if (dir.empty() || !args.empty() || port < 0 || port > 65535 ||
       threads < 1 || max_inflight < 1 || snapshot_every < 0 ||
+      metrics_dump_every < 0 ||
       (!fsync.empty() && fsync != "every" && fsync != "never")) {
     return Usage();
   }
 
+  // Every byte the persistence layer moves is counted per backend and op:
+  // the METRICS scrape reports disk traffic alongside the query engine.
+  vfs::StatsVfs stats_vfs(vfs::Vfs::Posix());
+
   DurableOptions durable;
   durable.backend = backend;
+  durable.vfs = &stats_vfs;
   durable.snapshot_every_records = static_cast<uint64_t>(snapshot_every);
   if (fsync == "never") durable.fsync = persist::FsyncPolicy::kNever;
   if (!keys_path.empty()) {
@@ -113,6 +131,7 @@ int main(int argc, char** argv) {
   options.port = static_cast<uint16_t>(port);
   options.session_threads = static_cast<size_t>(threads);
   options.max_inflight_queries = static_cast<size_t>(max_inflight);
+  options.slow_query_us = slow_query_us;
   auto served = server::Server::Start(**store, options);
   if (!served.ok()) return Fail(served.status());
 
@@ -127,10 +146,16 @@ int main(int argc, char** argv) {
                                   ": " + wrote.message()));
     }
   }
-  std::printf("xarchd: serving %s (%u versions) on %s:%u\n",
-              (*store)->name().c_str(), (*store)->version_count(),
-              options.host.c_str(), (*served)->port());
-  std::fflush(stdout);
+  obs::Logger& log = obs::Logger::Default();
+  log.Log("serving",
+          {{"backend", (*store)->name()},
+           {"versions", static_cast<uint64_t>((*store)->version_count())},
+           {"host", options.host},
+           {"port", static_cast<unsigned>((*served)->port())},
+           {"threads", threads},
+           {"max_inflight", max_inflight},
+           {"slow_query_us", slow_query_us},
+           {"metrics_dump_every_s", metrics_dump_every}});
 
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
@@ -138,16 +163,24 @@ int main(int argc, char** argv) {
 
   // Wait for a stop: a signal (polled — a handler cannot safely touch the
   // server) or a client SHUTDOWN frame (observed via stop_requested()).
+  const long dump_every_ticks = metrics_dump_every * 20;  // 50 ms ticks
+  long ticks = 0;
   while (g_signal == 0 && !(*served)->stop_requested()) {
     timespec nap{0, 50 * 1000 * 1000};  // 50 ms
     nanosleep(&nap, nullptr);
+    if (dump_every_ticks > 0 && ++ticks >= dump_every_ticks) {
+      ticks = 0;
+      const std::string text = (*served)->MetricsText();
+      log.Log("metrics_dump", {{"bytes", static_cast<uint64_t>(text.size())}});
+      std::fwrite(text.data(), 1, text.size(), stderr);
+    }
   }
   if (g_signal != 0) {
-    std::printf("xarchd: signal %d, draining\n", static_cast<int>(g_signal));
+    log.Log("draining", {{"reason", "signal"},
+                         {"signal", static_cast<int>(g_signal)}});
   } else {
-    std::printf("xarchd: shutdown requested by client, draining\n");
+    log.Log("draining", {{"reason", "client_shutdown"}});
   }
-  std::fflush(stdout);
 
   (*served)->Join();  // stop accepting + drain in-flight sessions
   if (Status st = (*store)->CheckpointIfDirty(); !st.ok()) {
@@ -155,6 +188,6 @@ int main(int argc, char** argv) {
     // operator knows the clean-stop checkpoint did not land.
     return Fail(st);
   }
-  std::printf("xarchd: clean shutdown (snapshot current, log empty)\n");
+  log.Log("clean_shutdown", {{"snapshot", "current"}, {"log", "empty"}});
   return 0;
 }

@@ -1,0 +1,214 @@
+#include "vfs/stats_vfs.h"
+
+#include <utility>
+
+namespace xarch::vfs {
+
+namespace {
+
+constexpr const char* kOpNames[] = {
+    "open_readable", "open_random_access", "open_writable", "map",
+    "read_file", "rename", "remove", "exists", "file_size", "truncate",
+    "create_dirs", "remove_tree", "list", "sync_dir", "read", "read_at",
+    "append", "fsync", "file_truncate", "close",
+};
+static_assert(sizeof(kOpNames) / sizeof(kOpNames[0]) ==
+              static_cast<size_t>(StatsVfs::kOpCount));
+
+/// Sequential reader counting bytes and errors through the wrapper.
+class StatsReadableFile final : public ReadableFile {
+ public:
+  StatsReadableFile(std::unique_ptr<ReadableFile> base, StatsVfs* stats)
+      : base_(std::move(base)), stats_(stats) {}
+
+  StatusOr<size_t> Read(char* scratch, size_t n) override {
+    StatusOr<size_t> got = base_->Read(scratch, n);
+    stats_->Count(StatsVfs::kRead, got.ok());
+    if (got.ok()) stats_->CountReadBytes(*got);
+    return got;
+  }
+
+ private:
+  std::unique_ptr<ReadableFile> base_;
+  StatsVfs* stats_;
+};
+
+class StatsRandomAccessFile final : public RandomAccessFile {
+ public:
+  StatsRandomAccessFile(std::unique_ptr<RandomAccessFile> base,
+                        StatsVfs* stats)
+      : base_(std::move(base)), stats_(stats) {}
+
+  StatusOr<std::string_view> ReadAt(uint64_t offset, size_t n,
+                                    char* scratch) const override {
+    StatusOr<std::string_view> got = base_->ReadAt(offset, n, scratch);
+    stats_->Count(StatsVfs::kReadAt, got.ok());
+    if (got.ok()) stats_->CountReadBytes(got->size());
+    return got;
+  }
+
+  uint64_t size() const override { return base_->size(); }
+
+ private:
+  std::unique_ptr<RandomAccessFile> base_;
+  StatsVfs* stats_;
+};
+
+class StatsWritableFile final : public WritableFile {
+ public:
+  StatsWritableFile(std::unique_ptr<WritableFile> base, StatsVfs* stats)
+      : base_(std::move(base)), stats_(stats) {}
+
+  Status Append(std::string_view data) override {
+    Status st = base_->Append(data);
+    stats_->Count(StatsVfs::kAppend, st.ok());
+    if (st.ok()) stats_->CountWriteBytes(data.size());
+    return st;
+  }
+
+  Status Sync() override {
+    Status st = base_->Sync();
+    stats_->Count(StatsVfs::kFsync, st.ok());
+    return st;
+  }
+
+  Status Truncate(uint64_t size) override {
+    Status st = base_->Truncate(size);
+    stats_->Count(StatsVfs::kFileTruncate, st.ok());
+    return st;
+  }
+
+  Status Close() override {
+    Status st = base_->Close();
+    stats_->Count(StatsVfs::kClose, st.ok());
+    return st;
+  }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  StatsVfs* stats_;
+};
+
+}  // namespace
+
+StatsVfs::StatsVfs(Vfs* base, obs::Registry* registry) : base_(base) {
+  obs::Registry& reg =
+      registry != nullptr ? *registry : obs::Registry::Default();
+  const std::string backend = "backend=\"" + base_->name() + "\"";
+  for (size_t op = 0; op < kOpCount; ++op) {
+    const std::string labels = backend + ",op=\"" + kOpNames[op] + "\"";
+    ops_[op] = reg.GetCounter("xarch_vfs_ops_total", labels,
+                              "VFS operations by backend and op");
+    errors_[op] = reg.GetCounter("xarch_vfs_errors_total", labels,
+                                 "Failed VFS operations by backend and op");
+  }
+  read_bytes_ =
+      reg.GetCounter("xarch_vfs_bytes_total", backend + ",dir=\"read\"",
+                     "Bytes moved through the VFS by direction");
+  write_bytes_ =
+      reg.GetCounter("xarch_vfs_bytes_total", backend + ",dir=\"write\"", "");
+}
+
+void StatsVfs::Count(Op op, bool ok) {
+  ops_[op]->Increment();
+  if (!ok) errors_[op]->Increment();
+}
+
+std::string StatsVfs::name() const { return "stats(" + base_->name() + ")"; }
+
+StatusOr<std::unique_ptr<ReadableFile>> StatsVfs::OpenReadable(
+    const std::string& path) {
+  auto got = base_->OpenReadable(path);
+  Count(kOpenReadable, got.ok());
+  if (!got.ok()) return got.status();
+  return std::unique_ptr<ReadableFile>(
+      std::make_unique<StatsReadableFile>(std::move(*got), this));
+}
+
+StatusOr<std::unique_ptr<RandomAccessFile>> StatsVfs::OpenRandomAccess(
+    const std::string& path) {
+  auto got = base_->OpenRandomAccess(path);
+  Count(kOpenRandomAccess, got.ok());
+  if (!got.ok()) return got.status();
+  return std::unique_ptr<RandomAccessFile>(
+      std::make_unique<StatsRandomAccessFile>(std::move(*got), this));
+}
+
+StatusOr<std::unique_ptr<WritableFile>> StatsVfs::OpenWritable(
+    const std::string& path, WriteMode mode) {
+  auto got = base_->OpenWritable(path, mode);
+  Count(kOpenWritable, got.ok());
+  if (!got.ok()) return got.status();
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<StatsWritableFile>(std::move(*got), this));
+}
+
+StatusOr<std::unique_ptr<MappedFile>> StatsVfs::Map(const std::string& path) {
+  auto got = base_->Map(path);
+  Count(kMap, got.ok());
+  if (got.ok()) CountReadBytes((*got)->data().size());
+  return got;
+}
+
+StatusOr<std::string> StatsVfs::ReadFile(const std::string& path) {
+  auto got = base_->ReadFile(path);
+  Count(kReadFile, got.ok());
+  if (got.ok()) CountReadBytes(got->size());
+  return got;
+}
+
+Status StatsVfs::Rename(const std::string& from, const std::string& to) {
+  Status st = base_->Rename(from, to);
+  Count(kRename, st.ok());
+  return st;
+}
+
+Status StatsVfs::Remove(const std::string& path) {
+  Status st = base_->Remove(path);
+  Count(kRemove, st.ok());
+  return st;
+}
+
+StatusOr<bool> StatsVfs::Exists(const std::string& path) {
+  auto got = base_->Exists(path);
+  Count(kExists, got.ok());
+  return got;
+}
+
+StatusOr<uint64_t> StatsVfs::FileSize(const std::string& path) {
+  auto got = base_->FileSize(path);
+  Count(kFileSize, got.ok());
+  return got;
+}
+
+Status StatsVfs::Truncate(const std::string& path, uint64_t size) {
+  Status st = base_->Truncate(path, size);
+  Count(kTruncate, st.ok());
+  return st;
+}
+
+Status StatsVfs::CreateDirs(const std::string& path) {
+  Status st = base_->CreateDirs(path);
+  Count(kCreateDirs, st.ok());
+  return st;
+}
+
+Status StatsVfs::RemoveTree(const std::string& path) {
+  Status st = base_->RemoveTree(path);
+  Count(kRemoveTree, st.ok());
+  return st;
+}
+
+StatusOr<std::vector<std::string>> StatsVfs::List(const std::string& dir) {
+  auto got = base_->List(dir);
+  Count(kList, got.ok());
+  return got;
+}
+
+Status StatsVfs::SyncDir(const std::string& path) {
+  Status st = base_->SyncDir(path);
+  Count(kSyncDir, st.ok());
+  return st;
+}
+
+}  // namespace xarch::vfs

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
 #include "persist/container.h"
 #include "vfs/vfs.h"
 
@@ -142,11 +143,24 @@ uint64_t DurableStore::log_records() const {
 }
 
 Status DurableStore::WriteSnapshotLocked() {
+  static obs::Counter* checkpoints = obs::Registry::Default().GetCounter(
+      "xarch_checkpoint_total", "",
+      "Durable-store snapshot+log-reset checkpoints");
+  static obs::Counter* checkpoint_bytes = obs::Registry::Default().GetCounter(
+      "xarch_checkpoint_bytes_total", "",
+      "Snapshot bytes written by durable-store checkpoints");
+  static obs::Histogram* checkpoint_us = obs::Registry::Default().GetHistogram(
+      "xarch_checkpoint_duration_us", "",
+      "Durable-store checkpoint latency (microseconds)");
+  const uint64_t start_us = obs::MonotonicMicros();
   XARCH_ASSIGN_OR_RETURN(std::string bytes, inner_->SaveToBytes());
   XARCH_RETURN_NOT_OK(
       vfs::AtomicWriteFile(*vfs_, snapshot_path_, bytes, /*sync=*/true));
   XARCH_RETURN_NOT_OK(log_.Reset());
   records_since_snapshot_.store(0, std::memory_order_relaxed);
+  checkpoints->Increment();
+  checkpoint_bytes->Add(bytes.size());
+  checkpoint_us->Record(obs::MonotonicMicros() - start_us);
   return Status::OK();
 }
 
@@ -225,8 +239,9 @@ StatusOr<std::vector<core::Change>> DurableStore::DiffVersionsImpl(
   return inner_->DiffVersions(from, to);
 }
 
-Status DurableStore::QueryImpl(std::string_view query_text, Sink& sink) {
-  return inner_->Query(query_text, sink);
+Status DurableStore::QueryImpl(std::string_view query_text, Sink& sink,
+                               obs::Trace* trace) {
+  return inner_->Query(query_text, sink, trace);
 }
 
 Version DurableStore::VersionCountImpl() const {

@@ -90,7 +90,8 @@ class DurableStore final : public Store {
       const std::vector<core::KeyStep>& path) override;
   StatusOr<std::vector<core::Change>> DiffVersionsImpl(Version from,
                                                        Version to) override;
-  Status QueryImpl(std::string_view query_text, Sink& sink) override;
+  Status QueryImpl(std::string_view query_text, Sink& sink,
+                   obs::Trace* trace) override;
   Version VersionCountImpl() const override;
   StoreStats BackendStats() const override;
   std::string StoredBytesImpl() const override;

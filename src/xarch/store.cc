@@ -16,6 +16,8 @@
 #include "persist/wire.h"
 #include "diff/repository.h"
 #include "index/archive_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/evaluator.h"
 #include "query/explain.h"
 #include "query/parser.h"
@@ -126,10 +128,11 @@ StatusOr<std::vector<core::Change>> Store::DiffVersions(Version from,
   return DiffVersionsImpl(from, to);
 }
 
-Status Store::Query(std::string_view query_text, Sink& sink) {
+Status Store::Query(std::string_view query_text, Sink& sink,
+                    obs::Trace* trace) {
   if (!Has(kQuery)) return UnimplementedCall("Query", kQuery);
   ReadLock lock(*this);
-  return QueryImpl(query_text, sink);
+  return QueryImpl(query_text, sink, trace);
 }
 
 Version Store::version_count() const {
@@ -234,11 +237,48 @@ void Store::CountQuery(const query::EvalResult& result) {
                                         std::memory_order_relaxed);
 }
 
-Status Store::QueryImpl(std::string_view query_text, Sink& sink) {
+namespace {
+
+/// Parse + plan, timed into the trace when one is attached. An
+/// `explain analyze` query with no caller-supplied trace promotes
+/// `analyze_trace` to the active trace — parse ran before the flag was
+/// known, so its span is recorded from the measured interval.
+/// `choose_access` maps the parsed AST to the access strategy (and may
+/// capture side decisions, like the archive backend's index selection).
+template <typename ChooseAccess>
+StatusOr<query::Plan> ParseAndPlanTraced(std::string_view query_text,
+                                         obs::Trace* analyze_trace,
+                                         obs::Trace** trace,
+                                         ChooseAccess&& choose_access) {
+  const uint64_t parse_start = obs::MonotonicMicros();
   XARCH_ASSIGN_OR_RETURN(query::Query ast, query::Parse(query_text));
-  const bool explain = ast.explain;
-  query::Plan plan =
-      query::MakePlan(std::move(ast), query::Access::kGeneric);
+  const uint64_t parse_end = obs::MonotonicMicros();
+  if (ast.analyze && *trace == nullptr) *trace = analyze_trace;
+  if (*trace != nullptr) {
+    (*trace)->AddCompleted("parse", obs::Trace::kNoSpan, parse_start,
+                           parse_end);
+  }
+  const uint64_t plan_start = obs::MonotonicMicros();
+  const query::Access access = choose_access(ast);
+  query::Plan plan = query::MakePlan(std::move(ast), access);
+  if (*trace != nullptr) {
+    (*trace)->AddCompleted("plan", obs::Trace::kNoSpan, plan_start,
+                           obs::MonotonicMicros());
+  }
+  return plan;
+}
+
+}  // namespace
+
+Status Store::QueryImpl(std::string_view query_text, Sink& sink,
+                        obs::Trace* trace) {
+  obs::Trace analyze_trace;
+  XARCH_ASSIGN_OR_RETURN(
+      query::Plan plan,
+      ParseAndPlanTraced(query_text, &analyze_trace, &trace,
+                         [](const query::Query&) {
+                           return query::Access::kGeneric;
+                         }));
   StorePrimitives primitives = Primitives();
   query::EvalOptions eval_options;
   // Range fan-out is safe only for backends whose reads are const: the
@@ -246,12 +286,14 @@ Status Store::QueryImpl(std::string_view query_text, Sink& sink) {
   // drive the read hooks in parallel. (EvaluateOverStore re-checks
   // concurrent_reads() before fanning out.)
   eval_options.pool = &util::ThreadPool::Shared();
+  eval_options.trace = trace;
   query::EvalResult result;
   Status status =
-      explain ? query::ExplainOverStore(plan, primitives, sink, &result,
-                                        eval_options)
-              : query::EvaluateOverStore(plan, primitives, sink, &result,
-                                         eval_options);
+      plan.ast.explain
+          ? query::ExplainOverStore(plan, primitives, sink, &result,
+                                    eval_options)
+          : query::EvaluateOverStore(plan, primitives, sink, &result,
+                                     eval_options);
   CountQuery(result);
   return status;
 }
@@ -330,6 +372,41 @@ StatusOr<core::Archive> ArchiveFromSnapshotXml(std::string_view xml,
   return archive;
 }
 
+// ------------------------------------------------------- ingest metrics
+
+/// Per-backend ingest instruments in the process registry. Stores of the
+/// same backend name share the instruments (the registry dedups on
+/// name+labels), so totals aggregate across instances.
+struct IngestMetrics {
+  obs::Counter* batches;
+  obs::Counter* documents;
+  obs::Counter* merge_passes;
+  obs::Histogram* batch_size;
+
+  void Record(size_t documents_in_batch) const {
+    batches->Increment();
+    documents->Add(documents_in_batch);
+    merge_passes->Increment();
+    batch_size->Record(documents_in_batch);
+  }
+};
+
+IngestMetrics MakeIngestMetrics(const std::string& backend) {
+  obs::Registry& reg = obs::Registry::Default();
+  const std::string labels = "backend=\"" + backend + "\"";
+  IngestMetrics m;
+  m.batches =
+      reg.GetCounter("xarch_ingest_batches_total", labels,
+                     "Ingest calls (Append or AppendBatch) by backend");
+  m.documents = reg.GetCounter("xarch_ingest_documents_total", labels,
+                               "Documents ingested by backend");
+  m.merge_passes = reg.GetCounter("xarch_merge_passes_total", labels,
+                                  "Nested-merge traversals by backend");
+  m.batch_size = reg.GetHistogram("xarch_ingest_batch_size", labels,
+                                  "Documents per ingest call");
+  return m;
+}
+
 // --------------------------------------------------------------- archive
 
 /// The paper's key-based archive (bucket or weave frontier) behind Store.
@@ -339,7 +416,8 @@ class ArchiveStore final : public Store {
                core::ArchiveOptions options, bool use_index)
       : name_(std::move(name)),
         archive_(std::move(spec), options),
-        use_index_(use_index) {
+        use_index_(use_index),
+        ingest_metrics_(MakeIngestMetrics(name_)) {
     // The index over the empty archive, so readers never see a null index
     // while use_index_ is set; every ingest republishes it.
     PublishIndex();
@@ -352,7 +430,8 @@ class ArchiveStore final : public Store {
   ArchiveStore(std::string name, core::Archive archive, bool use_index)
       : name_(std::move(name)),
         archive_(std::move(archive)),
-        use_index_(use_index) {
+        use_index_(use_index),
+        ingest_metrics_(MakeIngestMetrics(name_)) {
     PublishIndex();
   }
 
@@ -367,6 +446,7 @@ class ArchiveStore final : public Store {
     XARCH_ASSIGN_OR_RETURN(xml::NodePtr doc, xml::Parse(xml_text));
     XARCH_RETURN_NOT_OK(archive_.AddVersion(*doc));
     PublishIndex();
+    ingest_metrics_.Record(1);
     return Status::OK();
   }
 
@@ -383,6 +463,7 @@ class ArchiveStore final : public Store {
     }
     XARCH_RETURN_NOT_OK(archive_.AddVersions(roots));  // one merge pass
     PublishIndex();
+    ingest_metrics_.Record(xml_texts.size());
     return Status::OK();
   }
 
@@ -423,29 +504,38 @@ class ArchiveStore final : public Store {
     return core::DescribeChanges(archive_, from, to);
   }
 
-  Status QueryImpl(std::string_view query_text, Sink& sink) override {
-    XARCH_ASSIGN_OR_RETURN(query::Query ast, query::Parse(query_text));
-    const bool explain = ast.explain;
+  Status QueryImpl(std::string_view query_text, Sink& sink,
+                   obs::Trace* trace) override {
     // Diff queries run the change walk and never touch the index. The
     // index itself was published by the last ingest, under the writer
     // lock — the read path only ever dereferences it (the Sec. 7 stale-
     // index hazard is handled at ingest, where it belongs).
-    const index::ArchiveIndex* index =
-        ast.temporal.kind != query::TemporalKind::kDiff ? index_.get()
-                                                        : nullptr;
+    const index::ArchiveIndex* index = nullptr;
+    obs::Trace analyze_trace;
+    XARCH_ASSIGN_OR_RETURN(
+        query::Plan plan,
+        ParseAndPlanTraced(query_text, &analyze_trace, &trace,
+                           [&](const query::Query& ast) {
+                             if (ast.temporal.kind !=
+                                 query::TemporalKind::kDiff) {
+                               index = index_.get();
+                             }
+                             return index != nullptr
+                                        ? query::Access::kArchiveIndexed
+                                        : query::Access::kArchiveScan;
+                           }));
     assert(index == nullptr ||
            index->built_at_generation() == archive_.ingest_generation());
-    query::Plan plan = query::MakePlan(
-        std::move(ast), index != nullptr ? query::Access::kArchiveIndexed
-                                         : query::Access::kArchiveScan);
     query::EvalOptions eval_options;
     eval_options.pool = &util::ThreadPool::Shared();
+    eval_options.trace = trace;
     query::EvalResult result;
     Status status =
-        explain ? query::ExplainArchive(plan, archive_, index, sink, &result,
-                                        eval_options)
-                : query::Evaluate(plan, archive_, index, sink, &result,
-                                  eval_options);
+        plan.ast.explain
+            ? query::ExplainArchive(plan, archive_, index, sink, &result,
+                                    eval_options)
+            : query::Evaluate(plan, archive_, index, sink, &result,
+                              eval_options);
     CountQuery(result);
     return status;
   }
@@ -519,6 +609,7 @@ class ArchiveStore final : public Store {
   std::string name_;
   core::Archive archive_;
   bool use_index_;
+  IngestMetrics ingest_metrics_;
   std::unique_ptr<index::ArchiveIndex> index_;  // published by ingest
 };
 
@@ -756,8 +847,9 @@ class CompressedStore final : public Store {
                                                        Version to) override {
     return inner_->DiffVersions(from, to);
   }
-  Status QueryImpl(std::string_view query_text, Sink& sink) override {
-    return inner_->Query(query_text, sink);
+  Status QueryImpl(std::string_view query_text, Sink& sink,
+                   obs::Trace* trace) override {
+    return inner_->Query(query_text, sink, trace);
   }
   Status CheckpointImpl() override { return inner_->Checkpoint(); }
   Version VersionCountImpl() const override {

@@ -25,6 +25,10 @@ namespace vfs {
 class Vfs;
 }  // namespace vfs
 
+namespace obs {
+class Trace;
+}  // namespace obs
+
 namespace persist {
 class SnapshotWriter;
 }  // namespace persist
@@ -261,7 +265,13 @@ class Store {
   /// output in version order, so the bytes are identical to a serial run.
   /// Per-query probe counters accumulate into Stats(). Safe to call from
   /// many threads at once.
-  Status Query(std::string_view query_text, Sink& sink);
+  ///
+  /// With a non-null `trace`, the evaluation records nested spans (parse →
+  /// plan → eval → per-version scans) into it and runs serially so the
+  /// span order is deterministic; `explain analyze <query>` does the same
+  /// internally and appends the rendered tree to the report.
+  Status Query(std::string_view query_text, Sink& sink,
+               obs::Trace* trace = nullptr);
 
   // ------------------------------------------------- persistence (durable)
 
@@ -323,7 +333,8 @@ class Store {
       const std::vector<core::KeyStep>& path);
   virtual StatusOr<std::vector<core::Change>> DiffVersionsImpl(Version from,
                                                                Version to);
-  virtual Status QueryImpl(std::string_view query_text, Sink& sink);
+  virtual Status QueryImpl(std::string_view query_text, Sink& sink,
+                           obs::Trace* trace);
   virtual Version VersionCountImpl() const = 0;
   virtual std::string StoredBytesImpl() const = 0;
 
