@@ -9,14 +9,25 @@
 // read path that mutates I/O counters. A mixed section runs one ingest
 // writer against query readers to show writers still make progress.
 //
-// `--smoke` shrinks the workload for CI; `--json out.json` records rows.
-// Thread counts beyond std::thread::hardware_concurrency() cannot speed
-// anything up (the scaling targets assume >= 4 cores, as on CI runners);
-// the hardware figure is printed and recorded with every row.
+// A sharded section sweeps the "sharded" backend over K=1/2/4/8 key-range
+// shards (docs/SHARDING.md) × the same thread counts: bulk-ingest wall
+// time (the per-shard merge passes fan out on a thread pool) and read
+// throughput (scatter/gather point+range, routed point). On a 1-CPU
+// machine both are expected flat — the JSON records
+// hardware_concurrency with every row so readers can tell flat-by-design
+// from flat-by-hardware.
+//
+// `--smoke` shrinks the workload for CI; `--json out.json` records rows;
+// `--shards K` restricts the sharded sweep to a single shard count (the
+// TSan smoke uses `--smoke --shards 4`). Thread counts beyond
+// std::thread::hardware_concurrency() cannot speed anything up (the
+// scaling targets assume >= 4 cores, as on CI runners); the hardware
+// figure is printed and recorded with every row.
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -37,11 +48,17 @@ struct Config {
   int versions = 24;
   int ops_per_thread = 64;  // at 1 thread; total ops scale with threads
   std::vector<int> thread_counts = {1, 2, 4, 8};
+  std::vector<int> shard_counts = {1, 2, 4, 8};
 };
 
+/// `shards` > 0 opens the "sharded" backend over K key-range shards of
+/// `backend`; 0 opens `backend` directly. `ingest_seconds`, when given,
+/// receives the bulk-load wall time (one merge pass per shard, fanned
+/// out on the shared thread pool).
 std::unique_ptr<Store> MakeStore(const std::string& backend,
                                  const std::vector<std::string>& versions,
-                                 bool use_index) {
+                                 bool use_index, size_t shards = 0,
+                                 double* ingest_seconds = nullptr) {
   StoreOptions options;
   auto spec = keys::ParseKeySpecSet(synth::XMarkGenerator::KeySpecText());
   if (!spec.ok()) {
@@ -50,19 +67,31 @@ std::unique_ptr<Store> MakeStore(const std::string& backend,
   }
   options.spec = std::move(*spec);
   options.use_index = use_index;
-  auto store = StoreRegistry::Create(backend, std::move(options));
+  std::string name = backend;
+  if (shards > 0) {
+    name = "sharded";
+    options.inner = backend;
+    options.shards = shards;
+  }
+  auto store = StoreRegistry::Create(name, std::move(options));
   if (!store.ok()) {
-    std::fprintf(stderr, "%s: %s\n", backend.c_str(),
+    std::fprintf(stderr, "%s: %s\n", name.c_str(),
                  store.status().ToString().c_str());
     std::exit(1);
   }
   // Batched bulk load: one merge pass and one index publish for the
   // whole corpus (per-version Append would rebuild the index each time).
   std::vector<std::string_view> views(versions.begin(), versions.end());
+  const auto t0 = std::chrono::steady_clock::now();
   if (Status st = (*store)->AppendBatch(views); !st.ok()) {
-    std::fprintf(stderr, "%s ingest: %s\n", backend.c_str(),
+    std::fprintf(stderr, "%s ingest: %s\n", name.c_str(),
                  st.ToString().c_str());
     std::exit(1);
+  }
+  if (ingest_seconds != nullptr) {
+    *ingest_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
   }
   return std::move(store).value();
 }
@@ -140,6 +169,16 @@ MixedResult MeasureMixed(Store& store, const std::vector<std::string>& extra,
   return result;
 }
 
+/// Value of `--flag N`, or `fallback` when absent.
+long IntFlagOr(int argc, char** argv, const char* flag, long fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == flag) {
+      return std::strtol(argv[i + 1], nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -149,6 +188,11 @@ int main(int argc, char** argv) {
     config.versions = 8;
     config.ops_per_thread = 16;
     config.thread_counts = {1, 2, 4};
+    config.shard_counts = {1, 2, 4};
+  }
+  const long shards_flag = IntFlagOr(argc, argv, "--shards", 0);
+  if (shards_flag > 0) {
+    config.shard_counts = {static_cast<int>(shards_flag)};
   }
   bench::JsonReport report("bench_concurrent");
   const unsigned hardware = std::thread::hardware_concurrency();
@@ -219,6 +263,49 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::printf("\n# sharded archive: K key-range shards, parallel ingest + "
+              "scatter/gather reads\n");
+  std::printf("%-10s %-8s %8s %10s %12s %10s\n", "shards", "workload",
+              "threads", "ops", "qps", "speedup");
+  for (int shard_count : config.shard_counts) {
+    double ingest_seconds = 0;
+    auto store = MakeStore("archive", texts, /*use_index=*/true,
+                           static_cast<size_t>(shard_count), &ingest_seconds);
+    std::printf("%-10d %-8s %8s %10d %12.3fs %10s\n", shard_count, "ingest",
+                "-", config.versions, ingest_seconds, "-");
+    report.BeginRow();
+    report.Add("mode", "sharded_ingest");
+    report.Add("shards", shard_count);
+    report.Add("versions", config.versions);
+    report.Add("seconds", ingest_seconds);
+    report.Add("hardware_concurrency", hardware);
+    for (const auto& [workload, queries] : workloads) {
+      RunQuery(*store, queries[0]);  // warm-up
+      double baseline_qps = 0;
+      for (int threads : config.thread_counts) {
+        const size_t total_ops =
+            static_cast<size_t>(config.ops_per_thread) * threads;
+        Throughput reads = MeasureReads(*store, queries, threads, total_ops);
+        if (threads == 1) baseline_qps = reads.qps();
+        const double speedup =
+            baseline_qps > 0 ? reads.qps() / baseline_qps : 0;
+        std::printf("%-10d %-8s %8d %10zu %12.1f %9.2fx\n", shard_count,
+                    workload.c_str(), threads, reads.ops, reads.qps(),
+                    speedup);
+        report.BeginRow();
+        report.Add("mode", "sharded_read");
+        report.Add("shards", shard_count);
+        report.Add("workload", workload);
+        report.Add("threads", threads);
+        report.Add("ops", reads.ops);
+        report.Add("seconds", reads.seconds);
+        report.Add("qps", reads.qps());
+        report.Add("speedup_vs_1", speedup);
+        report.Add("hardware_concurrency", hardware);
+      }
+    }
+  }
+
   std::printf("\n# mixed ingest+query (1 writer, %d extra versions)\n",
               extra_count);
   std::printf("%-10s %8s %10s %12s %14s\n", "backend", "threads", "ops",
@@ -253,8 +340,9 @@ int main(int argc, char** argv) {
 
   std::printf("\nexpected shape: archive and incr-diff read throughput "
               "scales with threads up to the core count (shared-lock "
-              "readers); extmem stays flat (exclusive reads); in the mixed "
-              "section the writer keeps landing versions while readers "
-              "run.\n");
+              "readers); extmem stays flat (exclusive reads); sharded "
+              "ingest time drops as K grows until shards outnumber cores "
+              "(flat on a 1-CPU machine); in the mixed section the writer "
+              "keeps landing versions while readers run.\n");
   return report.Write(bench::JsonPathFromArgs(argc, argv)) ? 0 : 1;
 }

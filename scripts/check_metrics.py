@@ -3,7 +3,12 @@
 live xarchd returned and assert the instrument families that prove each
 seam is wired — query engine, ingest, WAL, VFS, and the server itself.
 
-Usage: check_metrics.py metrics.txt
+Usage: check_metrics.py metrics.txt [--shards K]
+With --shards K the scrape must come from a sharded daemon
+(docs/SHARDING.md): the per-shard families must be present and each must
+carry exactly K distinct shard="..." labels, 0..K-1 — a shard missing
+from its own counter family means its instruments were never wired.
+
 Exits nonzero (with a reason on stderr) on a parse error or a missing
 family; prints a one-line summary on success.
 
@@ -30,6 +35,14 @@ REQUIRED = [
     "xarch_server_query_latency_us", # server-side latency histogram
 ]
 
+# Families a sharded store registers per shard (labeled shard="i"). Each
+# must cover every shard 0..K-1, no more.
+SHARD_FAMILIES = [
+    "xarch_shard_ingest_documents_total",
+    "xarch_shard_scatter_reads_total",
+    "xarch_shard_routed_queries_total",
+]
+
 SAMPLE_RE = re.compile(
     r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"      # metric name
     r"(\{[^{}]*\})?"                     # optional {labels}
@@ -37,13 +50,28 @@ SAMPLE_RE = re.compile(
 )
 LABELS_RE = re.compile(r'^\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
                        r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\}$')
+SHARD_LABEL_RE = re.compile(r'shard="([^"]*)"')
 
 
 def main() -> int:
-    if len(sys.argv) != 2:
-        print("usage: check_metrics.py metrics.txt", file=sys.stderr)
+    args = sys.argv[1:]
+    shards = 0
+    if "--shards" in args:
+        at = args.index("--shards")
+        try:
+            shards = int(args[at + 1])
+        except (IndexError, ValueError):
+            print("check_metrics: --shards needs an integer", file=sys.stderr)
+            return 2
+        del args[at:at + 2]
+        if shards < 1:
+            print("check_metrics: --shards must be >= 1", file=sys.stderr)
+            return 2
+    if len(args) != 1:
+        print("usage: check_metrics.py metrics.txt [--shards K]",
+              file=sys.stderr)
         return 2
-    with open(sys.argv[1], encoding="utf-8") as f:
+    with open(args[0], encoding="utf-8") as f:
         lines = f.read().splitlines()
 
     if not lines:
@@ -51,6 +79,7 @@ def main() -> int:
         return 1
 
     seen = set()
+    shard_labels = {}  # family name -> set of shard label values
     samples = 0
     for n, line in enumerate(lines, 1):
         if not line:
@@ -77,6 +106,10 @@ def main() -> int:
         for suffix in ("_bucket", "_sum", "_count"):
             if name.endswith(suffix):
                 seen.add(name[: -len(suffix)])
+        if labels and name in SHARD_FAMILIES:
+            shard = SHARD_LABEL_RE.search(labels)
+            if shard:
+                shard_labels.setdefault(name, set()).add(shard.group(1))
 
     missing = [r for r in REQUIRED if r not in seen]
     if missing:
@@ -84,8 +117,22 @@ def main() -> int:
               file=sys.stderr)
         return 1
 
+    if shards:
+        expected = {str(i) for i in range(shards)}
+        for family in SHARD_FAMILIES:
+            got = shard_labels.get(family, set())
+            if got != expected:
+                print(f"check_metrics: {family}: shard label cardinality "
+                      f"mismatch — expected shard= values "
+                      f"{sorted(expected, key=int)}, got "
+                      f"{sorted(got, key=int) if got else []}",
+                      file=sys.stderr)
+                return 1
+
+    shard_note = (f", {len(SHARD_FAMILIES)} per-shard families × {shards} "
+                  f"shards" if shards else "")
     print(f"check_metrics: OK — {samples} samples, {len(seen)} series names, "
-          f"all {len(REQUIRED)} required families present")
+          f"all {len(REQUIRED)} required families present{shard_note}")
     return 0
 
 

@@ -191,8 +191,9 @@ StatusOr<LogReplay> ReadIngestLog(vfs::Vfs* vfs, const std::string& path) {
                               std::to_string(pos) + " is undecodable: " +
                               record.status().message());
     }
-    replay.records.push_back(std::move(record).value());
     pos += 8 + body_len;
+    record->end_offset = pos;
+    replay.records.push_back(std::move(record).value());
   }
   replay.valid_bytes = pos;
   return replay;

@@ -13,6 +13,10 @@
 
 namespace xarch::persist {
 
+/// Bytes of the log header (magic "XALG" + u32 format version): the file
+/// offset of the first record, and what a log truncated to empty keeps.
+inline constexpr uint64_t kIngestLogHeaderBytes = 8;
+
 /// When appended log records reach the disk.
 enum class FsyncPolicy {
   /// Never fsync from the writer: the OS flushes when it likes. Fastest;
@@ -38,6 +42,10 @@ struct LogRecord {
   /// idempotent when a crash lands between snapshot write and log truncate.
   Version first_version = 0;
   std::vector<std::string> texts;
+  /// File offset just past this record's frame. Filled by ReadIngestLog
+  /// (0 on records built for appending); recovery that drops a record
+  /// suffix truncates the file to the last kept record's end_offset.
+  uint64_t end_offset = 0;
 };
 
 /// \brief Appender for the crash-safe ingest log. All file traffic goes

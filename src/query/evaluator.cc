@@ -118,10 +118,12 @@ const QueryMetrics& MetricsFor(Access access) {
   static QueryMetrics indexed = MakeQueryMetrics("archive-indexed");
   static QueryMetrics scan = MakeQueryMetrics("archive-scan");
   static QueryMetrics generic = MakeQueryMetrics("store-generic");
+  static QueryMetrics scatter = MakeQueryMetrics("shard-scatter");
   switch (access) {
     case Access::kArchiveIndexed: return indexed;
     case Access::kArchiveScan: return scan;
     case Access::kGeneric: return generic;
+    case Access::kShardScatter: return scatter;
   }
   return generic;
 }

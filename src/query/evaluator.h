@@ -2,6 +2,8 @@
 #define XARCH_QUERY_EVALUATOR_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "core/archive.h"
 #include "index/archive_index.h"
@@ -27,6 +29,15 @@ struct EvalResult {
   size_t bytes_streamed = 0;
   /// Full versions retrieved and parsed (generic-plan history fallback).
   size_t versions_scanned = 0;
+  /// Read probes one shard answered during a scatter/gather evaluation
+  /// (kShardScatter plans; filled by the sharded store, which is the only
+  /// layer that can attribute primitive calls to shards).
+  struct ShardProbe {
+    size_t shard = 0;
+    uint64_t probes = 0;
+  };
+  /// Per-shard probe counts, in shard order; empty for unsharded plans.
+  std::vector<ShardProbe> shards;
 };
 
 /// \brief Execution tuning for one evaluation.

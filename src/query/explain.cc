@@ -43,6 +43,13 @@ std::string FormatExplain(const Plan& plan, const EvalResult& result,
     out += "  versions scanned: " + std::to_string(result.versions_scanned) +
            "\n";
   }
+  if (!result.shards.empty()) {
+    out += "shards:\n";
+    for (const EvalResult::ShardProbe& probe : result.shards) {
+      out += "  shard " + std::to_string(probe.shard) +
+             ": probes=" + std::to_string(probe.probes) + "\n";
+    }
+  }
   if (!eval_status.ok()) {
     out += "result: " + eval_status.ToString() + "\n";
   }

@@ -7,6 +7,7 @@ const char* AccessName(Access access) {
     case Access::kArchiveIndexed: return "archive-indexed";
     case Access::kArchiveScan: return "archive-scan";
     case Access::kGeneric: return "store-generic";
+    case Access::kShardScatter: return "shard-scatter";
   }
   return "?";
 }
@@ -14,7 +15,7 @@ const char* AccessName(Access access) {
 namespace {
 
 std::string StepNote(const Step& step, Access access) {
-  if (access == Access::kGeneric) {
+  if (access == Access::kGeneric || access == Access::kShardScatter) {
     return step.keyed() ? "navigate parsed document, match key paths"
                         : "navigate parsed document, match tag";
   }
@@ -37,6 +38,9 @@ std::string ExecNote(const Temporal& temporal, Access access) {
           return "full-scan subtree stream";
         case Access::kGeneric:
           return "Retrieve() + parse + subtree serialization";
+        case Access::kShardScatter:
+          return "scatter Retrieve() across shards, merge sub-documents "
+                 "in key order";
       }
       break;
     case TemporalKind::kHistory:
@@ -46,6 +50,8 @@ std::string ExecNote(const Temporal& temporal, Access access) {
           return "effective-timestamp read at the matched nodes";
         case Access::kGeneric:
           return "History() when advertised, else per-version full scan";
+        case Access::kShardScatter:
+          return "route History() to candidate shards by key fingerprint";
       }
       break;
     case TemporalKind::kDiff:
@@ -55,6 +61,9 @@ std::string ExecNote(const Temporal& temporal, Access access) {
           return "key-based change walk, filtered to the path";
         case Access::kGeneric:
           return "DiffVersions(), filtered to the path";
+        case Access::kShardScatter:
+          return "scatter DiffVersions(), concatenate per-shard changes "
+                 "in key order";
       }
       break;
   }

@@ -21,6 +21,10 @@ enum class Access {
   /// History / DiffVersions) — the fallback that gives every backend
   /// queries, at full-scan cost.
   kGeneric,
+  /// Interface-level evaluation over a sharded store: every primitive
+  /// call scatters to (or is routed within) the key-range shards and the
+  /// per-shard results merge in key order (xarch/sharded_store.h).
+  kShardScatter,
 };
 
 const char* AccessName(Access access);

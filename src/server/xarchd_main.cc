@@ -3,10 +3,16 @@
 // (docs/PROTOCOL.md).
 //
 //   xarchd --dir /var/lib/xarch [--keys keys.txt] [--backend archive]
-//          [--host 127.0.0.1] [--port 0] [--port-file path]
+//          [--shards N] [--host 127.0.0.1] [--port 0] [--port-file path]
 //          [--threads 8] [--max-inflight 4] [--snapshot-every N]
 //          [--fsync every|never] [--slow-query-us N]
 //          [--metrics-dump-every N]
+//
+// --shards N (default 1) opens the directory in the sharded durable
+// layout (docs/SHARDING.md): N key-range shards, each with its own lock,
+// archive, and WAL, under one store-level version manifest. The shard
+// count is fixed when the directory is created. Results are
+// byte-identical to --shards 1 over the same ingest.
 //
 // --slow-query-us N logs a structured span tree for any query at least
 // N microseconds slow (0 = every query); --metrics-dump-every N writes
@@ -37,6 +43,7 @@
 #include "vfs/stats_vfs.h"
 #include "vfs/vfs.h"
 #include "xarch/durable.h"
+#include "xarch/shard.h"
 
 namespace {
 
@@ -50,7 +57,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: xarchd --dir <path> [--keys keys.txt] [--backend archive]\n"
-      "              [--host 127.0.0.1] [--port 0] [--port-file path]\n"
+      "              [--shards N] [--host 127.0.0.1] [--port 0]\n"
+      "              [--port-file path]\n"
       "              [--threads 8] [--max-inflight 4]\n"
       "              [--snapshot-every N] [--fsync every|never]\n"
       "              [--slow-query-us N] [--metrics-dump-every N]\n");
@@ -91,13 +99,15 @@ int main(int argc, char** argv) {
   const long threads = NumberOr(TakeFlag(&args, "--threads"), 8);
   const long max_inflight = NumberOr(TakeFlag(&args, "--max-inflight"), 4);
   const long snapshot_every = NumberOr(TakeFlag(&args, "--snapshot-every"), 0);
+  const long shards = NumberOr(TakeFlag(&args, "--shards"), 1);
   const std::string fsync = TakeFlag(&args, "--fsync");
   const long slow_query_us = NumberOr(TakeFlag(&args, "--slow-query-us"), -1);
   const long metrics_dump_every =
       NumberOr(TakeFlag(&args, "--metrics-dump-every"), 0);
   if (dir.empty() || !args.empty() || port < 0 || port > 65535 ||
       threads < 1 || max_inflight < 1 || snapshot_every < 0 ||
-      metrics_dump_every < 0 ||
+      metrics_dump_every < 0 || shards < 1 ||
+      shards > static_cast<long>(ShardRouter::kMaxShards) ||
       (!fsync.empty() && fsync != "every" && fsync != "never")) {
     return Usage();
   }
@@ -110,6 +120,7 @@ int main(int argc, char** argv) {
   durable.backend = backend;
   durable.vfs = &stats_vfs;
   durable.snapshot_every_records = static_cast<uint64_t>(snapshot_every);
+  durable.shards = static_cast<size_t>(shards);
   if (fsync == "never") durable.fsync = persist::FsyncPolicy::kNever;
   if (!keys_path.empty()) {
     auto spec_text = vfs::Vfs::Posix()->ReadFile(keys_path);
@@ -123,7 +134,7 @@ int main(int argc, char** argv) {
     durable.store.use_index = true;
   }
 
-  auto store = DurableStore::Open(dir, std::move(durable));
+  auto store = OpenDurable(dir, std::move(durable));
   if (!store.ok()) return Fail(store.status());
 
   server::ServerOptions options;
@@ -183,7 +194,7 @@ int main(int argc, char** argv) {
   }
 
   (*served)->Join();  // stop accepting + drain in-flight sessions
-  if (Status st = (*store)->CheckpointIfDirty(); !st.ok()) {
+  if (Status st = CheckpointDurableIfDirty(**store); !st.ok()) {
     // The data is still safe (WAL replay covers it); exit nonzero so the
     // operator knows the clean-stop checkpoint did not land.
     return Fail(st);

@@ -1,10 +1,16 @@
 #include "xarch/durable.h"
 
+#include <cstdio>
+#include <cstring>
 #include <utility>
 
+#include "keys/key_spec.h"
 #include "obs/metrics.h"
 #include "persist/container.h"
+#include "persist/crc32c.h"
+#include "persist/wire.h"
 #include "vfs/vfs.h"
+#include "xarch/sharded_store.h"
 
 namespace xarch {
 
@@ -12,6 +18,7 @@ namespace {
 
 constexpr const char* kSnapshotFile = "snapshot.xar";
 constexpr const char* kLogFile = "ingest.log";
+constexpr const char* kManifestFile = "MANIFEST";
 
 Status ApplyRecord(Store& store, const persist::LogRecord& record) {
   switch (record.type) {
@@ -39,6 +46,245 @@ Status ApplyRecord(Store& store, const persist::LogRecord& record) {
       return store.Has(kCheckpoint) ? store.Checkpoint() : Status::OK();
   }
   return Status::DataLoss("unknown log record type");
+}
+
+// ------------------------------------------------- sharded layout support
+
+/// The store-level version manifest of a sharded durable directory: the
+/// single commit point that makes an ingest atomic across shards, plus
+/// everything needed to rebuild the router before any shard is opened.
+/// Replaced atomically (temp + fsync + rename) on every commit.
+struct ShardManifest {
+  uint32_t shards = 0;
+  Version committed = 0;
+  std::string backend;
+  int fingerprint_bits = 64;
+  bool sort_children = true;
+  std::string spec_text;
+};
+
+constexpr char kManifestMagic[4] = {'X', 'S', 'M', 'F'};
+constexpr uint32_t kManifestFormatVersion = 1;
+
+std::string EncodeManifest(const ShardManifest& manifest) {
+  std::string body;
+  persist::PutU32(kManifestFormatVersion, &body);
+  persist::PutU32(manifest.shards, &body);
+  persist::PutU64(manifest.committed, &body);
+  persist::PutBytes(manifest.backend, &body);
+  persist::PutU32(static_cast<uint32_t>(manifest.fingerprint_bits), &body);
+  persist::PutU8(manifest.sort_children ? 1 : 0, &body);
+  persist::PutBytes(manifest.spec_text, &body);
+  std::string out(kManifestMagic, 4);
+  persist::PutU32(persist::MaskCrc(persist::Crc32c(body)), &out);
+  out += body;
+  return out;
+}
+
+StatusOr<ShardManifest> DecodeManifest(std::string_view bytes) {
+  if (bytes.size() < 8 || std::memcmp(bytes.data(), kManifestMagic, 4) != 0) {
+    return Status::DataLoss("not a shard manifest (bad magic)");
+  }
+  persist::Cursor frame(bytes.substr(4));
+  uint32_t masked = 0;
+  XARCH_RETURN_NOT_OK(frame.ReadU32(&masked));
+  std::string_view body = bytes.substr(8);
+  if (persist::Crc32c(body) != persist::UnmaskCrc(masked)) {
+    return Status::DataLoss("shard manifest checksum mismatch");
+  }
+  persist::Cursor cursor(body);
+  uint32_t format = 0;
+  XARCH_RETURN_NOT_OK(cursor.ReadU32(&format));
+  if (format != kManifestFormatVersion) {
+    return Status::DataLoss("unsupported shard manifest format " +
+                            std::to_string(format));
+  }
+  ShardManifest manifest;
+  uint64_t committed = 0;
+  uint32_t fingerprint_bits = 0;
+  uint8_t sort_children = 0;
+  std::string_view backend, spec_text;
+  XARCH_RETURN_NOT_OK(cursor.ReadU32(&manifest.shards));
+  XARCH_RETURN_NOT_OK(cursor.ReadU64(&committed));
+  XARCH_RETURN_NOT_OK(cursor.ReadBytes(&backend));
+  XARCH_RETURN_NOT_OK(cursor.ReadU32(&fingerprint_bits));
+  XARCH_RETURN_NOT_OK(cursor.ReadU8(&sort_children));
+  XARCH_RETURN_NOT_OK(cursor.ReadBytes(&spec_text));
+  XARCH_RETURN_NOT_OK(cursor.ExpectDone());
+  manifest.committed = static_cast<Version>(committed);
+  manifest.backend = std::string(backend);
+  manifest.fingerprint_bits = static_cast<int>(fingerprint_bits);
+  manifest.sort_children = sort_children != 0;
+  manifest.spec_text = std::string(spec_text);
+  if (manifest.shards < 1 || manifest.shards > ShardRouter::kMaxShards ||
+      manifest.fingerprint_bits < 1 || manifest.fingerprint_bits > 64) {
+    return Status::DataLoss("shard manifest fields out of range");
+  }
+  return manifest;
+}
+
+std::string ShardDirName(size_t shard) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "shard-%03zu", shard);
+  return buf;
+}
+
+std::string SpecToTextLines(const keys::KeySpecSet& spec) {
+  std::string out;
+  for (const auto& key : spec.keys()) {
+    out += key.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+/// Construction/tuning options for one shard's inner store, derived from
+/// the caller's options and the manifest (which is authoritative for the
+/// spec and fingerprint parameters).
+StatusOr<StoreOptions> ShardStoreTuning(const DurableOptions& options,
+                                        const ShardManifest& manifest,
+                                        size_t shard) {
+  StoreOptions out;
+  auto spec = keys::ParseKeySpecSet(manifest.spec_text);
+  if (!spec.ok()) {
+    return Status::DataLoss("shard manifest key specification does not "
+                            "parse: " + spec.status().message());
+  }
+  out.spec = std::move(*spec);
+  out.archive = options.store.archive;
+  out.archive.annotate.fingerprint_bits = manifest.fingerprint_bits;
+  out.archive.annotate.sort_children = manifest.sort_children;
+  out.checkpoint_every = options.store.checkpoint_every;
+  out.extmem = options.store.extmem;
+  if (options.store.extmem.work_dir !=
+      extmem::ExternalArchiver::Options{}.work_dir) {
+    out.extmem.work_dir =
+        options.store.extmem.work_dir + "-shard" + std::to_string(shard);
+  }
+  out.inner = options.store.inner;
+  out.use_index = options.store.use_index;
+  out.shards = 1;
+  return out;
+}
+
+/// The sharded durable layout: dir/MANIFEST plus one complete DurableStore
+/// per shard directory, wired into a ShardedStore whose commit hook writes
+/// the manifest — ingest order per shard is apply → WAL record → (all
+/// shards done) manifest → visible, so the manifest never names a version
+/// any shard lacks a durable record for, and reopen clamps every shard's
+/// replay to the manifest.
+StatusOr<std::unique_ptr<Store>> OpenShardedDurable(const std::string& dir,
+                                                    DurableOptions options) {
+  vfs::Vfs* vfs = options.vfs != nullptr ? options.vfs : vfs::Vfs::Posix();
+  XARCH_RETURN_NOT_OK(vfs->CreateDirs(dir));
+  if (options.backend == "sharded") {
+    return Status::InvalidArgument(
+        "DurableOptions::backend must be the per-shard backend, not "
+        "\"sharded\" (sharding comes from DurableOptions::shards)");
+  }
+  const std::string manifest_path = vfs::Join(dir, kManifestFile);
+  XARCH_ASSIGN_OR_RETURN(bool legacy,
+                         vfs->Exists(vfs::Join(dir, kSnapshotFile)));
+  if (legacy) {
+    return Status::InvalidArgument(
+        dir + " holds an unsharded durable store (snapshot.xar); open it "
+        "with shards=1");
+  }
+
+  ShardManifest manifest;
+  XARCH_ASSIGN_OR_RETURN(bool have_manifest, vfs->Exists(manifest_path));
+  if (have_manifest) {
+    XARCH_ASSIGN_OR_RETURN(std::string bytes, vfs->ReadFile(manifest_path));
+    XARCH_ASSIGN_OR_RETURN(manifest, DecodeManifest(bytes));
+    if (manifest.shards != options.shards) {
+      return Status::InvalidArgument(
+          dir + " is sharded " + std::to_string(manifest.shards) +
+          " ways, not " + std::to_string(options.shards) +
+          " (the shard count is fixed at creation)");
+    }
+    if (manifest.backend != options.backend) {
+      return Status::InvalidArgument(
+          "sharded durable store at " + dir +
+          " was created with backend \"" + manifest.backend + "\", not \"" +
+          options.backend + "\"");
+    }
+  } else {
+    if (options.store.spec.size() == 0) {
+      return Status::InvalidArgument(
+          "first open of a sharded durable store needs StoreOptions::spec "
+          "(top-level keys are the partitioning domain)");
+    }
+    manifest.shards = static_cast<uint32_t>(options.shards);
+    manifest.committed = 0;
+    manifest.backend = options.backend;
+    manifest.fingerprint_bits = options.store.archive.annotate.fingerprint_bits;
+    manifest.sort_children = options.store.archive.annotate.sort_children;
+    manifest.spec_text = SpecToTextLines(options.store.spec);
+    XARCH_RETURN_NOT_OK(vfs::AtomicWriteFile(
+        *vfs, manifest_path, EncodeManifest(manifest), /*sync=*/true));
+  }
+
+  auto router_spec = keys::ParseKeySpecSet(manifest.spec_text);
+  if (!router_spec.ok()) {
+    return Status::DataLoss("shard manifest key specification does not "
+                            "parse: " + router_spec.status().message());
+  }
+  keys::AnnotateOptions annotate;
+  annotate.fingerprint_bits = manifest.fingerprint_bits;
+  annotate.sort_children = manifest.sort_children;
+  XARCH_ASSIGN_OR_RETURN(
+      ShardRouter router,
+      ShardRouter::Make(std::move(*router_spec), manifest.shards, annotate));
+
+  std::vector<std::unique_ptr<Store>> shards;
+  std::vector<DurableStore*> shard_durables;
+  shards.reserve(manifest.shards);
+  shard_durables.reserve(manifest.shards);
+  for (uint32_t s = 0; s < manifest.shards; ++s) {
+    DurableOptions shard_options;
+    shard_options.backend = options.backend;
+    shard_options.vfs = options.vfs;
+    XARCH_ASSIGN_OR_RETURN(shard_options.store,
+                           ShardStoreTuning(options, manifest, s));
+    shard_options.fsync = options.fsync;
+    // Shard snapshots are coordinated by the commit hook below, never by
+    // the per-shard record counter: an autonomous snapshot could capture
+    // a version the manifest has not committed, which recovery could not
+    // then roll back.
+    shard_options.snapshot_every_records = 0;
+    shard_options.replay_limit = manifest.committed;
+    shard_options.bound_replay = true;
+    XARCH_ASSIGN_OR_RETURN(
+        std::unique_ptr<DurableStore> shard,
+        DurableStore::Open(vfs::Join(dir, ShardDirName(s)),
+                           std::move(shard_options)));
+    shard_durables.push_back(shard.get());
+    shards.push_back(std::move(shard));
+  }
+
+  ShardedStoreOptions sharded;
+  const uint64_t snapshot_every = options.snapshot_every_records;
+  sharded.commit = [vfs, manifest_path, manifest, shard_durables,
+                    snapshot_every](Version committed) mutable -> Status {
+    manifest.committed = committed;
+    XARCH_RETURN_NOT_OK(vfs::AtomicWriteFile(
+        *vfs, manifest_path, EncodeManifest(manifest), /*sync=*/true));
+    // With the manifest on disk every shard's WAL tail is committed, so
+    // shard snapshots taken now are manifest-consistent.
+    if (snapshot_every > 0) {
+      for (DurableStore* shard : shard_durables) {
+        if (shard->log_records() >= snapshot_every) {
+          XARCH_RETURN_NOT_OK(shard->CheckpointIfDirty());
+        }
+      }
+    }
+    return Status::OK();
+  };
+  XARCH_ASSIGN_OR_RETURN(
+      std::unique_ptr<ShardedStore> store,
+      ShardedStore::Make(std::move(router), std::move(shards),
+                         manifest.committed, std::move(sharded)));
+  return std::unique_ptr<Store>(std::move(store));
 }
 
 }  // namespace
@@ -84,10 +330,30 @@ StatusOr<std::unique_ptr<DurableStore>> DurableStore::Open(
         StoreRegistry::Create(options.backend, std::move(options.store)));
   }
 
-  // 2. Replay the ingest log over it, dropping any torn tail.
+  // 2. Replay the ingest log over it, dropping any torn tail and (when a
+  // replay limit is set) the record suffix past the commit point.
   XARCH_ASSIGN_OR_RETURN(persist::LogReplay replay,
                          persist::ReadIngestLog(vfs, log_path));
+  size_t kept_records = 0;
+  uint64_t kept_bytes = persist::kIngestLogHeaderBytes;
+  bool clamped = false;
   for (const persist::LogRecord& record : replay.records) {
+    if (options.bound_replay) {
+      // A checkpoint marker carries the version the NEXT ingest would
+      // produce, so the marker sealing the limit itself is kept.
+      const Version past = record.type == persist::LogRecord::kCheckpoint
+                               ? options.replay_limit + 1
+                               : options.replay_limit;
+      if (record.first_version > past) {
+        // Applied to this shard but never committed store-wide (a crash
+        // between shard commits): not acknowledged, so drop it — and the
+        // rest of the log with it, which cannot skip version numbers.
+        clamped = true;
+        break;
+      }
+    }
+    ++kept_records;
+    kept_bytes = record.end_offset;
     if (record.first_version <= inner->version_count()) {
       // Already inside the snapshot (crash before log truncate). This
       // covers checkpoint markers too: a marker at first_version <= count
@@ -112,7 +378,9 @@ StatusOr<std::unique_ptr<DurableStore>> DurableStore::Open(
           " does not re-apply: " + applied.ToString());
     }
   }
-  if (replay.torn_tail) {
+  if (clamped) {
+    XARCH_RETURN_NOT_OK(vfs->Truncate(log_path, kept_bytes));
+  } else if (replay.torn_tail) {
     XARCH_RETURN_NOT_OK(vfs->Truncate(log_path, replay.valid_bytes));
   }
 
@@ -123,7 +391,7 @@ StatusOr<std::unique_ptr<DurableStore>> DurableStore::Open(
   auto store = std::unique_ptr<DurableStore>(new DurableStore(
       std::move(inner), options.backend, vfs, snapshot_path, std::move(log),
       options.snapshot_every_records));
-  store->records_since_snapshot_.store(replay.records.size(),
+  store->records_since_snapshot_.store(kept_records,
                                        std::memory_order_relaxed);
   return store;
 }
@@ -262,9 +530,37 @@ StatusOr<std::string> DurableStore::SnapshotBytesImpl() const {
 
 StatusOr<std::unique_ptr<Store>> OpenDurable(const std::string& dir,
                                              DurableOptions options) {
+  if (options.shards == 0 || options.shards > ShardRouter::kMaxShards) {
+    return Status::InvalidArgument(
+        "DurableOptions::shards must be in 1-" +
+        std::to_string(ShardRouter::kMaxShards) + ", got " +
+        std::to_string(options.shards));
+  }
+  if (options.shards > 1) return OpenShardedDurable(dir, std::move(options));
+  vfs::Vfs* vfs = options.vfs != nullptr ? options.vfs : vfs::Vfs::Posix();
+  XARCH_ASSIGN_OR_RETURN(bool sharded,
+                         vfs->Exists(vfs::Join(dir, kManifestFile)));
+  if (sharded) {
+    return Status::InvalidArgument(
+        dir + " holds a sharded durable store (MANIFEST); open it with its "
+        "shard count");
+  }
   XARCH_ASSIGN_OR_RETURN(std::unique_ptr<DurableStore> store,
                          DurableStore::Open(dir, std::move(options)));
   return std::unique_ptr<Store>(std::move(store));
+}
+
+Status CheckpointDurableIfDirty(Store& store) {
+  if (auto* durable = dynamic_cast<DurableStore*>(&store)) {
+    return durable->CheckpointIfDirty();
+  }
+  if (auto* sharded = dynamic_cast<ShardedStore*>(&store)) {
+    return sharded->WithShardsExclusive([](Store& shard) {
+      auto* durable = dynamic_cast<DurableStore*>(&shard);
+      return durable != nullptr ? durable->CheckpointIfDirty() : Status::OK();
+    });
+  }
+  return Status::OK();
 }
 
 }  // namespace xarch

@@ -30,8 +30,25 @@ struct DurableOptions {
   persist::FsyncPolicy fsync = persist::FsyncPolicy::kEveryRecord;
   /// Automatically write a snapshot and truncate the log after this many
   /// logged records (0 = only on Checkpoint()/CompactNow()). Bounds
-  /// recovery replay time at the cost of periodic snapshot writes.
+  /// recovery replay time at the cost of periodic snapshot writes. For a
+  /// sharded open this is the per-shard threshold, checked at the commit
+  /// point (snapshots stay manifest-consistent).
   uint64_t snapshot_every_records = 0;
+  /// Open the directory as a key-space-sharded store: K per-shard
+  /// WAL+snapshot subdirectories (shard-000/..) coordinated by a
+  /// store-level version MANIFEST that makes ingest atomic across shards
+  /// (docs/SHARDING.md). 1 = the classic single-WAL layout; the two
+  /// layouts are distinct on disk and refuse to open as each other.
+  size_t shards = 1;
+  /// Recovery bound, enforced when `bound_replay` is true: drop (and
+  /// physically truncate) log records that would take the store past this
+  /// many versions. The sharded open path sets it to the manifest's
+  /// commit point so a crash between shard commits never exposes a
+  /// half-applied version — a limit of 0 is a real bound there (crash
+  /// during the very first batch drops everything).
+  Version replay_limit = 0;
+  /// Enforce `replay_limit`; false = replay the whole intact log.
+  bool bound_replay = false;
 };
 
 /// \brief A Store wrapper that makes any snapshot-capable backend durable:
@@ -121,10 +138,20 @@ class DurableStore final : public Store {
   std::atomic<uint64_t> records_since_snapshot_{0};
 };
 
-/// Opens a durable store rooted at directory `dir` (created when absent):
-/// `Store`-typed convenience over DurableStore::Open.
+/// Opens a durable store rooted at directory `dir` (created when absent).
+/// With DurableOptions::shards == 1, a `Store`-typed convenience over
+/// DurableStore::Open; with shards > 1, the sharded layout — a version
+/// MANIFEST plus one DurableStore per shard directory, wired into a
+/// ShardedStore whose commit hook writes the manifest before any batch
+/// becomes visible or any shard snapshot can absorb it.
 StatusOr<std::unique_ptr<Store>> OpenDurable(const std::string& dir,
                                              DurableOptions options = {});
+
+/// Checkpoints `store` if (and only if) it has WAL records no snapshot has
+/// absorbed: DurableStore::CheckpointIfDirty through either layout —
+/// sharded stores checkpoint every dirty shard at a manifest-consistent
+/// point. A no-op for stores the durable layer does not manage.
+Status CheckpointDurableIfDirty(Store& store);
 
 }  // namespace xarch
 

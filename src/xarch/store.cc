@@ -25,6 +25,7 @@
 #include "util/thread_pool.h"
 #include "vfs/vfs.h"
 #include "xarch/checkpoint.h"
+#include "xarch/sharded_store.h"
 #include "xarch/store_registry.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
@@ -82,19 +83,19 @@ bool StorePrimitives::concurrent_reads() const {
 // ---------------------------------------------- Store public API (locked)
 
 Status Store::Append(std::string_view xml_text) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  IngestLock lock(*this);
   return AppendImpl(xml_text);
 }
 
 Status Store::AppendBatch(const std::vector<std::string_view>& xml_texts) {
   if (!Has(kBatchIngest)) return UnimplementedCall("AppendBatch", kBatchIngest);
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  IngestLock lock(*this);
   return AppendBatchImpl(xml_texts);
 }
 
 Status Store::Checkpoint() {
   if (!Has(kCheckpoint)) return UnimplementedCall("Checkpoint", kCheckpoint);
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  IngestLock lock(*this);
   return CheckpointImpl();
 }
 
@@ -1303,6 +1304,7 @@ void RegisterBuiltinStores(StoreRegistry& registry) {
         return CheckpointDiffStore::Restore(snapshot);
       },
   }));
+  RegisterShardedStore(registry);
 }
 
 }  // namespace detail

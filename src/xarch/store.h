@@ -130,6 +130,10 @@ struct StoreOptions {
   /// index build per Append but only one per AppendBatch, so bulk-load
   /// indexed stores through AppendBatch.
   bool use_index = false;
+  /// Shard count for the "sharded" backend (ignored by every other
+  /// backend): the key space is range-partitioned into this many
+  /// independent inner stores (xarch/shard.h).
+  size_t shards = 4;
 };
 
 class Store;
@@ -319,6 +323,13 @@ class Store {
   /// Declared once per backend; kConcurrent unless reads mutate state.
   virtual ReadSafety read_safety() const { return ReadSafety::kConcurrent; }
 
+  /// Backends that delegate writer exclusion to inner stores (the sharded
+  /// store: each shard has its own lock) return true, and their ingest
+  /// hooks run under the SHARED outer lock — so readers of other shards
+  /// stay live while one shard ingests. Such a backend must serialize its
+  /// own writers and publish version counts atomically.
+  virtual bool delegated_ingest() const { return false; }
+
   // ------------------------------------------ implementation hooks
   // Invoked under the store lock (exclusive for ingest and for
   // kExclusive backends, shared otherwise). Must not re-enter this
@@ -376,6 +387,23 @@ class Store {
    public:
     explicit ReadLock(const Store& store) {
       if (store.read_safety() == ReadSafety::kConcurrent) {
+        shared_ = std::shared_lock<std::shared_mutex>(store.mu_);
+      } else {
+        exclusive_ = std::unique_lock<std::shared_mutex>(store.mu_);
+      }
+    }
+
+   private:
+    std::shared_lock<std::shared_mutex> shared_;
+    std::unique_lock<std::shared_mutex> exclusive_;
+  };
+
+  /// RAII ingest lock: exclusive normally, shared for delegated-ingest
+  /// backends (whose writer exclusion lives in their inner stores).
+  class IngestLock {
+   public:
+    explicit IngestLock(const Store& store) {
+      if (store.delegated_ingest()) {
         shared_ = std::shared_lock<std::shared_mutex>(store.mu_);
       } else {
         exclusive_ = std::unique_lock<std::shared_mutex>(store.mu_);

@@ -355,5 +355,168 @@ TEST(SaveToFileFaultTest, FailedSaveNeverDisturbsThePreviousSnapshot) {
   }
 }
 
+// ---------------------------------------------------- sharded durability
+//
+// The sharded layout (docs/SHARDING.md) spreads one logical WAL across K
+// per-shard WALs under a store-level version MANIFEST. The invariants are
+// the single-WAL ones lifted to the store level: the manifest's commit
+// point decides visibility, so a crash between shard commits (some shard
+// WALs hold a version the manifest does not) must hide the partial
+// version, and every ACKNOWLEDGED ingest must survive every reopen.
+
+DurableOptions ShardedOpts(vfs::Vfs* vfs, size_t shards) {
+  DurableOptions options = Opts(vfs);
+  options.shards = shards;
+  return options;
+}
+
+TEST(ShardedDurableFaultTest, OpenIngestReopenMatchesTheSingleWalLayout) {
+  vfs::MemVfs mem;
+  {
+    auto store = OpenDurable("s", ShardedOpts(&mem, 2));
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    for (int i = 1; i <= 5; ++i) ASSERT_TRUE((*store)->Append(Doc(i)).ok());
+  }
+  auto reopened = OpenDurable("s", ShardedOpts(&mem, 2));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ASSERT_EQ((*reopened)->version_count(), 5u);
+
+  vfs::MemVfs plain_mem;
+  auto plain = OpenDurable("p", Opts(&plain_mem));
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  for (int i = 1; i <= 5; ++i) ASSERT_TRUE((*plain)->Append(Doc(i)).ok());
+  for (Version v = 1; v <= 5; ++v) {
+    EXPECT_EQ(*(*reopened)->Retrieve(v), *(*plain)->Retrieve(v)) << "v" << v;
+  }
+}
+
+TEST(ShardedDurableFaultTest, ManifestCommitFailureHidesTheBatch) {
+  vfs::MemVfs mem;
+  FaultVfs fault(&mem);
+  {
+    auto store = OpenDurable("s", ShardedOpts(&fault, 2));
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ASSERT_TRUE((*store)->Append(Doc(1)).ok());
+
+    // Kill the manifest publish (its atomic rename): every shard WAL has
+    // already logged version 2, but the batch was never acknowledged.
+    fault.FailNth(Op::kRename, 1);
+    EXPECT_FALSE((*store)->Append(Doc(2)).ok());
+    EXPECT_EQ((*store)->version_count(), 1u);
+    EXPECT_EQ(fault.faults_injected(), 1u);
+
+    // The shards are now unaligned with the manifest: further ingest is
+    // refused (poisoned) until a reopen realigns them.
+    EXPECT_FALSE((*store)->Append(Doc(3)).ok());
+  }  // crash
+
+  auto reopened = OpenDurable("s", ShardedOpts(&mem, 2));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->version_count(), 1u);  // the manifest hides v2
+  EXPECT_TRUE((*reopened)->Retrieve(1).ok());
+  EXPECT_FALSE((*reopened)->Retrieve(2).ok());
+
+  // The clamped WALs accept new versions, and they stick.
+  ASSERT_TRUE((*reopened)->Append(Doc(2)).ok());
+  auto again = OpenDurable("s", ShardedOpts(&mem, 2));
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ((*again)->version_count(), 2u);
+  EXPECT_TRUE((*again)->Retrieve(2).ok());
+}
+
+TEST(ShardedDurableFaultTest, TornTailOnOneShardIsTruncatedAway) {
+  vfs::MemVfs mem;
+  {
+    auto store = OpenDurable("s", ShardedOpts(&mem, 2));
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    for (int i = 1; i <= 3; ++i) ASSERT_TRUE((*store)->Append(Doc(i)).ok());
+  }
+  // A crash mid-write leaves half a record at the tail of ONE shard's WAL;
+  // the other shard is intact.
+  auto file =
+      mem.OpenWritable("s/shard-000/ingest.log", vfs::WriteMode::kAppend);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append(std::string("\x13\x37 torn", 7)).ok());
+  ASSERT_TRUE((*file)->Close().ok());
+
+  auto reopened = OpenDurable("s", ShardedOpts(&mem, 2));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->version_count(), 3u);
+  for (Version v = 1; v <= 3; ++v) {
+    auto got = (*reopened)->Retrieve(v);
+    ASSERT_TRUE(got.ok()) << "v" << v << ": " << got.status().ToString();
+    EXPECT_FALSE(got->empty());
+  }
+  // The truncated shard WAL keeps accepting records.
+  ASSERT_TRUE((*reopened)->Append(Doc(4)).ok());
+  auto again = OpenDurable("s", ShardedOpts(&mem, 2));
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ((*again)->version_count(), 4u);
+}
+
+// The single-WAL write sweep, lifted to the sharded layout: fail every
+// possible Nth write (clean and torn) across directory creation, the
+// per-shard WAL appends, and the manifest publishes. Whatever dies, a
+// reopen over the healthy base must recover exactly the acknowledged
+// versions and keep accepting ingest.
+TEST(ShardedDurableFaultTest, EveryNthWriteFailsAndRecovers) {
+  const int kDocs = 3;
+
+  uint64_t total_writes = 0;
+  {
+    vfs::MemVfs mem;
+    FaultVfs fault(&mem);
+    auto store = OpenDurable("s", ShardedOpts(&fault, 2));
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    for (int i = 1; i <= kDocs; ++i) {
+      ASSERT_TRUE((*store)->Append(Doc(i)).ok());
+    }
+    total_writes = fault.Count(Op::kWrite);
+  }
+  ASSERT_GE(total_writes, static_cast<uint64_t>(kDocs));
+
+  for (uint64_t n = 1; n <= total_writes; ++n) {
+    for (size_t prefix : {size_t{0}, size_t{3}}) {
+      SCOPED_TRACE("write #" + std::to_string(n) + " prefix " +
+                   std::to_string(prefix));
+      vfs::MemVfs mem;
+      FaultVfs fault(&mem);
+      fault.FailNth(Op::kWrite, n, prefix);
+
+      uint32_t acked = 0;
+      bool saw_failure = false;
+      {
+        auto store = OpenDurable("s", ShardedOpts(&fault, 2));
+        if (!store.ok()) {
+          saw_failure = true;  // creation died (manifest or a WAL header)
+        } else {
+          for (int i = 1; i <= kDocs; ++i) {
+            if (!(*store)->Append(Doc(i)).ok()) {
+              saw_failure = true;
+              break;
+            }
+            ++acked;
+          }
+        }
+      }  // crash: drop the store, only the base files remain
+      EXPECT_TRUE(saw_failure);
+      EXPECT_EQ(fault.faults_injected(), 1u);
+
+      auto reopened = OpenDurable("s", ShardedOpts(&mem, 2));
+      ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+      ASSERT_EQ((*reopened)->version_count(), acked);
+      for (Version v = 1; v <= acked; ++v) {
+        auto got = (*reopened)->Retrieve(v);
+        ASSERT_TRUE(got.ok()) << "v" << v << ": " << got.status().ToString();
+        EXPECT_FALSE(got->empty());
+      }
+      ASSERT_TRUE((*reopened)->Append(Doc(kDocs + 1)).ok());
+      auto again = OpenDurable("s", ShardedOpts(&mem, 2));
+      ASSERT_TRUE(again.ok()) << again.status().ToString();
+      EXPECT_EQ((*again)->version_count(), acked + 1u);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace xarch

@@ -112,7 +112,8 @@ TEST(StoreRegistryTest, ResolvesEveryDocumentedBackend) {
   const std::vector<std::string> expected = {
       "archive",   "archive-weave",      "incr-diff",
       "cum-diff",  "full-copy",          "extmem",
-      "compressed", "checkpoint-archive", "checkpoint-diff"};
+      "compressed", "checkpoint-archive", "checkpoint-diff",
+      "sharded"};
   for (const std::string& name : expected) {
     ASSERT_NE(StoreRegistry::Global().Find(name), nullptr) << name;
     auto store = StoreRegistry::Create(name, OptionsWithSpec());
