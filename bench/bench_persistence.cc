@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "compress/lzss.h"
 #include "json_report.h"
 #include "synth/xmark.h"
 #include "vfs/mem_vfs.h"
@@ -175,6 +176,56 @@ void RunBackend(const std::string& backend,
     }
     auto t4 = std::chrono::steady_clock::now();
 
+    // Cold-open shootout (archive family only — the backends that honor
+    // StoreOptions::snapshot_format): the same store saved as legacy XAR1
+    // and as XAR2, each cold-opened from a real file, plus the first
+    // query answered after the open. The XAR1 open re-parses the archive
+    // text whichever VFS reads it; the XAR2 mmap open is O(mmap +
+    // CRC verify) and the first query navigates the mapped bytes.
+    const bool archive_family =
+        backend == "archive" || backend == "archive-weave";
+    double open_parse_s = 0, open_xar1_mmap_s = 0, open_xar2_mmap_s = 0;
+    double fq_parse_s = 0, fq_xar1_mmap_s = 0, fq_xar2_mmap_s = 0;
+    if (archive_family) {
+      StoreOptions xar1_options;
+      xar1_options.spec = MustSpec();
+      xar1_options.snapshot_format = 1;
+      auto xar1_store = StoreRegistry::Create(backend,
+                                              std::move(xar1_options));
+      Die(xar1_store.status(), "create xar1");
+      Die((*xar1_store)->AppendBatch(views), "ingest xar1");
+      const std::string xar1_path =
+          (std::filesystem::path(dir.path) / "store_v1.xar").string();
+      Die((*xar1_store)->SaveToFile(xar1_path), "save xar1");
+
+      const std::string first_query = "/site @ version " + std::to_string(n);
+      std::string parse_out, xar1_out, xar2_out;
+      auto cold_open = [&](const std::string& path, vfs::Vfs* vfs,
+                           double* open_s, double* query_s,
+                           std::string* out) {
+        auto c0 = std::chrono::steady_clock::now();
+        auto opened = StoreRegistry::Open(path, {}, vfs);
+        auto c1 = std::chrono::steady_clock::now();
+        Die(opened.status(), "cold open");
+        StringSink sink;
+        Die((*opened)->Query(first_query, sink), "first query");
+        auto c2 = std::chrono::steady_clock::now();
+        *open_s = Seconds(c0, c1);
+        *query_s = Seconds(c1, c2);
+        *out = std::move(sink).Take();
+      };
+      cold_open(xar1_path, vfs::Vfs::Posix(), &open_parse_s, &fq_parse_s,
+                &parse_out);
+      cold_open(xar1_path, vfs::Vfs::Mmap(), &open_xar1_mmap_s,
+                &fq_xar1_mmap_s, &xar1_out);
+      cold_open(disk_path, vfs::Vfs::Mmap(), &open_xar2_mmap_s,
+                &fq_xar2_mmap_s, &xar2_out);
+      if (parse_out != xar1_out || parse_out != xar2_out) {
+        std::fprintf(stderr, "cold-open query outputs disagree\n");
+        std::exit(1);
+      }
+    }
+
     const uint64_t snapshot_bytes = *mem.FileSize(mem_path);
     const double save_s = Seconds(t0, t1);
     const double open_s = Seconds(t1, t2);
@@ -187,6 +238,14 @@ void RunBackend(const std::string& backend,
                 "", n, static_cast<unsigned long long>(snapshot_bytes),
                 save_s * 1e3, open_s * 1e3, open_buf_s * 1e3,
                 open_mmap_s * 1e3, save_mbps, replay_s * 1e3);
+    if (archive_family) {
+      std::printf(
+          "%-14s %8s  cold-open: parse %.2f ms | xar1-mmap %.2f ms | "
+          "xar2-mmap %.2f ms   first-query: %.2f | %.2f | %.2f ms\n",
+          "", "", open_parse_s * 1e3, open_xar1_mmap_s * 1e3,
+          open_xar2_mmap_s * 1e3, fq_parse_s * 1e3, fq_xar1_mmap_s * 1e3,
+          fq_xar2_mmap_s * 1e3);
+    }
     if (report != nullptr) {
       report->BeginRow();
       report->Add("backend", backend);
@@ -199,6 +258,14 @@ void RunBackend(const std::string& backend,
       report->Add("open_mmap_ms", open_mmap_s * 1e3);
       report->Add("save_mb_per_s", save_mbps);
       report->Add("log_replay_ms", replay_s * 1e3);
+      if (archive_family) {
+        report->Add("open_parse_ms", open_parse_s * 1e3);
+        report->Add("open_xar1_mmap_ms", open_xar1_mmap_s * 1e3);
+        report->Add("open_xar2_mmap_ms", open_xar2_mmap_s * 1e3);
+        report->Add("first_query_parse_ms", fq_parse_s * 1e3);
+        report->Add("first_query_xar1_mmap_ms", fq_xar1_mmap_s * 1e3);
+        report->Add("first_query_xar2_mmap_ms", fq_xar2_mmap_s * 1e3);
+      }
     }
   }
   std::printf("\n");
@@ -234,6 +301,32 @@ int main(int argc, char** argv) {
                                      "full-copy", "compressed", "extmem"};
   for (const std::string& backend : backends) {
     RunBackend(backend, versions, config, &report);
+  }
+
+  // Compression throughput of the LZSS match-finder over the bench's own
+  // XML corpus — the knob the snapshot save path spends most of its time
+  // in. Recorded so match-finder changes show up as a delta in this JSON.
+  {
+    std::string corpus;
+    for (const std::string& v : versions) corpus += v;
+    const int reps = config.smoke ? 2 : 8;
+    size_t compressed_bytes = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i) {
+      compressed_bytes = compress::LzssCompress(corpus).size();
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    const double sec = Seconds(t0, t1) / reps;
+    const double mbps =
+        sec > 0 ? static_cast<double>(corpus.size()) / sec / 1e6 : 0;
+    std::printf("%-14s %12zu in B %10zu out B %12.1f MB/s\n", "lzss-compress",
+                corpus.size(), compressed_bytes, mbps);
+    report.BeginRow();
+    report.Add("backend", "lzss-compress");
+    report.Add("input_bytes", static_cast<unsigned long long>(corpus.size()));
+    report.Add("compressed_bytes",
+               static_cast<unsigned long long>(compressed_bytes));
+    report.Add("compress_mb_per_s", mbps);
   }
   if (!report.Write(config.json_path)) return 1;
   return 0;

@@ -98,7 +98,33 @@ std::string LzssCompress(std::string_view data) {
              pos - static_cast<size_t>(cand) <= kWindowSize) {
         const uint8_t* a = src + cand;
         const uint8_t* b = src + pos;
+        // Only a match longer than best_len can improve the token, and
+        // such a match must agree at offset best_len — one byte rules out
+        // most chain entries without running the compare loop. (best_len
+        // stays < limit inside the walk: reaching limit breaks out below,
+        // so both reads are in bounds.)
+        if (best_len > 0 && a[best_len] != b[best_len]) {
+          cand = prev[cand];
+          ++chain;
+          continue;
+        }
         size_t len = 0;
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+        // Word-at-a-time compare: XOR + count-trailing-zeros locates the
+        // first differing byte eight bytes per step, with the same result
+        // as the byte loop (so the emitted stream is unchanged).
+        while (len + 8 <= limit) {
+          uint64_t wa, wb;
+          std::memcpy(&wa, a + len, 8);
+          std::memcpy(&wb, b + len, 8);
+          const uint64_t diff = wa ^ wb;
+          if (diff != 0) {
+            len += static_cast<size_t>(__builtin_ctzll(diff)) / 8;
+            break;
+          }
+          len += 8;
+        }
+#endif
         while (len < limit && a[len] == b[len]) ++len;
         if (len > best_len) {
           best_len = len;

@@ -4,8 +4,11 @@ namespace xarch::core {
 
 namespace {
 
-bool BucketActiveAt(const ArchiveNode::Bucket& bucket, Version v) {
-  return !bucket.stamp.has_value() || bucket.stamp->Contains(v);
+/// Node-only heap view for the ArchiveNode entry point (never asked for
+/// Root/version_count, so it needs no archive).
+const HeapArchiveView& NodeOnlyHeapView() {
+  static const HeapArchiveView view;
+  return view;
 }
 
 }  // namespace
@@ -42,10 +45,12 @@ void ScanCursor::Newline() {
   if (options_.pretty) buffer_ += '\n';
 }
 
-void ScanCursor::OpenTag(const ArchiveNode& node) {
+void ScanCursor::OpenTag(const ArchiveView& view, ArchiveView::NodeId node) {
   buffer_ += '<';
-  buffer_ += node.label.tag;
-  for (const auto& [name, value] : node.attrs) {
+  buffer_ += view.Tag(node);
+  const size_t attr_count = view.AttrCount(node);
+  for (size_t i = 0; i < attr_count; ++i) {
+    const auto [name, value] = view.Attr(node, i);
     buffer_ += ' ';
     buffer_ += name;
     buffer_ += "=\"";
@@ -54,21 +59,28 @@ void ScanCursor::OpenTag(const ArchiveNode& node) {
   }
 }
 
-void ScanCursor::CloseTag(const ArchiveNode& node) {
+void ScanCursor::CloseTag(const ArchiveView& view, ArchiveView::NodeId node) {
   buffer_ += "</";
-  buffer_ += node.label.tag;
+  buffer_ += view.Tag(node);
   buffer_ += '>';
 }
 
-Status ScanCursor::Scan(const ArchiveNode& node, Version v, int depth) {
+Status ScanCursor::Scan(const ArchiveView& view, ArchiveView::NodeId node,
+                        Version v, int depth) {
   Indent(depth);
-  OpenTag(node);
-  if (node.is_frontier) return WriteFrontier(node, v, depth);
-  return WriteInner(node, v, depth);
+  OpenTag(view, node);
+  if (view.IsFrontier(node)) return WriteFrontier(view, node, v, depth);
+  return WriteInner(view, node, v, depth);
 }
 
-Status ScanCursor::WriteInner(const ArchiveNode& node, Version v, int depth) {
-  if (stats_ != nullptr) stats_->naive_probes += node.children.size();
+Status ScanCursor::Scan(const ArchiveNode& node, Version v, int depth) {
+  return Scan(NodeOnlyHeapView(), HeapArchiveView::Id(node), v, depth);
+}
+
+Status ScanCursor::WriteInner(const ArchiveView& view,
+                              ArchiveView::NodeId node, Version v, int depth) {
+  const size_t child_count = view.ChildCount(node);
+  if (stats_ != nullptr) stats_->naive_probes += child_count;
   // The relevant children: timestamp-tree pruned when a selector is
   // installed, per-child timestamp checks otherwise.
   std::vector<size_t> relevant;
@@ -79,23 +91,24 @@ Status ScanCursor::WriteInner(const ArchiveNode& node, Version v, int depth) {
     if (stats_ != nullptr) stats_->tree_probes += probes;
   }
   bool any = false;
-  auto write_child = [&](const ArchiveNode& child) -> Status {
+  auto write_child = [&](ArchiveView::NodeId child) -> Status {
     if (!any) {
       buffer_ += '>';
       Newline();
       any = true;
     }
-    XARCH_RETURN_NOT_OK(Scan(child, v, depth + 1));
+    XARCH_RETURN_NOT_OK(Scan(view, child, v, depth + 1));
     return MaybeFlush();
   };
   if (pruned) {
     for (size_t child_index : relevant) {
-      XARCH_RETURN_NOT_OK(write_child(*node.children[child_index]));
+      XARCH_RETURN_NOT_OK(write_child(view.Child(node, child_index)));
     }
   } else {
-    for (const auto& child : node.children) {
-      if (child->stamp.has_value() && !child->stamp->Contains(v)) continue;
-      XARCH_RETURN_NOT_OK(write_child(*child));
+    for (size_t i = 0; i < child_count; ++i) {
+      const ArchiveView::NodeId child = view.Child(node, i);
+      if (view.HasStamp(child) && !view.StampContains(child, v)) continue;
+      XARCH_RETURN_NOT_OK(write_child(child));
     }
   }
   if (!any) {
@@ -104,21 +117,24 @@ Status ScanCursor::WriteInner(const ArchiveNode& node, Version v, int depth) {
     return Status::OK();
   }
   Indent(depth);
-  CloseTag(node);
+  CloseTag(view, node);
   Newline();
   return Status::OK();
 }
 
-Status ScanCursor::WriteFrontier(const ArchiveNode& node, Version v,
+Status ScanCursor::WriteFrontier(const ArchiveView& view,
+                                 ArchiveView::NodeId node, Version v,
                                  int depth) {
   // The version's content: all active buckets concatenated (one
   // alternative in bucket mode, the active woven segments in weave mode).
+  const size_t bucket_count = view.BucketCount(node);
   bool empty = true, text_only = true;
-  for (const auto& bucket : node.buckets) {
-    if (!BucketActiveAt(bucket, v)) continue;
-    for (const auto& n : bucket.content) {
+  for (size_t b = 0; b < bucket_count; ++b) {
+    if (!view.BucketActiveAt(node, b, v)) continue;
+    const size_t content_count = view.BucketContentCount(node, b);
+    for (size_t i = 0; i < content_count; ++i) {
       empty = false;
-      if (!n->is_text()) text_only = false;
+      if (!view.BucketContentIsText(node, b, i)) text_only = false;
     }
   }
   if (empty) {
@@ -129,26 +145,28 @@ Status ScanCursor::WriteFrontier(const ArchiveNode& node, Version v,
   buffer_ += '>';
   if (options_.pretty && text_only) {
     // Text-only elements stay on one line (element-aligned diffs, Sec. 5).
-    for (const auto& bucket : node.buckets) {
-      if (!BucketActiveAt(bucket, v)) continue;
-      for (const auto& n : bucket.content) {
-        buffer_ += xml::EscapeText(n->text());
+    for (size_t b = 0; b < bucket_count; ++b) {
+      if (!view.BucketActiveAt(node, b, v)) continue;
+      const size_t content_count = view.BucketContentCount(node, b);
+      for (size_t i = 0; i < content_count; ++i) {
+        buffer_ += xml::EscapeText(view.BucketContentText(node, b, i));
       }
     }
-    CloseTag(node);
+    CloseTag(view, node);
     Newline();
     return Status::OK();
   }
   Newline();
-  for (const auto& bucket : node.buckets) {
-    if (!BucketActiveAt(bucket, v)) continue;
-    for (const auto& n : bucket.content) {
-      xml::SerializeAppend(*n, options_, depth + 1, &buffer_);
+  for (size_t b = 0; b < bucket_count; ++b) {
+    if (!view.BucketActiveAt(node, b, v)) continue;
+    const size_t content_count = view.BucketContentCount(node, b);
+    for (size_t i = 0; i < content_count; ++i) {
+      view.AppendBucketContent(node, b, i, options_, depth + 1, &buffer_);
       XARCH_RETURN_NOT_OK(MaybeFlush());
     }
   }
   Indent(depth);
-  CloseTag(node);
+  CloseTag(view, node);
   Newline();
   return Status::OK();
 }

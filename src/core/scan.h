@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/archive.h"
+#include "core/tree_view.h"
 #include "util/status.h"
 #include "xml/serializer.h"
 
@@ -31,9 +32,10 @@ using ScanEmit = std::function<Status(std::string_view chunk)>;
 /// children active at version v (in child order) and returns true, or
 /// returns false to make the cursor fall back to scanning all children
 /// with per-child timestamp checks. `*probes` receives the number of nodes
-/// the hook inspected.
+/// the hook inspected. The node comes as the view's NodeId, so one hook
+/// shape serves both heap and mapped scans.
 using ChildSelector = std::function<bool(
-    const ArchiveNode& node, Version v, std::vector<size_t>* relevant,
+    ArchiveView::NodeId node, Version v, std::vector<size_t>* relevant,
     size_t* probes)>;
 
 /// \brief Streaming scan of archive subtrees at one version: the Sec. 7.1
@@ -42,9 +44,11 @@ using ChildSelector = std::function<bool(
 /// Serializes straight off the merged hierarchy into `emit`, chunk by
 /// chunk — no xml::Node is ever constructed (pinned by tests through the
 /// xml::Node::CreatedCount hook), and the byte output is identical to
-/// serializing Archive::RetrieveVersion's tree. With a ChildSelector the
-/// scan visits only the relevant children at every inner node (timestamp-
-/// tree pruning); without one it checks each child's timestamp.
+/// serializing Archive::RetrieveVersion's tree. The cursor walks any
+/// ArchiveView, so the same code path streams from heap nodes and from
+/// mapped XAR2 bytes. With a ChildSelector the scan visits only the
+/// relevant children at every inner node (timestamp-tree pruning); without
+/// one it checks each child's timestamp.
 ///
 /// Scan() may be called several times (a query streaming many matched
 /// subtrees); Finish() flushes the buffered tail once at the end.
@@ -61,6 +65,10 @@ class ScanCursor {
   /// Serializes the subtree rooted at `node` as it existed at version v,
   /// indented as if at nesting level `depth`. The caller is responsible
   /// for checking that `node` itself is active at v.
+  Status Scan(const ArchiveView& view, ArchiveView::NodeId node, Version v,
+              int depth);
+
+  /// Heap convenience overload over an ArchiveNode subtree.
   Status Scan(const ArchiveNode& node, Version v, int depth);
 
   /// Splices raw bytes into the stream (result wrappers, report lines).
@@ -76,10 +84,12 @@ class ScanCursor {
   Status MaybeFlush();
   void Indent(int depth);
   void Newline();
-  void OpenTag(const ArchiveNode& node);
-  void CloseTag(const ArchiveNode& node);
-  Status WriteInner(const ArchiveNode& node, Version v, int depth);
-  Status WriteFrontier(const ArchiveNode& node, Version v, int depth);
+  void OpenTag(const ArchiveView& view, ArchiveView::NodeId node);
+  void CloseTag(const ArchiveView& view, ArchiveView::NodeId node);
+  Status WriteInner(const ArchiveView& view, ArchiveView::NodeId node,
+                    Version v, int depth);
+  Status WriteFrontier(const ArchiveView& view, ArchiveView::NodeId node,
+                       Version v, int depth);
 
   xml::SerializeOptions options_;
   ScanEmit emit_;

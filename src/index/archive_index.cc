@@ -4,11 +4,6 @@
 
 namespace xarch::index {
 
-namespace {
-
-/// Builds the candidate query labels for a KeyStep: values are plain text,
-/// stored values are canonical ("T" + text for element content, raw for
-/// attributes). Both encodings are tried.
 std::vector<keys::Label> QueryLabels(const core::KeyStep& step) {
   keys::Label canonical, raw;
   canonical.tag = raw.tag = step.tag;
@@ -28,8 +23,6 @@ std::vector<keys::Label> QueryLabels(const core::KeyStep& step) {
   if (!step.key.empty()) out.push_back(std::move(raw));
   return out;
 }
-
-}  // namespace
 
 ArchiveIndex::ArchiveIndex(const core::Archive& archive)
     : archive_(archive),

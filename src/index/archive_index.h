@@ -72,6 +72,20 @@ class ArchiveIndex {
   /// Total timestamp-tree nodes across the archive (index space cost).
   size_t TreeNodeCount() const;
 
+  /// Per inner node: its timestamp tree (over child effective stamps) and
+  /// its children sorted by plain label order (for binary search).
+  struct NodeIndex {
+    TimestampTree tree;
+    std::vector<const core::ArchiveNode*> sorted_children;
+  };
+
+  /// The index entry of `node`, or nullptr when the node is not indexed
+  /// (frontier nodes). Exposed for XAR2 index-page serialization.
+  const NodeIndex* EntryFor(const core::ArchiveNode& node) const {
+    auto it = nodes_.find(&node);
+    return it == nodes_.end() ? nullptr : &it->second;
+  }
+
  private:
   void BuildRecursive(const core::ArchiveNode& node);
   const core::ArchiveNode* FindChildSorted(const core::ArchiveNode& parent,
@@ -80,14 +94,14 @@ class ArchiveIndex {
 
   const core::Archive& archive_;
   uint64_t built_at_generation_ = 0;
-  /// Per inner node: its timestamp tree (over child effective stamps) and
-  /// its children sorted by plain label order (for binary search).
-  struct NodeIndex {
-    TimestampTree tree;
-    std::vector<const core::ArchiveNode*> sorted_children;
-  };
   std::unordered_map<const core::ArchiveNode*, NodeIndex> nodes_;
 };
+
+/// The candidate query labels for a KeyStep: values are plain text, stored
+/// values are canonical ("T" + text for element content, raw for
+/// attributes); both encodings are tried, canonical first. Shared between
+/// the heap index and the mapped XAR2 index so both probe identically.
+std::vector<keys::Label> QueryLabels(const core::KeyStep& step);
 
 }  // namespace xarch::index
 

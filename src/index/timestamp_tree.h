@@ -42,13 +42,21 @@ class TimestampTree {
   /// Total tree nodes (space cost of the index).
   size_t node_count() const { return nodes_.size(); }
 
- private:
   struct Node {
     VersionSet stamp;
     size_t leaf_lo, leaf_hi;  // inclusive child-index range
     int left = -1, right = -1;  // -1: leaf
   };
 
+  /// The i-th tree node (leaves occupy [0, leaf_count()) in child order).
+  /// Exposed for XAR2 index-page serialization, which persists the tree
+  /// verbatim so the mapped lookup probes the same nodes in the same order.
+  const Node& node(size_t i) const { return nodes_[i]; }
+
+  /// Index of the root node, -1 when the tree is empty.
+  int root_index() const { return root_; }
+
+ private:
   std::vector<Node> nodes_;
   int root_ = -1;
   size_t leaf_count_ = 0;

@@ -1,0 +1,135 @@
+#ifndef XARCH_INDEX_VIEW_INDEX_H_
+#define XARCH_INDEX_VIEW_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/archive.h"
+#include "core/flat_archive.h"
+#include "core/tree_view.h"
+#include "index/archive_index.h"
+#include "util/status.h"
+
+namespace xarch::index {
+
+/// \brief Index access over an ArchiveView: the three query primitives the
+/// XAQL evaluator uses, answerable either by the heap ArchiveIndex or by
+/// the persisted XAR2 index pages navigated in place.
+///
+/// Both implementations probe identically — same timestamp-tree search,
+/// same binary-search comparison counts — so EXPLAIN output matches across
+/// heap-opened and mapped-opened stores.
+class ViewIndex {
+ public:
+  using NodeId = core::ArchiveView::NodeId;
+
+  virtual ~ViewIndex() = default;
+
+  /// The ScanCursor hook: fills *relevant with the indices of node's
+  /// children relevant to v (true), or returns false when the node is not
+  /// indexed (frontier nodes), directing the caller to a full scan.
+  virtual bool RelevantChildren(NodeId node, Version v,
+                                std::vector<size_t>* relevant,
+                                size_t* probes) const = 0;
+
+  /// Keyed child lookup via the sorted child list; kNoNode when absent.
+  virtual NodeId FindChild(NodeId parent, const core::KeyStep& step,
+                           ProbeStats* stats) const = 0;
+
+  /// Temporal history along a keyed path (Sec. 7.2 binary searches).
+  virtual StatusOr<VersionSet> History(const std::vector<core::KeyStep>& path,
+                                       ProbeStats* stats) const = 0;
+};
+
+/// ViewIndex over the heap ArchiveIndex (NodeIds are ArchiveNode pointers,
+/// as assigned by core::HeapArchiveView).
+class HeapViewIndex : public ViewIndex {
+ public:
+  explicit HeapViewIndex(const ArchiveIndex* index) : index_(index) {}
+
+  bool RelevantChildren(NodeId node, Version v, std::vector<size_t>* relevant,
+                        size_t* probes) const override {
+    return index_->RelevantChildren(core::HeapArchiveView::Node(node), v,
+                                    relevant, probes);
+  }
+
+  NodeId FindChild(NodeId parent, const core::KeyStep& step,
+                   ProbeStats* stats) const override {
+    const core::ArchiveNode* child =
+        index_->FindChild(core::HeapArchiveView::Node(parent), step, stats);
+    return child == nullptr ? core::ArchiveView::kNoNode
+                            : core::HeapArchiveView::Id(*child);
+  }
+
+  StatusOr<VersionSet> History(const std::vector<core::KeyStep>& path,
+                               ProbeStats* stats) const override {
+    return index_->History(path, stats);
+  }
+
+ private:
+  const ArchiveIndex* index_;
+};
+
+/// \brief The persisted index pages of an XAR2 snapshot, navigated in
+/// place: per archive node, its timestamp tree (verbatim node records) and
+/// its children sorted by label.
+///
+/// Section layout ("index"):
+///   u32 node_count                      — must equal the archive's
+///   u32 entry_offsets[node_count + 1]   — byte offsets into the blob;
+///                                         a zero-length span = not indexed
+///   blob of entries, one per indexed node:
+///     u32 sorted_count | u32 sorted_child_node_ids[sorted_count]
+///     u32 leaf_count | u32 tree_node_count | i32 root_index
+///     tree records, 20 bytes each:
+///       u32 stamp_id | u32 leaf_lo | u32 leaf_hi | i32 left | i32 right
+///
+/// Tree records persist TimestampTree::node(i) verbatim (leaves first, in
+/// child order), with stamps deduplicated into the archive's timestamp
+/// pool — Lookup here replays the exact heap search, probe for probe.
+class FlatViewIndex : public ViewIndex {
+ public:
+  /// Validates the section against the attached archive (every id, offset,
+  /// and range checked once) and attaches. kDataLoss on any inconsistency.
+  static StatusOr<FlatViewIndex> Attach(const core::FlatArchive* archive,
+                                        std::string_view section);
+
+  bool RelevantChildren(NodeId node, Version v, std::vector<size_t>* relevant,
+                        size_t* probes) const override;
+  NodeId FindChild(NodeId parent, const core::KeyStep& step,
+                   ProbeStats* stats) const override;
+  StatusOr<VersionSet> History(const std::vector<core::KeyStep>& path,
+                               ProbeStats* stats) const override;
+
+ private:
+  struct Entry {
+    std::string_view sorted_ids;  // u32 records
+    std::string_view tree;        // 20-byte records
+    uint32_t sorted_count = 0;
+    uint32_t leaf_count = 0;
+    uint32_t tree_node_count = 0;
+    int32_t root = -1;
+  };
+
+  /// Parses node's entry; false when the node is not indexed.
+  bool EntryFor(uint32_t node, Entry* entry) const;
+  std::vector<size_t> TreeLookup(const Entry& entry, Version v,
+                                 size_t* probes) const;
+
+  const core::FlatArchive* archive_ = nullptr;
+  std::string_view offsets_;  // u32 entry_offsets[node_count + 1]
+  std::string_view blob_;
+};
+
+/// Serializes `index` as XAR2 index pages, mapping archive nodes to flat
+/// ids and interning tree stamps via `encoder` (which must already have
+/// EncodeStructure() done, and must Finish() after this call so the interned
+/// stamps land in the pool).
+std::string EncodeIndexPages(const ArchiveIndex& index,
+                             core::FlatArchiveEncoder* encoder);
+
+}  // namespace xarch::index
+
+#endif  // XARCH_INDEX_VIEW_INDEX_H_

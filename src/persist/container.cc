@@ -6,21 +6,73 @@
 #include "compress/lzss.h"
 #include "persist/crc32c.h"
 #include "persist/wire.h"
+#include "vfs/vfs.h"
 
 namespace xarch::persist {
 
 namespace {
 
 constexpr char kMagic[4] = {'X', 'A', 'R', '1'};
+constexpr char kMagicV2[4] = {'X', 'A', 'R', '2'};
 constexpr uint8_t kFlagLzss = 1u << 0;
+
+// "XAR2" header: magic | u32 format | u32 count | u32 reserved |
+// u64 table offset | u64 table length | u32 table CRC | u32 header CRC.
+constexpr size_t kV2HeaderSize = 40;
+constexpr size_t kV2HeaderCrcOffset = 36;
+
+uint32_t ReadU32At(std::string_view bytes, size_t offset) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes[offset + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+uint64_t ReadU64At(std::string_view bytes, size_t offset) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes[offset + i]))
+         << (8 * i);
+  }
+  return v;
+}
 
 }  // namespace
 
+bool IsXar2Snapshot(std::string_view bytes) {
+  return bytes.size() >= 4 && std::memcmp(bytes.data(), kMagicV2, 4) == 0;
+}
+
 void SnapshotWriter::Add(std::string name, std::string payload) {
-  sections_.push_back({std::move(name), std::move(payload)});
+  sections_.push_back({std::move(name), std::move(payload), true});
+}
+
+void SnapshotWriter::AddRaw(std::string name, std::string payload) {
+  sections_.push_back({std::move(name), std::move(payload), false});
+}
+
+std::string SnapshotWriter::StoredPayload(const Section& section,
+                                          bool* compressed) const {
+  *compressed = false;
+  if (section.allow_compress && options_.compress &&
+      section.payload.size() >= options_.compress_min_bytes) {
+    auto lzss = compress::LzssTryCompress(section.payload);
+    if (lzss.ok() && lzss->size() < section.payload.size()) {
+      *compressed = true;
+      return std::move(lzss).value();
+    }
+  }
+  return section.payload;
 }
 
 std::string SnapshotWriter::Serialize() const {
+  return options_.format == kContainerFormatVersion2 ? SerializeV2()
+                                                     : SerializeV1();
+}
+
+std::string SnapshotWriter::SerializeV1() const {
   std::string out;
   out.append(kMagic, 4);
   PutU32(kContainerFormatVersion, &out);
@@ -30,25 +82,47 @@ std::string SnapshotWriter::Serialize() const {
     std::string body;
     PutU32(static_cast<uint32_t>(section.name.size()), &body);
     body += section.name;
-    uint8_t flags = 0;
-    std::string_view stored = section.payload;
-    std::string compressed;
-    if (options_.compress &&
-        section.payload.size() >= options_.compress_min_bytes) {
-      auto lzss = compress::LzssTryCompress(section.payload);
-      if (lzss.ok() && lzss->size() < section.payload.size()) {
-        compressed = std::move(lzss).value();
-        stored = compressed;
-        flags |= kFlagLzss;
-      }
-    }
-    PutU8(flags, &body);
+    bool compressed = false;
+    std::string stored = StoredPayload(section, &compressed);
+    PutU8(compressed ? kFlagLzss : 0, &body);
     PutU64(section.payload.size(), &body);
     PutU64(stored.size(), &body);
     body.append(stored.data(), stored.size());
     PutU32(MaskCrc(Crc32c(body)), &body);
     out += body;
   }
+  return out;
+}
+
+std::string SnapshotWriter::SerializeV2() const {
+  std::string payloads;
+  std::string table;
+  uint64_t offset = kV2HeaderSize;
+  for (const Section& section : sections_) {
+    bool compressed = false;
+    std::string stored = StoredPayload(section, &compressed);
+    PutU32(static_cast<uint32_t>(section.name.size()), &table);
+    table += section.name;
+    PutU8(compressed ? kFlagLzss : 0, &table);
+    PutU64(offset, &table);
+    PutU64(stored.size(), &table);
+    PutU64(section.payload.size(), &table);
+    PutU32(MaskCrc(Crc32c(stored)), &table);
+    offset += stored.size();
+    payloads += stored;
+  }
+  std::string out;
+  out.reserve(kV2HeaderSize + payloads.size() + table.size());
+  out.append(kMagicV2, 4);
+  PutU32(kContainerFormatVersion2, &out);
+  PutU32(static_cast<uint32_t>(sections_.size()), &out);
+  PutU32(0, &out);  // reserved
+  PutU64(offset, &out);
+  PutU64(table.size(), &out);
+  PutU32(MaskCrc(Crc32c(table)), &out);
+  PutU32(MaskCrc(Crc32c(std::string_view(out.data(), out.size()))), &out);
+  out += payloads;
+  out += table;
   return out;
 }
 
@@ -150,6 +224,170 @@ StatusOr<std::string_view> SnapshotReader::Section(
 const std::string* SnapshotReader::FindSection(const std::string& name) const {
   auto it = sections_.find(name);
   return it == sections_.end() ? nullptr : &it->second;
+}
+
+Status SnapshotView::ParseInto(std::string_view bytes, SnapshotView* view) {
+  if (bytes.size() < kV2HeaderSize ||
+      std::memcmp(bytes.data(), kMagicV2, 4) != 0) {
+    return Status::DataLoss("not an xarch snapshot container (bad magic)");
+  }
+  uint32_t header_crc = UnmaskCrc(ReadU32At(bytes, kV2HeaderCrcOffset));
+  if (Crc32c(bytes.substr(0, kV2HeaderCrcOffset)) != header_crc) {
+    return Status::DataLoss("snapshot header checksum mismatch");
+  }
+  uint32_t version = ReadU32At(bytes, 4);
+  if (version != kContainerFormatVersion2) {
+    return Status::DataLoss("unsupported snapshot format version " +
+                            std::to_string(version) + " (this build reads " +
+                            std::to_string(kContainerFormatVersion2) + ")");
+  }
+  uint32_t count = ReadU32At(bytes, 8);
+  uint64_t table_offset = ReadU64At(bytes, 16);
+  uint64_t table_len = ReadU64At(bytes, 24);
+  uint32_t table_crc = UnmaskCrc(ReadU32At(bytes, 32));
+  if (table_offset < kV2HeaderSize || table_offset > bytes.size() ||
+      table_len != bytes.size() - table_offset) {
+    return Status::DataLoss("snapshot section table is out of bounds");
+  }
+  std::string_view table = bytes.substr(static_cast<size_t>(table_offset));
+  if (Crc32c(table) != table_crc) {
+    return Status::DataLoss("snapshot section table checksum mismatch");
+  }
+
+  // The table parses under a bounds-checked cursor; payload regions must
+  // tile [header end, table start) exactly in file order, so every byte of
+  // the file is covered by exactly one checksum (header, a payload, or the
+  // table) and any truncation or splice is caught structurally.
+  Cursor cursor(table);
+  uint64_t expected_offset = kV2HeaderSize;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    XARCH_RETURN_NOT_OK(cursor.ReadU32(&name_len));
+    if (name_len > cursor.remaining()) {
+      return Status::DataLoss("snapshot section name length " +
+                              std::to_string(name_len) + " exceeds file");
+    }
+    Entry entry;
+    entry.name.assign(table.substr(cursor.position(), name_len));
+    XARCH_RETURN_NOT_OK(cursor.Skip(name_len));
+    uint32_t masked = 0;
+    XARCH_RETURN_NOT_OK(cursor.ReadU8(&entry.flags));
+    XARCH_RETURN_NOT_OK(cursor.ReadU64(&entry.payload_offset));
+    XARCH_RETURN_NOT_OK(cursor.ReadU64(&entry.stored_len));
+    XARCH_RETURN_NOT_OK(cursor.ReadU64(&entry.raw_len));
+    XARCH_RETURN_NOT_OK(cursor.ReadU32(&masked));
+    if (entry.flags & ~kFlagLzss) {
+      return Status::DataLoss("snapshot section \"" + entry.name +
+                              "\" has unknown flags");
+    }
+    if (!(entry.flags & kFlagLzss) && entry.raw_len != entry.stored_len) {
+      return Status::DataLoss("snapshot section \"" + entry.name +
+                              "\" stored " + std::to_string(entry.stored_len) +
+                              " bytes but declares " +
+                              std::to_string(entry.raw_len) + " raw bytes");
+    }
+    if (entry.payload_offset != expected_offset ||
+        entry.stored_len > table_offset - expected_offset) {
+      return Status::DataLoss("snapshot payload layout is corrupt");
+    }
+    expected_offset += entry.stored_len;
+    std::string_view stored =
+        bytes.substr(static_cast<size_t>(entry.payload_offset),
+                     static_cast<size_t>(entry.stored_len));
+    if (Crc32c(stored) != UnmaskCrc(masked)) {
+      return Status::DataLoss("snapshot section \"" + entry.name +
+                              "\" checksum mismatch");
+    }
+    size_t slot = view->entries_.size();
+    auto [it, inserted] = view->index_.emplace(entry.name, slot);
+    if (!inserted) {
+      return Status::DataLoss("duplicate snapshot section \"" + it->first +
+                              "\"");
+    }
+    view->names_.push_back(entry.name);
+    view->entries_.push_back(std::move(entry));
+  }
+  if (expected_offset != table_offset) {
+    return Status::DataLoss("snapshot payload layout is corrupt");
+  }
+  XARCH_RETURN_NOT_OK(cursor.ExpectDone());
+  view->bytes_ = bytes;
+  return Status::OK();
+}
+
+StatusOr<SnapshotView> SnapshotView::OpenFromBytes(std::string_view bytes) {
+  auto owned = std::make_shared<std::string>(bytes);
+  SnapshotView view;
+  XARCH_RETURN_NOT_OK(ParseInto(*owned, &view));
+  view.owner_ = owned;
+  return view;
+}
+
+StatusOr<SnapshotView> SnapshotView::Adopt(
+    std::unique_ptr<vfs::MappedFile> file) {
+  std::shared_ptr<vfs::MappedFile> shared(std::move(file));
+  SnapshotView view;
+  XARCH_RETURN_NOT_OK(ParseInto(shared->data(), &view));
+  view.owner_ = shared;
+  return view;
+}
+
+const SnapshotView::Entry* SnapshotView::FindEntry(
+    const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &entries_[it->second];
+}
+
+bool SnapshotView::HasSection(const std::string& name) const {
+  return FindEntry(name) != nullptr;
+}
+
+StatusOr<std::string_view> SnapshotView::RawSection(
+    const std::string& name) const {
+  const Entry* entry = FindEntry(name);
+  if (entry == nullptr) {
+    return Status::DataLoss("snapshot is missing required section \"" + name +
+                            "\"");
+  }
+  if (entry->flags & kFlagLzss) {
+    return Status::DataLoss("snapshot section \"" + name +
+                            "\" is compressed where raw bytes were expected");
+  }
+  return bytes_.substr(static_cast<size_t>(entry->payload_offset),
+                       static_cast<size_t>(entry->stored_len));
+}
+
+StatusOr<std::string> SnapshotView::SectionString(
+    const std::string& name) const {
+  const Entry* entry = FindEntry(name);
+  if (entry == nullptr) {
+    return Status::DataLoss("snapshot is missing required section \"" + name +
+                            "\"");
+  }
+  std::string_view stored =
+      bytes_.substr(static_cast<size_t>(entry->payload_offset),
+                    static_cast<size_t>(entry->stored_len));
+  if (!(entry->flags & kFlagLzss)) return std::string(stored);
+  XARCH_ASSIGN_OR_RETURN(std::string payload,
+                         compress::LzssDecompress(stored));
+  if (payload.size() != entry->raw_len) {
+    return Status::DataLoss("snapshot section \"" + name + "\" decoded to " +
+                            std::to_string(payload.size()) +
+                            " bytes, expected " +
+                            std::to_string(entry->raw_len));
+  }
+  return payload;
+}
+
+StatusOr<std::string> ReadSnapshotBackend(std::string_view bytes) {
+  if (IsXar2Snapshot(bytes)) {
+    SnapshotView view;
+    XARCH_RETURN_NOT_OK(SnapshotView::ParseInto(bytes, &view));
+    return view.SectionString("backend");
+  }
+  XARCH_ASSIGN_OR_RETURN(SnapshotReader reader, SnapshotReader::Parse(bytes));
+  XARCH_ASSIGN_OR_RETURN(std::string_view backend, reader.Section("backend"));
+  return std::string(backend);
 }
 
 }  // namespace xarch::persist

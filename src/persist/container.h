@@ -3,21 +3,33 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "util/status.h"
 
+namespace xarch::vfs {
+class MappedFile;
+}  // namespace xarch::vfs
+
 namespace xarch::persist {
 
-/// Snapshot container format version. Bump on incompatible layout changes;
-/// readers reject versions they do not understand with kDataLoss.
+/// Legacy snapshot container format version (XAR1).
 inline constexpr uint32_t kContainerFormatVersion = 1;
+
+/// The mmap-navigable flat container format (XAR2); see docs/FORMAT.md.
+inline constexpr uint32_t kContainerFormatVersion2 = 2;
+
+/// True when `bytes` start with the XAR2 magic. Dispatch is by magic, never
+/// by the format field, so a damaged version field still routes to the
+/// parser that owns the matching layout (and its error message).
+bool IsXar2Snapshot(std::string_view bytes);
 
 /// \brief Writer for the versioned binary snapshot container.
 ///
-/// Layout (all integers little-endian):
+/// Format 1 layout (all integers little-endian):
 ///
 ///   magic "XAR1" | u32 format version | u32 section count | u32 CRC32C
 ///   of the 12 header bytes (masked), then per section:
@@ -27,15 +39,34 @@ inline constexpr uint32_t kContainerFormatVersion = 1;
 ///   u32 CRC32C (masked) over everything from the name length through the
 ///   stored bytes
 ///
-/// Every section is independently checksummed over its STORED form, so a
+/// Format 2 ("XAR2") moves section metadata into a trailing table so a
+/// reader can locate any stored payload from the mapped file without
+/// touching payload bytes:
+///
+///   magic "XAR2" | u32 format version | u32 section count | u32 reserved |
+///   u64 table offset | u64 table length | u32 table CRC32C (masked) |
+///   u32 header CRC32C (masked, over the first 36 bytes), then the stored
+///   payloads back to back from offset 40, then the section table at
+///   `table offset`; per table entry:
+///
+///   u32 name length | name bytes | u8 flags (bit 0 = LZSS) |
+///   u64 payload offset | u64 stored length | u64 raw length |
+///   u32 CRC32C (masked) over the stored payload bytes
+///
+/// Every stored byte of either format is covered by some checksum, so a
 /// bit flip is detected before any decompression or decoding touches the
 /// payload. Payloads at least `compress_min_bytes` long are LZSS-compressed
 /// when that actually shrinks them; incompressible sections are stored raw.
+/// Sections added with `AddRaw` are never compressed — their bytes land in
+/// the file verbatim, which is what makes XAR2 sections navigable in place.
 class SnapshotWriter {
  public:
   struct Options {
     bool compress = true;
     size_t compress_min_bytes = 128;
+    /// Container format to emit: kContainerFormatVersion (default) or
+    /// kContainerFormatVersion2.
+    uint32_t format = kContainerFormatVersion;
   };
 
   SnapshotWriter() = default;
@@ -44,6 +75,10 @@ class SnapshotWriter {
   /// Adds one named section. Names must be unique per container.
   void Add(std::string name, std::string payload);
 
+  /// Adds one named section that is stored verbatim (never compressed), so
+  /// a mapped reader can navigate its bytes in place.
+  void AddRaw(std::string name, std::string payload);
+
   /// Serializes the container.
   std::string Serialize() const;
 
@@ -51,16 +86,23 @@ class SnapshotWriter {
   struct Section {
     std::string name;
     std::string payload;
+    bool allow_compress = true;
   };
+
+  std::string SerializeV1() const;
+  std::string SerializeV2() const;
+  /// Stored form of one section: LZSS-compressed when allowed and smaller.
+  /// Returns the stored bytes and sets `*compressed`.
+  std::string StoredPayload(const Section& section, bool* compressed) const;
 
   Options options_;
   std::vector<Section> sections_;
 };
 
-/// \brief Reader for SnapshotWriter output. Parse() eagerly verifies the
-/// header, every section CRC, and decompresses compressed payloads, so any
-/// corruption surfaces as kDataLoss at open time — never as a crash or a
-/// half-decoded store later.
+/// \brief Reader for format-1 SnapshotWriter output. Parse() eagerly
+/// verifies the header, every section CRC, and decompresses compressed
+/// payloads, so any corruption surfaces as kDataLoss at open time — never
+/// as a crash or a half-decoded store later.
 class SnapshotReader {
  public:
   static StatusOr<SnapshotReader> Parse(std::string_view bytes);
@@ -79,6 +121,71 @@ class SnapshotReader {
   std::map<std::string, std::string> sections_;
   std::vector<std::string> names_;
 };
+
+/// \brief A parsed XAR2 container over bytes it owns (a copied buffer or an
+/// adopted file mapping) — the zero-copy open path.
+///
+/// Opening verifies the header CRC, the table CRC, and every stored
+/// payload's CRC (pure checksum passes over the mapped bytes — no parse,
+/// no decompression, no per-node allocation), so corruption anywhere in
+/// the file surfaces as kDataLoss at open time, exactly like the format-1
+/// reader. Raw sections are then served as string_views into the mapped
+/// bytes; compressed sections decompress on demand.
+///
+/// Copies of a SnapshotView share the underlying storage.
+class SnapshotView {
+ public:
+  /// Parses a copy of `bytes` (the view owns the copy).
+  static StatusOr<SnapshotView> OpenFromBytes(std::string_view bytes);
+
+  /// Parses and adopts a read-only file mapping: O(mmap + CRC verify),
+  /// zero payload copies.
+  static StatusOr<SnapshotView> Adopt(std::unique_ptr<vfs::MappedFile> file);
+
+  /// The whole container, byte for byte (what SaveToBytes of an unmodified
+  /// mapped store returns).
+  std::string_view bytes() const { return bytes_; }
+
+  /// Stored bytes of an uncompressed section, in place. kDataLoss when the
+  /// section is absent or was stored compressed.
+  StatusOr<std::string_view> RawSection(const std::string& name) const;
+
+  /// Payload of any section as an owned string (decompresses LZSS
+  /// sections; copies raw ones).
+  StatusOr<std::string> SectionString(const std::string& name) const;
+
+  /// True when the named section exists.
+  bool HasSection(const std::string& name) const;
+
+  /// Section names in file order.
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  struct Entry {
+    std::string name;
+    uint8_t flags = 0;
+    uint64_t payload_offset = 0;
+    uint64_t stored_len = 0;
+    uint64_t raw_len = 0;
+  };
+
+  /// Parses `bytes` (borrowed; caller keeps them alive) into `*view`.
+  static Status ParseInto(std::string_view bytes, SnapshotView* view);
+
+  friend StatusOr<std::string> ReadSnapshotBackend(std::string_view bytes);
+
+  const Entry* FindEntry(const std::string& name) const;
+
+  std::shared_ptr<const void> owner_;
+  std::string_view bytes_;
+  std::vector<Entry> entries_;
+  std::map<std::string, size_t> index_;
+  std::vector<std::string> names_;
+};
+
+/// Reads the "backend" section from snapshot bytes of either format — the
+/// cheap probe open paths use to decide which restorer to call.
+StatusOr<std::string> ReadSnapshotBackend(std::string_view bytes);
 
 // File I/O lives behind the pluggable backend in vfs/vfs.h now: whole-file
 // reads are Vfs::ReadFile / Vfs::Map, atomic replacement is

@@ -1,5 +1,6 @@
 #include "query/evaluator.h"
 
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -158,18 +159,19 @@ Status EmitFilteredChanges(const std::vector<core::Change>& changes,
 // ------------------------------------------------- archive-plan support
 
 struct NodeMatch {
-  const core::ArchiveNode* node = nullptr;
+  core::ArchiveView::NodeId node = core::ArchiveView::kNoNode;
   VersionSet effective;
   std::string path;  // DescribeChanges-style, e.g. "/db/entry{id=2}"
 };
 
 class ArchiveEvaluator {
  public:
-  ArchiveEvaluator(const core::Archive& archive,
-                   const index::ArchiveIndex* index, Sink& sink,
-                   EvalResult& result, const EvalOptions& options)
-      : archive_(archive),
+  ArchiveEvaluator(const core::ArchiveView& view,
+                   const index::ViewIndex* index, const ArchiveDiffFn& diff,
+                   Sink& sink, EvalResult& result, const EvalOptions& options)
+      : view_(view),
         index_(index),
+        diff_(diff),
         sink_(sink),
         result_(result),
         options_(options) {}
@@ -183,10 +185,12 @@ class ArchiveEvaluator {
       // hierarchy once and the query path filters its output, so absent
       // paths yield an empty change list, exactly as on generic plans.
       obs::ScopedSpan span(options_.trace, "diff", eval_span_);
-      XARCH_ASSIGN_OR_RETURN(
-          std::vector<core::Change> changes,
-          core::DescribeChanges(archive_, ast.temporal.from,
-                                ast.temporal.to));
+      if (!diff_) {
+        return Status::Unimplemented(
+            "diff queries are not available on this archive view");
+      }
+      XARCH_ASSIGN_OR_RETURN(std::vector<core::Change> changes,
+                             diff_(ast.temporal.from, ast.temporal.to));
       XARCH_RETURN_NOT_OK(
           EmitFilteredChanges(changes, ast.steps, sink_, &result_));
       span.Note("changes", result_.matches);
@@ -233,33 +237,38 @@ class ArchiveEvaluator {
                                             bool bare_is_exact) {
     std::vector<NodeMatch> frontier;
     frontier.push_back(
-        NodeMatch{&archive_.root(), *archive_.root().stamp, ""});
+        NodeMatch{view_.Root(), view_.StampValue(view_.Root()), ""});
     for (const Step& step : steps) {
       std::vector<NodeMatch> next;
       for (const NodeMatch& parent : frontier) {
-        if (parent.node->is_frontier) {
+        if (view_.IsFrontier(parent.node)) {
           return Status::InvalidArgument(
               "query path descends below frontier node " +
-              parent.node->label.ToString());
+              view_.LabelString(parent.node));
         }
-        result_.probes.naive_probes += parent.node->children.size();
+        result_.probes.naive_probes += view_.ChildCount(parent.node);
         if (step.keyed()) {
-          const core::ArchiveNode* child = nullptr;
+          core::ArchiveView::NodeId child = core::ArchiveView::kNoNode;
           if (index_ != nullptr) {
-            child = index_->FindChild(*parent.node, step.ToKeyStep(),
+            child = index_->FindChild(parent.node, step.ToKeyStep(),
                                       &result_.probes);
           } else {
-            child = core::FindChildByKeyStep(*parent.node, step.ToKeyStep());
+            child =
+                core::FindChildByKeyStep(view_, parent.node, step.ToKeyStep());
           }
-          if (child != nullptr) next.push_back(MakeMatch(parent, *child));
+          if (child != core::ArchiveView::kNoNode) {
+            next.push_back(MakeMatch(parent, child));
+          }
         } else {
-          for (const auto& child : parent.node->children) {
-            if (child->label.tag != step.tag) continue;
+          const size_t child_count = view_.ChildCount(parent.node);
+          for (size_t i = 0; i < child_count; ++i) {
+            const core::ArchiveView::NodeId child = view_.Child(parent.node, i);
+            if (view_.Tag(child) != step.tag) continue;
             if (bare_is_exact && !step.wildcard &&
-                !child->label.parts.empty()) {
+                view_.LabelPartCount(child) != 0) {
               continue;  // a bare step addresses only the unkeyed element
             }
-            next.push_back(MakeMatch(parent, *child));
+            next.push_back(MakeMatch(parent, child));
           }
         }
       }
@@ -278,11 +287,11 @@ class ArchiveEvaluator {
   }
 
   NodeMatch MakeMatch(const NodeMatch& parent,
-                      const core::ArchiveNode& child) const {
+                      core::ArchiveView::NodeId child) const {
     NodeMatch match;
-    match.node = &child;
-    match.effective = child.EffectiveStamp(parent.effective);
-    match.path = parent.path + "/" + child.label.ToString();
+    match.node = child;
+    match.effective = view_.EffectiveStamp(child, parent.effective);
+    match.path = parent.path + "/" + view_.LabelString(child);
     return match;
   }
 
@@ -303,7 +312,7 @@ class ArchiveEvaluator {
     if (index_ == nullptr) return;
     // The hook reads only the (immutable during evaluation) index; it is
     // shared by the parallel workers' private cursors.
-    cursor.set_selector([this](const core::ArchiveNode& node, Version v,
+    cursor.set_selector([this](core::ArchiveView::NodeId node, Version v,
                                std::vector<size_t>* relevant,
                                size_t* probes) {
       return index_->RelevantChildren(node, v, relevant, probes);
@@ -319,10 +328,10 @@ class ArchiveEvaluator {
 
   Status RunSnapshot(const Query& ast, const std::vector<NodeMatch>& matches) {
     const Version v = ast.temporal.from;
-    if (v == 0 || v > archive_.version_count()) {
+    if (v == 0 || v > view_.version_count()) {
       return Status::NotFound("version " + std::to_string(v) +
                               " is not archived (have 1-" +
-                              std::to_string(archive_.version_count()) + ")");
+                              std::to_string(view_.version_count()) + ")");
     }
     obs::ScopedSpan span(options_.trace, ScanSpanName(options_.trace, v),
                          eval_span_);
@@ -333,7 +342,7 @@ class ArchiveEvaluator {
     for (const NodeMatch& match : matches) {
       if (!match.effective.Contains(v)) continue;
       ++active;
-      XARCH_RETURN_NOT_OK(cursor.Scan(*match.node, v, 0));
+      XARCH_RETURN_NOT_OK(cursor.Scan(view_, match.node, v, 0));
     }
     XARCH_RETURN_NOT_OK(FinishCursor(cursor, stats));
     span.Note("tree_probes", stats.tree_probes);
@@ -356,7 +365,7 @@ class ArchiveEvaluator {
         XARCH_RETURN_NOT_OK(cursor.Emit(VersionOpenTag(v)));
         any = true;
       }
-      XARCH_RETURN_NOT_OK(cursor.Scan(*match.node, v, 1));
+      XARCH_RETURN_NOT_OK(cursor.Scan(view_, match.node, v, 1));
     }
     return cursor.Emit(any ? std::string("</version>\n")
                            : VersionEmptyTag(v));
@@ -380,8 +389,8 @@ class ArchiveEvaluator {
 
   Status RunRange(const Query& ast, const std::vector<NodeMatch>& matches) {
     const Version from = ast.temporal.from, to = ast.temporal.to;
-    if (from == 0 || to > archive_.version_count()) {
-      return RangeBoundsError(archive_.version_count());
+    if (from == 0 || to > view_.version_count()) {
+      return RangeBoundsError(view_.version_count());
     }
     const size_t n = static_cast<size_t>(to - from) + 1;
     if (WantParallel(options_, n)) {
@@ -441,8 +450,9 @@ class ArchiveEvaluator {
     return EmitText(sink_, out, &result_);
   }
 
-  const core::Archive& archive_;
-  const index::ArchiveIndex* index_;
+  const core::ArchiveView& view_;
+  const index::ViewIndex* index_;
+  const ArchiveDiffFn& diff_;
   Sink& sink_;
   EvalResult& result_;
   const EvalOptions& options_;
@@ -722,9 +732,25 @@ class StoreEvaluator {
 Status Evaluate(const Plan& plan, const core::Archive& archive,
                 const index::ArchiveIndex* index, Sink& sink,
                 EvalResult* result, const EvalOptions& options) {
+  core::HeapArchiveView view(&archive);
+  std::optional<index::HeapViewIndex> view_index;
+  if (index != nullptr) view_index.emplace(index);
+  ArchiveDiffFn diff = [&archive](Version from, Version to) {
+    return core::DescribeChanges(archive, from, to);
+  };
+  return EvaluateView(plan, view,
+                      view_index.has_value() ? &*view_index : nullptr, diff,
+                      sink, result, options);
+}
+
+Status EvaluateView(const Plan& plan, const core::ArchiveView& view,
+                    const index::ViewIndex* index, const ArchiveDiffFn& diff,
+                    Sink& sink, EvalResult* result,
+                    const EvalOptions& options) {
   EvalResult local;
   EvalResult& r = result != nullptr ? *result : local;
-  ArchiveEvaluator evaluator(archive, index, sink, r, options);
+  r.mapped = view.mapped();
+  ArchiveEvaluator evaluator(view, index, diff, sink, r, options);
   const uint64_t start_us = obs::MonotonicMicros();
   Status status = evaluator.Run(plan);
   RecordQueryMetrics(plan.access, r, obs::MonotonicMicros() - start_us);

@@ -3,10 +3,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/archive.h"
+#include "core/changes.h"
+#include "core/tree_view.h"
 #include "index/archive_index.h"
+#include "index/view_index.h"
 #include "obs/trace.h"
 #include "query/planner.h"
 #include "util/status.h"
@@ -23,6 +27,9 @@ struct EvalResult {
   /// same nodes, and key comparisons — both real and hypothetical cost
   /// are counted in the one pass, so indexed vs naive needs no second run.
   index::ProbeStats probes;
+  /// True when the evaluation navigated mapped snapshot bytes rather than
+  /// heap nodes (EXPLAIN reports it as `mapped=true`).
+  bool mapped = false;
   /// Elements the path expression matched (changes emitted, for diff).
   size_t matches = 0;
   /// Bytes streamed into the result sink.
@@ -75,6 +82,22 @@ struct EvalOptions {
 Status Evaluate(const Plan& plan, const core::Archive& archive,
                 const index::ArchiveIndex* index, Sink& sink,
                 EvalResult* result, const EvalOptions& options = {});
+
+/// Change-list provider for `@ diff` on view evaluations. The heap path
+/// binds core::DescribeChanges; a mapped store materializes its archive
+/// once and binds the same. Null-valued = diff unsupported.
+using ArchiveDiffFn =
+    std::function<StatusOr<std::vector<core::Change>>(Version from,
+                                                      Version to)>;
+
+/// The archive-plan evaluator over any ArchiveView — the one
+/// implementation behind Evaluate(); mapped XAR2 stores call it directly
+/// with their FlatArchiveView + FlatViewIndex, producing bytes and probe
+/// counts identical to the heap path.
+Status EvaluateView(const Plan& plan, const core::ArchiveView& view,
+                    const index::ViewIndex* index, const ArchiveDiffFn& diff,
+                    Sink& sink, EvalResult* result,
+                    const EvalOptions& options = {});
 
 /// \brief Interface-level evaluation through Store primitives (the
 /// kGeneric plan): snapshots via Retrieve() + parse + navigate, history

@@ -21,7 +21,9 @@ std::string FormatExplain(const Plan& plan, const EvalResult& result,
   canonical.analyze = false;
   std::string out = "XAQL EXPLAIN\n";
   out += "query:  " + canonical.ToString() + "\n";
-  out += "access: " + std::string(AccessName(plan.access)) + "\n";
+  out += "access: " + std::string(AccessName(plan.access));
+  if (result.mapped) out += " (mapped=true)";
+  out += "\n";
   out += "plan:\n";
   for (size_t i = 0; i < plan.ast.steps.size(); ++i) {
     out += "  " + std::to_string(i + 1) + ". /" + plan.ast.steps[i].ToString();
@@ -66,6 +68,17 @@ Status ExplainArchive(const Plan& plan, const core::Archive& archive,
   EvalResult& r = result != nullptr ? *result : local;
   CountingSink discard;
   Status eval_status = Evaluate(plan, archive, index, discard, &r, options);
+  return StreamReport(plan, r, eval_status, options.trace, sink);
+}
+
+Status ExplainView(const Plan& plan, const core::ArchiveView& view,
+                   const index::ViewIndex* index, const ArchiveDiffFn& diff,
+                   Sink& sink, EvalResult* result, const EvalOptions& options) {
+  EvalResult local;
+  EvalResult& r = result != nullptr ? *result : local;
+  CountingSink discard;
+  Status eval_status =
+      EvaluateView(plan, view, index, diff, discard, &r, options);
   return StreamReport(plan, r, eval_status, options.trace, sink);
 }
 

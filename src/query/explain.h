@@ -16,6 +16,13 @@ Status ExplainArchive(const Plan& plan, const core::Archive& archive,
                       const index::ArchiveIndex* index, Sink& sink,
                       EvalResult* result, const EvalOptions& options = {});
 
+/// EXPLAIN over any ArchiveView (the mapped XAR2 read path); the report's
+/// access line carries `mapped=true` when the view navigates mapped bytes.
+Status ExplainView(const Plan& plan, const core::ArchiveView& view,
+                   const index::ViewIndex* index, const ArchiveDiffFn& diff,
+                   Sink& sink, EvalResult* result,
+                   const EvalOptions& options = {});
+
 /// EXPLAIN over the generic store plan.
 Status ExplainOverStore(const Plan& plan, StorePrimitives& store, Sink& sink,
                         EvalResult* result, const EvalOptions& options = {});

@@ -149,4 +149,30 @@ uint64_t Fnv1a64(std::string_view data) {
   return h;
 }
 
+uint32_t StringInterner::Intern(std::string_view s) {
+  auto it = ids_.find(s);
+  if (it != ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(strings_.size());
+  strings_.emplace_back(s);
+  ids_.emplace(std::string_view(strings_.back()), id);
+  return id;
+}
+
+void StringInterner::EncodeTo(std::string* out) const {
+  auto put_u32 = [out](uint32_t v) {
+    out->push_back(static_cast<char>(v & 0xff));
+    out->push_back(static_cast<char>((v >> 8) & 0xff));
+    out->push_back(static_cast<char>((v >> 16) & 0xff));
+    out->push_back(static_cast<char>((v >> 24) & 0xff));
+  };
+  put_u32(static_cast<uint32_t>(strings_.size()));
+  uint32_t offset = 0;
+  put_u32(offset);
+  for (const std::string& s : strings_) {
+    offset += static_cast<uint32_t>(s.size());
+    put_u32(offset);
+  }
+  for (const std::string& s : strings_) out->append(s);
+}
+
 }  // namespace xarch

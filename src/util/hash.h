@@ -3,8 +3,10 @@
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 
 namespace xarch {
 
@@ -50,6 +52,39 @@ class Md5Hasher {
   uint64_t length_ = 0;
   std::array<uint8_t, 64> buffer_{};
   size_t buffered_ = 0;
+};
+
+/// \brief Build-time string interner: deduplicates strings into dense
+/// 32-bit ids in first-seen order.
+///
+/// The XAR2 snapshot container stores every tag, key path, and value once
+/// in an interned string table; flat node records refer to strings by id.
+/// `EncodeTo` emits the table in the persisted layout:
+///
+///     u32 count | u32 offsets[count + 1] | concatenated bytes
+///
+/// with `offsets[0] == 0` and `offsets[i+1] - offsets[i]` the length of
+/// string `i` (all integers little-endian via persist/wire.h-compatible
+/// encoding).
+class StringInterner {
+ public:
+  /// Returns the id for `s`, assigning the next dense id on first sight.
+  uint32_t Intern(std::string_view s);
+
+  /// The string with id `id`; `id` must be < size().
+  std::string_view At(uint32_t id) const { return strings_[id]; }
+
+  /// Number of distinct strings interned so far.
+  uint32_t size() const { return static_cast<uint32_t>(strings_.size()); }
+
+  /// Appends the persisted table layout (see class comment) to `out`.
+  void EncodeTo(std::string* out) const;
+
+ private:
+  // Deque keeps element addresses stable, so the map may key string_views
+  // into the stored strings without re-copying them.
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, uint32_t> ids_;
 };
 
 }  // namespace xarch

@@ -164,6 +164,7 @@ StatusOr<StoreOptions> ShardStoreTuning(const DurableOptions& options,
   out.inner = options.store.inner;
   out.use_index = options.store.use_index;
   out.shards = 1;
+  out.snapshot_format = options.store.snapshot_format;
   return out;
 }
 
@@ -312,10 +313,10 @@ StatusOr<std::unique_ptr<DurableStore>> DurableStore::Open(
   XARCH_ASSIGN_OR_RETURN(bool have_snapshot, vfs->Exists(snapshot_path));
   if (have_snapshot) {
     XARCH_ASSIGN_OR_RETURN(std::string bytes, vfs->ReadFile(snapshot_path));
-    XARCH_ASSIGN_OR_RETURN(persist::SnapshotReader probe,
-                           persist::SnapshotReader::Parse(bytes));
-    XARCH_ASSIGN_OR_RETURN(std::string_view saved_backend,
-                           probe.Section("backend"));
+    // Format-agnostic probe: the snapshot may be XAR1 or XAR2 depending on
+    // the inner backend's snapshot_format at the last checkpoint.
+    XARCH_ASSIGN_OR_RETURN(std::string saved_backend,
+                           persist::ReadSnapshotBackend(bytes));
     if (saved_backend != options.backend) {
       return Status::InvalidArgument(
           "durable store at " + dir + " was created with backend \"" +

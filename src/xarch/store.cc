@@ -11,7 +11,10 @@
 
 #include "compress/container.h"
 #include "compress/lzss.h"
+#include "core/flat_archive.h"
 #include "core/scan.h"
+#include "core/tree_view.h"
+#include "index/view_index.h"
 #include "persist/container.h"
 #include "persist/wire.h"
 #include "diff/repository.h"
@@ -414,24 +417,29 @@ IngestMetrics MakeIngestMetrics(const std::string& backend) {
 class ArchiveStore final : public Store {
  public:
   ArchiveStore(std::string name, keys::KeySpecSet spec,
-               core::ArchiveOptions options, bool use_index)
+               core::ArchiveOptions options, bool use_index,
+               int snapshot_format)
       : name_(std::move(name)),
         archive_(std::move(spec), options),
         use_index_(use_index),
+        snapshot_format_(snapshot_format),
         ingest_metrics_(MakeIngestMetrics(name_)) {
     // The index over the empty archive, so readers never see a null index
     // while use_index_ is set; every ingest republishes it.
     PublishIndex();
   }
 
-  /// Restore path: adopts an archive loaded from a snapshot. The index is
-  /// rebuilt from scratch here — indexes are derived state and are never
-  /// persisted (rebuild-on-open keeps the container format independent of
-  /// index layout).
-  ArchiveStore(std::string name, core::Archive archive, bool use_index)
+  /// Restore path: adopts an archive loaded from a snapshot. The heap
+  /// index is rebuilt from scratch here — XAR2 snapshots do persist index
+  /// pages, but those serve the mapped read path; the heap store's index
+  /// is derived state and rebuild-on-open keeps it consistent with
+  /// whatever ingest follows.
+  ArchiveStore(std::string name, core::Archive archive, bool use_index,
+               int snapshot_format)
       : name_(std::move(name)),
         archive_(std::move(archive)),
         use_index_(use_index),
+        snapshot_format_(snapshot_format),
         ingest_metrics_(MakeIngestMetrics(name_)) {
     PublishIndex();
   }
@@ -563,20 +571,58 @@ class ArchiveStore final : public Store {
   }
 
   Status SnapshotImpl(persist::SnapshotWriter& writer) const override {
-    writer.Add("backend", name_);
-    writer.Add("spec", SpecToText(archive_.spec()));
     std::string opts;
     EncodeArchiveOptions(archive_.options(), &opts);
     persist::PutU8(use_index_ ? 1 : 0, &opts);
-    writer.Add("opts", std::move(opts));
+    if (snapshot_format_ != 2) {
+      writer.Add("backend", name_);
+      writer.Add("spec", SpecToText(archive_.spec()));
+      writer.Add("opts", std::move(opts));
+      writer.Add("archive", ArchiveXmlCompact(archive_));
+      return Status::OK();
+    }
+    // XAR2: the metadata and flat sections are stored raw so a mapped
+    // reader navigates them in place; only the archive XML (kept for heap
+    // materialization and the v1-style restore of derived state) is worth
+    // compressing.
+    writer.AddRaw("backend", name_);
+    writer.AddRaw("spec", SpecToText(archive_.spec()));
+    writer.AddRaw("opts", std::move(opts));
     writer.Add("archive", ArchiveXmlCompact(archive_));
+    core::FlatArchiveEncoder encoder(archive_);
+    encoder.EncodeStructure();
+    std::string index_pages;
+    if (index_ != nullptr) {
+      // Between EncodeStructure and Finish so tree stamps intern into the
+      // shared pool.
+      index_pages = index::EncodeIndexPages(*index_, &encoder);
+    }
+    core::FlatArchiveEncoder::Sections flat = encoder.Finish();
+    writer.AddRaw("meta", std::move(flat.meta));
+    writer.AddRaw("strings", std::move(flat.strings));
+    writer.AddRaw("stamps", std::move(flat.stamps));
+    writer.AddRaw("nodes", std::move(flat.nodes));
+    writer.AddRaw("parts", std::move(flat.parts));
+    writer.AddRaw("attrs", std::move(flat.attrs));
+    writer.AddRaw("buckets", std::move(flat.buckets));
+    writer.AddRaw("content", std::move(flat.content));
+    if (index_ != nullptr) writer.AddRaw("index", std::move(index_pages));
     return Status::OK();
+  }
+
+  StatusOr<std::string> SnapshotBytesImpl() const override {
+    persist::SnapshotWriter::Options options;
+    options.format = snapshot_format_ == 2 ? persist::kContainerFormatVersion2
+                                           : persist::kContainerFormatVersion;
+    persist::SnapshotWriter writer(options);
+    XARCH_RETURN_NOT_OK(SnapshotImpl(writer));
+    return writer.Serialize();
   }
 
  public:
   static StatusOr<std::unique_ptr<Store>> Restore(
       const persist::SnapshotReader& snapshot, const char* name,
-      core::FrontierStrategy expected_frontier) {
+      core::FrontierStrategy expected_frontier, int snapshot_format) {
     XARCH_ASSIGN_OR_RETURN(keys::KeySpecSet spec, SpecFromSnapshot(snapshot));
     XARCH_ASSIGN_OR_RETURN(std::string_view opts, snapshot.Section("opts"));
     persist::Cursor cursor(opts);
@@ -595,7 +641,7 @@ class ArchiveStore final : public Store {
         core::Archive archive,
         ArchiveFromSnapshotXml(xml, std::move(spec), options));
     return std::unique_ptr<Store>(std::make_unique<ArchiveStore>(
-        name, std::move(archive), use_index != 0));
+        name, std::move(archive), use_index != 0, snapshot_format));
   }
 
  private:
@@ -610,8 +656,282 @@ class ArchiveStore final : public Store {
   std::string name_;
   core::Archive archive_;
   bool use_index_;
+  int snapshot_format_;
   IngestMetrics ingest_metrics_;
   std::unique_ptr<index::ArchiveIndex> index_;  // published by ingest
+};
+
+// ------------------------------------------------------- mapped archive
+
+/// An archive store open directly over a mapped XAR2 snapshot. Retrieval,
+/// history, and queries navigate the flat record arenas in place — open is
+/// O(mmap + checksum verify) and the scan allocates no xml::Node (nor any
+/// heap ArchiveNode). The heap archive is materialized lazily, only for
+/// the operations that genuinely need it (diff walks, stored-bytes
+/// serialization); the first ingest promotes the whole store to a heap
+/// ArchiveStore and forwards to it from then on.
+class MappedArchiveStore final : public Store {
+ public:
+  MappedArchiveStore(std::string name, persist::SnapshotView snapshot,
+                     std::unique_ptr<core::FlatArchive> flat,
+                     std::unique_ptr<index::FlatViewIndex> flat_index,
+                     keys::KeySpecSet spec, core::ArchiveOptions options,
+                     bool use_index, int snapshot_format)
+      : name_(std::move(name)),
+        snapshot_(std::move(snapshot)),
+        flat_(std::move(flat)),
+        flat_index_(std::move(flat_index)),
+        view_(flat_.get()),
+        spec_(std::move(spec)),
+        options_(options),
+        use_index_(use_index),
+        snapshot_format_(snapshot_format) {}
+
+  std::string name() const override { return name_; }
+  Capabilities capabilities() const override {
+    return kTemporalQueries | kStreamingRetrieve | kBatchIngest | kQuery |
+           kPersistence;
+  }
+
+  /// Mapped restore path: attaches the flat sections (and index pages when
+  /// present) of an already-verified XAR2 snapshot view.
+  static StatusOr<std::unique_ptr<Store>> Restore(
+      const persist::SnapshotView& snapshot, const char* name,
+      core::FrontierStrategy expected_frontier, int snapshot_format) {
+    XARCH_ASSIGN_OR_RETURN(std::string spec_text,
+                           snapshot.SectionString("spec"));
+    auto spec = keys::ParseKeySpecSet(spec_text);
+    if (!spec.ok()) {
+      return Status::DataLoss("snapshot key specification does not parse: " +
+                              spec.status().message());
+    }
+    XARCH_ASSIGN_OR_RETURN(std::string opts, snapshot.SectionString("opts"));
+    persist::Cursor cursor(opts);
+    core::ArchiveOptions options;
+    uint8_t use_index = 0;
+    XARCH_RETURN_NOT_OK(DecodeArchiveOptions(cursor, &options));
+    XARCH_RETURN_NOT_OK(cursor.ReadU8(&use_index));
+    XARCH_RETURN_NOT_OK(cursor.ExpectDone());
+    if (options.frontier != expected_frontier) {
+      return Status::DataLoss(
+          std::string("snapshot frontier strategy does not match backend \"") +
+          name + "\"");
+    }
+    core::FlatArchive::Sections sections;
+    XARCH_ASSIGN_OR_RETURN(sections.meta, snapshot.RawSection("meta"));
+    XARCH_ASSIGN_OR_RETURN(sections.strings, snapshot.RawSection("strings"));
+    XARCH_ASSIGN_OR_RETURN(sections.stamps, snapshot.RawSection("stamps"));
+    XARCH_ASSIGN_OR_RETURN(sections.nodes, snapshot.RawSection("nodes"));
+    XARCH_ASSIGN_OR_RETURN(sections.parts, snapshot.RawSection("parts"));
+    XARCH_ASSIGN_OR_RETURN(sections.attrs, snapshot.RawSection("attrs"));
+    XARCH_ASSIGN_OR_RETURN(sections.buckets, snapshot.RawSection("buckets"));
+    XARCH_ASSIGN_OR_RETURN(sections.content, snapshot.RawSection("content"));
+    XARCH_ASSIGN_OR_RETURN(core::FlatArchive flat,
+                           core::FlatArchive::Attach(sections));
+    auto flat_owned = std::make_unique<core::FlatArchive>(std::move(flat));
+    std::unique_ptr<index::FlatViewIndex> flat_index;
+    if (snapshot.HasSection("index")) {
+      XARCH_ASSIGN_OR_RETURN(std::string_view pages,
+                             snapshot.RawSection("index"));
+      XARCH_ASSIGN_OR_RETURN(
+          index::FlatViewIndex attached,
+          index::FlatViewIndex::Attach(flat_owned.get(), pages));
+      flat_index = std::make_unique<index::FlatViewIndex>(std::move(attached));
+    }
+    return std::unique_ptr<Store>(std::make_unique<MappedArchiveStore>(
+        name, snapshot, std::move(flat_owned), std::move(flat_index),
+        std::move(*spec), options, use_index != 0, snapshot_format));
+  }
+
+ protected:
+  Status AppendImpl(std::string_view xml_text) override {
+    XARCH_RETURN_NOT_OK(Promote());
+    return promoted_->Append(xml_text);
+  }
+
+  Status AppendBatchImpl(
+      const std::vector<std::string_view>& xml_texts) override {
+    XARCH_RETURN_NOT_OK(Promote());
+    return promoted_->AppendBatch(xml_texts);
+  }
+
+  StatusOr<std::string> RetrieveImpl(Version v) override {
+    if (promoted_ != nullptr) return promoted_->Retrieve(v);
+    StringSink sink;
+    XARCH_RETURN_NOT_OK(RetrieveToImpl(v, sink));
+    return std::move(sink).Take();
+  }
+
+  Status RetrieveToImpl(Version v, Sink& sink) override {
+    if (promoted_ != nullptr) return promoted_->RetrieveTo(v, sink);
+    if (v == 0 || v > flat_->version_count()) {
+      return Status::NotFound("version " + std::to_string(v) +
+                              " is not archived (have 1-" +
+                              std::to_string(flat_->version_count()) + ")");
+    }
+    // The same fused scan as the heap store, driven by record offsets
+    // instead of node pointers.
+    core::ScanCursor cursor(
+        xml::SerializeOptions{},
+        [&sink](std::string_view chunk) { return sink.Append(chunk); });
+    const core::ArchiveView::NodeId root = view_.Root();
+    for (size_t i = 0; i < view_.ChildCount(root); ++i) {
+      const core::ArchiveView::NodeId child = view_.Child(root, i);
+      if (view_.HasStamp(child) && !view_.StampContains(child, v)) continue;
+      XARCH_RETURN_NOT_OK(cursor.Scan(view_, child, v, 0));
+      break;  // exactly one top element is active per version
+    }
+    XARCH_RETURN_NOT_OK(cursor.Finish());
+    return sink.Flush();
+  }
+
+  StatusOr<VersionSet> HistoryImpl(
+      const std::vector<core::KeyStep>& path) override {
+    if (promoted_ != nullptr) return promoted_->History(path);
+    if (flat_index_ != nullptr) return flat_index_->History(path, nullptr);
+    return core::HistoryOverView(view_, path);
+  }
+
+  StatusOr<std::vector<core::Change>> DiffVersionsImpl(Version from,
+                                                       Version to) override {
+    if (promoted_ != nullptr) return promoted_->DiffVersions(from, to);
+    XARCH_ASSIGN_OR_RETURN(const core::Archive* heap, HeapArchive());
+    return core::DescribeChanges(*heap, from, to);
+  }
+
+  Status QueryImpl(std::string_view query_text, Sink& sink,
+                   obs::Trace* trace) override {
+    if (promoted_ != nullptr) return promoted_->Query(query_text, sink, trace);
+    const index::ViewIndex* index = nullptr;
+    obs::Trace analyze_trace;
+    XARCH_ASSIGN_OR_RETURN(
+        query::Plan plan,
+        ParseAndPlanTraced(query_text, &analyze_trace, &trace,
+                           [&](const query::Query& ast) {
+                             if (ast.temporal.kind !=
+                                 query::TemporalKind::kDiff) {
+                               index = flat_index_.get();
+                             }
+                             return index != nullptr
+                                        ? query::Access::kArchiveIndexed
+                                        : query::Access::kArchiveScan;
+                           }));
+    query::ArchiveDiffFn diff =
+        [this](Version from, Version to) -> StatusOr<std::vector<core::Change>> {
+      XARCH_ASSIGN_OR_RETURN(const core::Archive* heap, HeapArchive());
+      return core::DescribeChanges(*heap, from, to);
+    };
+    query::EvalOptions eval_options;
+    eval_options.pool = &util::ThreadPool::Shared();
+    eval_options.trace = trace;
+    query::EvalResult result;
+    Status status = plan.ast.explain
+                        ? query::ExplainView(plan, view_, index, diff, sink,
+                                             &result, eval_options)
+                        : query::EvaluateView(plan, view_, index, diff, sink,
+                                              &result, eval_options);
+    CountQuery(result);
+    return status;
+  }
+
+  Version VersionCountImpl() const override {
+    return promoted_ != nullptr ? promoted_->version_count()
+                                : flat_->version_count();
+  }
+
+  StoreStats BackendStats() const override {
+    if (promoted_ != nullptr) return promoted_->Stats();
+    StoreStats stats;
+    stats.versions = flat_->version_count();
+    stats.stored_bytes = StoredBytesImpl().size();
+    auto heap = HeapArchive();
+    if (heap.ok()) stats.node_count = (*heap)->CountNodes();
+    return stats;
+  }
+
+  std::string StoredBytesImpl() const override {
+    if (promoted_ != nullptr) return promoted_->StoredBytes();
+    auto heap = HeapArchive();
+    if (!heap.ok()) return std::string();
+    core::ArchiveSerializeOptions options;
+    options.indent_width = 0;
+    return (*heap)->ToXml(options);
+  }
+
+  StatusOr<std::string> SnapshotBytesImpl() const override {
+    // Unmodified, the snapshot is the mapped file itself, byte for byte;
+    // after promotion the heap store serializes fresh sections.
+    if (promoted_ != nullptr) return promoted_->SaveToBytes();
+    if (snapshot_format_ != 2) {
+      // Asked to downgrade: re-emit the legacy container from the
+      // snapshot's own backend/spec/opts/archive sections — the same
+      // bytes a heap ArchiveStore with snapshot_format=1 would write.
+      persist::SnapshotWriter writer;
+      for (const char* section : {"backend", "spec", "opts", "archive"}) {
+        XARCH_ASSIGN_OR_RETURN(std::string text,
+                               snapshot_.SectionString(section));
+        writer.Add(section, text);
+      }
+      return writer.Serialize();
+    }
+    return std::string(snapshot_.bytes());
+  }
+
+ private:
+  /// The lazily-materialized heap archive (parsed from the snapshot's
+  /// archive XML). Read hooks run under the SHARED store lock, so the
+  /// cache has its own mutex; the result pointer is stable until Promote,
+  /// which runs under the exclusive lock with no readers in flight.
+  StatusOr<const core::Archive*> HeapArchive() const {
+    std::lock_guard<std::mutex> lock(heap_mu_);
+    if (heap_ == nullptr) {
+      XARCH_ASSIGN_OR_RETURN(std::string xml,
+                             snapshot_.SectionString("archive"));
+      XARCH_ASSIGN_OR_RETURN(keys::KeySpecSet spec, spec_.Clone());
+      XARCH_ASSIGN_OR_RETURN(
+          core::Archive archive,
+          ArchiveFromSnapshotXml(xml, std::move(spec), options_));
+      heap_ = std::make_unique<core::Archive>(std::move(archive));
+    }
+    return heap_.get();
+  }
+
+  /// Writes stay heap: the first ingest materializes the archive once and
+  /// swaps in a full ArchiveStore (under the exclusive lock every ingest
+  /// holds). The next SaveToBytes then re-emits fresh XAR2 sections.
+  Status Promote() {
+    if (promoted_ != nullptr) return Status::OK();
+    std::unique_ptr<core::Archive> heap;
+    {
+      std::lock_guard<std::mutex> lock(heap_mu_);
+      heap = std::move(heap_);
+    }
+    if (heap == nullptr) {
+      XARCH_ASSIGN_OR_RETURN(std::string xml,
+                             snapshot_.SectionString("archive"));
+      XARCH_ASSIGN_OR_RETURN(keys::KeySpecSet spec, spec_.Clone());
+      XARCH_ASSIGN_OR_RETURN(
+          core::Archive archive,
+          ArchiveFromSnapshotXml(xml, std::move(spec), options_));
+      heap = std::make_unique<core::Archive>(std::move(archive));
+    }
+    promoted_ = std::make_unique<ArchiveStore>(name_, std::move(*heap),
+                                               use_index_, snapshot_format_);
+    return Status::OK();
+  }
+
+  std::string name_;
+  persist::SnapshotView snapshot_;
+  std::unique_ptr<core::FlatArchive> flat_;   // views into snapshot_ bytes
+  std::unique_ptr<index::FlatViewIndex> flat_index_;  // null when unindexed
+  core::FlatArchiveView view_;                // over *flat_
+  keys::KeySpecSet spec_;
+  core::ArchiveOptions options_;
+  bool use_index_;
+  int snapshot_format_;
+  mutable std::mutex heap_mu_;
+  mutable std::unique_ptr<core::Archive> heap_;
+  std::unique_ptr<Store> promoted_;  // set by the first ingest
 };
 
 // -------------------------------------------------- diff / copy baselines
@@ -1109,16 +1429,26 @@ Status RequireSpec(const StoreOptions& options, const char* backend) {
   return Status::OK();
 }
 
+Status RequireSnapshotFormat(const StoreOptions& options) {
+  if (options.snapshot_format != 1 && options.snapshot_format != 2) {
+    return Status::InvalidArgument(
+        "StoreOptions::snapshot_format must be 1 (XAR1) or 2 (XAR2), got " +
+        std::to_string(options.snapshot_format));
+  }
+  return Status::OK();
+}
+
 StatusOr<std::unique_ptr<Store>> MakeArchiveBackend(StoreOptions options,
                                                     const char* name,
                                                     core::FrontierStrategy
                                                         frontier) {
   XARCH_RETURN_NOT_OK(RequireSpec(options, name));
+  XARCH_RETURN_NOT_OK(RequireSnapshotFormat(options));
   core::ArchiveOptions archive_options = options.archive;
   archive_options.frontier = frontier;
-  return std::unique_ptr<Store>(
-      std::make_unique<ArchiveStore>(name, std::move(options.spec),
-                                     archive_options, options.use_index));
+  return std::unique_ptr<Store>(std::make_unique<ArchiveStore>(
+      name, std::move(options.spec), archive_options, options.use_index,
+      options.snapshot_format));
 }
 
 /// Fills in a fresh private working directory when the caller left the
@@ -1181,9 +1511,19 @@ void RegisterBuiltinStores(StoreRegistry& registry) {
         return MakeArchiveBackend(std::move(options), "archive",
                                   core::FrontierStrategy::kBuckets);
       },
-      [](const persist::SnapshotReader& snapshot, StoreOptions) {
+      [](const persist::SnapshotReader& snapshot, StoreOptions tuning)
+          -> StatusOr<std::unique_ptr<Store>> {
+        XARCH_RETURN_NOT_OK(RequireSnapshotFormat(tuning));
         return ArchiveStore::Restore(snapshot, "archive",
-                                     core::FrontierStrategy::kBuckets);
+                                     core::FrontierStrategy::kBuckets,
+                                     tuning.snapshot_format);
+      },
+      [](const persist::SnapshotView& snapshot, StoreOptions tuning)
+          -> StatusOr<std::unique_ptr<Store>> {
+        XARCH_RETURN_NOT_OK(RequireSnapshotFormat(tuning));
+        return MappedArchiveStore::Restore(snapshot, "archive",
+                                           core::FrontierStrategy::kBuckets,
+                                           tuning.snapshot_format);
       },
   }));
   must(registry.Register({
@@ -1195,9 +1535,19 @@ void RegisterBuiltinStores(StoreRegistry& registry) {
         return MakeArchiveBackend(std::move(options), "archive-weave",
                                   core::FrontierStrategy::kWeave);
       },
-      [](const persist::SnapshotReader& snapshot, StoreOptions) {
+      [](const persist::SnapshotReader& snapshot, StoreOptions tuning)
+          -> StatusOr<std::unique_ptr<Store>> {
+        XARCH_RETURN_NOT_OK(RequireSnapshotFormat(tuning));
         return ArchiveStore::Restore(snapshot, "archive-weave",
-                                     core::FrontierStrategy::kWeave);
+                                     core::FrontierStrategy::kWeave,
+                                     tuning.snapshot_format);
+      },
+      [](const persist::SnapshotView& snapshot, StoreOptions tuning)
+          -> StatusOr<std::unique_ptr<Store>> {
+        XARCH_RETURN_NOT_OK(RequireSnapshotFormat(tuning));
+        return MappedArchiveStore::Restore(snapshot, "archive-weave",
+                                           core::FrontierStrategy::kWeave,
+                                           tuning.snapshot_format);
       },
   }));
   must(registry.Register({

@@ -59,11 +59,24 @@ StatusOr<std::unique_ptr<Store>> StoreRegistry::OpenFromFile(
   // parsed straight out of the page cache; elsewhere it buffers.
   XARCH_ASSIGN_OR_RETURN(std::unique_ptr<vfs::MappedFile> mapping,
                          vfs->Map(path));
+  if (persist::IsXar2Snapshot(mapping->data())) {
+    // XAR2 opens over the mapping itself: the view (and the store built on
+    // it) navigates the file's bytes in place, so the mapping is adopted
+    // rather than parsed-and-dropped.
+    XARCH_ASSIGN_OR_RETURN(persist::SnapshotView snapshot,
+                           persist::SnapshotView::Adopt(std::move(mapping)));
+    return OpenView(std::move(snapshot), std::move(tuning));
+  }
   return OpenFromBytes(mapping->data(), std::move(tuning));
 }
 
 StatusOr<std::unique_ptr<Store>> StoreRegistry::OpenFromBytes(
     std::string_view bytes, StoreOptions tuning) const {
+  if (persist::IsXar2Snapshot(bytes)) {
+    XARCH_ASSIGN_OR_RETURN(persist::SnapshotView snapshot,
+                           persist::SnapshotView::OpenFromBytes(bytes));
+    return OpenView(std::move(snapshot), std::move(tuning));
+  }
   XARCH_ASSIGN_OR_RETURN(persist::SnapshotReader snapshot,
                          persist::SnapshotReader::Parse(bytes));
   XARCH_ASSIGN_OR_RETURN(std::string_view backend,
@@ -79,6 +92,22 @@ StatusOr<std::unique_ptr<Store>> StoreRegistry::OpenFromBytes(
                                  "\" has no snapshot restorer");
   }
   return it->second.restorer(snapshot, std::move(tuning));
+}
+
+StatusOr<std::unique_ptr<Store>> StoreRegistry::OpenView(
+    persist::SnapshotView snapshot, StoreOptions tuning) const {
+  XARCH_ASSIGN_OR_RETURN(std::string backend,
+                         snapshot.SectionString("backend"));
+  auto it = entries_.find(backend);
+  if (it == entries_.end()) {
+    return Status::NotFound("snapshot was written by backend \"" + backend +
+                            "\", which is not registered");
+  }
+  if (!it->second.view_restorer) {
+    return Status::Unimplemented("backend \"" + it->first +
+                                 "\" cannot open XAR2 snapshots");
+  }
+  return it->second.view_restorer(snapshot, std::move(tuning));
 }
 
 StatusOr<std::unique_ptr<Store>> StoreRegistry::Open(const std::string& path,

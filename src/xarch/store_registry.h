@@ -15,6 +15,7 @@ namespace xarch {
 
 namespace persist {
 class SnapshotReader;
+class SnapshotView;
 }  // namespace persist
 
 /// \brief String-keyed factory registry of Store backends.
@@ -54,6 +55,12 @@ class StoreRegistry {
   using Restorer = std::function<StatusOr<std::unique_ptr<Store>>(
       const persist::SnapshotReader& snapshot, StoreOptions tuning)>;
 
+  /// Rebuilds a store over a verified XAR2 snapshot view without copying
+  /// its payloads: the restorer keeps (a copy of) the view, whose shared
+  /// storage is the mapped file itself on the OpenFromFile path.
+  using ViewRestorer = std::function<StatusOr<std::unique_ptr<Store>>(
+      const persist::SnapshotView& snapshot, StoreOptions tuning)>;
+
   /// One registered backend.
   struct Entry {
     std::string name;
@@ -65,6 +72,10 @@ class StoreRegistry {
     /// Optional: absent means snapshots of this backend cannot be opened
     /// (OpenFromFile fails with kUnimplemented).
     Restorer restorer;
+    /// Optional: opens XAR2 snapshots mapped-read-only. Absent means XAR2
+    /// snapshots naming this backend cannot be opened (the built-in
+    /// archive backends are the only XAR2 writers and both register one).
+    ViewRestorer view_restorer;
   };
 
   /// The process-wide registry with all built-in backends registered.
@@ -108,6 +119,9 @@ class StoreRegistry {
   const Entry* Find(const std::string& name) const;
 
  private:
+  StatusOr<std::unique_ptr<Store>> OpenView(persist::SnapshotView snapshot,
+                                            StoreOptions tuning) const;
+
   std::map<std::string, Entry> entries_;
 };
 

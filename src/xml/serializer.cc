@@ -53,67 +53,114 @@ std::string EscapeAttr(std::string_view text) {
 namespace {
 
 /// True if the element's children are text nodes only (rendered inline).
-bool IsTextOnly(const Node& node) {
-  for (const auto& c : node.children()) {
-    if (!c->is_text()) return false;
+bool IsTextOnly(const NodeSource& source, NodeSource::Id node) {
+  const size_t n = source.ChildCount(node);
+  for (size_t i = 0; i < n; ++i) {
+    if (!source.IsText(source.Child(node, i))) return false;
   }
   return true;
 }
 
-void WriteNode(const Node& node, const SerializeOptions& options, int depth,
-               std::string* out) {
+void WriteNode(const NodeSource& source, NodeSource::Id node,
+               const SerializeOptions& options, int depth, std::string* out) {
   std::string indent =
       options.pretty ? std::string(depth * options.indent_width, ' ') : "";
-  if (node.is_text()) {
+  if (source.IsText(node)) {
     *out += indent;
-    *out += EscapeText(node.text());
+    *out += EscapeText(source.Text(node));
     if (options.pretty) *out += '\n';
     return;
   }
   *out += indent;
   *out += '<';
-  *out += node.tag();
-  for (const auto& [name, value] : node.attrs()) {
+  *out += source.Tag(node);
+  const size_t attr_count = source.AttrCount(node);
+  for (size_t i = 0; i < attr_count; ++i) {
+    const auto [name, value] = source.Attr(node, i);
     *out += ' ';
     *out += name;
     *out += "=\"";
     *out += EscapeAttr(value);
     *out += '"';
   }
-  if (node.children().empty()) {
+  const size_t child_count = source.ChildCount(node);
+  if (child_count == 0) {
     *out += "/>";
     if (options.pretty) *out += '\n';
     return;
   }
   *out += '>';
-  if (options.pretty && IsTextOnly(node)) {
-    for (const auto& c : node.children()) *out += EscapeText(c->text());
+  if (options.pretty && IsTextOnly(source, node)) {
+    for (size_t i = 0; i < child_count; ++i) {
+      *out += EscapeText(source.Text(source.Child(node, i)));
+    }
     *out += "</";
-    *out += node.tag();
+    *out += source.Tag(node);
     *out += ">\n";
     return;
   }
   if (options.pretty) *out += '\n';
-  for (const auto& c : node.children()) {
-    WriteNode(*c, options, depth + 1, out);
+  for (size_t i = 0; i < child_count; ++i) {
+    WriteNode(source, source.Child(node, i), options, depth + 1, out);
   }
   *out += indent;
   *out += "</";
-  *out += node.tag();
+  *out += source.Tag(node);
   *out += '>';
   if (options.pretty) *out += '\n';
+}
+
+/// NodeSource over a heap xml::Node tree; ids are node pointers, so the
+/// classic entry points below funnel into the one generic writer.
+class HeapNodeSource : public NodeSource {
+ public:
+  static Id IdOf(const Node& node) {
+    return reinterpret_cast<Id>(&node);
+  }
+  static const Node& NodeOf(Id id) {
+    return *reinterpret_cast<const Node*>(static_cast<uintptr_t>(id));
+  }
+
+  bool IsText(Id node) const override { return NodeOf(node).is_text(); }
+  std::string_view Text(Id node) const override { return NodeOf(node).text(); }
+  std::string_view Tag(Id node) const override { return NodeOf(node).tag(); }
+  size_t AttrCount(Id node) const override {
+    return NodeOf(node).attrs().size();
+  }
+  std::pair<std::string_view, std::string_view> Attr(
+      Id node, size_t i) const override {
+    const auto& [name, value] = NodeOf(node).attrs()[i];
+    return {name, value};
+  }
+  size_t ChildCount(Id node) const override {
+    return NodeOf(node).children().size();
+  }
+  Id Child(Id node, size_t i) const override {
+    return IdOf(*NodeOf(node).children()[i]);
+  }
+};
+
+const HeapNodeSource& HeapSource() {
+  static const HeapNodeSource source;
+  return source;
 }
 
 }  // namespace
 
 void SerializeAppend(const Node& node, const SerializeOptions& options,
                      int depth, std::string* out) {
-  WriteNode(node, options, depth, out);
+  WriteNode(HeapSource(), HeapNodeSource::IdOf(node), options, depth, out);
+}
+
+void SerializeAppend(const NodeSource& source, NodeSource::Id node,
+                     const SerializeOptions& options, int depth,
+                     std::string* out) {
+  WriteNode(source, node, options, depth, out);
 }
 
 std::string Serialize(const Node& node, const SerializeOptions& options) {
   std::string out;
-  WriteNode(node, options, 0, &out);
+  SerializeAppend(node, options, 0, &out);
   return out;
 }
 

@@ -1,8 +1,10 @@
 #ifndef XARCH_XML_SERIALIZER_H_
 #define XARCH_XML_SERIALIZER_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 
 #include "xml/node.h"
 
@@ -18,6 +20,31 @@ struct SerializeOptions {
   int indent_width = 2;
 };
 
+/// \brief Read-only tree the serializer can walk without owning nodes.
+///
+/// Both heap `xml::Node` trees and the flat mapped records of an XAR2
+/// snapshot implement this, so retrieval from a mapped store emits exactly
+/// the bytes the heap path emits — one serializer, two storages. Ids are
+/// whatever the source wants (a pointer, an arena offset); the serializer
+/// only passes them back.
+class NodeSource {
+ public:
+  using Id = uint64_t;
+
+  virtual ~NodeSource() = default;
+
+  virtual bool IsText(Id node) const = 0;
+  /// Character data of a text node.
+  virtual std::string_view Text(Id node) const = 0;
+  /// Tag of an element node.
+  virtual std::string_view Tag(Id node) const = 0;
+  virtual size_t AttrCount(Id node) const = 0;
+  virtual std::pair<std::string_view, std::string_view> Attr(
+      Id node, size_t i) const = 0;
+  virtual size_t ChildCount(Id node) const = 0;
+  virtual Id Child(Id node, size_t i) const = 0;
+};
+
 /// Serializes `node` to XML text.
 std::string Serialize(const Node& node, const SerializeOptions& options);
 
@@ -30,6 +57,11 @@ std::string Serialize(const Node& node);
 /// the exact formatting of Serialize() for embedded subtrees.
 void SerializeAppend(const Node& node, const SerializeOptions& options,
                      int depth, std::string* out);
+
+/// The same, over any NodeSource (the mapped-archive retrieval path).
+void SerializeAppend(const NodeSource& source, NodeSource::Id node,
+                     const SerializeOptions& options, int depth,
+                     std::string* out);
 
 /// Escapes character data: & < >.
 std::string EscapeText(std::string_view text);

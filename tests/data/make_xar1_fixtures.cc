@@ -1,0 +1,92 @@
+// Regenerates the committed XAR1 compatibility fixtures consumed by
+// tests/xar2_test.cc (Xar1FixtureTest). The version texts MUST stay in
+// lockstep with FixtureVersions() there. Only rerun this if those texts
+// have to change — the whole point of the fixtures is that old bytes
+// keep opening, so prefer never regenerating.
+//
+//   g++ -O2 -Isrc tests/data/make_xar1_fixtures.cc build/libxarch.a \
+//       -lpthread -o make_xar1_fixtures
+//   ./make_xar1_fixtures tests/data
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/archive.h"
+#include "keys/key_spec.h"
+#include "xarch/store.h"
+#include "xarch/store_registry.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+using namespace xarch;
+
+namespace {
+
+constexpr const char* kKeys = R"(
+(/, (db, {}))
+(/db, (entry, {id}))
+(/db/entry, (note, {}))
+)";
+
+keys::KeySpecSet MustSpec() {
+  auto spec = keys::ParseKeySpecSet(kKeys);
+  if (!spec.ok()) std::abort();
+  return std::move(spec).value();
+}
+
+std::string Canonical(const std::string& text) {
+  core::Archive archive(MustSpec());
+  auto doc = xml::Parse(text);
+  if (!doc.ok()) std::abort();
+  if (!archive.AddVersion(**doc).ok()) std::abort();
+  auto back = archive.RetrieveVersion(1);
+  if (!back.ok()) std::abort();
+  return xml::Serialize(**back);
+}
+
+std::string Entry(int id, const std::string& note) {
+  return "<entry><id>" + std::to_string(id) + "</id><note>" + note +
+         "</note></entry>";
+}
+
+std::vector<std::string> FixtureVersions() {
+  return {
+      Canonical("<db>" + Entry(1, "alpha") + Entry(2, "beta") + "</db>"),
+      Canonical("<db>" + Entry(1, "changed") + Entry(3, "gamma") + "</db>"),
+      Canonical("<db>" + Entry(1, "changed") + Entry(2, "beta") +
+                Entry(3, "gamma") + "</db>"),
+      Canonical("<db>" + Entry(1, "changed") + Entry(2, "beta") +
+                Entry(3, "gamma2") + "</db>"),
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? argv[1] : "tests/data";
+  for (const char* backend :
+       {"archive", "archive-weave", "incr-diff", "full-copy"}) {
+    StoreOptions options;
+    options.spec = MustSpec();
+    options.snapshot_format = 1;  // the legacy container, by construction
+    auto store = StoreRegistry::Create(backend, std::move(options));
+    if (!store.ok()) {
+      std::fprintf(stderr, "%s: %s\n", backend,
+                   store.status().ToString().c_str());
+      return 1;
+    }
+    for (const std::string& text : FixtureVersions()) {
+      if (!(*store)->Append(text).ok()) return 1;
+    }
+    const std::string path =
+        out_dir + "/xar1_" + std::string(backend) + ".xar";
+    Status saved = (*store)->SaveToFile(path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}
